@@ -1,0 +1,139 @@
+// Command diveagent runs a DiVE mobile agent against a live diveserver: it
+// renders a synthetic drive, encodes it differentially with the public
+// dive.Agent API, streams the bitstreams over TCP, and reports per-frame
+// response times plus a final accuracy summary.
+//
+// Usage:
+//
+//	diveagent [-addr 127.0.0.1:7060] [-profile nuScenes] [-seed 1]
+//	          [-duration 4] [-rate 2.0]
+//
+// -rate throttles the uplink to the given Mbps (0 = unthrottled), pacing
+// writes so the bandwidth estimator sees realistic feedback.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"dive"
+	"dive/internal/detect"
+	"dive/internal/edge"
+	"dive/internal/metrics"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "diveagent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("diveagent", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7060", "edge server address")
+	profile := fs.String("profile", "nuScenes", "clip profile: nuScenes, RobotCar or KITTI")
+	seed := fs.Int64("seed", 1, "clip seed (must match nothing; the server re-renders it)")
+	duration := fs.Float64("duration", 4, "clip duration in seconds")
+	rate := fs.Float64("rate", 2.0, "uplink throttle in Mbps (0 = unthrottled)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var wp world.Profile
+	switch *profile {
+	case "nuScenes":
+		wp = world.NuScenesLike()
+	case "RobotCar":
+		wp = world.RobotCarLike()
+	case "KITTI":
+		wp = world.KITTILike()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	wp.ClipDuration = *duration
+	fmt.Printf("rendering %s clip (%.0fs, seed %d)...\n", wp.Name, *duration, *seed)
+	clip := world.GenerateClip(wp, *seed)
+
+	agent, err := dive.NewAgent(dive.Config{
+		Width: clip.W, Height: clip.H, FPS: clip.FPS, FocalPx: clip.Focal,
+		BandwidthPriorBps: dive.Mbps(maxf(*rate, 0.5)),
+	})
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(edge.Hello{Profile: wp.Name, Seed: *seed, Duration: *duration}); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	dets := make([][]detect.Detection, clip.NumFrames())
+	var rts []float64
+	totalBits := 0
+	for i, frame := range clip.Frames {
+		now := time.Since(start).Seconds()
+		out, err := agent.Process(frame, now)
+		if err != nil {
+			return err
+		}
+		totalBits += out.Bits
+
+		sendStart := time.Since(start).Seconds()
+		if err := enc.Encode(edge.FrameMsg{
+			Index: i, Bitstream: out.Bitstream, SentNanos: time.Now().UnixNano(),
+		}); err != nil {
+			return err
+		}
+		if *rate > 0 {
+			// Pace to the throttle so timing resembles a real uplink.
+			time.Sleep(time.Duration(float64(out.Bits) / dive.Mbps(*rate) * float64(time.Second)))
+		}
+		agent.AckUplink(sendStart, time.Since(start).Seconds(), out.Bits)
+
+		var res edge.ResultMsg
+		if err := dec.Decode(&res); err != nil {
+			return err
+		}
+		if res.Err != "" {
+			return fmt.Errorf("server: %s", res.Err)
+		}
+		rt := float64(time.Now().UnixNano()-res.SentNanos) / 1e9
+		rts = append(rts, rt)
+		dets[i] = edge.FromWire(res.Detections)
+		agent.CacheDetections(dets[i])
+		fmt.Printf("frame %3d: %5.1f kbit qp=%2d fg=%4.1f%% η=%.2f dets=%d rt=%5.1fms\n",
+			i, float64(out.Bits)/1000, out.BaseQP, out.ForegroundFraction*100,
+			out.Eta, len(dets[i]), rt*1000)
+	}
+
+	// Accuracy against the oracle (detections on raw frames).
+	env := sim.NewEnv(*seed)
+	oracle := sim.OracleDetections(clip, env)
+	mAP := metrics.MAP(dets, oracle, metrics.DefaultIoU)
+	lat := metrics.SummarizeLatency(rts)
+	dur := float64(clip.NumFrames()) / clip.FPS
+	fmt.Printf("\nsummary: frames=%d bitrate=%.2f Mbps mAP=%.3f meanRT=%.1fms p95RT=%.1fms\n",
+		clip.NumFrames(), float64(totalBits)/dur/1e6, mAP, lat.Mean*1000, lat.P95*1000)
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+// Command divebench regenerates the paper's tables and figures on the
+// synthetic substrate and prints them as text tables.
+//
+// Usage:
+//
+//	divebench [-scale smoke|default|full] [-seed N] [-only t1,f6,...]
+//
+// Experiment ids: t1 (Table I), f6, f7, f9, f10, f11, f12, f13, f14,
+// f16, f17. By default every experiment runs at the default scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dive/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "divebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("divebench", flag.ContinueOnError)
+	scaleName := fs.String("scale", "default", "experiment scale: smoke, default or full")
+	seed := fs.Int64("seed", experiments.BaseSeed, "base random seed")
+	only := fs.String("only", "", "comma-separated experiment ids (t1,f6,f7,f9,f10,f11,f12,f13,f14,f16,f17,abl,abl2,night)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.ScaleSmoke
+	case "default":
+		scale = experiments.ScaleDefault
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	exps := []exp{
+		{"t1", func() (*experiments.Table, error) {
+			return experiments.RenderTableI(experiments.TableI(scale, *seed)), nil
+		}},
+		{"f6", func() (*experiments.Table, error) {
+			r, err := experiments.Fig6EgoMotion(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig6(r), nil
+		}},
+		{"f7", func() (*experiments.Table, error) {
+			r, err := experiments.Fig7RSampling(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig7(r), nil
+		}},
+		{"f9", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig9MotionEstimation(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig9(rows), nil
+		}},
+		{"f10", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig10SampleCount(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig10(rows), nil
+		}},
+		{"f11", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig11QPAssignment(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig11(rows), nil
+		}},
+		{"f12", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig12Foreground(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig12(rows), nil
+		}},
+		{"f13", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig13OfflineTracking(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig13(rows), nil
+		}},
+		{"f14", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig14MotionStates(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig14(rows), nil
+		}},
+		{"f16", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig16EndToEndRobotCar(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderEndToEnd("Fig 16: end-to-end comparison, RobotCar", rows), nil
+		}},
+		{"abl", func() (*experiments.Table, error) {
+			rows, err := experiments.AblationRotation(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderAblation(rows), nil
+		}},
+		{"abl2", func() (*experiments.Table, error) {
+			rows, err := experiments.AblationSubPel(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderSubPelAblation(rows), nil
+		}},
+		{"night", func() (*experiments.Table, error) {
+			rows, err := experiments.NightStudy(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderNight(rows), nil
+		}},
+		{"f17", func() (*experiments.Table, error) {
+			rows, err := experiments.Fig17EndToEndNuScenes(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderEndToEnd("Fig 17: end-to-end comparison, nuScenes", rows), nil
+		}},
+	}
+
+	fmt.Printf("divebench: scale=%s seed=%d\n\n", scale, *seed)
+	for _, e := range exps {
+		if !selected(e.id) {
+			continue
+		}
+		t0 := time.Now()
+		table, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("[%s took %.1fs]\n\n", e.id, time.Since(t0).Seconds())
+	}
+	return nil
+}

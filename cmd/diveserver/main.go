@@ -1,0 +1,40 @@
+// Command diveserver runs the edge analytics server of the live demo: it
+// accepts DiVE sessions over TCP, decodes incoming bitstreams, runs the
+// simulated DNN and streams detections back.
+//
+// Usage:
+//
+//	diveserver [-addr :7060]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dive/internal/edge"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "diveserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("diveserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":7060", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := edge.NewServer()
+	srv.Logf = log.Printf
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("edge server listening on %s", bound)
+	return srv.Serve()
+}

@@ -1,0 +1,113 @@
+// Command divetrace runs the DiVE agent over a synthetic clip and dumps a
+// per-frame CSV of everything the pipeline decided — η, ego-motion
+// judgement, estimated rotation, FOE, foreground size, δ, base QP, bits and
+// reconstruction PSNR — for plotting and debugging.
+//
+// Usage:
+//
+//	divetrace [-profile nuScenes] [-seed 1] [-duration 4] [-mbps 2] [-o out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dive/internal/core"
+	"dive/internal/imgx"
+	"dive/internal/netsim"
+	"dive/internal/world"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "divetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("divetrace", flag.ContinueOnError)
+	profile := fs.String("profile", "nuScenes", "clip profile: nuScenes, nuScenes-night, RobotCar or KITTI")
+	seed := fs.Int64("seed", 1, "clip seed")
+	duration := fs.Float64("duration", 4, "clip duration in seconds")
+	mbps := fs.Float64("mbps", 2, "simulated uplink bandwidth")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p world.Profile
+	switch *profile {
+	case "nuScenes":
+		p = world.NuScenesLike()
+	case "nuScenes-night":
+		p = world.NuScenesNightLike()
+	case "RobotCar":
+		p = world.RobotCarLike()
+	case "KITTI":
+		p = world.KITTILike()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	p.ClipDuration = *duration
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return Trace(p, *seed, netsim.Mbps(*mbps), w)
+}
+
+// Trace generates the clip, runs the agent, and writes the CSV to w.
+func Trace(p world.Profile, seed int64, uplinkBps float64, w io.Writer) error {
+	clip := world.GenerateClip(p, seed)
+	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+	cfg.Seed = seed
+	agent, err := core.NewAgent(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "frame,time_s,state,eta,moving,rot_ok,phi_x,phi_y,foe_x,foe_y,fg_frac,fg_objects,reused,delta,base_qp,frame_type,bits,target_bits,est_bw_mbps,psnr_db"); err != nil {
+		return err
+	}
+	for i, frame := range clip.Frames {
+		now := float64(i) / clip.FPS
+		fr, err := agent.ProcessFrame(frame, now)
+		if err != nil {
+			return err
+		}
+		tx := float64(fr.Encoded.NumBits) / uplinkBps
+		agent.OnTransmitComplete(now, now+tx, fr.Encoded.NumBits)
+
+		fgFrac, fgObjs := 0.0, 0
+		if fr.Foreground != nil {
+			fgFrac = fr.Foreground.Fraction()
+			fgObjs = len(fr.Foreground.Objects)
+		}
+		// Reconstruction quality as the server will see it (the encoder's
+		// recon is bit-exact with the decoder output).
+		psnr := imgx.PSNR(imgx.MSE(frame, agentRecon(agent)))
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%s,%.4f,%t,%t,%.6f,%.6f,%.2f,%.2f,%.4f,%d,%t,%d,%d,%s,%d,%d,%.3f,%.2f\n",
+			i, now, clip.Poses[i].State, fr.Eta, fr.Moving,
+			fr.Rotation.OK, fr.Rotation.PhiX, fr.Rotation.PhiY,
+			fr.FOE.X, fr.FOE.Y,
+			fgFrac, fgObjs, fr.Reused,
+			fr.Delta, fr.Encoded.BaseQP, fr.Encoded.Type,
+			fr.Encoded.NumBits, fr.TargetBits,
+			fr.EstimatedBandwidth/1e6, psnr,
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// agentRecon exposes the encoder reconstruction for PSNR reporting.
+func agentRecon(a *core.Agent) *imgx.Plane { return a.Reconstructed() }

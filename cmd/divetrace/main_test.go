@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dive/internal/netsim"
+	"dive/internal/world"
+)
+
+func TestTraceCSVOutput(t *testing.T) {
+	p := world.NuScenesLike()
+	p.ClipDuration = 0.5
+	var sb strings.Builder
+	if err := Trace(p, 3, netsim.Mbps(2), &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	wantRows := int(0.5*p.FPS) + 1 // header + frames
+	if len(lines) != wantRows {
+		t.Fatalf("lines = %d, want %d", len(lines), wantRows)
+	}
+	header := strings.Split(lines[0], ",")
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(header) {
+			t.Fatalf("row has %d fields, header has %d: %q", got, len(header), row)
+		}
+	}
+	if !strings.Contains(lines[0], "eta") || !strings.Contains(lines[0], "psnr_db") {
+		t.Errorf("header missing expected columns: %s", lines[0])
+	}
+	// First frame is intra.
+	if !strings.Contains(lines[1], ",I,") {
+		t.Errorf("first frame row should be intra: %s", lines[1])
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-profile", "bogus"}, &sb); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+}

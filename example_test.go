@@ -1,0 +1,62 @@
+package dive_test
+
+import (
+	"fmt"
+
+	"dive"
+)
+
+// ExampleAgent_Process shows the minimal DiVE loop: create an agent, feed
+// it frames, ship the bitstream, and report transport feedback.
+func ExampleAgent_Process() {
+	agent, err := dive.NewAgent(dive.Config{
+		Width: 64, Height: 64, FPS: 10, FocalPx: 100,
+		BandwidthPriorBps: dive.Mbps(2),
+		Seed:              1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	decoder, err := dive.NewDecoder(64, 64)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	frame := dive.NewFrame(64, 64)
+	for i := range frame.Pix {
+		frame.Pix[i] = uint8(i % 251)
+	}
+
+	out, err := agent.Process(frame, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Ship out.Bitstream to the edge server; it decodes with dive.Decoder.
+	img, err := decoder.Decode(out.Bitstream)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Feed transport feedback so rate control tracks the uplink.
+	agent.AckUplink(0, 0.01, out.Bits)
+
+	fmt.Println("first frame intra:", out.IsIFrame)
+	fmt.Println("bitstream non-empty:", out.Bits > 0)
+	fmt.Println("decoded size:", img.W, "x", img.H)
+	// Output:
+	// first frame intra: true
+	// bitstream non-empty: true
+	// decoded size: 64 x 64
+}
+
+// ExampleNewAgent_validation shows that configuration errors surface at
+// construction time.
+func ExampleNewAgent_validation() {
+	_, err := dive.NewAgent(dive.Config{Width: 100, Height: 64, FPS: 10, FocalPx: 100})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,67 @@
+// Drive: an end-to-end comparison on one simulated suburban drive over a
+// fading mobile uplink — DiVE against the DDS and EAAR baselines, the
+// scenario the paper's introduction motivates (Figure 16/17 in miniature).
+//
+//	go run ./examples/drive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dive/internal/baselines"
+	"dive/internal/metrics"
+	"dive/internal/netsim"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profile := world.RobotCarLike()
+	profile.ClipDuration = 5
+	clip := world.GenerateClip(profile, 7)
+	fmt.Printf("drive: %s %dx%d @ %.0f FPS, %d frames, fading 1–3 Mbps uplink\n\n",
+		clip.Profile, clip.W, clip.H, clip.FPS, clip.NumFrames())
+
+	mkLink := func() *netsim.Link {
+		return netsim.NewLink(&netsim.FadingTrace{
+			Base:   netsim.Mbps(2),
+			Swing:  0.5, // 1..3 Mbps slow fade
+			Period: 8,
+			Jitter: 0.15,
+			Seed:   3,
+		}, 0.012)
+	}
+
+	schemes := []sim.Scheme{
+		&sim.DiVE{},
+		&baselines.DDS{},
+		&baselines.EAAR{},
+	}
+	fmt.Printf("%-6s  %6s  %6s  %6s  %9s  %9s  %8s\n",
+		"scheme", "mAP", "carAP", "pedAP", "meanRT", "p95RT", "Mbps")
+	for _, s := range schemes {
+		env := sim.NewEnv(11)
+		res, err := s.Run(clip, mkLink(), env)
+		if err != nil {
+			return err
+		}
+		oracle := sim.OracleDetections(clip, env)
+		car := metrics.AP(res.Detections, oracle, world.ClassCar, metrics.DefaultIoU)
+		ped := metrics.AP(res.Detections, oracle, world.ClassPedestrian, metrics.DefaultIoU)
+		lat := metrics.SummarizeLatency(res.ResponseTimes)
+		dur := float64(clip.NumFrames()) / clip.FPS
+		fmt.Printf("%-6s  %6.3f  %6.3f  %6.3f  %7.1fms  %7.1fms  %8.2f\n",
+			res.Scheme, (car+ped)/2, car, ped,
+			lat.Mean*1000, lat.P95*1000, float64(res.TotalBits())/dur/1e6)
+	}
+	fmt.Println("\nDiVE holds the best accuracy at a single-trip response time;")
+	fmt.Println("DDS pays two uplink trips per frame, EAAR tracks most frames locally.")
+	return nil
+}

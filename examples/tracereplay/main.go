@@ -1,0 +1,92 @@
+// Tracereplay: runs DiVE and the baselines over a RECORDED bandwidth trace
+// (the CSV format of published cellular logs) instead of a synthetic link —
+// how you would evaluate the system against your own network measurements.
+//
+//	go run ./examples/tracereplay [-trace path/to/trace.csv]
+//
+// Without -trace, a bundled LTE-like example trace is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dive/internal/baselines"
+	"dive/internal/metrics"
+	"dive/internal/netsim"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// exampleTrace is a 30-second LTE-flavored trace: healthy cell, congested
+// sector, a deep fade, and recovery.
+const exampleTrace = `# time_s,bandwidth_mbps
+0,4.2
+3,3.1
+6,2.4
+9,1.2
+12,0.6
+14,0.2
+15.5,1.8
+19,2.9
+24,3.8
+`
+
+func main() {
+	tracePath := flag.String("trace", "", "bandwidth trace CSV (time_s,bandwidth_mbps)")
+	flag.Parse()
+	if err := run(*tracePath); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(tracePath string) error {
+	var trace *netsim.StepTrace
+	var err error
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = netsim.ParseTraceCSV(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %s (%d samples)\n\n", tracePath, len(trace.Times))
+	} else {
+		trace, err = netsim.ParseTraceCSV(strings.NewReader(exampleTrace))
+		if err != nil {
+			return err
+		}
+		fmt.Println("replaying the bundled LTE-like example trace (pass -trace for your own)")
+		fmt.Println()
+	}
+
+	profile := world.NuScenesLike()
+	profile.ClipDuration = 6
+	clip := world.GenerateClip(profile, 19)
+
+	schemes := []sim.Scheme{&sim.DiVE{}, &baselines.DDS{}, &baselines.O3{}}
+	fmt.Printf("%-6s  %6s  %9s  %9s  %8s\n", "scheme", "mAP", "meanRT", "p95RT", "Mbps")
+	for _, s := range schemes {
+		env := sim.NewEnv(3)
+		link := netsim.NewLink(trace, 0.012)
+		res, err := s.Run(clip, link, env)
+		if err != nil {
+			return err
+		}
+		oracle := sim.OracleDetections(clip, env)
+		lat := metrics.SummarizeLatency(res.ResponseTimes)
+		dur := float64(clip.NumFrames()) / clip.FPS
+		fmt.Printf("%-6s  %6.3f  %7.1fms  %7.1fms  %8.2f\n",
+			res.Scheme,
+			metrics.MAP(res.Detections, oracle, metrics.DefaultIoU),
+			lat.Mean*1000, lat.P95*1000,
+			float64(res.TotalBits())/dur/1e6)
+	}
+	return nil
+}

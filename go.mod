@@ -1,0 +1,3 @@
+module dive
+
+go 1.22

@@ -1,0 +1,155 @@
+package baselines
+
+import (
+	"dive/internal/codec"
+	"dive/internal/detect"
+	"dive/internal/imgx"
+	"dive/internal/netsim"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// EAAR reproduces the EAAR baseline: key frames are streamed with
+// ROI-based differential encoding where the ROI comes from the cached
+// (tracked) previous detections — QP 30 inside the ROI, QP 40 outside, the
+// paper's stated defaults — and inference runs in parallel with streaming.
+// Non-key frames are tracked locally. Fixed QPs mean no bitrate adaptation:
+// under tight uplinks the transmit queue grows and results arrive stale.
+type EAAR struct {
+	// KeyInterval is the number of frames between uploaded key frames.
+	KeyInterval int
+	// HighQP and LowQP are the ROI and background quantizers (30/40 in
+	// the paper).
+	HighQP, LowQP int
+	// DilatePx grows cached boxes into the ROI to tolerate motion.
+	DilatePx int
+}
+
+// Name implements sim.Scheme.
+func (e *EAAR) Name() string { return "EAAR" }
+
+func (e *EAAR) defaults() (interval, high, low, dilate int) {
+	interval, high, low, dilate = e.KeyInterval, e.HighQP, e.LowQP, e.DilatePx
+	if interval <= 0 {
+		interval = 4
+	}
+	if high <= 0 {
+		high = 30
+	}
+	if low <= 0 {
+		low = 40
+	}
+	if dilate <= 0 {
+		dilate = 12
+	}
+	return interval, high, low, dilate
+}
+
+// Run implements sim.Scheme.
+func (e *EAAR) Run(clip *world.Clip, link *netsim.Link, env *sim.Env) (*sim.Result, error) {
+	interval, high, low, dilate := e.defaults()
+	cfg := codec.DefaultConfig(clip.W, clip.H)
+	cfg.GoPSize = 1
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := codec.NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	me, err := newOnDeviceME(clip.W, clip.H, clip.Focal)
+	if err != nil {
+		return nil, err
+	}
+
+	n := clip.NumFrames()
+	res := &sim.Result{
+		Scheme:        e.Name(),
+		Detections:    make([][]detect.Detection, n),
+		ResponseTimes: make([]float64, n),
+		BitsSent:      make([]int, n),
+		Uploaded:      make([]bool, n),
+	}
+	mbw, mbh := enc.MBDims()
+	var cached []detect.Detection
+	arrivals := newResultQueue(clip.W, clip.H)
+	for i, frame := range clip.Frames {
+		capture := float64(i) / clip.FPS
+		field, err := me.step(frame)
+		if err != nil {
+			return nil, err
+		}
+		// Key-frame results correct the cache only once they arrive (one
+		// round trip after capture), replayed through the motion since.
+		if fresh, ok := arrivals.collect(capture, field); ok {
+			cached = fresh
+		}
+		cached = trackForward(cached, field, clip.W, clip.H)
+		if i%interval != 0 {
+			res.Detections[i] = cached
+			res.ResponseTimes[i] = env.Lat.Track
+			continue
+		}
+		// ROI map from the cached (tracked) detections. With no cached
+		// results yet (cold start, or everything lost) — and periodically
+		// as a refresh, so objects the ROI never covered get a chance to
+		// bootstrap — stream the whole frame at ROI quality.
+		var offsets []int
+		refresh := (i/interval)%8 == 7
+		if len(cached) > 0 && !refresh {
+			offsets = roiOffsets(cached, mbw, mbh, dilate, low-high)
+		}
+		ef, err := enc.Encode(frame, codec.EncodeOptions{
+			BaseQP: high, QPOffsets: offsets, ForceIFrame: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ready := capture + env.Lat.Encode
+		_, _, delivered := link.Send(ready, ef.NumBits)
+		res.BitsSent[i] = ef.NumBits
+		res.Uploaded[i] = true
+
+		decoded, err := dec.Decode(ef.Data)
+		if err != nil {
+			return nil, err
+		}
+		dets, resultAt := sim.ServerInference(env, decoded.Image, frame, clip.GT[i], delivered, env.Seed^int64(i*104729))
+		arrivals.push(dets, resultAt)
+		res.Detections[i] = dets
+		res.ResponseTimes[i] = resultAt - capture
+	}
+	return res, nil
+}
+
+// roiOffsets builds a QP offset map that is 0 inside dilated detection
+// boxes and delta outside.
+func roiOffsets(dets []detect.Detection, mbw, mbh, dilatePx, delta int) []int {
+	offsets := make([]int, mbw*mbh)
+	for i := range offsets {
+		offsets[i] = delta
+	}
+	for _, d := range dets {
+		box := imgx.Rect{
+			MinX: d.Box.MinX - dilatePx, MinY: d.Box.MinY - dilatePx,
+			MaxX: d.Box.MaxX + dilatePx, MaxY: d.Box.MaxY + dilatePx,
+		}
+		bx0 := box.MinX / codec.MBSize
+		by0 := box.MinY / codec.MBSize
+		bx1 := (box.MaxX + codec.MBSize - 1) / codec.MBSize
+		by1 := (box.MaxY + codec.MBSize - 1) / codec.MBSize
+		for by := by0; by < by1; by++ {
+			if by < 0 || by >= mbh {
+				continue
+			}
+			for bx := bx0; bx < bx1; bx++ {
+				if bx < 0 || bx >= mbw {
+					continue
+				}
+				offsets[by*mbw+bx] = 0
+			}
+		}
+	}
+	return offsets
+}

@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"testing"
+
+	"dive/internal/codec"
+	"dive/internal/detect"
+	"dive/internal/geom"
+	"dive/internal/imgx"
+	"dive/internal/mvfield"
+	"dive/internal/world"
+)
+
+// uniformField builds a field with constant flow.
+func uniformField(mbw, mbh int, fx, fy float64) *mvfield.Field {
+	f := &mvfield.Field{MBW: mbw, MBH: mbh, Focal: 250, Vectors: make([]mvfield.Vector, mbw*mbh)}
+	for i := range f.Vectors {
+		bx, by := i%mbw, i/mbw
+		f.Vectors[i] = mvfield.Vector{
+			Pos:   geom.Vec2{X: float64(bx*codec.MBSize) + 8 - float64(mbw*8), Y: float64(by*codec.MBSize) + 8 - float64(mbh*8)},
+			Flow:  geom.Vec2{X: fx, Y: fy},
+			Valid: true,
+		}
+	}
+	return f
+}
+
+func TestResultQueueCatchUp(t *testing.T) {
+	q := newResultQueue(320, 192)
+	dets := []detect.Detection{{Class: world.ClassCar, Box: imgx.NewRect(100, 80, 40, 30), Score: 0.9}}
+	q.push(dets, 0.25) // arrives after ~3 frames at 12 FPS
+
+	field := uniformField(20, 12, 4, 0)
+	// Frames at t = 0.083, 0.167: in flight, fields accumulate.
+	if _, ok := q.collect(0.083, field); ok {
+		t.Fatal("result should still be in flight")
+	}
+	if _, ok := q.collect(0.167, field); ok {
+		t.Fatal("result should still be in flight")
+	}
+	// t = 0.3: arrived; replayed through the two accumulated fields.
+	out, ok := q.collect(0.3, field)
+	if !ok {
+		t.Fatal("result should have arrived")
+	}
+	if len(out) != 1 {
+		t.Fatalf("boxes = %d", len(out))
+	}
+	// Two replays of +4 px: box moved right by 8.
+	if out[0].Box.MinX != 108 {
+		t.Errorf("caught-up MinX = %d, want 108", out[0].Box.MinX)
+	}
+	if len(q.pending) != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestResultQueueDropsEmptyArrivals(t *testing.T) {
+	q := newResultQueue(320, 192)
+	q.push(nil, 0.1)
+	field := uniformField(20, 12, 0, 0)
+	if _, ok := q.collect(0.2, field); ok {
+		t.Error("empty result should not replace the cache")
+	}
+	if len(q.pending) != 0 {
+		t.Error("empty arrival not drained")
+	}
+}

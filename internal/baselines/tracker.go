@@ -1,0 +1,58 @@
+// Package baselines implements the three comparison systems of the paper's
+// Section IV-A on top of the same codec, link, detector and MV tracker as
+// DiVE, mirroring the paper's same-x264 / same-tracking fairness setup:
+//
+//   - O3: key-frame upload + on-device MV tracking for other frames.
+//   - EAAR: key frames with ROI encoding (QP 30 foreground / 40 background)
+//     from cached detections, tracking elsewhere.
+//   - DDS: per-frame two-pass server-driven streaming — low quality first,
+//     feedback regions re-uploaded in high quality.
+package baselines
+
+import (
+	"dive/internal/codec"
+	"dive/internal/core"
+	"dive/internal/detect"
+	"dive/internal/imgx"
+	"dive/internal/mvfield"
+)
+
+// onDeviceME wraps a private encoder used purely to obtain per-frame motion
+// vectors for local tracking, the way the baseline systems run block
+// matching on the device regardless of what they upload.
+type onDeviceME struct {
+	enc   *codec.Encoder
+	focal float64
+	w, h  int
+}
+
+func newOnDeviceME(w, h int, focal float64) (*onDeviceME, error) {
+	cfg := codec.DefaultConfig(w, h)
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &onDeviceME{enc: enc, focal: focal, w: w, h: h}, nil
+}
+
+// step consumes the next frame and returns the flow field against the
+// previous frame (nil on the first call).
+func (m *onDeviceME) step(frame *imgx.Plane) (*mvfield.Field, error) {
+	mf := m.enc.AnalyzeMotion(frame)
+	// Advance the reference cheaply; QP 18 keeps the reference clean
+	// enough for meaningful vectors without pretending to be free.
+	if _, err := m.enc.Encode(frame, codec.EncodeOptions{BaseQP: 18}); err != nil {
+		return nil, err
+	}
+	if mf == nil {
+		return nil, nil
+	}
+	return mvfield.FromMotion(mf, m.focal, float64(m.w)/2, float64(m.h)/2, 0), nil
+}
+
+// trackForward advances detections by one frame of flow; shared by O3 and
+// EAAR. It delegates to DiVE's tracker so the mechanics are identical
+// across schemes, mirroring the paper's same-tracking fairness setup.
+func trackForward(dets []detect.Detection, field *mvfield.Field, w, h int) []detect.Detection {
+	return core.TrackDetections(dets, field, float64(w)/2, float64(h)/2, w, h, core.DefaultTrackConfig())
+}

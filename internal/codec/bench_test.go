@@ -1,0 +1,108 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"dive/internal/imgx"
+)
+
+// benchFrames returns a pair of consecutive-looking frames for encode
+// benchmarks.
+func benchFrames() (*imgx.Plane, *imgx.Plane) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomFrame(320, 192, rng)
+	b := imgx.NewPlane(320, 192)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			b.Set(x, y, a.At(x-3, y-1))
+		}
+	}
+	return a, b
+}
+
+func BenchmarkEncodePFrame(b *testing.B) {
+	f0, f1 := benchFrames()
+	enc, _ := NewEncoder(DefaultConfig(320, 192))
+	if _, err := enc.Encode(f0, EncodeOptions{BaseQP: 20}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate so every encode is a non-trivial P-frame.
+		f := f1
+		if i%2 == 1 {
+			f = f0
+		}
+		if _, err := enc.Encode(f, EncodeOptions{BaseQP: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeRateControlled(b *testing.B) {
+	f0, f1 := benchFrames()
+	enc, _ := NewEncoder(DefaultConfig(320, 192))
+	if _, err := enc.Encode(f0, EncodeOptions{BaseQP: 20}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := f1
+		if i%2 == 1 {
+			f = f0
+		}
+		if _, err := enc.Encode(f, EncodeOptions{TargetBits: 150_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMotionSearch(b *testing.B) {
+	f0, f1 := benchFrames()
+	for _, m := range AllMEMethods() {
+		b.Run(m.String(), func(b *testing.B) {
+			cfg := DefaultConfig(320, 192)
+			cfg.Method = m
+			enc, _ := NewEncoder(cfg)
+			if _, err := enc.Encode(f0, EncodeOptions{BaseQP: 20}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Invalidate the analysis cache by alternating frames.
+				f := f1
+				if i%2 == 1 {
+					f = f0
+				}
+				enc.AnalyzeMotion(f)
+				enc.analyzed = nil
+			}
+		})
+	}
+}
+
+func BenchmarkDCT8(b *testing.B) {
+	var src, dst [blockSize * blockSize]float64
+	for i := range src {
+		src[i] = float64(i % 255)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdct8(&src, &dst)
+		idct8(&dst, &src)
+	}
+}
+
+func BenchmarkDeblockFrame(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomFrame(320, 192, rng)
+	qps := make([]int, (320/MBSize)*(192/MBSize))
+	for i := range qps {
+		qps[i] = 30
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deblockFrame(p, qps, 320/MBSize)
+	}
+}

@@ -1,0 +1,93 @@
+// Package codec implements a from-scratch H.264-style macroblock video
+// codec: 16×16 macroblocks, I/P GoP structure, five block-matching motion
+// estimation strategies (DIA, HEX, UMH, ESA, TESA), 8×8 DCT with H.264-style
+// QP→Qstep quantization, zigzag run-level Exp-Golomb entropy coding,
+// per-macroblock QP offset maps, and one-pass rate control.
+//
+// It substitutes for x264 in the DiVE reproduction: bit counts come from a
+// real bitstream and reconstruction error from real quantization, so the
+// accuracy/bitrate trade-offs the paper measures are driven by genuine
+// codec behaviour. The motion vectors the encoder computes are exposed to
+// the analytics layer — the "free" motion vectors DiVE builds on.
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BitWriter accumulates a bitstream MSB-first.
+type BitWriter struct {
+	buf  []byte
+	cur  uint8
+	nCur int
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b int) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n may be 0.
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return len(w.buf)*8 + w.nCur }
+
+// Bytes flushes the writer (zero-padding the final partial byte) and
+// returns the bitstream. The writer remains usable; further writes append
+// after the padding, so call Bytes only once per stream.
+func (w *BitWriter) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<uint(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// ErrBitstream reports a malformed or truncated bitstream.
+var ErrBitstream = errors.New("codec: malformed bitstream")
+
+// BitReader consumes a bitstream produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader wraps buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (int, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, fmt.Errorf("%w: read past end at bit %d", ErrBitstream, r.pos)
+	}
+	b := r.buf[r.pos/8] >> uint(7-r.pos%8) & 1
+	r.pos++
+	return int(b), nil
+}
+
+// ReadBits returns the next n bits as an unsigned value.
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Pos returns the current bit position.
+func (r *BitReader) Pos() int { return r.pos }

@@ -1,0 +1,143 @@
+package codec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBit(1)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xDEAD, 16)
+	nbits := w.Len()
+	if nbits != 21 {
+		t.Fatalf("Len = %d", nbits)
+	}
+	r := NewBitReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Error("first bit")
+	}
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Errorf("nibble = %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xDEAD {
+		t.Errorf("word = %x", v)
+	}
+}
+
+func TestBitReaderPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrBitstream) {
+		t.Errorf("expected ErrBitstream, got %v", err)
+	}
+}
+
+func TestExpGolombRoundTrip(t *testing.T) {
+	w := &BitWriter{}
+	ues := []uint32{0, 1, 2, 7, 8, 100, 65535}
+	ses := []int32{0, 1, -1, 2, -2, 17, -100, 32000, -32000}
+	for _, v := range ues {
+		w.WriteUE(v)
+	}
+	for _, v := range ses {
+		w.WriteSE(v)
+	}
+	r := NewBitReader(w.Bytes())
+	for _, want := range ues {
+		got, err := r.ReadUE()
+		if err != nil || got != want {
+			t.Fatalf("ReadUE = %d,%v want %d", got, err, want)
+		}
+	}
+	for _, want := range ses {
+		got, err := r.ReadSE()
+		if err != nil || got != want {
+			t.Fatalf("ReadSE = %d,%v want %d", got, err, want)
+		}
+	}
+}
+
+func TestExpGolombProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		w := &BitWriter{}
+		for _, v := range vals {
+			w.WriteSE(v % 1_000_000)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadSE()
+			if err != nil || got != v%1_000_000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpGolombCodeLengths(t *testing.T) {
+	// ue(0) is a single bit; codes grow logarithmically.
+	w := &BitWriter{}
+	w.WriteUE(0)
+	if w.Len() != 1 {
+		t.Errorf("ue(0) length = %d, want 1", w.Len())
+	}
+	w2 := &BitWriter{}
+	w2.WriteUE(6) // 00111xx → 5 bits
+	if w2.Len() != 5 {
+		t.Errorf("ue(6) length = %d, want 5", w2.Len())
+	}
+}
+
+func TestCoeffsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		var levels, got [blockSize * blockSize]int32
+		// Sparse blocks like real quantized DCT output.
+		for i := 0; i < rng.Intn(12); i++ {
+			levels[rng.Intn(64)] = int32(rng.Intn(41) - 20)
+		}
+		w := &BitWriter{}
+		writeCoeffs(w, &levels)
+		r := NewBitReader(w.Bytes())
+		if err := readCoeffs(r, &got); err != nil {
+			t.Fatal(err)
+		}
+		if levels != got {
+			t.Fatalf("trial %d: coeff mismatch", trial)
+		}
+	}
+}
+
+func TestCoeffsEmptyBlockIsOneBit(t *testing.T) {
+	var levels [blockSize * blockSize]int32
+	w := &BitWriter{}
+	writeCoeffs(w, &levels)
+	if w.Len() != 1 {
+		t.Errorf("empty block = %d bits, want 1", w.Len())
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := map[int]bool{}
+	for _, v := range zigzag8 {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("zigzag invalid at %d", v)
+		}
+		seen[v] = true
+	}
+	if zigzag8[0] != 0 {
+		t.Error("zigzag must start at DC")
+	}
+	if zigzag8[1] != 1 || zigzag8[2] != 8 {
+		t.Errorf("zigzag start = %v", zigzag8[:4])
+	}
+}

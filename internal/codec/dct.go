@@ -1,0 +1,206 @@
+package codec
+
+import "math"
+
+// blockSize is the transform block edge; a macroblock holds 2×2 transform
+// blocks.
+const blockSize = 8
+
+// dctBasis holds the 8-point DCT-II basis, precomputed once.
+var dctBasis = func() [blockSize][blockSize]float64 {
+	var b [blockSize][blockSize]float64
+	for k := 0; k < blockSize; k++ {
+		a := math.Sqrt(2.0 / blockSize)
+		if k == 0 {
+			a = math.Sqrt(1.0 / blockSize)
+		}
+		for n := 0; n < blockSize; n++ {
+			b[k][n] = a * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/blockSize)
+		}
+	}
+	return b
+}()
+
+// fdct8 computes the separable 8×8 forward DCT of src into dst.
+func fdct8(src *[blockSize * blockSize]float64, dst *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for k := 0; k < blockSize; k++ {
+			s := 0.0
+			for n := 0; n < blockSize; n++ {
+				s += dctBasis[k][n] * src[y*blockSize+n]
+			}
+			tmp[y*blockSize+k] = s
+		}
+	}
+	// Columns.
+	for x := 0; x < blockSize; x++ {
+		for k := 0; k < blockSize; k++ {
+			s := 0.0
+			for n := 0; n < blockSize; n++ {
+				s += dctBasis[k][n] * tmp[n*blockSize+x]
+			}
+			dst[k*blockSize+x] = s
+		}
+	}
+}
+
+// idct8 computes the inverse 8×8 DCT of src into dst.
+func idct8(src *[blockSize * blockSize]float64, dst *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Columns (transpose of forward).
+	for x := 0; x < blockSize; x++ {
+		for n := 0; n < blockSize; n++ {
+			s := 0.0
+			for k := 0; k < blockSize; k++ {
+				s += dctBasis[k][n] * src[k*blockSize+x]
+			}
+			tmp[n*blockSize+x] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for n := 0; n < blockSize; n++ {
+			s := 0.0
+			for k := 0; k < blockSize; k++ {
+				s += dctBasis[k][n] * tmp[y*blockSize+k]
+			}
+			dst[y*blockSize+n] = s
+		}
+	}
+}
+
+// QStep converts a quantizer parameter (0..51) into a quantization step,
+// following the H.264 convention of the step doubling every 6 QP.
+func QStep(qp int) float64 {
+	if qp < 0 {
+		qp = 0
+	}
+	if qp > 51 {
+		qp = 51
+	}
+	return 0.625 * math.Pow(2, float64(qp)/6)
+}
+
+// quantizeBlock quantizes DCT coefficients with a uniform deadzone
+// quantizer and returns them in coeffs (int32 levels).
+func quantizeBlock(dct *[blockSize * blockSize]float64, qstep float64, levels *[blockSize * blockSize]int32) {
+	for i, c := range dct {
+		l := c / qstep
+		if l >= 0 {
+			levels[i] = int32(l + 0.5)
+		} else {
+			levels[i] = int32(l - 0.5)
+		}
+	}
+}
+
+// dequantizeBlock reconstructs DCT coefficients from levels.
+func dequantizeBlock(levels *[blockSize * blockSize]int32, qstep float64, dct *[blockSize * blockSize]float64) {
+	for i, l := range levels {
+		dct[i] = float64(l) * qstep
+	}
+}
+
+// zigzag8 is the classic 8×8 zigzag scan order.
+var zigzag8 = func() [blockSize * blockSize]int {
+	var order [blockSize * blockSize]int
+	idx := 0
+	for s := 0; s < 2*blockSize-1; s++ {
+		if s%2 == 0 {
+			// Up-right diagonal.
+			y := s
+			if y > blockSize-1 {
+				y = blockSize - 1
+			}
+			x := s - y
+			for y >= 0 && x < blockSize {
+				order[idx] = y*blockSize + x
+				idx++
+				y--
+				x++
+			}
+		} else {
+			x := s
+			if x > blockSize-1 {
+				x = blockSize - 1
+			}
+			y := s - x
+			for x >= 0 && y < blockSize {
+				order[idx] = y*blockSize + x
+				idx++
+				x--
+				y++
+			}
+		}
+	}
+	return order
+}()
+
+// writeCoeffs entropy-codes one quantized block: a coded flag, then
+// (run, level) pairs in zigzag order with an end-of-block marker.
+func writeCoeffs(w *BitWriter, levels *[blockSize * blockSize]int32) {
+	any := false
+	for _, l := range levels {
+		if l != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		w.WriteBit(0) // coded-block flag: empty
+		return
+	}
+	w.WriteBit(1)
+	run := uint32(0)
+	for _, pos := range zigzag8 {
+		l := levels[pos]
+		if l == 0 {
+			run++
+			continue
+		}
+		w.WriteUE(run)
+		w.WriteSE(l)
+		run = 0
+	}
+	// End of block: an out-of-range run signals no more coefficients.
+	w.WriteUE(uint32(blockSize * blockSize))
+}
+
+// readCoeffs decodes one block written by writeCoeffs.
+func readCoeffs(r *BitReader, levels *[blockSize * blockSize]int32) error {
+	for i := range levels {
+		levels[i] = 0
+	}
+	coded, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if coded == 0 {
+		return nil
+	}
+	idx := 0
+	for {
+		run, err := r.ReadUE()
+		if err != nil {
+			return err
+		}
+		if run >= blockSize*blockSize {
+			return nil // end of block
+		}
+		idx += int(run)
+		if idx >= blockSize*blockSize {
+			return ErrBitstream
+		}
+		l, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		if l == 0 {
+			return ErrBitstream
+		}
+		levels[zigzag8[idx]] = l
+		idx++
+	}
+}

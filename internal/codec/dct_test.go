@@ -1,0 +1,109 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var src, freq, back [blockSize * blockSize]float64
+	for i := range src {
+		src[i] = float64(rng.Intn(256))
+	}
+	fdct8(&src, &freq)
+	idct8(&freq, &back)
+	for i := range src {
+		if math.Abs(src[i]-back[i]) > 1e-9 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, src[i], back[i])
+		}
+	}
+}
+
+func TestDCTEnergyCompaction(t *testing.T) {
+	// A constant block has all energy in DC.
+	var src, freq [blockSize * blockSize]float64
+	for i := range src {
+		src[i] = 100
+	}
+	fdct8(&src, &freq)
+	if math.Abs(freq[0]-800) > 1e-9 { // 100·8 for orthonormal 2-D DCT
+		t.Errorf("DC = %v, want 800", freq[0])
+	}
+	for i := 1; i < len(freq); i++ {
+		if math.Abs(freq[i]) > 1e-9 {
+			t.Fatalf("AC[%d] = %v, want 0", i, freq[i])
+		}
+	}
+}
+
+func TestDCTParseval(t *testing.T) {
+	// Orthonormal transform preserves energy.
+	rng := rand.New(rand.NewSource(2))
+	var src, freq [blockSize * blockSize]float64
+	for i := range src {
+		src[i] = rng.Float64()*255 - 128
+	}
+	fdct8(&src, &freq)
+	var es, ef float64
+	for i := range src {
+		es += src[i] * src[i]
+		ef += freq[i] * freq[i]
+	}
+	if math.Abs(es-ef) > 1e-6*es {
+		t.Errorf("energy %v vs %v", es, ef)
+	}
+}
+
+func TestQStep(t *testing.T) {
+	if QStep(0) != 0.625 {
+		t.Errorf("QStep(0) = %v", QStep(0))
+	}
+	// Doubles every 6 QP.
+	if math.Abs(QStep(12)/QStep(6)-2) > 1e-12 {
+		t.Error("QStep should double every 6 QP")
+	}
+	// Clamped outside [0, 51].
+	if QStep(-5) != QStep(0) || QStep(99) != QStep(51) {
+		t.Error("QStep clamp failed")
+	}
+	// Monotone.
+	for qp := 1; qp <= 51; qp++ {
+		if QStep(qp) <= QStep(qp-1) {
+			t.Fatalf("QStep not monotone at %d", qp)
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	var dct, back [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	dct[0] = 800
+	dct[1] = -37.3
+	dct[9] = 12.1
+	qstep := QStep(20)
+	quantizeBlock(&dct, qstep, &levels)
+	dequantizeBlock(&levels, qstep, &back)
+	for i := range dct {
+		if math.Abs(dct[i]-back[i]) > qstep/2+1e-9 {
+			t.Errorf("coeff %d: error %v exceeds qstep/2", i, math.Abs(dct[i]-back[i]))
+		}
+	}
+	// Higher QP quantizes more coefficients to zero.
+	var levLow, levHigh [blockSize * blockSize]int32
+	quantizeBlock(&dct, QStep(4), &levLow)
+	quantizeBlock(&dct, QStep(40), &levHigh)
+	nz := func(l *[blockSize * blockSize]int32) int {
+		n := 0
+		for _, v := range l {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if nz(&levHigh) > nz(&levLow) {
+		t.Error("higher QP should not keep more coefficients")
+	}
+}

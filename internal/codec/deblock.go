@@ -1,0 +1,97 @@
+package codec
+
+import "dive/internal/imgx"
+
+// In-loop deblocking filter, modeled on H.264's: after a frame is
+// reconstructed, block boundaries are smoothed when the discontinuity
+// across them looks like a quantization artifact (small relative to the
+// QP-dependent thresholds) and preserved when it looks like real image
+// structure. Encoder and decoder run the identical filter on the identical
+// reconstruction, so references stay bit-exact.
+
+// deblockAlpha is the edge-detection threshold: discontinuities larger than
+// alpha are treated as true edges and left alone.
+func deblockAlpha(qp int) int {
+	// Roughly exponential in QP like H.264's alpha table.
+	a := int(0.8 * QStep(qp))
+	if a < 2 {
+		a = 2
+	}
+	if a > 60 {
+		a = 60
+	}
+	return a
+}
+
+// deblockBeta is the local-activity threshold on each side of the edge.
+func deblockBeta(qp int) int {
+	b := int(0.4 * QStep(qp))
+	if b < 1 {
+		b = 1
+	}
+	if b > 24 {
+		b = 24
+	}
+	return b
+}
+
+// deblockFrame filters all 8×8 transform-block boundaries of recon in
+// place. qps holds the per-macroblock QP map; each edge uses the average QP
+// of the two adjacent macroblocks.
+func deblockFrame(recon *imgx.Plane, qps []int, mbw int) {
+	w, h := recon.W, recon.H
+	// Vertical edges (filtering horizontally across columns).
+	for x := blockSize; x < w; x += blockSize {
+		for y := 0; y < h; y++ {
+			qp := edgeQP(qps, mbw, x, y, x-1, y)
+			filterEdge(recon, x, y, 1, 0, qp)
+		}
+	}
+	// Horizontal edges (filtering vertically across rows).
+	for y := blockSize; y < h; y += blockSize {
+		for x := 0; x < w; x++ {
+			qp := edgeQP(qps, mbw, x, y, x, y-1)
+			filterEdge(recon, x, y, 0, 1, qp)
+		}
+	}
+}
+
+// edgeQP returns the average QP of the macroblocks containing the two
+// pixels adjacent to an edge.
+func edgeQP(qps []int, mbw int, x0, y0, x1, y1 int) int {
+	q0 := qps[(y0/MBSize)*mbw+x0/MBSize]
+	q1 := qps[(y1/MBSize)*mbw+x1/MBSize]
+	return (q0 + q1 + 1) / 2
+}
+
+// filterEdge conditionally smooths the four pixels straddling the edge at
+// (x, y): p1 p0 | q0 q1 along direction (dx, dy), where q0 is at (x, y).
+func filterEdge(recon *imgx.Plane, x, y, dx, dy, qp int) {
+	alpha := deblockAlpha(qp)
+	beta := deblockBeta(qp)
+	q0 := int(recon.At(x, y))
+	p0 := int(recon.At(x-dx, y-dy))
+	diff := q0 - p0
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff == 0 || diff >= alpha {
+		return // flat already, or a real edge
+	}
+	p1 := int(recon.At(x-2*dx, y-2*dy))
+	q1 := int(recon.At(x+dx, y+dy))
+	if absInt(p1-p0) >= beta || absInt(q1-q0) >= beta {
+		return // too much structure next to the edge
+	}
+	// 4-tap smoothing of the two boundary pixels (H.263-style strength).
+	d := ((q0-p0)*3 + (p1 - q1)) / 8
+	c := beta
+	if d > c {
+		d = c
+	}
+	if d < -c {
+		d = -c
+	}
+	recon.Set(x-dx, y-dy, clampPix(float64(p0+d)))
+	recon.Set(x, y, clampPix(float64(q0-d)))
+}

@@ -1,0 +1,201 @@
+package codec
+
+import (
+	"fmt"
+
+	"dive/internal/imgx"
+)
+
+// Decoder reconstructs frames from bitstreams produced by Encoder. It must
+// be fed frames in encode order.
+type Decoder struct {
+	cfg Config
+	ref *imgx.Plane
+}
+
+// NewDecoder creates a decoder for streams produced with cfg (only the
+// frame dimensions matter on the decode side).
+func NewDecoder(cfg Config) (*Decoder, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width%MBSize != 0 || cfg.Height%MBSize != 0 {
+		return nil, fmt.Errorf("codec: frame size %dx%d must be positive multiples of %d", cfg.Width, cfg.Height, MBSize)
+	}
+	return &Decoder{cfg: cfg}, nil
+}
+
+// DecodedFrame carries the reconstructed image and decoded side info.
+type DecodedFrame struct {
+	Type   FrameType
+	BaseQP int
+	Image  *imgx.Plane
+	MVs    []MV
+	Modes  []MBMode
+}
+
+// Decode parses one frame bitstream and returns the reconstruction.
+func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
+	r := NewBitReader(data)
+	ft, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	ftype := FrameType(ft)
+	if ftype != IFrame && ftype != PFrame {
+		return nil, fmt.Errorf("%w: bad frame type %d", ErrBitstream, ft)
+	}
+	baseQP, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	mbw, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	mbh, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	subpelBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	subpel := subpelBit == 1
+	deblockBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	deblock := deblockBit == 1
+	if int(mbw)*MBSize != d.cfg.Width || int(mbh)*MBSize != d.cfg.Height {
+		return nil, fmt.Errorf("%w: stream is %dx%d MBs, decoder configured for %dx%d px",
+			ErrBitstream, mbw, mbh, d.cfg.Width, d.cfg.Height)
+	}
+	if ftype == PFrame && d.ref == nil {
+		return nil, fmt.Errorf("%w: P-frame before any I-frame", ErrBitstream)
+	}
+
+	w, h := int(mbw), int(mbh)
+	recon := imgx.NewPlane(d.cfg.Width, d.cfg.Height)
+	mvs := make([]MV, w*h)
+	modes := make([]MBMode, w*h)
+	qps := make([]int, w*h)
+	for i := range qps {
+		qps[i] = int(baseQP)
+	}
+
+	for by := 0; by < h; by++ {
+		for bx := 0; bx < w; bx++ {
+			i := by*w + bx
+			px, py := bx*MBSize, by*MBSize
+			m, err := r.ReadUE()
+			if err != nil {
+				return nil, err
+			}
+			mode := MBMode(m)
+			modes[i] = mode
+			if (mode == ModeSkip || mode == ModeInter) && d.ref == nil {
+				return nil, fmt.Errorf("%w: inter macroblock without reference", ErrBitstream)
+			}
+			switch mode {
+			case ModeSkip:
+				pred := predictMV(mvs, w, bx, by)
+				mvs[i] = pred
+				motionCompensate(recon, d.ref, px, py, pred, subpel)
+			case ModeInter:
+				dx, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				dy, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				dqp, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				pred := predictMV(mvs, w, bx, by)
+				mv := MV{pred.X + int16(dx), pred.Y + int16(dy)}
+				mvs[i] = mv
+				qp := clampQP(int(baseQP) + int(dqp))
+				qps[i] = qp
+				if err := decodeInterMB(r, d.ref, recon, px, py, mv, qp, subpel); err != nil {
+					return nil, err
+				}
+			case ModeIntra:
+				dqp, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				qp := clampQP(int(baseQP) + int(dqp))
+				qps[i] = qp
+				if err := decodeIntraMB(r, recon, px, py, qp); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("%w: bad MB mode %d", ErrBitstream, m)
+			}
+		}
+	}
+	if deblock {
+		deblockFrame(recon, qps, w)
+	}
+	d.ref = recon
+	return &DecodedFrame{
+		Type: ftype, BaseQP: int(baseQP),
+		Image: recon, MVs: mvs, Modes: modes,
+	}, nil
+}
+
+// decodeInterMB reads residual coefficients and reconstructs one inter MB.
+func decodeInterMB(r *BitReader, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel bool) error {
+	qstep := QStep(qp)
+	var dct, res [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	for by := 0; by < MBSize; by += blockSize {
+		for bx := 0; bx < MBSize; bx += blockSize {
+			if err := readCoeffs(r, &levels); err != nil {
+				return err
+			}
+			dequantizeBlock(&levels, qstep, &dct)
+			idct8(&dct, &res)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					cx, cy := px+bx+x, py+by+y
+					v := refSample(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
+					recon.Set(cx, cy, clampPix(v))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decodeIntraMB reads per-block prediction modes and coefficients and
+// reconstructs one intra MB, mirroring encodeIntraMB.
+func decodeIntraMB(r *BitReader, recon *imgx.Plane, px, py int, qp int) error {
+	qstep := QStep(qp)
+	var pred, dct, res [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	for by := 0; by < MBSize; by += blockSize {
+		for bx := 0; bx < MBSize; bx += blockSize {
+			m, err := r.ReadUE()
+			if err != nil {
+				return err
+			}
+			if m >= numIntraModes {
+				return fmt.Errorf("%w: bad intra mode %d", ErrBitstream, m)
+			}
+			if err := readCoeffs(r, &levels); err != nil {
+				return err
+			}
+			intraPredict(recon, px+bx, py+by, int(m), &pred)
+			dequantizeBlock(&levels, qstep, &dct)
+			idct8(&dct, &res)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					recon.Set(px+bx+x, py+by+y, clampPix(pred[y*blockSize+x]+res[y*blockSize+x]))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,662 @@
+package codec
+
+import (
+	"fmt"
+
+	"dive/internal/imgx"
+)
+
+// FrameType distinguishes intra-coded from predicted frames.
+type FrameType int
+
+// Frame types.
+const (
+	IFrame FrameType = iota + 1
+	PFrame
+)
+
+// String returns "I" or "P".
+func (t FrameType) String() string {
+	if t == IFrame {
+		return "I"
+	}
+	return "P"
+}
+
+// MBMode is the coding mode of one macroblock.
+type MBMode int
+
+// Macroblock modes.
+const (
+	ModeSkip MBMode = iota + 1 // no residual; MV equals the predictor
+	ModeInter
+	ModeIntra
+)
+
+// Config configures an Encoder/Decoder pair.
+type Config struct {
+	Width, Height int      // frame size; must be multiples of 16
+	GoPSize       int      // I-frame interval; <= 1 means every frame is I
+	SearchRange   int      // motion search window radius in pixels
+	Method        MEMethod // motion estimation strategy
+	SkipThreshold int      // SAD at the predictor below which a MB is skipped
+	// SubPel enables half-pixel motion vectors (bilinear interpolation),
+	// matching the sub-pel precision of production encoders. Vectors are
+	// then expressed in half-pel units throughout (MotionField.Scale 2).
+	SubPel bool
+	// Deblock enables the in-loop deblocking filter: block boundaries that
+	// look like quantization artifacts are smoothed on the reconstruction
+	// both encoder- and decoder-side, improving reference quality at high
+	// QP exactly as H.264's loop filter does.
+	Deblock bool
+}
+
+// DefaultConfig returns sensible defaults for a frame size.
+func DefaultConfig(w, h int) Config {
+	return Config{
+		Width: w, Height: h,
+		GoPSize:       48,
+		SearchRange:   12,
+		Method:        MEHex,
+		SkipThreshold: 512, // 2 luma levels per pixel over a 16×16 MB
+		SubPel:        true,
+		Deblock:       true,
+	}
+}
+
+// MotionField is the per-macroblock motion information the encoder computed
+// for one frame — the "free" signal DiVE's analytics consume.
+type MotionField struct {
+	MBW, MBH int
+	MVs      []MV
+	Modes    []MBMode
+	// SADs holds the matching cost of each chosen vector, a cheap
+	// confidence signal (high SAD = unreliable vector).
+	SADs []int
+	// Scale is the sub-pel denominator: a vector of (x, y) represents a
+	// displacement of (x/Scale, y/Scale) pixels. 1 for full-pel, 2 for
+	// half-pel streams.
+	Scale int
+}
+
+// At returns the MV of macroblock (bx, by).
+func (f *MotionField) At(bx, by int) MV { return f.MVs[by*f.MBW+bx] }
+
+// NonZeroRatio returns η, the fraction of macroblocks with a non-zero
+// motion vector — the paper's ego-motion signal (Section III-B2).
+func (f *MotionField) NonZeroRatio() float64 {
+	if len(f.MVs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range f.MVs {
+		if !v.IsZero() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(f.MVs))
+}
+
+// EncodedFrame is one compressed frame plus the side information the
+// analytics layer uses.
+type EncodedFrame struct {
+	Type    FrameType
+	Index   int
+	BaseQP  int
+	MBW     int
+	MBH     int
+	Motion  *MotionField // nil for the first frame
+	QPs     []int        // final per-MB QP
+	Data    []byte
+	NumBits int
+}
+
+// Bytes returns the frame payload size in bytes.
+func (ef *EncodedFrame) Bytes() int { return len(ef.Data) }
+
+// EncodeOptions controls one frame's encode.
+type EncodeOptions struct {
+	// BaseQP is the frame QP when TargetBits is zero.
+	BaseQP int
+	// QPOffsets adds a per-macroblock offset (len MBW*MBH) to the base QP;
+	// nil means a flat map. This is the differential-encoding hook: DiVE
+	// sets 0 for foreground macroblocks and δ for background.
+	QPOffsets []int
+	// TargetBits, when positive, selects the lowest base QP whose output
+	// fits within the budget (one-pass rate control via bisection; motion
+	// estimation is reused across trials).
+	TargetBits int
+	// IFrameBudgetScale multiplies TargetBits when the frame is
+	// intra-coded. Intra frames cost several times a P-frame at equal
+	// quality; scaling their budget (and letting the transmit queue absorb
+	// the burst) is how streaming rate controllers avoid periodic quality
+	// collapses. Zero means 1.
+	IFrameBudgetScale float64
+	// ForceIFrame starts a new GoP at this frame.
+	ForceIFrame bool
+}
+
+// Encoder compresses a sequence of frames.
+type Encoder struct {
+	cfg      Config
+	mbw, mbh int
+	ref      *imgx.Plane // reconstructed previous frame
+	refQPs   []int       // per-MB QP the reference was coded with
+	frameIdx int
+	analyzed *imgx.Plane // frame for which `motion` is valid
+	motion   *MotionField
+}
+
+// NewEncoder validates cfg and creates an encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width%MBSize != 0 || cfg.Height%MBSize != 0 {
+		return nil, fmt.Errorf("codec: frame size %dx%d must be positive multiples of %d", cfg.Width, cfg.Height, MBSize)
+	}
+	if cfg.SearchRange <= 0 {
+		return nil, fmt.Errorf("codec: search range must be positive")
+	}
+	if cfg.Method < MEDia || cfg.Method > MEEsa {
+		return nil, fmt.Errorf("codec: unknown motion estimation method %d", cfg.Method)
+	}
+	return &Encoder{cfg: cfg, mbw: cfg.Width / MBSize, mbh: cfg.Height / MBSize}, nil
+}
+
+// MBDims returns the macroblock grid size.
+func (e *Encoder) MBDims() (int, int) { return e.mbw, e.mbh }
+
+// Reconstructed returns the encoder's reconstruction of the last encoded
+// frame — bit-exact with what the decoder produces.
+func (e *Encoder) Reconstructed() *imgx.Plane { return e.ref }
+
+// predictMV returns the median-of-neighbors MV predictor for macroblock
+// (bx, by), identical in encoder and decoder.
+func predictMV(mvs []MV, mbw, bx, by int) MV {
+	var cands []MV
+	if bx > 0 {
+		cands = append(cands, mvs[by*mbw+bx-1])
+	}
+	if by > 0 {
+		cands = append(cands, mvs[(by-1)*mbw+bx])
+		if bx < mbw-1 {
+			cands = append(cands, mvs[(by-1)*mbw+bx+1])
+		}
+	}
+	switch len(cands) {
+	case 0:
+		return MV{}
+	case 1:
+		return cands[0]
+	case 2:
+		return MV{(cands[0].X + cands[1].X) / 2, (cands[0].Y + cands[1].Y) / 2}
+	default:
+		return MV{median3(cands[0].X, cands[1].X, cands[2].X), median3(cands[0].Y, cands[1].Y, cands[2].Y)}
+	}
+}
+
+func median3(a, b, c int16) int16 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// neighborhoodMaxQP returns the maximum reference QP in the 3×3 macroblock
+// neighborhood of (bx, by).
+func (e *Encoder) neighborhoodMaxQP(bx, by int) int {
+	maxQP := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := bx+dx, by+dy
+			if nx < 0 || ny < 0 || nx >= e.mbw || ny >= e.mbh {
+				continue
+			}
+			if qp := e.refQPs[ny*e.mbw+nx]; qp > maxQP {
+				maxQP = qp
+			}
+		}
+	}
+	return maxQP
+}
+
+// AnalyzeMotion runs motion estimation of frame against the current
+// reference and returns the motion field without encoding anything. The
+// result is cached: a subsequent Encode of the same frame reuses it. It
+// returns nil when no reference exists yet (the very first frame).
+func (e *Encoder) AnalyzeMotion(frame *imgx.Plane) *MotionField {
+	if e.ref == nil {
+		return nil
+	}
+	if e.analyzed == frame && e.motion != nil {
+		return e.motion
+	}
+	scale := 1
+	if e.cfg.SubPel {
+		scale = 2
+	}
+	mf := &MotionField{
+		MBW: e.mbw, MBH: e.mbh,
+		MVs:   make([]MV, e.mbw*e.mbh),
+		Modes: make([]MBMode, e.mbw*e.mbh),
+		SADs:  make([]int, e.mbw*e.mbh),
+		Scale: scale,
+	}
+	for by := 0; by < e.mbh; by++ {
+		for bx := 0; bx < e.mbw; bx++ {
+			i := by*e.mbw + bx
+			pred := predictMV(mf.MVs, e.mbw, bx, by)
+			px, py := bx*MBSize, by*MBSize
+			// Skip test at the predictor. The threshold is QP-aware: a
+			// heavily quantized reference block carries reconstruction
+			// noise on the order of 64–77·Qstep of SAD even when the
+			// content is static, and searching through that noise would
+			// emit jitter vectors. The neighborhood maximum matters
+			// because deblocking smears a crushed neighbor's noise across
+			// the shared boundary.
+			skipThresh := e.cfg.SkipThreshold
+			if e.refQPs != nil {
+				if qpAware := int(96 * QStep(e.neighborhoodMaxQP(bx, by))); qpAware > skipThresh {
+					skipThresh = qpAware
+				}
+			}
+			var sadPred int
+			if e.cfg.SubPel {
+				sadPred = sadHalf(frame, px, py, e.ref, px*2+int(pred.X), py*2+int(pred.Y), MBSize, MBSize, skipThresh)
+			} else {
+				sadPred = imgx.SAD(frame, px, py, e.ref, px+int(pred.X), py+int(pred.Y), MBSize, MBSize, skipThresh)
+			}
+			if sadPred < skipThresh {
+				mf.MVs[i] = pred
+				mf.Modes[i] = ModeSkip
+				mf.SADs[i] = sadPred
+				continue
+			}
+			fullPred := pred
+			if e.cfg.SubPel {
+				fullPred = MV{pred.X / 2, pred.Y / 2}
+			}
+			mv, cost := SearchMB(frame, e.ref, px, py, fullPred, e.cfg.Method, e.cfg.SearchRange)
+			if e.cfg.SubPel {
+				hmv := MV{mv.X * 2, mv.Y * 2}
+				sad := sadHalf(frame, px, py, e.ref, px*2+int(hmv.X), py*2+int(hmv.Y), MBSize, MBSize, 1<<30)
+				hmv, sad = refineHalf(frame, e.ref, px, py, hmv, sad)
+				mv, cost = hmv, sad
+			}
+			mf.MVs[i] = mv
+			mf.Modes[i] = ModeInter
+			mf.SADs[i] = cost
+		}
+	}
+	e.analyzed = frame
+	e.motion = mf
+	return mf
+}
+
+// Encode compresses one frame and advances the encoder state.
+func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, error) {
+	if frame.W != e.cfg.Width || frame.H != e.cfg.Height {
+		return nil, fmt.Errorf("codec: frame size %dx%d does not match config %dx%d", frame.W, frame.H, e.cfg.Width, e.cfg.Height)
+	}
+	if opts.QPOffsets != nil && len(opts.QPOffsets) != e.mbw*e.mbh {
+		return nil, fmt.Errorf("codec: QP offset map has %d entries, want %d", len(opts.QPOffsets), e.mbw*e.mbh)
+	}
+	ftype := PFrame
+	if e.ref == nil || opts.ForceIFrame || (e.cfg.GoPSize <= 1) || (e.frameIdx%e.cfg.GoPSize == 0) {
+		ftype = IFrame
+	}
+	var mf *MotionField
+	if ftype == PFrame {
+		mf = e.AnalyzeMotion(frame)
+	} else if e.ref != nil {
+		// Analytics still want MVs on I-frames; compute but do not use
+		// them for prediction.
+		mf = e.AnalyzeMotion(frame)
+	}
+
+	baseQP := clampQP(opts.BaseQP)
+	if ftype == IFrame && opts.IFrameBudgetScale > 1 && opts.TargetBits > 0 {
+		opts.TargetBits = int(float64(opts.TargetBits) * opts.IFrameBudgetScale)
+	}
+	// The DCT of each inter residual is independent of QP; compute it once
+	// and share it across rate-control trial passes.
+	var dctCache [][blockSize * blockSize]float64
+	if ftype == PFrame {
+		dctCache = e.buildInterDCTCache(frame, mf)
+	}
+	var result *passResult
+	if opts.TargetBits > 0 {
+		// Bisect the base QP over cheap trial passes (entropy-only: no
+		// reconstruction or loop filtering), then run one full final pass
+		// at the chosen QP. Trial and final passes produce identical bit
+		// counts.
+		lo, hi := 0, 51
+		for lo < hi {
+			mid := (lo + hi) / 2
+			r := e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false)
+			if r.bits <= opts.TargetBits {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		result = e.encodePass(frame, ftype, mf, dctCache, lo, opts.QPOffsets, true)
+		baseQP = result.qp
+	} else {
+		result = e.encodePass(frame, ftype, mf, dctCache, baseQP, opts.QPOffsets, true)
+	}
+
+	e.ref = result.recon
+	e.refQPs = result.qps
+	e.analyzed, e.motion = nil, nil
+	idx := e.frameIdx
+	e.frameIdx++
+
+	return &EncodedFrame{
+		Type: ftype, Index: idx, BaseQP: baseQP,
+		MBW: e.mbw, MBH: e.mbh,
+		Motion: mf, QPs: result.qps,
+		Data: result.data, NumBits: result.nbits,
+	}, nil
+}
+
+// passResult is the outcome of one trial encode at a fixed base QP.
+type passResult struct {
+	qp    int
+	data  []byte
+	nbits int
+	bits  int
+	recon *imgx.Plane
+	qps   []int
+}
+
+// encodePass transforms, quantizes and entropy-codes the frame at the given
+// base QP. Motion estimation results are shared across passes. When final
+// is false the pass is a rate-control trial: it produces exact bit counts
+// but skips inter-macroblock reconstruction and loop filtering (intra
+// macroblocks still reconstruct, because intra prediction is causal in the
+// reconstruction).
+func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, final bool) *passResult {
+	w := &BitWriter{}
+	recon := imgx.NewPlane(e.cfg.Width, e.cfg.Height)
+	qps := make([]int, e.mbw*e.mbh)
+
+	// Header.
+	w.WriteUE(uint32(ftype))
+	w.WriteUE(uint32(baseQP))
+	w.WriteUE(uint32(e.mbw))
+	w.WriteUE(uint32(e.mbh))
+	if e.cfg.SubPel {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	if e.cfg.Deblock {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+
+	codedMVs := make([]MV, e.mbw*e.mbh)
+	for by := 0; by < e.mbh; by++ {
+		for bx := 0; bx < e.mbw; bx++ {
+			i := by*e.mbw + bx
+			qp := baseQP
+			if offsets != nil {
+				qp = clampQP(baseQP + offsets[i])
+			}
+			qps[i] = qp
+			px, py := bx*MBSize, by*MBSize
+
+			if ftype == IFrame {
+				w.WriteUE(uint32(ModeIntra))
+				w.WriteSE(int32(qp - baseQP))
+				encodeIntraMB(w, frame, recon, px, py, qp)
+				continue
+			}
+
+			mode := mf.Modes[i]
+			mv := mf.MVs[i]
+			pred := predictMV(codedMVs, e.mbw, bx, by)
+			if mode == ModeSkip && mv == pred {
+				w.WriteUE(uint32(ModeSkip))
+				codedMVs[i] = pred
+				if final {
+					motionCompensate(recon, e.ref, px, py, pred, e.cfg.SubPel)
+				}
+				continue
+			}
+			w.WriteUE(uint32(ModeInter))
+			w.WriteSE(int32(mv.X) - int32(pred.X))
+			w.WriteSE(int32(mv.Y) - int32(pred.Y))
+			w.WriteSE(int32(qp - baseQP))
+			codedMVs[i] = mv
+			encodeInterMB(w, dctCache[i*4:i*4+4], e.ref, recon, px, py, mv, qp, e.cfg.SubPel, final)
+		}
+	}
+	if final && e.cfg.Deblock {
+		deblockFrame(recon, qps, e.mbw)
+	}
+	nbits := w.Len()
+	data := w.Bytes()
+	return &passResult{qp: baseQP, data: data, nbits: nbits, bits: nbits, recon: recon, qps: qps}
+}
+
+// motionCompensate copies the reference block displaced by mv into recon.
+func motionCompensate(recon, ref *imgx.Plane, px, py int, mv MV, subpel bool) {
+	if subpel {
+		compensateHalf(recon, ref, px, py, mv)
+		return
+	}
+	imgx.CopyBlock(recon, px, py, ref, px+int(mv.X), py+int(mv.Y), MBSize, MBSize)
+}
+
+// refSample reads the reference pixel at (cx, cy) displaced by mv, which is
+// in half-pel units when subpel is set.
+func refSample(ref *imgx.Plane, cx, cy int, mv MV, subpel bool) float64 {
+	if subpel {
+		return float64(sampleHalf(ref, cx*2+int(mv.X), cy*2+int(mv.Y)))
+	}
+	return float64(ref.At(cx+int(mv.X), cy+int(mv.Y)))
+}
+
+// encodeInterMB codes the motion-compensated residual of one macroblock and
+// reconstructs it into recon.
+// buildInterDCTCache computes the forward DCT of every inter macroblock's
+// motion-compensated residual (4 blocks per MB, zero for skip MBs, in
+// raster order). The cache is QP-independent and shared by all passes.
+func (e *Encoder) buildInterDCTCache(frame *imgx.Plane, mf *MotionField) [][blockSize * blockSize]float64 {
+	cache := make([][blockSize * blockSize]float64, e.mbw*e.mbh*4)
+	var res [blockSize * blockSize]float64
+	for i := 0; i < e.mbw*e.mbh; i++ {
+		if mf.Modes[i] != ModeInter {
+			continue
+		}
+		bx, by := i%e.mbw, i/e.mbw
+		px, py := bx*MBSize, by*MBSize
+		mv := mf.MVs[i]
+		blk := 0
+		for oy := 0; oy < MBSize; oy += blockSize {
+			for ox := 0; ox < MBSize; ox += blockSize {
+				for y := 0; y < blockSize; y++ {
+					for x := 0; x < blockSize; x++ {
+						cx, cy := px+ox+x, py+oy+y
+						res[y*blockSize+x] = float64(frame.At(cx, cy)) - refSample(e.ref, cx, cy, mv, e.cfg.SubPel)
+					}
+				}
+				fdct8(&res, &cache[i*4+blk])
+				blk++
+			}
+		}
+	}
+	return cache
+}
+
+// encodeInterMB quantizes and entropy-codes one inter macroblock from its
+// cached DCT blocks and, on the final pass, reconstructs it.
+func encodeInterMB(w *BitWriter, dctBlocks [][blockSize * blockSize]float64, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel, final bool) {
+	qstep := QStep(qp)
+	var dct, res [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	blk := 0
+	for by := 0; by < MBSize; by += blockSize {
+		for bx := 0; bx < MBSize; bx += blockSize {
+			quantizeBlock(&dctBlocks[blk], qstep, &levels)
+			blk++
+			writeCoeffs(w, &levels)
+			if !final {
+				continue
+			}
+			dequantizeBlock(&levels, qstep, &dct)
+			idct8(&dct, &res)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					cx, cy := px+bx+x, py+by+y
+					v := refSample(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
+					recon.Set(cx, cy, clampPix(v))
+				}
+			}
+		}
+	}
+}
+
+// Intra prediction modes, a simplified version of H.264's directional
+// prediction: DC (neighbor mean), vertical (columns continue the row
+// above), horizontal (rows continue the column to the left). The encoder
+// picks the mode with the smallest prediction residual per 8×8 block and
+// signals it in the bitstream.
+const (
+	intraModeDC = iota
+	intraModeVertical
+	intraModeHorizontal
+	numIntraModes
+)
+
+// intraPredict fills pred with the prediction for the 8×8 block at
+// (px, py) under the given mode, reading reconstructed causal neighbors.
+// Modes that lack their neighbor degrade to DC.
+func intraPredict(recon *imgx.Plane, px, py, mode int, pred *[blockSize * blockSize]float64) {
+	switch {
+	case mode == intraModeVertical && py > 0:
+		for x := 0; x < blockSize; x++ {
+			v := float64(recon.At(px+x, py-1))
+			for y := 0; y < blockSize; y++ {
+				pred[y*blockSize+x] = v
+			}
+		}
+	case mode == intraModeHorizontal && px > 0:
+		for y := 0; y < blockSize; y++ {
+			v := float64(recon.At(px-1, py+y))
+			for x := 0; x < blockSize; x++ {
+				pred[y*blockSize+x] = v
+			}
+		}
+	default:
+		dc := intraDC(recon, px, py)
+		for i := range pred {
+			pred[i] = dc
+		}
+	}
+}
+
+// chooseIntraMode returns the mode with the smallest absolute prediction
+// residual for the block at (px, py).
+func chooseIntraMode(cur, recon *imgx.Plane, px, py int) int {
+	bestMode, bestSAD := intraModeDC, 1<<30
+	var pred [blockSize * blockSize]float64
+	for mode := 0; mode < numIntraModes; mode++ {
+		intraPredict(recon, px, py, mode, &pred)
+		sad := 0
+		for y := 0; y < blockSize && sad < bestSAD; y++ {
+			for x := 0; x < blockSize; x++ {
+				d := int(float64(cur.At(px+x, py+y)) - pred[y*blockSize+x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad < bestSAD {
+			bestSAD = sad
+			bestMode = mode
+		}
+	}
+	return bestMode
+}
+
+// encodeIntraMB codes one macroblock with per-block directional prediction
+// from reconstructed neighbors.
+func encodeIntraMB(w *BitWriter, cur, recon *imgx.Plane, px, py int, qp int) {
+	qstep := QStep(qp)
+	var pred, res, dct [blockSize * blockSize]float64
+	var levels [blockSize * blockSize]int32
+	for by := 0; by < MBSize; by += blockSize {
+		for bx := 0; bx < MBSize; bx += blockSize {
+			mode := chooseIntraMode(cur, recon, px+bx, py+by)
+			w.WriteUE(uint32(mode))
+			intraPredict(recon, px+bx, py+by, mode, &pred)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					res[y*blockSize+x] = float64(cur.At(px+bx+x, py+by+y)) - pred[y*blockSize+x]
+				}
+			}
+			fdct8(&res, &dct)
+			quantizeBlock(&dct, qstep, &levels)
+			writeCoeffs(w, &levels)
+			dequantizeBlock(&levels, qstep, &dct)
+			idct8(&dct, &res)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					recon.Set(px+bx+x, py+by+y, clampPix(pred[y*blockSize+x]+res[y*blockSize+x]))
+				}
+			}
+		}
+	}
+}
+
+// intraDC predicts a block's DC from the reconstructed pixels directly above
+// and to the left, falling back to mid-gray at frame borders. Both encoder
+// and decoder reconstruct in raster order, so the prediction is causal.
+func intraDC(recon *imgx.Plane, px, py int) float64 {
+	sum, n := 0, 0
+	if py > 0 {
+		for x := 0; x < blockSize; x++ {
+			sum += int(recon.At(px+x, py-1))
+			n++
+		}
+	}
+	if px > 0 {
+		for y := 0; y < blockSize; y++ {
+			sum += int(recon.At(px-1, py+y))
+			n++
+		}
+	}
+	if n == 0 {
+		return 128
+	}
+	return float64(sum) / float64(n)
+}
+
+func clampPix(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+func clampQP(qp int) int {
+	if qp < 0 {
+		return 0
+	}
+	if qp > 51 {
+		return 51
+	}
+	return qp
+}

@@ -1,0 +1,73 @@
+package codec
+
+// Exp-Golomb codes, the universal integer codes H.264 uses for syntax
+// elements. ue codes non-negative integers; se maps signed integers onto ue
+// with the standard zigzag (0, 1, -1, 2, -2, ...).
+
+// WriteUE appends the unsigned Exp-Golomb code of v.
+func (w *BitWriter) WriteUE(v uint32) {
+	x := uint64(v) + 1
+	n := bitLen64(x)
+	w.WriteBits(0, n-1) // n-1 leading zeros
+	w.WriteBits(x, n)
+}
+
+// WriteSE appends the signed Exp-Golomb code of v.
+func (w *BitWriter) WriteSE(v int32) {
+	w.WriteUE(seToUE(v))
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func (r *BitReader) ReadUE() (uint32, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 32 {
+			return 0, ErrBitstream
+		}
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(1<<uint(n) + rest - 1), nil
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func (r *BitReader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	return ueToSE(u), nil
+}
+
+func seToUE(v int32) uint32 {
+	if v > 0 {
+		return uint32(2*v - 1)
+	}
+	return uint32(-2 * v)
+}
+
+func ueToSE(u uint32) int32 {
+	if u%2 == 1 {
+		return int32(u+1) / 2
+	}
+	return -int32(u) / 2
+}
+
+func bitLen64(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

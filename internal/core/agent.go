@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dive/internal/codec"
+	"dive/internal/detect"
+	"dive/internal/geom"
+	"dive/internal/imgx"
+	"dive/internal/mvfield"
+	"dive/internal/netsim"
+)
+
+// AgentConfig assembles the whole DiVE agent.
+type AgentConfig struct {
+	Width, Height int
+	FPS           float64
+	// Focal is the camera focal length in pixels (needed by the geometric
+	// stages; a rough calibration suffices in practice).
+	Focal float64
+	Codec codec.Config
+	// EtaThreshold is the non-zero MV ratio above which the agent is
+	// judged to be moving (the paper uses 0.15).
+	EtaThreshold float64
+	Rotation     mvfield.RotationEstimator
+	Foreground   ForegroundConfig
+	AVE          AVEConfig
+	Track        TrackConfig
+	// BandwidthWindow is the sliding estimation window in seconds.
+	BandwidthWindow float64
+	// BandwidthPrior seeds the estimator before any feedback (bits/s).
+	BandwidthPrior float64
+	// OutageTimeout is the head-of-queue timer (seconds): if the oldest
+	// queued frame has not started transmitting within this time, the
+	// agent declares a link outage and switches to local tracking.
+	OutageTimeout float64
+	// CRF, when true, disables bandwidth-driven rate control and encodes
+	// every frame at the constant base quantizer CRFQP (foreground
+	// macroblocks then sit exactly at CRFQP and background at CRFQP+δ).
+	// The Figure 12 experiment uses CRFQP 0 with a fixed δ sweep.
+	CRF   bool
+	CRFQP int
+	// DisableRotation skips rotational-component elimination — the
+	// ablation of the preprocessing stage. Foreground extraction then
+	// consumes raw (rotation-contaminated) vectors.
+	DisableRotation bool
+	Seed            int64
+}
+
+// DefaultAgentConfig returns a full DiVE configuration for a frame size and
+// frame rate.
+func DefaultAgentConfig(w, h int, fps, focal float64) AgentConfig {
+	cc := codec.DefaultConfig(w, h)
+	cc.GoPSize = 96 // long GoP: intra refresh is expensive on a thin uplink
+	return AgentConfig{
+		Width: w, Height: h, FPS: fps, Focal: focal,
+		Codec:           cc,
+		EtaThreshold:    0.15,
+		Rotation:        *mvfield.NewRotationEstimator(),
+		Foreground:      DefaultForegroundConfig(),
+		AVE:             DefaultAVEConfig(),
+		Track:           DefaultTrackConfig(),
+		BandwidthWindow: 0.25,
+		BandwidthPrior:  netsim.Mbps(2),
+		OutageTimeout:   0.35,
+		Seed:            1,
+	}
+}
+
+// RotationEstimate is the preprocessing output for one frame.
+type RotationEstimate struct {
+	PhiX, PhiY float64 // per-frame pitch and yaw increments, radians
+	OK         bool
+}
+
+// FrameResult is everything the agent produced for one frame.
+type FrameResult struct {
+	Encoded *codec.EncodedFrame
+	// Eta is the non-zero motion vector ratio.
+	Eta float64
+	// Moving is the ego-motion judgement.
+	Moving bool
+	// Rotation is the estimated (and removed) rotation.
+	Rotation RotationEstimate
+	// FOE is the per-frame focus of expansion in centered coordinates
+	// (only meaningful when Moving).
+	FOE geom.Vec2
+	// Foreground is the extraction used for this frame (possibly reused
+	// from an earlier frame, as the paper prescribes when stopped).
+	Foreground *ForegroundResult
+	// Reused reports whether Foreground was carried over.
+	Reused bool
+	// Delta is the background QP offset applied.
+	Delta int
+	// TargetBits is the rate-control budget derived from the bandwidth
+	// estimate.
+	TargetBits int
+	// EstimatedBandwidth is the uplink estimate (bits/s) at encode time.
+	EstimatedBandwidth float64
+	// Field is the rotation-corrected flow field (nil on the first
+	// frame), the input to foreground extraction.
+	Field *mvfield.Field
+	// RawField is the uncorrected flow field. Local tracking must use it:
+	// boxes follow the actual image motion, rotation included.
+	RawField *mvfield.Field
+}
+
+// Agent is a DiVE mobile agent: it turns raw frames into differentially
+// encoded bitstreams sized to the estimated uplink, and tracks cached
+// detections locally during outages.
+type Agent struct {
+	cfg       AgentConfig
+	enc       *codec.Encoder
+	estimator *netsim.Estimator
+	foeCal    *mvfield.FOECalibrator
+	rng       *rand.Rand
+	lastFG    *ForegroundResult
+	lastDets  []detect.Detection
+	frameNum  int
+	forceI    bool
+}
+
+// NewAgent validates the configuration and builds an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.FPS <= 0 {
+		return nil, fmt.Errorf("core: FPS must be positive")
+	}
+	if cfg.Focal <= 0 {
+		return nil, fmt.Errorf("core: focal length must be positive")
+	}
+	if cfg.Codec.Width != cfg.Width || cfg.Codec.Height != cfg.Height {
+		return nil, fmt.Errorf("core: codec size %dx%d does not match agent size %dx%d",
+			cfg.Codec.Width, cfg.Codec.Height, cfg.Width, cfg.Height)
+	}
+	enc, err := codec.NewEncoder(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:       cfg,
+		enc:       enc,
+		estimator: netsim.NewEstimator(cfg.BandwidthWindow, cfg.BandwidthPrior),
+		foeCal:    mvfield.NewFOECalibrator(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Config returns the agent configuration.
+func (a *Agent) Config() AgentConfig { return a.cfg }
+
+// cx and cy are the principal point coordinates.
+func (a *Agent) cx() float64 { return float64(a.cfg.Width) / 2 }
+func (a *Agent) cy() float64 { return float64(a.cfg.Height) / 2 }
+
+// ProcessFrame runs the full DiVE pipeline on one captured frame at
+// simulated time now and returns the encoded frame plus all analysis
+// byproducts.
+func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, error) {
+	res := &FrameResult{}
+
+	// Preprocessing: motion vectors come free from the encoder.
+	mf := a.enc.AnalyzeMotion(frame)
+	if mf != nil {
+		field := mvfield.FromMotion(mf, a.cfg.Focal, a.cx(), a.cy(), 0)
+		res.RawField = field
+		res.Eta = field.Eta()
+		res.Moving = res.Eta > a.cfg.EtaThreshold
+
+		if res.Moving {
+			// Rotational component elimination (Section III-B3).
+			if !a.cfg.DisableRotation {
+				phiX, phiY, err := a.cfg.Rotation.Estimate(field, a.foeCal.FOE(), a.rng)
+				if err == nil {
+					res.Rotation = RotationEstimate{PhiX: phiX, PhiY: phiY, OK: true}
+					field = field.RemoveRotation(phiX, phiY)
+				}
+			}
+			// FOE calibration on the corrected field.
+			if foe, err := mvfield.EstimateFOE(field, a.rng); err == nil {
+				a.foeCal.Update(foe)
+				res.FOE = foe
+			} else {
+				res.FOE = a.foeCal.FOE()
+			}
+			res.Field = field
+
+			// Foreground extraction (Section III-C).
+			fg := ExtractForeground(field, a.foeCal.FOE(), a.cfg.Foreground)
+			if fg != nil && !fg.Empty() {
+				a.lastFG = fg
+			} else {
+				res.Reused = true
+			}
+		} else {
+			// Stopped: no usable ground flow; reuse the latest foreground.
+			res.Field = field
+			res.Reused = true
+		}
+	} else {
+		res.Reused = a.lastFG != nil
+	}
+	res.Foreground = a.lastFG
+
+	// Adaptive video encoding (Section III-D).
+	frac := 0.0
+	var mask []bool
+	if a.lastFG != nil {
+		frac = a.lastFG.Fraction()
+		mask = a.lastFG.Mask
+	}
+	res.Delta = a.cfg.AVE.Delta(frac)
+	mbw, mbh := a.enc.MBDims()
+	offsets := BuildQPOffsets(mask, mbw*mbh, res.Delta)
+
+	opts := codec.EncodeOptions{QPOffsets: offsets, ForceIFrame: a.forceI}
+	if a.cfg.CRF {
+		opts.BaseQP = a.cfg.CRFQP
+	} else {
+		res.EstimatedBandwidth = a.estimator.EstimateAt(now)
+		res.TargetBits = a.cfg.AVE.TargetBits(res.EstimatedBandwidth, a.cfg.FPS)
+		opts.TargetBits = res.TargetBits
+		opts.IFrameBudgetScale = a.cfg.AVE.IFrameBudgetScale
+	}
+	ef, err := a.enc.Encode(frame, opts)
+	a.forceI = false
+	if err != nil {
+		return nil, err
+	}
+	res.Encoded = ef
+	a.frameNum++
+	return res, nil
+}
+
+// OnTransmitComplete feeds uplink feedback into the bandwidth estimator:
+// bits were serialized onto the link during [start, end].
+func (a *Agent) OnTransmitComplete(start, end float64, bits int) {
+	a.estimator.Record(start, end, bits)
+}
+
+// OnDetections caches the newest edge results for outage tracking.
+func (a *Agent) OnDetections(dets []detect.Detection) {
+	a.lastDets = dets
+}
+
+// LastDetections returns the most recent cached detections (possibly
+// tracked ones).
+func (a *Agent) LastDetections() []detect.Detection { return a.lastDets }
+
+// TrackLocally advances the cached detections with the given flow field
+// (typically FrameResult.Field of the frame that could not be uploaded) and
+// re-caches the result — DiVE's offline tracking during outages.
+func (a *Agent) TrackLocally(field *mvfield.Field) []detect.Detection {
+	a.lastDets = TrackDetections(a.lastDets, field, a.cx(), a.cy(), a.cfg.Width, a.cfg.Height, a.cfg.Track)
+	return a.lastDets
+}
+
+// OutageTimeout returns the configured head-of-queue timer.
+func (a *Agent) OutageTimeout() float64 { return a.cfg.OutageTimeout }
+
+// ForceNextIFrame makes the next encoded frame an I-frame. The transport
+// calls this when frames were dropped (link outage) so the edge decoder can
+// resynchronize on the next delivered frame.
+func (a *Agent) ForceNextIFrame() { a.forceI = true }
+
+// Reconstructed returns the encoder's reconstruction of the last processed
+// frame — bit-exact with what the edge decoder produces, so callers can
+// report the quality the server will see.
+func (a *Agent) Reconstructed() *imgx.Plane { return a.enc.Reconstructed() }

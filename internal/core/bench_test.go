@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"dive/internal/detect"
+	"dive/internal/geom"
+	"dive/internal/imgx"
+	"dive/internal/world"
+)
+
+func BenchmarkExtractForeground(b *testing.B) {
+	f := drivingSceneField(20, 12, 6, 5, 10, 8)
+	cfg := DefaultForegroundConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fg := ExtractForeground(f, geom.Vec2{}, cfg); fg == nil {
+			b.Fatal("extraction failed")
+		}
+	}
+}
+
+func BenchmarkTrackDetections(b *testing.B) {
+	f := buildField(20, 12, 250, func(bx, by int, pos geom.Vec2) (geom.Vec2, bool) {
+		return geom.Vec2{X: 3, Y: 1}, true
+	})
+	dets := randomDetectionsForBench()
+	cfg := DefaultTrackConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrackDetections(dets, f, 160, 96, 320, 192, cfg)
+	}
+}
+
+// randomDetectionsForBench builds a fixed detection set.
+func randomDetectionsForBench() []detect.Detection {
+	var out []detect.Detection
+	for i := 0; i < 6; i++ {
+		out = append(out, detect.Detection{
+			Class: world.ClassCar,
+			Box:   imgx.NewRect(30+i*40, 70+i*5, 40, 28),
+			Score: 0.9,
+		})
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dive/internal/codec"
+	"dive/internal/geom"
+	"dive/internal/mvfield"
+)
+
+// buildField constructs a flow field for a mbw×mbh grid. gen receives grid
+// coordinates and returns flow in centered pixel coordinates plus validity.
+func buildField(mbw, mbh int, focal float64, gen func(bx, by int, pos geom.Vec2) (geom.Vec2, bool)) *mvfield.Field {
+	f := &mvfield.Field{MBW: mbw, MBH: mbh, Focal: focal, Vectors: make([]mvfield.Vector, mbw*mbh)}
+	cx := float64(mbw*codec.MBSize) / 2
+	cy := float64(mbh*codec.MBSize) / 2
+	for by := 0; by < mbh; by++ {
+		for bx := 0; bx < mbw; bx++ {
+			pos := geom.Vec2{
+				X: float64(bx*codec.MBSize) + codec.MBSize/2 - cx,
+				Y: float64(by*codec.MBSize) + codec.MBSize/2 - cy,
+			}
+			flow, valid := gen(bx, by, pos)
+			f.Vectors[by*mbw+bx] = mvfield.Vector{
+				Pos: pos, Flow: flow, Valid: valid, Zero: flow.IsZero(),
+			}
+		}
+	}
+	return f
+}
+
+// drivingSceneField builds the canonical test scene: static background
+// whose flow follows forward translation (ground at the bottom, walls at
+// the sides), plus a moving object at the given MB rectangle with distinct
+// coherent flow.
+func drivingSceneField(mbw, mbh int, objMinX, objMinY, objMaxX, objMaxY int) *mvfield.Field {
+	const focal = 250.0
+	const h = 1.4
+	dz := 0.9
+	return buildField(mbw, mbh, focal, func(bx, by int, pos geom.Vec2) (geom.Vec2, bool) {
+		// The moving object overrides everything it covers.
+		if bx >= objMinX && bx < objMaxX && by >= objMinY && by < objMaxY {
+			return geom.Vec2{X: 6, Y: 1.5}, true
+		}
+		if pos.Y > 8 {
+			// Ground plane.
+			z := focal * h / pos.Y
+			return pos.Scale(dz / z), true
+		}
+		if pos.Y > -40 {
+			// Distant static structure near the horizon.
+			z := 45.0
+			return pos.Scale(dz / z), true
+		}
+		// Sky: unusable vectors.
+		return geom.Vec2{}, false
+	})
+}
+
+func TestExtractForegroundFindsObject(t *testing.T) {
+	// Object MBs [6,10)x[5,8) sit above the ground rows; its bottom rows
+	// fall inside the ground convex hull, seeding the growth.
+	f := drivingSceneField(20, 12, 6, 5, 10, 8)
+	fg := ExtractForeground(f, geom.Vec2{}, DefaultForegroundConfig())
+	if fg == nil {
+		t.Fatal("no foreground result")
+	}
+	if fg.Empty() {
+		t.Fatal("no objects extracted")
+	}
+	// The object block must be covered by the mask.
+	covered := 0
+	for by := 5; by < 8; by++ {
+		for bx := 6; bx < 10; bx++ {
+			if fg.Mask[by*20+bx] {
+				covered++
+			}
+		}
+	}
+	if covered < 9 {
+		t.Errorf("only %d/12 object MBs covered", covered)
+	}
+	// The mask must not cover everything (differential encoding would be
+	// pointless).
+	if frac := fg.Fraction(); frac > 0.6 {
+		t.Errorf("foreground fraction %v too large", frac)
+	}
+	// Ground rows are classified as ground, not foreground.
+	groundRow := (12 - 1) * 20
+	groundCount := 0
+	for bx := 0; bx < 20; bx++ {
+		if fg.GroundMask[groundRow+bx] {
+			groundCount++
+		}
+	}
+	if groundCount < 10 {
+		t.Errorf("bottom row ground MBs = %d, want most", groundCount)
+	}
+}
+
+func TestExtractForegroundNoGround(t *testing.T) {
+	// All vectors invalid: ground estimation must fail gracefully.
+	f := buildField(10, 6, 250, func(bx, by int, pos geom.Vec2) (geom.Vec2, bool) {
+		return geom.Vec2{}, false
+	})
+	if fg := ExtractForeground(f, geom.Vec2{}, DefaultForegroundConfig()); fg != nil {
+		t.Error("expected nil result without usable vectors")
+	}
+}
+
+func TestExtractForegroundPureGround(t *testing.T) {
+	// Only ground flow, no objects: result exists but has no objects.
+	const focal = 250.0
+	f := buildField(20, 12, focal, func(bx, by int, pos geom.Vec2) (geom.Vec2, bool) {
+		if pos.Y <= 8 {
+			return geom.Vec2{}, false
+		}
+		z := focal * 1.4 / pos.Y
+		return pos.Scale(0.9 / z), true
+	})
+	fg := ExtractForeground(f, geom.Vec2{}, DefaultForegroundConfig())
+	if fg == nil {
+		t.Fatal("ground-only scene should still estimate ground")
+	}
+	if len(fg.Objects) != 0 {
+		t.Errorf("found %d objects in an empty road", len(fg.Objects))
+	}
+	if fg.Fraction() != 0 {
+		t.Errorf("foreground fraction = %v, want 0", fg.Fraction())
+	}
+}
+
+func TestRegionGrowingRespectsClusterMeanGuard(t *testing.T) {
+	// Two adjacent objects with very different flows must not fuse into
+	// one cluster via chained similarity.
+	const focal = 250.0
+	f := buildField(20, 12, focal, func(bx, by int, pos geom.Vec2) (geom.Vec2, bool) {
+		if by >= 5 && by < 8 && bx >= 4 && bx < 8 {
+			return geom.Vec2{X: 8, Y: 0}, true
+		}
+		if by >= 5 && by < 8 && bx >= 8 && bx < 12 {
+			return geom.Vec2{X: -8, Y: 0}, true
+		}
+		if pos.Y > 8 {
+			z := focal * 1.4 / pos.Y
+			return pos.Scale(0.9 / z), true
+		}
+		return geom.Vec2{}, false
+	})
+	fg := ExtractForeground(f, geom.Vec2{}, DefaultForegroundConfig())
+	if fg == nil || len(fg.Objects) < 2 {
+		n := 0
+		if fg != nil {
+			n = len(fg.Objects)
+		}
+		t.Fatalf("opposed-flow objects merged: %d objects", n)
+	}
+}
+
+func TestMergeClustersFillsSplitObject(t *testing.T) {
+	// One object split by a hole of invalid vectors: the two halves share
+	// flow direction and must merge into one region covering the hole.
+	const focal = 250.0
+	f := buildField(20, 12, focal, func(bx, by int, pos geom.Vec2) (geom.Vec2, bool) {
+		if by >= 5 && by < 8 && (bx >= 4 && bx < 6 || bx >= 7 && bx < 9) {
+			return geom.Vec2{X: 7, Y: 1}, true
+		}
+		if by >= 5 && by < 8 && bx == 6 {
+			return geom.Vec2{}, false // the hole
+		}
+		if pos.Y > 8 {
+			z := focal * 1.4 / pos.Y
+			return pos.Scale(0.9 / z), true
+		}
+		return geom.Vec2{}, false
+	})
+	fg := ExtractForeground(f, geom.Vec2{}, DefaultForegroundConfig())
+	if fg == nil || fg.Empty() {
+		t.Fatal("no foreground")
+	}
+	if len(fg.Objects) != 1 {
+		t.Fatalf("split object produced %d clusters, want 1 after merging", len(fg.Objects))
+	}
+	// The hole must be inside the convex contour.
+	if !fg.Mask[6*20+6] {
+		t.Error("hole MB not covered by the merged hull")
+	}
+}
+
+func TestForegroundMaskDilation(t *testing.T) {
+	f := drivingSceneField(20, 12, 6, 5, 10, 8)
+	cfg := DefaultForegroundConfig()
+	cfg.DilateMBs = 0
+	noDilate := ExtractForeground(f, geom.Vec2{}, cfg)
+	cfg.DilateMBs = 2
+	dilated := ExtractForeground(f, geom.Vec2{}, cfg)
+	if noDilate == nil || dilated == nil {
+		t.Fatal("extraction failed")
+	}
+	if dilated.Fraction() <= noDilate.Fraction() {
+		t.Errorf("dilation did not grow the mask: %v vs %v", dilated.Fraction(), noDilate.Fraction())
+	}
+}
+
+func TestHelpersGeometry(t *testing.T) {
+	// rectGap.
+	a := gridBBox([]int{0, 1}, 10)      // (0,0)-(2,1)
+	b := gridBBox([]int{5, 15}, 10)     // (5,0)-(6,2)
+	if got := rectGap(a, b); got != 3 { // gap of 3 columns
+		t.Errorf("rectGap = %d", got)
+	}
+	if got := rectGap(a, a); got != 0 {
+		t.Errorf("self gap = %d", got)
+	}
+	// segmentDist.
+	d := segmentDist(geom.Vec2{X: 0, Y: 1}, geom.Vec2{X: -1, Y: 0}, geom.Vec2{X: 1, Y: 0})
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("segmentDist = %v", d)
+	}
+	d = segmentDist(geom.Vec2{X: 5, Y: 0}, geom.Vec2{X: -1, Y: 0}, geom.Vec2{X: 1, Y: 0})
+	if math.Abs(d-4) > 1e-12 {
+		t.Errorf("beyond-end segmentDist = %v", d)
+	}
+	d = segmentDist(geom.Vec2{X: 3, Y: 4}, geom.Vec2{X: 0, Y: 0}, geom.Vec2{X: 0, Y: 0})
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("degenerate segmentDist = %v", d)
+	}
+}
+
+func TestFractionEmptyResult(t *testing.T) {
+	var r *ForegroundResult
+	if !r.Empty() {
+		t.Error("nil result should be empty")
+	}
+	r2 := &ForegroundResult{}
+	if r2.Fraction() != 0 {
+		t.Error("zero-length mask fraction")
+	}
+}

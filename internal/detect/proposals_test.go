@@ -1,0 +1,82 @@
+package detect
+
+import (
+	"testing"
+
+	"dive/internal/imgx"
+	"dive/internal/world"
+)
+
+func TestProposalsOnCleanFrames(t *testing.T) {
+	d := New(DefaultConfig())
+	p := testFrame(31)
+	gt := gtAt(imgx.NewRect(100, 80, 60, 40), world.ClassCar)
+	hits := 0
+	for s := int64(0); s < 40; s++ {
+		for _, pr := range d.Proposals(p, p, gt, s) {
+			if pr.Box.IoU(gt[0].Box) > 0.2 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 35 {
+		t.Errorf("proposal rate %d/40 for a clean large object", hits)
+	}
+	// Proposal scores are low — they are candidates, not detections.
+	for _, pr := range d.Proposals(p, p, gt, 1) {
+		if pr.Score > 0.5 {
+			t.Errorf("proposal score %v too high", pr.Score)
+		}
+	}
+}
+
+func TestProposalsVanishWhenDestroyed(t *testing.T) {
+	// An object whose pixels compression obliterated must propose (almost)
+	// nothing — the DDS blind spot.
+	d := New(DefaultConfig())
+	p := testFrame(32)
+	box := imgx.NewRect(100, 80, 24, 16) // small object
+	gt := gtAt(box, world.ClassPedestrian)
+	bad := degrade(p, box, 70, 33)
+	hits := 0
+	for s := int64(0); s < 40; s++ {
+		for _, pr := range d.Proposals(bad, p, gt, s) {
+			if pr.Box.IoU(box) > 0.2 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits > 10 {
+		t.Errorf("destroyed object still proposed %d/40 times", hits)
+	}
+}
+
+func TestProposalsMoreForgivingThanDetections(t *testing.T) {
+	// At a marginal quality level, proposals must fire more often than
+	// final detections — that is their purpose.
+	d := New(DefaultConfig())
+	p := testFrame(34)
+	box := imgx.NewRect(100, 80, 40, 28)
+	gt := gtAt(box, world.ClassCar)
+	bad := degrade(p, box, 26, 35)
+	dets, props := 0, 0
+	for s := int64(0); s < 80; s++ {
+		for _, dt := range d.Detect(bad, p, gt, s) {
+			if dt.Box.IoU(box) > 0.2 {
+				dets++
+				break
+			}
+		}
+		for _, pr := range d.Proposals(bad, p, gt, s) {
+			if pr.Box.IoU(box) > 0.2 {
+				props++
+				break
+			}
+		}
+	}
+	if props <= dets {
+		t.Errorf("proposals (%d) should outnumber detections (%d) at marginal quality", props, dets)
+	}
+}

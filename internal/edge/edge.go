@@ -1,0 +1,249 @@
+// Package edge implements the edge-server side of the live demo: a TCP
+// protocol (gob-framed) over which an agent streams DiVE bitstreams and the
+// server returns detections, plus the server loop itself.
+//
+// The demo's "DNN" is the same simulated detector the experiments use. It
+// needs the pristine frame to measure compression damage, so agent and
+// server share the deterministic benchmark world: the handshake carries the
+// generation seed and profile, the server renders the identical clip
+// locally, and only the encoded bitstream crosses the wire — exactly the
+// bytes a real deployment would ship.
+package edge
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dive/internal/codec"
+	"dive/internal/detect"
+	"dive/internal/imgx"
+	"dive/internal/world"
+)
+
+// Hello opens a session: it tells the server which synthetic clip the agent
+// is streaming so the server can reconstruct ground truth locally.
+type Hello struct {
+	Profile  string // "nuScenes", "RobotCar" or "KITTI"
+	Seed     int64
+	Duration float64 // seconds
+}
+
+// FrameMsg carries one encoded frame.
+type FrameMsg struct {
+	Index     int
+	Bitstream []byte
+	SentNanos int64 // agent clock, echoed back for RTT measurement
+}
+
+// WireDetection is a transport-friendly detection.
+type WireDetection struct {
+	Class                  int
+	MinX, MinY, MaxX, MaxY int
+	Score                  float64
+}
+
+// ResultMsg returns the detections for one frame.
+type ResultMsg struct {
+	Index      int
+	Detections []WireDetection
+	SentNanos  int64 // echoed from FrameMsg
+	ServerMs   float64
+	Err        string
+}
+
+// ToWire converts detections for transport.
+func ToWire(dets []detect.Detection) []WireDetection {
+	out := make([]WireDetection, 0, len(dets))
+	for _, d := range dets {
+		out = append(out, WireDetection{
+			Class: int(d.Class),
+			MinX:  d.Box.MinX, MinY: d.Box.MinY,
+			MaxX: d.Box.MaxX, MaxY: d.Box.MaxY,
+			Score: d.Score,
+		})
+	}
+	return out
+}
+
+// FromWire converts transported detections back.
+func FromWire(ws []WireDetection) []detect.Detection {
+	out := make([]detect.Detection, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, detect.Detection{
+			Class: world.Class(w.Class),
+			Box: imgx.Rect{
+				MinX: w.MinX, MinY: w.MinY,
+				MaxX: w.MaxX, MaxY: w.MaxY,
+			},
+			Score: w.Score,
+		})
+	}
+	return out
+}
+
+// profileByName resolves a Hello profile.
+func profileByName(name string) (world.Profile, error) {
+	switch name {
+	case "nuScenes":
+		return world.NuScenesLike(), nil
+	case "RobotCar":
+		return world.RobotCarLike(), nil
+	case "KITTI":
+		return world.KITTILike(), nil
+	default:
+		return world.Profile{}, fmt.Errorf("edge: unknown profile %q", name)
+	}
+}
+
+// Server serves DiVE analytics sessions over TCP.
+type Server struct {
+	Detector *detect.Detector
+	// Logf receives progress lines; nil silences the server.
+	Logf func(format string, args ...interface{})
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer builds a server with the default detector calibration.
+func NewServer() *Server {
+	return &Server{Detector: detect.New(detect.DefaultConfig())}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Listen binds the address and returns the bound address (useful with
+// ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts sessions until Close. Each connection is handled on its own
+// goroutine; Serve returns after the listener closes and all handlers exit.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("edge: Serve before Listen")
+	}
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.handle(conn); err != nil && err != io.EOF {
+				s.logf("session error: %v", err)
+			}
+		}()
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	s.ln = nil
+	return err
+}
+
+func isClosed(err error) bool {
+	var opErr *net.OpError
+	if ok := asOpError(err, &opErr); ok {
+		return opErr.Err.Error() == "use of closed network connection"
+	}
+	return false
+}
+
+func asOpError(err error, target **net.OpError) bool {
+	for err != nil {
+		if op, ok := err.(*net.OpError); ok {
+			*target = op
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// handle runs one session.
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("edge: handshake: %w", err)
+	}
+	profile, err := profileByName(hello.Profile)
+	if err != nil {
+		enc.Encode(ResultMsg{Index: -1, Err: err.Error()})
+		return err
+	}
+	if hello.Duration > 0 {
+		profile.ClipDuration = hello.Duration
+	}
+	s.logf("session: profile=%s seed=%d dur=%.1fs — rendering reference clip",
+		hello.Profile, hello.Seed, profile.ClipDuration)
+	clip := world.GenerateClip(profile, hello.Seed)
+	vdec, err := codec.NewDecoder(codec.DefaultConfig(clip.W, clip.H))
+	if err != nil {
+		return err
+	}
+
+	for {
+		var fm FrameMsg
+		if err := dec.Decode(&fm); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("edge: read frame: %w", err)
+		}
+		t0 := time.Now()
+		res := ResultMsg{Index: fm.Index, SentNanos: fm.SentNanos}
+		if fm.Index < 0 || fm.Index >= clip.NumFrames() {
+			res.Err = fmt.Sprintf("frame index %d out of range", fm.Index)
+		} else if df, derr := vdec.Decode(fm.Bitstream); derr != nil {
+			res.Err = derr.Error()
+		} else {
+			dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
+			res.Detections = ToWire(dets)
+		}
+		res.ServerMs = time.Since(t0).Seconds() * 1000
+		if err := enc.Encode(res); err != nil {
+			return fmt.Errorf("edge: write result: %w", err)
+		}
+	}
+}

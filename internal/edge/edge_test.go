@@ -1,0 +1,288 @@
+package edge
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dive/internal/codec"
+	"dive/internal/detect"
+	"dive/internal/imgx"
+	"dive/internal/world"
+)
+
+func TestWireConversionRoundTrip(t *testing.T) {
+	dets := []detect.Detection{
+		{Class: world.ClassCar, Box: imgx.NewRect(10, 20, 30, 40), Score: 0.9},
+		{Class: world.ClassPedestrian, Box: imgx.NewRect(1, 2, 3, 4), Score: 0.5},
+	}
+	back := FromWire(ToWire(dets))
+	if len(back) != 2 {
+		t.Fatal("count mismatch")
+	}
+	for i := range dets {
+		if back[i].Class != dets[i].Class || back[i].Box != dets[i].Box || back[i].Score != dets[i].Score {
+			t.Errorf("detection %d mismatch: %+v vs %+v", i, back[i], dets[i])
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"nuScenes", "RobotCar", "KITTI"} {
+		p, err := profileByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("profile %s: %v", name, err)
+		}
+	}
+	if _, err := profileByName("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+// TestServerSession runs a full live session over loopback TCP: encode a
+// tiny clip with the codec, stream it, check detections come back.
+func TestServerSession(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	defer func() {
+		srv.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}()
+
+	const seed = 99
+	const duration = 1.0
+	p := world.NuScenesLike()
+	p.ClipDuration = duration
+	clip := world.GenerateClip(p, seed)
+	enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	genc := gob.NewEncoder(conn)
+	gdec := gob.NewDecoder(conn)
+	if err := genc.Encode(Hello{Profile: "nuScenes", Seed: seed, Duration: duration}); err != nil {
+		t.Fatal(err)
+	}
+
+	sawDets := false
+	for i, frame := range clip.Frames {
+		ef, err := enc.Encode(frame, codec.EncodeOptions{BaseQP: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := genc.Encode(FrameMsg{Index: i, Bitstream: ef.Data, SentNanos: time.Now().UnixNano()}); err != nil {
+			t.Fatal(err)
+		}
+		var res ResultMsg
+		if err := gdec.Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != "" {
+			t.Fatalf("frame %d: server error %s", i, res.Err)
+		}
+		if res.Index != i {
+			t.Fatalf("result index %d, want %d", res.Index, i)
+		}
+		if len(res.Detections) > 0 {
+			sawDets = true
+		}
+	}
+	if !sawDets {
+		t.Error("server returned no detections for a high-quality stream")
+	}
+
+	// Out-of-range index reports an error without killing the session.
+	if err := genc.Encode(FrameMsg{Index: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	var res ResultMsg
+	if err := gdec.Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == "" {
+		t.Error("expected error for out-of-range index")
+	}
+}
+
+func TestServerRejectsBadProfile(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	genc := gob.NewEncoder(conn)
+	gdec := gob.NewDecoder(conn)
+	if err := genc.Encode(Hello{Profile: "nope", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var res ResultMsg
+	if err := gdec.Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == "" {
+		t.Error("expected handshake error")
+	}
+}
+
+func TestServeBeforeListen(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Serve(); err == nil {
+		t.Error("Serve before Listen should fail")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close on unbound server: %v", err)
+	}
+}
+
+// TestConcurrentSessions exercises the server's goroutine-per-connection
+// path: several agents stream different clips simultaneously.
+func TestConcurrentSessions(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	const sessions = 3
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		seed := int64(200 + s)
+		go func(seed int64) {
+			errs <- runSession(addr.String(), seed)
+		}(seed)
+	}
+	for s := 0; s < sessions; s++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("session timed out")
+		}
+	}
+}
+
+// runSession streams a short clip and validates every reply.
+func runSession(addr string, seed int64) error {
+	p := world.NuScenesLike()
+	p.ClipDuration = 0.5
+	clip := world.GenerateClip(p, seed)
+	enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	genc := gob.NewEncoder(conn)
+	gdec := gob.NewDecoder(conn)
+	if err := genc.Encode(Hello{Profile: "nuScenes", Seed: seed, Duration: 0.5}); err != nil {
+		return err
+	}
+	for i, frame := range clip.Frames {
+		ef, err := enc.Encode(frame, codec.EncodeOptions{BaseQP: 16})
+		if err != nil {
+			return err
+		}
+		if err := genc.Encode(FrameMsg{Index: i, Bitstream: ef.Data}); err != nil {
+			return err
+		}
+		var res ResultMsg
+		if err := gdec.Decode(&res); err != nil {
+			return err
+		}
+		if res.Err != "" {
+			return fmt.Errorf("frame %d: %s", i, res.Err)
+		}
+		if res.Index != i {
+			return fmt.Errorf("frame %d: got index %d", i, res.Index)
+		}
+	}
+	return nil
+}
+
+func TestLogfAndClosedDetection(t *testing.T) {
+	srv := NewServer()
+	var lines []string
+	srv.Logf = func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	srv.logf("hello %d", 7)
+	if len(lines) != 1 || lines[0] != "hello 7" {
+		t.Errorf("logf lines = %v", lines)
+	}
+	// Closing the listener makes Serve return nil (clean shutdown), which
+	// exercises the closed-connection error classification.
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	// Open and drop a connection with a garbage handshake; the session
+	// handler must log, not crash.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0xde, 0xad})
+	conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve after Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}
+
+func TestAsOpError(t *testing.T) {
+	if ok := asOpError(nil, new(*net.OpError)); ok {
+		t.Error("nil error classified as OpError")
+	}
+	if ok := asOpError(fmt.Errorf("plain"), new(*net.OpError)); ok {
+		t.Error("plain error classified as OpError")
+	}
+	op := &net.OpError{Op: "read", Err: fmt.Errorf("boom")}
+	wrapped := fmt.Errorf("outer: %w", op)
+	var out *net.OpError
+	if ok := asOpError(wrapped, &out); !ok || out != op {
+		t.Error("wrapped OpError not found")
+	}
+	if isClosed(wrapped) {
+		t.Error("non-closed OpError reported closed")
+	}
+}

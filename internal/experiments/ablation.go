@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"dive/internal/codec"
+	"dive/internal/core"
+	"dive/internal/geom"
+	"dive/internal/mvfield"
+	"dive/internal/world"
+)
+
+// AblationRow measures foreground-extraction quality for one DiVE variant
+// on one ego motion state: how much of the annotated objects the extracted
+// foreground covers (recall) at what mask cost (fraction of the frame kept
+// at full quality).
+type AblationRow struct {
+	Variant string
+	State   string
+	// Recall is the mean fraction of ground-truth box area covered by the
+	// foreground mask.
+	Recall float64
+	// MaskFraction is the mean foreground share of the frame.
+	MaskFraction float64
+	Frames       int
+}
+
+// AblationRotation quantifies the value of rotational-component elimination
+// (DESIGN.md §5): foreground recall with and without the preprocessing
+// stage, split by motion state. The gap should concentrate in turning
+// segments, where raw vectors violate Observation 1.
+func AblationRotation(scale Scale, seed int64) ([]AblationRow, error) {
+	_, ns := Datasets(scale, seed)
+	variants := []struct {
+		name    string
+		disable bool
+	}{
+		{"with rotation elimination", false},
+		{"without (raw vectors)", true},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		type acc struct {
+			recall, mask float64
+			n            int
+		}
+		byState := map[world.MotionState]*acc{
+			world.MotionStatic:   {},
+			world.MotionStraight: {},
+			world.MotionTurning:  {},
+		}
+		for _, clip := range ns.Clips {
+			cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+			cfg.DisableRotation = v.disable
+			cfg.Seed = seed
+			agent, err := core.NewAgent(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for i, frame := range clip.Frames {
+				now := float64(i) / clip.FPS
+				fr, err := agent.ProcessFrame(frame, now)
+				if err != nil {
+					return nil, err
+				}
+				agent.OnTransmitComplete(now, now+0.02, fr.Encoded.NumBits)
+				if fr.Foreground == nil || len(clip.GT[i]) == 0 {
+					continue
+				}
+				a := byState[clip.Poses[i].State]
+				a.recall += maskRecall(fr.Foreground, clip.GT[i])
+				a.mask += fr.Foreground.Fraction()
+				a.n++
+			}
+		}
+		for _, st := range []world.MotionState{world.MotionStatic, world.MotionStraight, world.MotionTurning} {
+			a := byState[st]
+			if a.n == 0 {
+				continue
+			}
+			rows = append(rows, AblationRow{
+				Variant:      v.name,
+				State:        st.String(),
+				Recall:       a.recall / float64(a.n),
+				MaskFraction: a.mask / float64(a.n),
+				Frames:       a.n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// maskRecall returns the fraction of annotated object area covered by the
+// foreground macroblock mask.
+func maskRecall(fg *core.ForegroundResult, gts []world.GTBox) float64 {
+	const mb = 16
+	covered, total := 0, 0
+	for _, gt := range gts {
+		for y := gt.Box.MinY; y < gt.Box.MaxY; y += 4 {
+			for x := gt.Box.MinX; x < gt.Box.MaxX; x += 4 {
+				bx, by := x/mb, y/mb
+				if bx < 0 || by < 0 || bx >= fg.MBW || by >= fg.MBH {
+					continue
+				}
+				total++
+				if fg.Mask[by*fg.MBW+bx] {
+					covered++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// RenderAblation formats the rotation ablation.
+func RenderAblation(rows []AblationRow) *Table {
+	t := &Table{
+		Title:   "Ablation: rotational-component elimination (foreground recall by state)",
+		Columns: []string{"variant", "state", "FG recall", "mask fraction", "frames"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Variant, r.State, f3(r.Recall), f3(r.MaskFraction), f1(float64(r.Frames)),
+		})
+	}
+	return t
+}
+
+// SubPelAblationRow compares rotation-estimation accuracy with half-pel
+// versus integer motion vectors (DESIGN.md §5): sub-pel precision roughly
+// halves the quantization noise Eq. (7) sees.
+type SubPelAblationRow struct {
+	Variant string
+	// MeanErrX and MeanErrY are mean absolute rotational-speed errors
+	// (rad/s) about the pitch and yaw axes.
+	MeanErrX, MeanErrY float64
+}
+
+// AblationSubPel measures rotation error with the codec's half-pel motion
+// vectors enabled and disabled on the KITTI-flavored workload.
+func AblationSubPel(scale Scale, seed int64) ([]SubPelAblationRow, error) {
+	clips := KITTIClips(scale, seed)
+	variants := []struct {
+		name   string
+		subpel bool
+	}{
+		{"half-pel MVs", true},
+		{"integer MVs", false},
+	}
+	var rows []SubPelAblationRow
+	for _, v := range variants {
+		est := mvfield.NewRotationEstimator()
+		sp := v.subpel
+		xe, ye, _, err := rotationErrorsCfg(clips, est, seed+77, func(c *codec.Config) {
+			c.SubPel = sp
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SubPelAblationRow{
+			Variant:  v.name,
+			MeanErrX: geom.Mean(xe),
+			MeanErrY: geom.Mean(ye),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSubPelAblation formats the sub-pel ablation.
+func RenderSubPelAblation(rows []SubPelAblationRow) *Table {
+	t := &Table{
+		Title:   "Ablation: half-pel vs integer motion vectors (rotation error, rad/s)",
+		Columns: []string{"variant", "mean |ωx err|", "mean |ωy err|"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Variant, f3(r.MeanErrX), f3(r.MeanErrY)})
+	}
+	return t
+}

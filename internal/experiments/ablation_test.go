@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblationRotation(t *testing.T) {
+	rows, err := AblationRotation(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	RenderAblation(rows).Fprint(os.Stdout)
+	// Recall with rotation elimination should not be worse overall.
+	var with, without, nw, nwo float64
+	for _, r := range rows {
+		if r.Variant == "with rotation elimination" {
+			with += r.Recall * float64(r.Frames)
+			nw += float64(r.Frames)
+		} else {
+			without += r.Recall * float64(r.Frames)
+			nwo += float64(r.Frames)
+		}
+	}
+	if nw == 0 || nwo == 0 {
+		t.Fatal("missing variant")
+	}
+	if with/nw+0.1 < without/nwo {
+		t.Errorf("rotation elimination hurts recall: %v vs %v", with/nw, without/nwo)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFig9Smoke sweeps the ME methods at smoke scale; it is the slowest
+// experiment test (ESA/TESA are exhaustive searches).
+func TestFig9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive ME sweep skipped in -short")
+	}
+	rows, err := Fig9MotionEstimation(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 2 datasets × 5 methods
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[string]Fig9Row{}
+	for _, r := range rows {
+		if r.Dataset == "nuScenes" {
+			byMethod[r.Method] = r
+		}
+		if r.MAP < 0 || r.MAP > 1 {
+			t.Errorf("%+v: mAP out of range", r)
+		}
+		if r.TimeMs <= 0 {
+			t.Errorf("%+v: no time measured", r)
+		}
+	}
+	// Cost ordering: exhaustive searches must be slower than hexagon.
+	if byMethod["esa"].TimeMs < byMethod["hex"].TimeMs {
+		t.Errorf("esa (%v ms) faster than hex (%v ms)", byMethod["esa"].TimeMs, byMethod["hex"].TimeMs)
+	}
+	if byMethod["tesa"].TimeMs < byMethod["esa"].TimeMs*0.8 {
+		t.Errorf("tesa (%v ms) should not be much faster than esa (%v ms)",
+			byMethod["tesa"].TimeMs, byMethod["esa"].TimeMs)
+	}
+	RenderFig9(rows)
+}
+
+func TestFig11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth sweep skipped in -short")
+	}
+	rows, err := Fig11QPAssignment(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 { // 2 datasets × 4 policies × 2 bandwidths (smoke)
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// mAP at 3 Mbps should be >= mAP at 1 Mbps for the adaptive policy.
+	var lo, hi float64
+	for _, r := range rows {
+		if r.Dataset == "nuScenes" && r.Delta == "adaptive" {
+			if r.Bandwidth == 1 {
+				lo = r.MAP
+			} else if r.Bandwidth == 3 {
+				hi = r.MAP
+			}
+		}
+	}
+	if hi+0.05 < lo {
+		t.Errorf("adaptive mAP fell with more bandwidth: %v @1Mbps vs %v @3Mbps", lo, hi)
+	}
+	RenderFig11(rows)
+}
+
+func TestFig16Fig17Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end comparison skipped in -short")
+	}
+	rows16, err := Fig16EndToEndRobotCar(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows17, err := Fig17EndToEndNuScenes(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]EndToEndRow{rows16, rows17} {
+		if len(rows) != 8 { // 2 bandwidths × 4 schemes at smoke scale
+			t.Fatalf("rows = %d", len(rows))
+		}
+		seen := map[string]bool{}
+		for _, r := range rows {
+			seen[r.Scheme] = true
+			if r.MAP < 0 || r.MAP > 1 || r.MeanRT <= 0 {
+				t.Errorf("%+v implausible", r)
+			}
+		}
+		for _, s := range []string{"DiVE", "O3", "EAAR", "DDS"} {
+			if !seen[s] {
+				t.Errorf("scheme %s missing", s)
+			}
+		}
+		// Directional checks at 3 Mbps (the easier setting): DiVE's mAP
+		// should top the field, and DDS should be the slowest.
+		byScheme := map[string]EndToEndRow{}
+		for _, r := range rows {
+			if r.Bandwidth == 3 {
+				byScheme[r.Scheme] = r
+			}
+		}
+		dive := byScheme["DiVE"]
+		for _, s := range []string{"O3", "EAAR"} {
+			if byScheme[s].MAP > dive.MAP+0.02 {
+				t.Errorf("%s mAP %v beats DiVE %v at 3 Mbps", s, byScheme[s].MAP, dive.MAP)
+			}
+		}
+		if byScheme["DDS"].MeanRT < dive.MeanRT {
+			t.Errorf("DDS RT %v below DiVE %v", byScheme["DDS"].MeanRT, dive.MeanRT)
+		}
+	}
+	RenderEndToEnd("Fig 16", rows16)
+	RenderEndToEnd("Fig 17", rows17)
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSeed = 424242
+
+func TestTableI(t *testing.T) {
+	rows := TableI(ScaleSmoke, testSeed)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Frames == 0 || r.Videos == 0 {
+			t.Errorf("%s: empty dataset", r.Name)
+		}
+		if r.Cars == 0 {
+			t.Errorf("%s: no car annotations", r.Name)
+		}
+	}
+	// nuScenes at 12 FPS, RobotCar at 16, as in the paper.
+	if rows[0].Name != "nuScenes" || rows[0].FPS != 12 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[1].Name != "RobotCar" || rows[1].FPS != 16 {
+		t.Errorf("row1 = %+v", rows[1])
+	}
+	out := &strings.Builder{}
+	RenderTableI(rows).Fprint(out)
+	if !strings.Contains(out.String(), "nuScenes") {
+		t.Error("render missing dataset name")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6EgoMotion(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MovingCDF) == 0 {
+		t.Fatal("no moving frames measured")
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	// The η rule should classify clearly better than chance.
+	if r.Accuracy < 0.8 {
+		t.Errorf("η rule accuracy = %v", r.Accuracy)
+	}
+	// Moving frames should generally have higher η than stopped ones.
+	if len(r.StoppedCDF) > 0 {
+		medStopped := cdfP(r.StoppedCDF, 50)
+		medMoving := cdfP(r.MovingCDF, 50)
+		if medMoving <= medStopped {
+			t.Errorf("median η moving %v <= stopped %v", medMoving, medStopped)
+		}
+	}
+	out := &strings.Builder{}
+	RenderFig6(r).Fprint(out)
+	if !strings.Contains(out.String(), "moving") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, err := Fig7RSampling(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Configs) != 3 {
+		t.Fatalf("configs = %d", len(r.Configs))
+	}
+	for _, c := range r.Configs {
+		if len(c.OmegaYErr) == 0 {
+			t.Fatalf("%s: no measurements", c.Label)
+		}
+		if c.MeanY < 0 || c.MeanY > 1 {
+			t.Errorf("%s: implausible mean yaw error %v", c.Label, c.MeanY)
+		}
+	}
+	// The paper's claim: R-sampling with 30 points beats random with 30.
+	if r.Configs[0].MeanY > r.Configs[1].MeanY {
+		t.Errorf("R-sampling k=30 (%v) worse than random k=30 (%v)",
+			r.Configs[0].MeanY, r.Configs[1].MeanY)
+	}
+	out := &strings.Builder{}
+	RenderFig7(r).Fprint(out)
+	if !strings.Contains(out.String(), "R-sampling") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	rows, err := Fig10SampleCount(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TimeMs < 0 {
+			t.Errorf("k=%d: negative time", r.K)
+		}
+		if r.MeanErr < 0 {
+			t.Errorf("k=%d: negative error", r.K)
+		}
+	}
+	// Error at large k should not be dramatically worse than at k=10.
+	if rows[len(rows)-1].MeanErr > rows[0].MeanErr*3+0.05 {
+		t.Errorf("error grows with k: %v -> %v", rows[0].MeanErr, rows[len(rows)-1].MeanErr)
+	}
+	RenderFig10(rows)
+}
+
+func TestFig12(t *testing.T) {
+	rows, err := Fig12Foreground(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 2 datasets × 5 QPs
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CarAP < 0 || r.CarAP > 1 || r.PedAP < 0 || r.PedAP > 1 {
+			t.Errorf("%+v: AP out of range", r)
+		}
+	}
+	// The headline claim: with the foreground protected at QP 0, car AP
+	// at background QP 20 stays high.
+	for _, r := range rows {
+		if r.BackgroundQP == 20 && r.CarAP < 0.5 {
+			t.Errorf("%s: car AP %v at bg QP 20, foreground protection failed", r.Dataset, r.CarAP)
+		}
+	}
+	RenderFig12(rows)
+}
+
+func TestFig13(t *testing.T) {
+	rows, err := Fig13OfflineTracking(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 datasets × 2 intervals at smoke scale
+		t.Fatalf("rows = %d", len(rows))
+	}
+	better := 0
+	for _, r := range rows {
+		if r.MAPWith >= r.MAPWithout {
+			better++
+		}
+	}
+	// MOT should help (or tie) in most settings.
+	if better < len(rows)/2 {
+		t.Errorf("MOT helped in only %d/%d settings", better, len(rows))
+	}
+	RenderFig13(rows)
+}
+
+func TestFig14(t *testing.T) {
+	rows, err := Fig14MotionStates(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.State] = true
+		if r.Frames == 0 {
+			t.Errorf("%+v: zero frames", r)
+		}
+	}
+	if !seen["straight"] {
+		t.Error("no straight-motion frames in a driving workload")
+	}
+	RenderFig14(rows)
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleSmoke.String() != "smoke" || ScaleDefault.String() != "default" ||
+		ScaleFull.String() != "full" || Scale(0).String() != "unknown" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	out := &strings.Builder{}
+	tab.Fprint(out)
+	s := out.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "long-column") || !strings.Contains(s, "yyyy") {
+		t.Errorf("table output:\n%s", s)
+	}
+}

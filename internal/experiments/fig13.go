@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dive/internal/netsim"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// Fig13Row is one (dataset, outage interval) mAP pair with and without
+// motion-vector-based offline tracking.
+type Fig13Row struct {
+	Dataset    string
+	IntervalS  float64
+	MAPWith    float64
+	MAPWithout float64
+}
+
+// Fig13OfflineTracking reproduces Figure 13: a 2 Mbps link with 1 s
+// outages whose interval sweeps 5..20 s; MOT on vs off. Clips are rendered
+// long enough to contain several outages.
+func Fig13OfflineTracking(scale Scale, seed int64) ([]Fig13Row, error) {
+	intervals := []float64{5, 10, 15, 20}
+	dur := 22.0
+	clipsPer := 1
+	switch scale {
+	case ScaleSmoke:
+		intervals = []float64{2.5, 5}
+		dur = 6
+	case ScaleFull:
+		clipsPer = 2
+	}
+	rp := world.RobotCarLike()
+	rp.ClipDuration = dur
+	np := world.NuScenesLike()
+	np.ClipDuration = dur
+	workloads := []Workload{
+		{Name: rp.Name, Clips: world.GenerateDataset(rp, seed+31, clipsPer)},
+		{Name: np.Name, Clips: world.GenerateDataset(np, seed+32, clipsPer)},
+	}
+
+	var rows []Fig13Row
+	for _, w := range workloads {
+		for _, interval := range intervals {
+			iv := interval
+			traceFn := func(int) netsim.Trace {
+				return &netsim.OutageTrace{
+					Inner:    netsim.ConstantTrace(netsim.Mbps(2)),
+					Start:    1.5,
+					Interval: iv,
+					Duration: 1.0,
+				}
+			}
+			withMOT, err := runScheme(w, &sim.DiVE{}, traceFn, seed+int64(iv*10))
+			if err != nil {
+				return nil, err
+			}
+			withoutMOT, err := runScheme(w, &sim.DiVE{DisableMOT: true}, traceFn, seed+int64(iv*10))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig13Row{
+				Dataset:    w.Name,
+				IntervalS:  iv,
+				MAPWith:    withMOT.MAP,
+				MAPWithout: withoutMOT.MAP,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig13 formats the comparison.
+func RenderFig13(rows []Fig13Row) *Table {
+	t := &Table{
+		Title:   "Fig 13: MV-based offline tracking under 1s link outages (2 Mbps)",
+		Columns: []string{"dataset", "outage interval (s)", "mAP with MOT", "mAP without"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, fmt.Sprintf("%.1f", r.IntervalS), f3(r.MAPWith), f3(r.MAPWithout),
+		})
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"dive/internal/detect"
+	"dive/internal/metrics"
+	"dive/internal/netsim"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// Fig14Row is AP by ego motion state (Figure 14).
+type Fig14Row struct {
+	Dataset string
+	State   string
+	CarAP   float64
+	PedAP   float64
+	Frames  int
+}
+
+// Fig14MotionStates runs DiVE at 2 Mbps and splits the per-frame results by
+// the ego vehicle's ground-truth motion state (static / straight /
+// turning).
+func Fig14MotionStates(scale Scale, seed int64) ([]Fig14Row, error) {
+	rc, ns := Datasets(scale, seed)
+	var rows []Fig14Row
+	for _, w := range []Workload{rc, ns} {
+		byState := map[world.MotionState]*struct {
+			dets, gts [][]detect.Detection
+		}{}
+		for _, st := range []world.MotionState{world.MotionStatic, world.MotionStraight, world.MotionTurning} {
+			byState[st] = &struct{ dets, gts [][]detect.Detection }{}
+		}
+		for ci, clip := range w.Clips {
+			env := sim.NewEnv(seed + int64(ci)*97)
+			link := netsim.NewLink(netsim.ConstantTrace(netsim.Mbps(2)), 0.012)
+			res, err := (&sim.DiVE{}).Run(clip, link, env)
+			if err != nil {
+				return nil, err
+			}
+			oracle := sim.OracleDetections(clip, env)
+			for i := range clip.Frames {
+				bucket := byState[clip.Poses[i].State]
+				if bucket == nil {
+					continue
+				}
+				bucket.dets = append(bucket.dets, res.Detections[i])
+				bucket.gts = append(bucket.gts, oracle[i])
+			}
+		}
+		for _, st := range []world.MotionState{world.MotionStatic, world.MotionStraight, world.MotionTurning} {
+			b := byState[st]
+			if len(b.dets) == 0 {
+				continue
+			}
+			rows = append(rows, Fig14Row{
+				Dataset: w.Name,
+				State:   st.String(),
+				CarAP:   metrics.AP(b.dets, b.gts, world.ClassCar, metrics.DefaultIoU),
+				PedAP:   metrics.AP(b.dets, b.gts, world.ClassPedestrian, metrics.DefaultIoU),
+				Frames:  len(b.dets),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig14 formats the breakdown.
+func RenderFig14(rows []Fig14Row) *Table {
+	t := &Table{
+		Title:   "Fig 14: AP by ego motion state (2 Mbps)",
+		Columns: []string{"dataset", "state", "car AP", "ped AP", "frames"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Dataset, r.State, f3(r.CarAP), f3(r.PedAP), f1(float64(r.Frames))})
+	}
+	return t
+}

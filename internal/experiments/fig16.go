@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dive/internal/baselines"
+	"dive/internal/sim"
+)
+
+// EndToEndRow is one (scheme, bandwidth) end-to-end measurement.
+type EndToEndRow struct {
+	Dataset   string
+	Scheme    string
+	Bandwidth float64 // Mbps
+	MAP       float64
+	CarAP     float64
+	PedAP     float64
+	MeanRT    float64 // seconds
+	P95RT     float64
+}
+
+// schemes returns the full comparison field of Section IV-G.
+func schemes() []sim.Scheme {
+	return []sim.Scheme{
+		&sim.DiVE{},
+		&baselines.O3{},
+		&baselines.EAAR{},
+		&baselines.DDS{},
+	}
+}
+
+// endToEnd sweeps all schemes across bandwidths on one workload.
+func endToEnd(w Workload, scale Scale, seed int64) ([]EndToEndRow, error) {
+	var rows []EndToEndRow
+	for _, bw := range bandwidthSweep(scale) {
+		for _, s := range schemes() {
+			res, err := runScheme(w, s, constTrace(bw), seed+int64(bw*131))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, EndToEndRow{
+				Dataset: w.Name, Scheme: s.Name(), Bandwidth: bw,
+				MAP: res.MAP, CarAP: res.CarAP, PedAP: res.PedAP,
+				MeanRT: res.MeanRT, P95RT: res.P95RT,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig16EndToEndRobotCar compares DiVE with O3, EAAR and DDS on the
+// RobotCar-flavored workload across 1..5 Mbps (Figure 16).
+func Fig16EndToEndRobotCar(scale Scale, seed int64) ([]EndToEndRow, error) {
+	rc, _ := Datasets(scale, seed)
+	return endToEnd(rc, scale, seed)
+}
+
+// Fig17EndToEndNuScenes is the same comparison on the nuScenes-flavored
+// workload (Figure 17).
+func Fig17EndToEndNuScenes(scale Scale, seed int64) ([]EndToEndRow, error) {
+	_, ns := Datasets(scale, seed)
+	return endToEnd(ns, scale, seed+500)
+}
+
+// RenderEndToEnd formats a comparison table.
+func RenderEndToEnd(title string, rows []EndToEndRow) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"scheme", "bandwidth (Mbps)", "mAP", "car AP", "ped AP", "mean RT (ms)", "P95 RT (ms)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scheme, fmt.Sprintf("%.0f", r.Bandwidth),
+			f3(r.MAP), f3(r.CarAP), f3(r.PedAP),
+			f1(r.MeanRT * 1000), f1(r.P95RT * 1000),
+		})
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"dive/internal/codec"
+	"dive/internal/geom"
+	"dive/internal/world"
+)
+
+// Fig6Result holds the ego-motion judgement study (Figure 6): CDFs of the
+// non-zero MV ratio η for stopped vs moving frames, the classification
+// accuracy of the paper's η > 0.15 rule, and one clip's η timeline.
+type Fig6Result struct {
+	StoppedCDF []geom.CDFPoint
+	MovingCDF  []geom.CDFPoint
+	// Threshold is the decision threshold evaluated (0.15).
+	Threshold float64
+	// Accuracy is the fraction of frames whose moving/static state the
+	// threshold rule classifies correctly.
+	Accuracy float64
+	// Timeline is η per frame of the first clip; TimelineTruth the
+	// matching ground-truth motion flags.
+	Timeline      []float64
+	TimelineTruth []bool
+}
+
+// Fig6EgoMotion measures η on nuScenes-flavored clips (which include stop
+// phases) and evaluates the threshold rule. Clips are rendered long enough
+// to reach the stop segment whatever the scale.
+func Fig6EgoMotion(scale Scale, seed int64) (*Fig6Result, error) {
+	n, dur := scale.params()
+	if dur < 4.5 {
+		dur = 4.5
+	}
+	np := world.NuScenesLike()
+	np.ClipDuration = dur
+	ns := Workload{Name: np.Name, Clips: world.GenerateDataset(np, seed+1_000_000, n)}
+	res := &Fig6Result{Threshold: 0.15}
+	var stopped, moving []float64
+	correct, total := 0, 0
+	for ci, clip := range ns.Clips {
+		enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+		if err != nil {
+			return nil, err
+		}
+		for i, frame := range clip.Frames {
+			mf := enc.AnalyzeMotion(frame)
+			if _, err := enc.Encode(frame, codec.EncodeOptions{BaseQP: 18}); err != nil {
+				return nil, err
+			}
+			if mf == nil {
+				continue // first frame has no vectors
+			}
+			eta := mf.NonZeroRatio()
+			isMoving := clip.Poses[i].State != world.MotionStatic
+			if isMoving {
+				moving = append(moving, eta)
+			} else {
+				stopped = append(stopped, eta)
+			}
+			if (eta > res.Threshold) == isMoving {
+				correct++
+			}
+			total++
+			if ci == 0 {
+				res.Timeline = append(res.Timeline, eta)
+				res.TimelineTruth = append(res.TimelineTruth, isMoving)
+			}
+		}
+	}
+	res.StoppedCDF = geom.EmpiricalCDF(stopped)
+	res.MovingCDF = geom.EmpiricalCDF(moving)
+	if total > 0 {
+		res.Accuracy = float64(correct) / float64(total)
+	}
+	return res, nil
+}
+
+// RenderFig6 summarizes the result as a table of CDF quantiles.
+func RenderFig6(r *Fig6Result) *Table {
+	t := &Table{
+		Title:   "Fig 6: non-zero MV ratio η for ego-motion judgement",
+		Columns: []string{"population", "P10", "P50", "P90", "frames"},
+	}
+	row := func(name string, cdf []geom.CDFPoint) []string {
+		var vals []float64
+		for _, p := range cdf {
+			vals = append(vals, p.Value)
+		}
+		return []string{
+			name,
+			f3(geom.Percentile(vals, 10)),
+			f3(geom.Percentile(vals, 50)),
+			f3(geom.Percentile(vals, 90)),
+			f1(float64(len(cdf))),
+		}
+	}
+	t.Rows = append(t.Rows, row("stopped", r.StoppedCDF), row("moving", r.MovingCDF))
+	t.Rows = append(t.Rows, []string{"rule η>0.15 accuracy", f3(r.Accuracy), "", "", ""})
+	return t
+}

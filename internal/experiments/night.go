@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"dive/internal/core"
+	"dive/internal/world"
+)
+
+// NightRow summarizes DiVE's motion-vector signal quality under one
+// lighting condition.
+type NightRow struct {
+	Condition string
+	// MeanEta is the mean non-zero MV ratio over moving frames — near zero
+	// at night even though the agent moves.
+	MeanEta float64
+	// ValidFrac is the mean fraction of macroblocks whose vectors pass the
+	// trust filter.
+	ValidFrac float64
+	// FESuccess is the fraction of moving frames where foreground
+	// extraction produced a usable result (rather than falling back to
+	// reuse).
+	FESuccess float64
+	// FGRecall is the mean fraction of annotated object area the
+	// extracted foreground covers.
+	FGRecall float64
+	// MaskFraction is the mean share of the frame marked foreground. At
+	// night, noise-grown clusters inflate the mask: coverage only comes
+	// from giving up on differential encoding. FGRecall/MaskFraction is
+	// the efficiency that collapses.
+	MaskFraction float64
+	// EgoAccuracy is the accuracy of the η > 0.15 ego-motion rule.
+	EgoAccuracy float64
+	Frames      int
+}
+
+// NightStudy reproduces the observation the paper uses to justify excluding
+// nuScenes night clips ("almost all motion vectors are calculated to be
+// zero at night"): identical scenes rendered at daylight and at night, with
+// the MV-dependent stages evaluated on both.
+func NightStudy(scale Scale, seed int64) ([]NightRow, error) {
+	n, dur := scale.params()
+	profiles := []world.Profile{world.NuScenesLike(), world.NuScenesNightLike()}
+	var rows []NightRow
+	for _, p := range profiles {
+		p.ClipDuration = dur
+		row := NightRow{Condition: p.Name}
+		etaSum, validSum, recallSum := 0.0, 0.0, 0.0
+		feOK, moving, correct, total, recallN := 0, 0, 0, 0, 0
+		for c := 0; c < n; c++ {
+			clip := world.GenerateClip(p, seed+int64(c)*7919)
+			cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+			cfg.Seed = seed
+			agent, err := core.NewAgent(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for i, frame := range clip.Frames {
+				now := float64(i) / clip.FPS
+				fr, err := agent.ProcessFrame(frame, now)
+				if err != nil {
+					return nil, err
+				}
+				agent.OnTransmitComplete(now, now+0.02, fr.Encoded.NumBits)
+				if fr.RawField == nil {
+					continue
+				}
+				isMoving := clip.Poses[i].State != world.MotionStatic
+				if (fr.Eta > cfg.EtaThreshold) == isMoving {
+					correct++
+				}
+				total++
+				if !isMoving {
+					continue
+				}
+				moving++
+				etaSum += fr.Eta
+				valid := 0
+				for _, v := range fr.RawField.Vectors {
+					if v.Valid && !v.Zero {
+						valid++
+					}
+				}
+				validSum += float64(valid) / float64(len(fr.RawField.Vectors))
+				if !fr.Reused {
+					feOK++
+				}
+				if fr.Foreground != nil && len(clip.GT[i]) > 0 {
+					recallSum += maskRecall(fr.Foreground, clip.GT[i])
+					row.MaskFraction += fr.Foreground.Fraction()
+					recallN++
+				}
+			}
+		}
+		if moving > 0 {
+			row.MeanEta = etaSum / float64(moving)
+			row.ValidFrac = validSum / float64(moving)
+			row.FESuccess = float64(feOK) / float64(moving)
+		}
+		if recallN > 0 {
+			row.FGRecall = recallSum / float64(recallN)
+			row.MaskFraction /= float64(recallN)
+		}
+		if total > 0 {
+			row.EgoAccuracy = float64(correct) / float64(total)
+		}
+		row.Frames = total
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderNight formats the lighting study.
+func RenderNight(rows []NightRow) *Table {
+	t := &Table{
+		Title:   "Night study: why the paper excludes night clips",
+		Columns: []string{"condition", "mean η (moving)", "usable MV frac", "FE success", "FG recall", "mask frac", "η-rule acc", "frames"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Condition, f3(r.MeanEta), f3(r.ValidFrac), f3(r.FESuccess), f3(r.FGRecall), f3(r.MaskFraction), f3(r.EgoAccuracy), f1(float64(r.Frames)),
+		})
+	}
+	return t
+}

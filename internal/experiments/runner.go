@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"dive/internal/detect"
+	"dive/internal/metrics"
+	"dive/internal/netsim"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// EvalResult aggregates one (scheme, workload, network) evaluation.
+type EvalResult struct {
+	Scheme   string
+	Dataset  string
+	MAP      float64
+	CarAP    float64
+	PedAP    float64
+	MeanRT   float64 // seconds
+	P95RT    float64
+	BitsSent int
+	Frames   int
+}
+
+// runScheme evaluates a scheme over every clip of a workload; traceFn
+// builds the bandwidth trace per clip (fresh link state per clip).
+func runScheme(w Workload, scheme sim.Scheme, traceFn func(clipIdx int) netsim.Trace, envSeed int64) (EvalResult, error) {
+	var allDets, allGT [][]detect.Detection
+	var rts []float64
+	out := EvalResult{Scheme: scheme.Name(), Dataset: w.Name}
+	for ci, clip := range w.Clips {
+		env := sim.NewEnv(envSeed + int64(ci)*131071)
+		link := netsim.NewLink(traceFn(ci), 0.012)
+		res, err := scheme.Run(clip, link, env)
+		if err != nil {
+			return out, err
+		}
+		oracle := sim.OracleDetections(clip, env)
+		allDets = append(allDets, res.Detections...)
+		allGT = append(allGT, oracle...)
+		rts = append(rts, res.ResponseTimes...)
+		out.BitsSent += res.TotalBits()
+		out.Frames += clip.NumFrames()
+	}
+	out.CarAP = metrics.AP(allDets, allGT, world.ClassCar, metrics.DefaultIoU)
+	out.PedAP = metrics.AP(allDets, allGT, world.ClassPedestrian, metrics.DefaultIoU)
+	out.MAP = (out.CarAP + out.PedAP) / 2
+	lat := metrics.SummarizeLatency(rts)
+	out.MeanRT = lat.Mean
+	out.P95RT = lat.P95
+	return out, nil
+}
+
+// constTrace returns a factory for a constant-bandwidth trace.
+func constTrace(mbps float64) func(int) netsim.Trace {
+	return func(int) netsim.Trace { return netsim.ConstantTrace(netsim.Mbps(mbps)) }
+}

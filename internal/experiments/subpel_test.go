@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblationSubPel(t *testing.T) {
+	rows, err := AblationSubPel(ScaleSmoke, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	RenderSubPelAblation(rows).Fprint(os.Stdout)
+	// Half-pel vectors should not be clearly worse than integer ones.
+	if rows[0].MeanErrY > rows[1].MeanErrY*1.5+0.01 {
+		t.Errorf("half-pel yaw error %v much worse than integer %v", rows[0].MeanErrY, rows[1].MeanErrY)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strconv"
+
+	"dive/internal/world"
+)
+
+// Table1Row summarizes one dataset (the paper's Table I).
+type Table1Row struct {
+	Name        string
+	FPS         float64
+	Videos      int
+	Frames      int
+	Cars        int
+	Pedestrians int
+}
+
+// TableI generates both datasets and counts annotated object instances,
+// reproducing the dataset-summary table.
+func TableI(scale Scale, seed int64) []Table1Row {
+	rc, ns := Datasets(scale, seed)
+	return []Table1Row{summarize(ns), summarize(rc)}
+}
+
+func summarize(w Workload) Table1Row {
+	row := Table1Row{Name: w.Name}
+	for _, clip := range w.Clips {
+		row.Videos++
+		row.Frames += clip.NumFrames()
+		if clip.FPS > row.FPS {
+			row.FPS = clip.FPS
+		}
+		for _, gts := range clip.GT {
+			for _, gt := range gts {
+				switch gt.Class {
+				case world.ClassCar:
+					row.Cars++
+				case world.ClassPedestrian:
+					row.Pedestrians++
+				}
+			}
+		}
+	}
+	return row
+}
+
+// Render formats the rows as a printable table.
+func RenderTableI(rows []Table1Row) *Table {
+	t := &Table{
+		Title:   "Table I: Summary of datasets",
+		Columns: []string{"Name", "FPS", "#videos", "#frames", "#cars", "#peds"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, f1(r.FPS),
+			strconv.Itoa(r.Videos), strconv.Itoa(r.Frames),
+			strconv.Itoa(r.Cars), strconv.Itoa(r.Pedestrians),
+		})
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the given points in counterclockwise
+// order (in the image convention with y downward this appears clockwise on
+// screen). It implements Andrew's monotone chain, an O(n log n) relative of
+// Sklansky's algorithm that the paper uses for ground and object contours.
+// Degenerate inputs (fewer than 3 distinct points, collinear sets) return
+// the distinct points sorted lexicographically.
+func ConvexHull(points []Vec2) []Vec2 {
+	pts := make([]Vec2, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	// Deduplicate.
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != pts[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	pts = uniq
+	n := len(pts)
+	if n < 3 {
+		out := make([]Vec2, n)
+		copy(out, pts)
+		return out
+	}
+	hull := make([]Vec2, 0, 2*n)
+	// Lower hull.
+	for _, p := range pts {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := pts[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// cross returns the z component of (b-a) × (c-a).
+func cross(a, b, c Vec2) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// PointInHull reports whether p lies inside or on the convex polygon hull
+// (vertices in the order produced by ConvexHull). Hulls with fewer than 3
+// vertices contain only their own points (within a small tolerance).
+func PointInHull(p Vec2, hull []Vec2) bool {
+	n := len(hull)
+	switch n {
+	case 0:
+		return false
+	case 1:
+		return p.Dist(hull[0]) < 1e-9
+	case 2:
+		// On-segment test.
+		d := hull[1].Sub(hull[0])
+		ap := p.Sub(hull[0])
+		if absf(d.Cross(ap)) > 1e-9*(1+d.Norm()) {
+			return false
+		}
+		t := ap.Dot(d) / d.Dot(d)
+		return t >= -1e-9 && t <= 1+1e-9
+	}
+	// p is inside a convex CCW polygon iff it is on the left of (or on)
+	// every edge.
+	for i := 0; i < n; i++ {
+		a, b := hull[i], hull[(i+1)%n]
+		if cross(a, b, p) < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonArea returns the absolute area enclosed by the polygon.
+func PolygonArea(poly []Vec2) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	s := 0.0
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		s += poly[i].Cross(poly[j])
+	}
+	return absf(s) / 2
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

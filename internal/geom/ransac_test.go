@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lineModel fits y = m·x + c to 2-D points; the classic RANSAC demo.
+type lineModel struct {
+	pts []Vec2
+}
+
+type lineParams struct{ m, c float64 }
+
+func (l *lineModel) Len() int { return len(l.pts) }
+
+func (l *lineModel) Fit(idx []int) (interface{}, error) {
+	var a [][]float64
+	var b []float64
+	for _, i := range idx {
+		a = append(a, []float64{l.pts[i].X, 1})
+		b = append(b, l.pts[i].Y)
+	}
+	u, err := LeastSquares(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return lineParams{u[0], u[1]}, nil
+}
+
+func (l *lineModel) Residual(i int, params interface{}) float64 {
+	p := params.(lineParams)
+	return math.Abs(l.pts[i].Y - (p.m*l.pts[i].X + p.c))
+}
+
+func TestRANSACLineWithOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	model := &lineModel{}
+	// 70 inliers on y = 2x + 1 with small noise, 30 gross outliers.
+	for i := 0; i < 70; i++ {
+		x := rng.Float64() * 10
+		model.pts = append(model.pts, Vec2{x, 2*x + 1 + rng.NormFloat64()*0.05})
+	}
+	for i := 0; i < 30; i++ {
+		model.pts = append(model.pts, Vec2{rng.Float64() * 10, rng.Float64()*40 - 20})
+	}
+	params, inliers, err := RANSAC(model, RANSACConfig{
+		MinSamples:      2,
+		Iterations:      100,
+		InlierThreshold: 0.3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params.(lineParams)
+	if math.Abs(p.m-2) > 0.05 || math.Abs(p.c-1) > 0.2 {
+		t.Errorf("fit = %+v, want m≈2 c≈1", p)
+	}
+	if len(inliers) < 60 {
+		t.Errorf("found only %d inliers", len(inliers))
+	}
+}
+
+func TestRANSACNotEnoughPoints(t *testing.T) {
+	model := &lineModel{pts: []Vec2{{0, 0}}}
+	_, _, err := RANSAC(model, RANSACConfig{MinSamples: 2, Iterations: 10, InlierThreshold: 1}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Error("expected error with too few points")
+	}
+}
+
+func TestRANSACNoConsensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := &lineModel{}
+	for i := 0; i < 20; i++ {
+		model.pts = append(model.pts, Vec2{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	_, _, err := RANSAC(model, RANSACConfig{
+		MinSamples:      2,
+		Iterations:      50,
+		InlierThreshold: 1e-9, // nothing but the sample itself can be an inlier
+		MinInliers:      10,
+	}, rng)
+	if !errors.Is(err, ErrNoConsensus) {
+		t.Errorf("expected ErrNoConsensus, got %v", err)
+	}
+}
+
+func TestDrawSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{5, 10, 1000} {
+		for _, k := range []int{2, 4} {
+			dst := make([]int, k)
+			drawSample(dst, n, rng)
+			seen := map[int]bool{}
+			for _, v := range dst {
+				if v < 0 || v >= n {
+					t.Fatalf("index %d out of range [0,%d)", v, n)
+				}
+				if seen[v] {
+					t.Fatalf("duplicate index %d (n=%d k=%d)", v, n, k)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if m := Mean(xs); !almostEq(m, 3, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Median(xs); !almostEq(m, 3, 1e-12) {
+		t.Errorf("Median = %v", m)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 25); !almostEq(p, 2, 1e-12) {
+		t.Errorf("P25 = %v", p)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+	if s := StdDev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("StdDev of constant = %v", s)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	cdf := EmpiricalCDF([]float64{3, 1, 2})
+	if len(cdf) != 3 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[0].Value != 1 || !almostEq(cdf[0].Fraction, 1.0/3, 1e-12) {
+		t.Errorf("first point = %+v", cdf[0])
+	}
+	if cdf[2].Value != 3 || cdf[2].Fraction != 1 {
+		t.Errorf("last point = %+v", cdf[2])
+	}
+	if f := CDFAt(cdf, 0.5); f != 0 {
+		t.Errorf("CDFAt(0.5) = %v", f)
+	}
+	if f := CDFAt(cdf, 2); !almostEq(f, 2.0/3, 1e-12) {
+		t.Errorf("CDFAt(2) = %v", f)
+	}
+	if f := CDFAt(cdf, 10); f != 1 {
+		t.Errorf("CDFAt(10) = %v", f)
+	}
+	if EmpiricalCDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt misbehaves")
+	}
+}
+
+func TestRANSACSurvivesDegenerateSamples(t *testing.T) {
+	// Many duplicated points make 2-point samples rank-deficient; RANSAC
+	// must skip failed fits and still find the model from good draws.
+	rng := rand.New(rand.NewSource(77))
+	model := &lineModel{}
+	for i := 0; i < 30; i++ {
+		model.pts = append(model.pts, Vec2{5, 11}) // y = 2*5+1, duplicated
+	}
+	for i := 0; i < 30; i++ {
+		x := rng.Float64() * 10
+		model.pts = append(model.pts, Vec2{x, 2*x + 1})
+	}
+	params, inliers, err := RANSAC(model, RANSACConfig{
+		MinSamples: 2, Iterations: 200, InlierThreshold: 0.1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params.(lineParams)
+	if math.Abs(p.m-2) > 0.05 || math.Abs(p.c-1) > 0.3 {
+		t.Errorf("fit = %+v", p)
+	}
+	if len(inliers) < 50 {
+		t.Errorf("inliers = %d", len(inliers))
+	}
+}

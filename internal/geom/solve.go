@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("geom: singular system")
+
+// Solve2x2 solves the 2×2 system
+//
+//	a11·x + a12·y = b1
+//	a21·x + a22·y = b2
+//
+// returning ErrSingular when the determinant is (numerically) zero.
+func Solve2x2(a11, a12, a21, a22, b1, b2 float64) (x, y float64, err error) {
+	det := a11*a22 - a12*a21
+	scale := math.Max(math.Abs(a11*a22), math.Abs(a12*a21))
+	if scale == 0 || math.Abs(det) < 1e-12*math.Max(scale, 1) {
+		return 0, 0, ErrSingular
+	}
+	x = (b1*a22 - b2*a12) / det
+	y = (a11*b2 - a21*b1) / det
+	return x, y, nil
+}
+
+// LeastSquares2 solves the over-determined system A·u = b for a 2-vector u
+// in the least-squares sense via the normal equations. Each row of a must
+// have exactly two entries. This is the solver behind the paper's Eq. (7):
+// rows are (x·f, y·f) and b holds y·vx − x·vy.
+func LeastSquares2(a [][2]float64, b []float64) (u [2]float64, err error) {
+	if len(a) != len(b) {
+		return u, errors.New("geom: dimension mismatch")
+	}
+	if len(a) < 2 {
+		return u, errors.New("geom: need at least two equations")
+	}
+	var s11, s12, s22, t1, t2 float64
+	for i, row := range a {
+		s11 += row[0] * row[0]
+		s12 += row[0] * row[1]
+		s22 += row[1] * row[1]
+		t1 += row[0] * b[i]
+		t2 += row[1] * b[i]
+	}
+	x, y, err := Solve2x2(s11, s12, s12, s22, t1, t2)
+	if err != nil {
+		return u, err
+	}
+	return [2]float64{x, y}, nil
+}
+
+// LeastSquares solves the over-determined system A·u = b for an n-vector u
+// via normal equations and Gaussian elimination with partial pivoting.
+// It is used for general model fitting in tests and the renderer.
+func LeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return nil, errors.New("geom: dimension mismatch")
+	}
+	n := len(a[0])
+	if len(a) < n {
+		return nil, errors.New("geom: underdetermined system")
+	}
+	// Build normal equations M·u = v with M = AᵀA, v = Aᵀb.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+	}
+	for r, row := range a {
+		if len(row) != n {
+			return nil, errors.New("geom: ragged matrix")
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m[i][j] += row[i] * row[j]
+			}
+			m[i][n] += row[i] * b[r]
+		}
+	}
+	return gaussSolve(m)
+}
+
+// gaussSolve solves the augmented system m (n rows of n+1 columns) in place.
+func gaussSolve(m [][]float64) ([]float64, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for j := col; j <= n; j++ {
+			m[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = m[i][n]
+	}
+	return u, nil
+}

@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolve2x2(t *testing.T) {
+	x, y, err := Solve2x2(2, 1, 1, 3, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 1, 1e-12) || !almostEq(y, 3, 1e-12) {
+		t.Errorf("got (%v,%v), want (1,3)", x, y)
+	}
+}
+
+func TestSolve2x2Singular(t *testing.T) {
+	if _, _, err := Solve2x2(1, 2, 2, 4, 3, 6); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+	if _, _, err := Solve2x2(0, 0, 0, 0, 0, 0); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular for zero matrix, got %v", err)
+	}
+}
+
+func TestLeastSquares2Exact(t *testing.T) {
+	// Overdetermined but consistent: u = (2, -1).
+	a := [][2]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}}
+	b := []float64{2, -1, 1, 1}
+	u, err := LeastSquares2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(u[0], 2, 1e-9) || !almostEq(u[1], -1, 1e-9) {
+		t.Errorf("u = %v", u)
+	}
+}
+
+func TestLeastSquares2Noisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trueU := [2]float64{0.03, -0.015}
+	var a [][2]float64
+	var b []float64
+	for i := 0; i < 200; i++ {
+		r := [2]float64{rng.Float64()*100 - 50, rng.Float64()*100 - 50}
+		a = append(a, r)
+		b = append(b, r[0]*trueU[0]+r[1]*trueU[1]+rng.NormFloat64()*0.01)
+	}
+	u, err := LeastSquares2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u[0]-trueU[0]) > 2e-3 || math.Abs(u[1]-trueU[1]) > 2e-3 {
+		t.Errorf("u = %v, want ≈ %v", u, trueU)
+	}
+}
+
+func TestLeastSquares2Errors(t *testing.T) {
+	if _, err := LeastSquares2([][2]float64{{1, 1}}, []float64{1}); err == nil {
+		t.Error("expected error for single equation")
+	}
+	if _, err := LeastSquares2([][2]float64{{1, 1}, {1, 1}}, []float64{1}); err == nil {
+		t.Error("expected error for dimension mismatch")
+	}
+	// Rank-deficient design matrix.
+	if _, err := LeastSquares2([][2]float64{{1, 2}, {2, 4}, {3, 6}}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for rank-deficient system")
+	}
+}
+
+func TestLeastSquaresGeneral(t *testing.T) {
+	// Fit a quadratic y = 1 + 2x + 3x².
+	var a [][]float64
+	var b []float64
+	for x := -5.0; x <= 5; x++ {
+		a = append(a, []float64{1, x, x * x})
+		b = append(b, 1+2*x+3*x*x)
+	}
+	u, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEq(u[i], want[i], 1e-8) {
+			t.Errorf("u[%d] = %v, want %v", i, u[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged matrix")
+	}
+}

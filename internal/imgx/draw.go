@@ -1,0 +1,103 @@
+package imgx
+
+// CopyBlock copies a w×h block from src at (sx, sy) into dst at (dx, dy).
+// Source reads use border clamping (codec motion compensation semantics);
+// destination writes outside dst are dropped.
+func CopyBlock(dst *Plane, dx, dy int, src *Plane, sx, sy, w, h int) {
+	for y := 0; y < h; y++ {
+		ty := dy + y
+		if ty < 0 || ty >= dst.H {
+			continue
+		}
+		for x := 0; x < w; x++ {
+			tx := dx + x
+			if tx < 0 || tx >= dst.W {
+				continue
+			}
+			dst.Pix[ty*dst.W+tx] = src.At(sx+x, sy+y)
+		}
+	}
+}
+
+// FillRect fills rect (clipped) with value v.
+func FillRect(p *Plane, rect Rect, v uint8) {
+	r := rect.ClipTo(p.W, p.H)
+	for y := r.MinY; y < r.MaxY; y++ {
+		row := p.Row(y)
+		for x := r.MinX; x < r.MaxX; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// DrawRectOutline draws a 1-pixel rectangle outline (clipped) with value v;
+// used by the example programs to visualize detections.
+func DrawRectOutline(p *Plane, rect Rect, v uint8) {
+	r := rect.ClipTo(p.W, p.H)
+	if r.Empty() {
+		return
+	}
+	for x := r.MinX; x < r.MaxX; x++ {
+		p.Set(x, r.MinY, v)
+		p.Set(x, r.MaxY-1, v)
+	}
+	for y := r.MinY; y < r.MaxY; y++ {
+		p.Set(r.MinX, y, v)
+		p.Set(r.MaxX-1, y, v)
+	}
+}
+
+// Downsample2x returns a half-resolution plane by 2×2 box averaging. Odd
+// trailing rows/columns are dropped.
+func Downsample2x(p *Plane) *Plane {
+	w, h := p.W/2, p.H/2
+	if w == 0 || h == 0 {
+		return p.Clone()
+	}
+	out := NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := int(p.Pix[(2*y)*p.W+2*x]) +
+				int(p.Pix[(2*y)*p.W+2*x+1]) +
+				int(p.Pix[(2*y+1)*p.W+2*x]) +
+				int(p.Pix[(2*y+1)*p.W+2*x+1])
+			out.Pix[y*w+x] = uint8((s + 2) / 4)
+		}
+	}
+	return out
+}
+
+// SAD returns the sum of absolute differences between the w×h block at
+// (ax, ay) in a and the block at (bx, by) in b, with border clamping on b
+// only (a's block must be fully inside; the codec guarantees this). The
+// earlyExit threshold aborts and returns a value >= earlyExit as soon as the
+// partial sum crosses it, the standard motion-search optimization.
+func SAD(a *Plane, ax, ay int, b *Plane, bx, by, w, h, earlyExit int) int {
+	sum := 0
+	fastB := bx >= 0 && by >= 0 && bx+w <= b.W && by+h <= b.H
+	for y := 0; y < h; y++ {
+		ra := a.Pix[(ay+y)*a.W+ax : (ay+y)*a.W+ax+w]
+		if fastB {
+			rb := b.Pix[(by+y)*b.W+bx : (by+y)*b.W+bx+w]
+			for x := 0; x < w; x++ {
+				d := int(ra[x]) - int(rb[x])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		} else {
+			for x := 0; x < w; x++ {
+				d := int(ra[x]) - int(b.At(bx+x, by+y))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		if sum >= earlyExit {
+			return sum
+		}
+	}
+	return sum
+}

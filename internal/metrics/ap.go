@@ -1,0 +1,153 @@
+// Package metrics implements the evaluation metrics of the paper's Section
+// IV-A: IoU-matched Average Precision per class (with the detections on raw
+// frames serving as ground truth), mAP, and latency summaries.
+package metrics
+
+import (
+	"sort"
+
+	"dive/internal/detect"
+	"dive/internal/world"
+)
+
+// DefaultIoU is the matching threshold used throughout the evaluation.
+const DefaultIoU = 0.5
+
+// scoredMatch pairs a detection with its frame for global PR sorting.
+type scoredMatch struct {
+	frame int
+	det   detect.Detection
+}
+
+// AP computes class AP over a clip: dets and gts are per-frame detection
+// lists (gts are typically the detections on raw frames). Standard
+// VOC-style all-point interpolation at the given IoU threshold. It returns
+// 1.0 when the class never occurs in the ground truth and no detections
+// claim it (nothing to get wrong), and 0 when GT exists but nothing
+// matches.
+func AP(dets, gts [][]detect.Detection, class world.Class, iouThresh float64) float64 {
+	if len(dets) != len(gts) {
+		panic("metrics: frame count mismatch")
+	}
+	var all []scoredMatch
+	totalGT := 0
+	gtBoxes := make([][]detect.Detection, len(gts))
+	for f, frameGT := range gts {
+		for _, g := range frameGT {
+			if g.Class == class {
+				gtBoxes[f] = append(gtBoxes[f], g)
+				totalGT++
+			}
+		}
+		for _, d := range dets[f] {
+			if d.Class == class {
+				all = append(all, scoredMatch{frame: f, det: d})
+			}
+		}
+	}
+	if totalGT == 0 {
+		if len(all) == 0 {
+			return 1
+		}
+		return 0
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].det.Score > all[j].det.Score })
+
+	used := make([][]bool, len(gts))
+	for f := range used {
+		used[f] = make([]bool, len(gtBoxes[f]))
+	}
+	tp := make([]bool, len(all))
+	for i, m := range all {
+		bestIoU := 0.0
+		bestJ := -1
+		for j, g := range gtBoxes[m.frame] {
+			if used[m.frame][j] {
+				continue
+			}
+			iou := m.det.Box.IoU(g.Box)
+			if iou > bestIoU {
+				bestIoU = iou
+				bestJ = j
+			}
+		}
+		if bestJ >= 0 && bestIoU >= iouThresh {
+			used[m.frame][bestJ] = true
+			tp[i] = true
+		}
+	}
+
+	// Precision-recall curve and all-point interpolated area.
+	var precisions, recalls []float64
+	cumTP, cumFP := 0, 0
+	for i := range all {
+		if tp[i] {
+			cumTP++
+		} else {
+			cumFP++
+		}
+		precisions = append(precisions, float64(cumTP)/float64(cumTP+cumFP))
+		recalls = append(recalls, float64(cumTP)/float64(totalGT))
+	}
+	// Monotone envelope.
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i] < precisions[i+1] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	ap := 0.0
+	prevR := 0.0
+	for i := range precisions {
+		ap += (recalls[i] - prevR) * precisions[i]
+		prevR = recalls[i]
+	}
+	return ap
+}
+
+// MAP averages the AP of cars and pedestrians, the paper's mAP.
+func MAP(dets, gts [][]detect.Detection, iouThresh float64) float64 {
+	car := AP(dets, gts, world.ClassCar, iouThresh)
+	ped := AP(dets, gts, world.ClassPedestrian, iouThresh)
+	return (car + ped) / 2
+}
+
+// LatencySummary condenses per-frame response times.
+type LatencySummary struct {
+	Mean, P50, P95, Max float64
+	N                   int
+}
+
+// SummarizeLatency computes a LatencySummary from seconds-valued samples.
+func SummarizeLatency(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return LatencySummary{
+		Mean: sum / float64(len(s)),
+		P50:  quantile(s, 0.50),
+		P95:  quantile(s, 0.95),
+		Max:  s[len(s)-1],
+		N:    len(s),
+	}
+}
+
+// quantile reads the q-th quantile from sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(idx)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

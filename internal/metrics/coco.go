@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"dive/internal/detect"
+	"dive/internal/world"
+)
+
+// APRange averages class AP over IoU thresholds from lo to hi (inclusive)
+// in the given step — mAP@[.5:.95] in COCO's notation when called with
+// (0.5, 0.95, 0.05). It rewards tight localization beyond the paper's
+// single-threshold AP and is useful when comparing tracking-heavy schemes,
+// whose boxes drift even when they still overlap at IoU 0.5.
+func APRange(dets, gts [][]detect.Detection, class world.Class, lo, hi, step float64) float64 {
+	if step <= 0 || hi < lo {
+		panic("metrics: invalid IoU range")
+	}
+	sum, n := 0.0, 0
+	for th := lo; th <= hi+1e-9; th += step {
+		sum += AP(dets, gts, class, th)
+		n++
+	}
+	return sum / float64(n)
+}
+
+// MAPRange is APRange averaged over the two evaluated classes.
+func MAPRange(dets, gts [][]detect.Detection, lo, hi, step float64) float64 {
+	car := APRange(dets, gts, world.ClassCar, lo, hi, step)
+	ped := APRange(dets, gts, world.ClassPedestrian, lo, hi, step)
+	return (car + ped) / 2
+}

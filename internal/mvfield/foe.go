@@ -1,0 +1,120 @@
+package mvfield
+
+import (
+	"errors"
+	"math/rand"
+
+	"dive/internal/geom"
+)
+
+// ErrNoFOE is returned when too few usable vectors exist to locate the FOE.
+var ErrNoFOE = errors.New("mvfield: not enough vectors to estimate FOE")
+
+// foeModel fits the focus of expansion: for purely translational flow every
+// vector lies on the line through its own position and the FOE, so
+// cross(flow, pos − FOE) = 0, which is linear in the FOE coordinates:
+//
+//	flowY·Fx − flowX·Fy = flowY·px − flowX·py
+type foeModel struct {
+	vecs []Vector
+}
+
+func (m *foeModel) Len() int { return len(m.vecs) }
+
+func (m *foeModel) Fit(idx []int) (interface{}, error) {
+	a := make([][2]float64, 0, len(idx))
+	b := make([]float64, 0, len(idx))
+	for _, i := range idx {
+		v := m.vecs[i]
+		a = append(a, [2]float64{v.Flow.Y, -v.Flow.X})
+		b = append(b, v.Flow.Y*v.Pos.X-v.Flow.X*v.Pos.Y)
+	}
+	u, err := geom.LeastSquares2(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return geom.Vec2{X: u[0], Y: u[1]}, nil
+}
+
+func (m *foeModel) Residual(i int, params interface{}) float64 {
+	foe := params.(geom.Vec2)
+	v := m.vecs[i]
+	radial := v.Pos.Sub(foe)
+	n := radial.Norm()
+	if n < 1e-9 {
+		return 0
+	}
+	// Perpendicular distance of the flow direction from the radial line,
+	// scaled back to pixels of flow.
+	return absf(v.Flow.Cross(radial)) / n
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// EstimateFOE locates the focus of expansion of a (rotation-free) flow
+// field with RANSAC over the radial-alignment constraint. Only valid,
+// non-zero vectors participate. The result is in principal-point-centered
+// coordinates.
+func EstimateFOE(f *Field, rng *rand.Rand) (geom.Vec2, error) {
+	m := &foeModel{}
+	for _, v := range f.Vectors {
+		if v.Valid && !v.Zero && v.Flow.Norm() >= 1 {
+			m.vecs = append(m.vecs, v)
+		}
+	}
+	if len(m.vecs) < 8 {
+		return geom.Vec2{}, ErrNoFOE
+	}
+	params, _, err := geom.RANSAC(m, geom.RANSACConfig{
+		MinSamples:      2,
+		Iterations:      64,
+		InlierThreshold: 2.0,
+		MinInliers:      len(m.vecs) / 4,
+	}, rng)
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	return params.(geom.Vec2), nil
+}
+
+// FOECalibrator maintains the long-term "fixed FOE" the paper calibrates
+// while the agent drives straight; R-sampling anchors on it.
+type FOECalibrator struct {
+	foe    geom.Vec2
+	weight float64
+	// Alpha is the exponential smoothing factor per accepted update.
+	Alpha float64
+	// MaxRadius rejects estimates farther than this from the principal
+	// point (forward FOEs sit near the image center).
+	MaxRadius float64
+}
+
+// NewFOECalibrator returns a calibrator with the defaults used by DiVE.
+func NewFOECalibrator() *FOECalibrator {
+	return &FOECalibrator{Alpha: 0.1, MaxRadius: 80}
+}
+
+// Update folds in a new per-frame FOE estimate.
+func (c *FOECalibrator) Update(foe geom.Vec2) {
+	if foe.Norm() > c.MaxRadius {
+		return
+	}
+	if c.weight == 0 {
+		c.foe = foe
+		c.weight = 1
+		return
+	}
+	c.foe = c.foe.Scale(1 - c.Alpha).Add(foe.Scale(c.Alpha))
+}
+
+// FOE returns the calibrated FOE; before any update it is the principal
+// point (the natural prior for a forward-facing camera).
+func (c *FOECalibrator) FOE() geom.Vec2 { return c.foe }
+
+// Calibrated reports whether at least one update has been accepted.
+func (c *FOECalibrator) Calibrated() bool { return c.weight > 0 }

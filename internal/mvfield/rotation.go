@@ -1,0 +1,163 @@
+package mvfield
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"dive/internal/geom"
+)
+
+// Sampling selects how the rotation estimator picks the motion vectors it
+// feeds into the over-determined system; Figure 7 compares the two.
+type Sampling int
+
+// Sampling strategies.
+const (
+	// RSampling picks the k vectors closest to the calibrated FOE. Those
+	// vectors have the smallest translational components (flow magnitude
+	// shrinks toward the FOE) so rotation dominates them — the paper's key
+	// trick for accurate estimates from few samples.
+	RSampling Sampling = iota + 1
+	// RandomSampling picks k vectors uniformly at random, the baseline.
+	RandomSampling
+)
+
+// String names the strategy.
+func (s Sampling) String() string {
+	switch s {
+	case RSampling:
+		return "r-sampling"
+	case RandomSampling:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNoRotation is returned when rotation cannot be estimated.
+var ErrNoRotation = errors.New("mvfield: not enough vectors to estimate rotation")
+
+// RotationEstimator solves the paper's Eq. (7) for the per-frame pitch and
+// yaw increments (Δφx, Δφy) with RANSAC over a selected vector subset.
+type RotationEstimator struct {
+	// K is the number of sampled vectors (the paper settles on 70).
+	K int
+	// Strategy selects R-sampling or random sampling.
+	Strategy Sampling
+	// Iterations is the RANSAC hypothesis count.
+	Iterations int
+	// InlierThreshold is the residual bound in pixel·focal units scaled
+	// back to pixels (see rotModel.Residual).
+	InlierThreshold float64
+}
+
+// NewRotationEstimator returns the paper's operating point: R-sampling with
+// k = 70.
+func NewRotationEstimator() *RotationEstimator {
+	return &RotationEstimator{
+		K:               70,
+		Strategy:        RSampling,
+		Iterations:      48,
+		InlierThreshold: 1.0,
+	}
+}
+
+// rotModel fits Eq. (7): x·f·Δφx + y·f·Δφy = x·vy − y·vx. The translational
+// component cancels from the right-hand side exactly when the agent
+// translates only along its z axis.
+type rotModel struct {
+	vecs  []Vector
+	focal float64
+}
+
+type rotParams struct{ phiX, phiY float64 }
+
+func (m *rotModel) Len() int { return len(m.vecs) }
+
+func (m *rotModel) Fit(idx []int) (interface{}, error) {
+	a := make([][2]float64, 0, len(idx))
+	b := make([]float64, 0, len(idx))
+	for _, i := range idx {
+		v := m.vecs[i]
+		a = append(a, [2]float64{v.Pos.X * m.focal, v.Pos.Y * m.focal})
+		b = append(b, v.Pos.X*v.Flow.Y-v.Pos.Y*v.Flow.X)
+	}
+	u, err := geom.LeastSquares2(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return rotParams{phiX: u[0], phiY: u[1]}, nil
+}
+
+func (m *rotModel) Residual(i int, params interface{}) float64 {
+	p := params.(rotParams)
+	v := m.vecs[i]
+	lhs := v.Pos.X*m.focal*p.phiX + v.Pos.Y*m.focal*p.phiY
+	rhs := v.Pos.X*v.Flow.Y - v.Pos.Y*v.Flow.X
+	// Normalize by the lever arm so the residual is in flow pixels.
+	lever := v.Pos.Norm()
+	if lever < 1 {
+		lever = 1
+	}
+	return absf(lhs-rhs) / lever
+}
+
+// Estimate returns the per-frame rotation increments (radians). foe is the
+// calibrated FOE used by R-sampling; it is ignored under RandomSampling.
+func (e *RotationEstimator) Estimate(f *Field, foe geom.Vec2, rng *rand.Rand) (phiX, phiY float64, err error) {
+	candidates := make([]Vector, 0, len(f.Vectors))
+	for _, v := range f.Vectors {
+		if v.Valid && !v.Zero {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) < 4 {
+		return 0, 0, ErrNoRotation
+	}
+	k := e.K
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	var chosen []Vector
+	switch e.Strategy {
+	case RandomSampling:
+		perm := rng.Perm(len(candidates))
+		chosen = make([]Vector, 0, k)
+		for _, i := range perm[:k] {
+			chosen = append(chosen, candidates[i])
+		}
+	default: // RSampling
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].Pos.Dist(foe) < candidates[j].Pos.Dist(foe)
+		})
+		chosen = candidates[:k]
+	}
+	m := &rotModel{vecs: chosen, focal: f.Focal}
+	params, _, rerr := geom.RANSAC(m, geom.RANSACConfig{
+		MinSamples:      2,
+		Iterations:      e.Iterations,
+		InlierThreshold: e.InlierThreshold,
+		MinInliers:      k / 4,
+	}, rng)
+	if rerr != nil {
+		// Fall back to a plain least-squares fit over all chosen vectors;
+		// better a rough estimate than none.
+		p, ferr := m.Fit(allIndices(len(chosen)))
+		if ferr != nil {
+			return 0, 0, ErrNoRotation
+		}
+		rp := p.(rotParams)
+		return rp.phiX, rp.phiY, nil
+	}
+	rp := params.(rotParams)
+	return rp.phiX, rp.phiY, nil
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"dive/internal/codec"
+	"dive/internal/core"
+	"dive/internal/detect"
+	"dive/internal/netsim"
+	"dive/internal/world"
+)
+
+// DiVE runs the full DiVE agent (differential encoding + adaptive bitrate +
+// offline tracking) against the simulated edge.
+type DiVE struct {
+	// ConfigFn customizes the agent configuration after defaults are
+	// applied; nil keeps the defaults.
+	ConfigFn func(*core.AgentConfig)
+	// DisableMOT turns off motion-vector-based offline tracking (the
+	// Figure 13 ablation): outage frames then keep the stale cached
+	// detections instead of tracking them forward.
+	DisableMOT bool
+}
+
+// Name implements Scheme.
+func (d *DiVE) Name() string {
+	if d.DisableMOT {
+		return "DiVE-noMOT"
+	}
+	return "DiVE"
+}
+
+// Run implements Scheme.
+func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, error) {
+	if err := validateClip(clip); err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+	cfg.Seed = env.Seed
+	if d.ConfigFn != nil {
+		d.ConfigFn(&cfg)
+	}
+	agent, err := core.NewAgent(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := codec.NewDecoder(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+
+	n := clip.NumFrames()
+	res := &Result{
+		Scheme:        d.Name(),
+		Detections:    make([][]detect.Detection, n),
+		ResponseTimes: make([]float64, n),
+		BitsSent:      make([]int, n),
+		Uploaded:      make([]bool, n),
+	}
+
+	for i, frame := range clip.Frames {
+		capture := float64(i) / clip.FPS
+		fr, err := agent.ProcessFrame(frame, capture)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the cached belief current: advance it by this frame's raw
+		// flow, so an outage can start tracking from fresh boxes even if
+		// the most recent server results flickered empty.
+		if !d.DisableMOT {
+			agent.TrackLocally(fr.RawField)
+		}
+		ready := capture + env.Lat.Encode
+
+		// Head-of-queue timer: if the queued traffic will not drain
+		// within the timeout, declare an outage and track locally
+		// (Section III-E). The dropped frame means the server decoder
+		// will be stale, so the next delivered frame must be intra.
+		if link.QueueDelay(ready) > agent.OutageTimeout() {
+			agent.ForceNextIFrame()
+			res.Detections[i] = agent.LastDetections()
+			res.ResponseTimes[i] = env.Lat.Encode + env.Lat.Track
+			continue
+		}
+
+		encoded := fr.Encoded
+		start, serialized, delivered := link.Send(ready, encoded.NumBits)
+		agent.OnTransmitComplete(start, serialized, encoded.NumBits)
+		res.BitsSent[i] = encoded.NumBits
+		res.Uploaded[i] = true
+
+		decoded, err := dec.Decode(encoded.Data)
+		if err != nil {
+			return nil, err
+		}
+		dets, resultAt := ServerInference(env, decoded.Image, frame, clip.GT[i], delivered, env.Seed^int64(i*7919))
+		if len(dets) > 0 || d.DisableMOT {
+			agent.OnDetections(dets)
+		}
+		res.Detections[i] = dets
+		res.ResponseTimes[i] = resultAt - capture
+	}
+	return res, nil
+}

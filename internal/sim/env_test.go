@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"dive/internal/world"
+)
+
+func TestOracleDetectionsNearPerfect(t *testing.T) {
+	p := world.NuScenesLike()
+	p.ClipDuration = 1
+	clip := world.GenerateClip(p, 42)
+	env := NewEnv(7)
+	oracle := OracleDetections(clip, env)
+	if len(oracle) != clip.NumFrames() {
+		t.Fatal("length mismatch")
+	}
+	// The oracle should detect the overwhelming majority of sufficiently
+	// large annotated objects — it sees pristine pixels.
+	gtCount, detCount := 0, 0
+	for i := range oracle {
+		for _, gt := range clip.GT[i] {
+			if gt.Box.Area() >= env.Detector.Config().MinArea && gt.Visible > 0.6 {
+				gtCount++
+			}
+		}
+		detCount += len(oracle[i])
+	}
+	if gtCount == 0 {
+		t.Skip("clip has no large objects")
+	}
+	if detCount < gtCount*8/10 {
+		t.Errorf("oracle detected %d boxes for %d large GT objects", detCount, gtCount)
+	}
+}
+
+func TestServerInferenceTiming(t *testing.T) {
+	p := world.NuScenesLike()
+	p.ClipDuration = 0.5
+	clip := world.GenerateClip(p, 43)
+	env := NewEnv(8)
+	_, at := ServerInference(env, clip.Frames[0], clip.Frames[0], clip.GT[0], 1.0, 1)
+	want := 1.0 + env.Lat.Decode + env.Lat.Infer + env.Lat.Downlink
+	if at != want {
+		t.Errorf("result time %v, want %v", at, want)
+	}
+}
+
+func TestDefaultLatenciesReasonable(t *testing.T) {
+	l := DefaultLatencies()
+	if l.Encode <= 0 || l.Track <= 0 || l.Decode <= 0 || l.Infer <= 0 || l.Downlink <= 0 {
+		t.Error("latencies must be positive")
+	}
+	if l.Track >= l.Encode {
+		t.Error("local tracking should be cheaper than encoding")
+	}
+	total := l.Encode + l.Decode + l.Infer + l.Downlink
+	if total > 0.1 {
+		t.Errorf("fixed pipeline latency %v too high", total)
+	}
+}

@@ -1,0 +1,135 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"dive/internal/geom"
+)
+
+func TestProjectCenterline(t *testing.T) {
+	cam := NewCamera(250, 320, 192)
+	// A point straight ahead projects to the principal point.
+	pt, depth, ok := cam.Project(geom.Vec3{Z: 10})
+	if !ok {
+		t.Fatal("point ahead not projected")
+	}
+	if math.Abs(pt.X-160) > 1e-9 || math.Abs(pt.Y-96) > 1e-9 {
+		t.Errorf("projection = %v, want principal point", pt)
+	}
+	if depth != 10 {
+		t.Errorf("depth = %v", depth)
+	}
+	// Behind the camera: not projectable.
+	if _, _, ok := cam.Project(geom.Vec3{Z: -5}); ok {
+		t.Error("point behind camera should not project")
+	}
+}
+
+func TestProjectPinholeEquations(t *testing.T) {
+	// Eq. (1): x = f·X/Z, y = f·Y/Z relative to the principal point.
+	cam := NewCamera(200, 320, 192)
+	p := geom.Vec3{X: 2, Y: 1, Z: 20}
+	pt, _, ok := cam.Project(p)
+	if !ok {
+		t.Fatal("not projected")
+	}
+	wantX := 200*2/20.0 + 160
+	wantY := 200*1/20.0 + 96
+	if math.Abs(pt.X-wantX) > 1e-9 || math.Abs(pt.Y-wantY) > 1e-9 {
+		t.Errorf("projection = %v, want (%v,%v)", pt, wantX, wantY)
+	}
+}
+
+func TestForwardTranslationMovesPointsAwayFromFOE(t *testing.T) {
+	// Observation 1: under pure forward translation, static points flow
+	// radially away from the FOE (the principal point here).
+	cam := NewCamera(250, 320, 192)
+	points := []geom.Vec3{
+		{X: 3, Y: 1, Z: 30},
+		{X: -5, Y: 1.2, Z: 40},
+		{X: 1, Y: -2, Z: 25},
+	}
+	var before []geom.Vec2
+	for _, p := range points {
+		pt, _, ok := cam.Project(p)
+		if !ok {
+			t.Fatal("setup projection failed")
+		}
+		before = append(before, pt)
+	}
+	cam.SetPose(geom.Vec3{Z: 1.0}, 0, 0) // move 1 m forward
+	foe := geom.Vec2{X: 160, Y: 96}
+	for i, p := range points {
+		pt, _, ok := cam.Project(p)
+		if !ok {
+			t.Fatal("projection failed after move")
+		}
+		mv := pt.Sub(before[i])
+		radial := before[i].Sub(foe)
+		// The flow must align with the radial direction.
+		cosSim := mv.Dot(radial) / (mv.Norm() * radial.Norm())
+		if cosSim < 0.999 {
+			t.Errorf("point %d: flow not radial from FOE (cos=%v)", i, cosSim)
+		}
+	}
+}
+
+func TestYawRotationFlow(t *testing.T) {
+	// Eq. (4): a small yaw rotation shifts all points horizontally by
+	// ≈ -Δφ·f at the image center, independent of depth.
+	cam := NewCamera(250, 320, 192)
+	near := geom.Vec3{X: 0.1, Y: 0.1, Z: 10}
+	far := geom.Vec3{X: 0.4, Y: 0.4, Z: 40}
+	p1n, _, _ := cam.Project(near)
+	p1f, _, _ := cam.Project(far)
+	dphi := 0.01
+	cam.SetPose(geom.Vec3{}, dphi, 0)
+	p2n, _, _ := cam.Project(near)
+	p2f, _, _ := cam.Project(far)
+	dxn := p2n.X - p1n.X
+	dxf := p2f.X - p1f.X
+	want := -dphi * 250
+	if math.Abs(dxn-want) > 0.5 || math.Abs(dxf-want) > 0.5 {
+		t.Errorf("yaw flow: near %v far %v, want ≈ %v", dxn, dxf, want)
+	}
+	// Depth independence is what distinguishes rotation from translation.
+	if math.Abs(dxn-dxf) > 0.2 {
+		t.Errorf("rotational flow should be depth-independent: %v vs %v", dxn, dxf)
+	}
+}
+
+func TestRayDirInvertsProjection(t *testing.T) {
+	cam := NewCamera(250, 320, 192)
+	cam.SetPose(geom.Vec3{X: 2, Y: -1, Z: 5}, 0.3, -0.05)
+	p := geom.Vec3{X: 7, Y: 0.5, Z: 42}
+	pt, depth, ok := cam.Project(p)
+	if !ok {
+		t.Fatal("projection failed")
+	}
+	d := cam.RayDir(pt.X, pt.Y)
+	rec := cam.Pos.Add(d.Scale(depth))
+	if rec.Sub(p).Norm() > 1e-6 {
+		t.Errorf("ray reconstruction = %v, want %v", rec, p)
+	}
+}
+
+func TestProjectBox(t *testing.T) {
+	cam := NewCamera(250, 320, 192)
+	right := geom.Vec3{X: 1}
+	fwd := geom.Vec3{Z: 1}
+	rect, depth, ok := cam.ProjectBox(geom.Vec3{Y: GroundPlaneY, Z: 20}, right, fwd, 2, 1.5, 1)
+	if !ok {
+		t.Fatal("box not projected")
+	}
+	if rect.Empty() {
+		t.Fatal("empty box")
+	}
+	if depth > 20 || depth < 19 {
+		t.Errorf("depth = %v, want ≈ 19.5 (near face)", depth)
+	}
+	// A box fully behind the camera is rejected.
+	if _, _, ok := cam.ProjectBox(geom.Vec3{Z: -30}, right, fwd, 2, 1.5, 1); ok {
+		t.Error("box behind camera should not project")
+	}
+}

@@ -1,0 +1,222 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+
+	"dive/internal/geom"
+	"dive/internal/imgx"
+)
+
+// GTBox is a ground-truth 2-D annotation for one object in one frame.
+type GTBox struct {
+	ObjectID int
+	Class    Class
+	Box      imgx.Rect
+	Depth    float64 // camera-space depth of the object, meters
+	Visible  float64 // unoccluded fraction in [0, 1]
+	Moving   bool    // whether the object itself is in motion
+}
+
+// Renderer rasterizes a Scene through a Camera with a z-buffer.
+type Renderer struct {
+	scene *Scene
+	depth []float64
+	// MaxObjectDist culls objects farther than this from the camera.
+	MaxObjectDist float64
+	// NoiseStd adds per-pixel Gaussian sensor noise (luma levels).
+	NoiseStd float64
+	// Illumination scales rendered luma before sensor noise; 1 is
+	// daylight, small values emulate night capture with analog gain
+	// (contrast shrinks, noise does not).
+	Illumination float64
+	// MinBoxPixels drops ground-truth boxes smaller than this area.
+	MinBoxPixels int
+	// MinVisible drops ground-truth boxes occluded below this fraction.
+	MinVisible float64
+}
+
+// NewRenderer creates a renderer for the scene with dashcam-like defaults.
+func NewRenderer(scene *Scene) *Renderer {
+	return &Renderer{
+		scene:         scene,
+		MaxObjectDist: 120,
+		NoiseStd:      1.2,
+		Illumination:  1,
+		MinBoxPixels:  30,
+		MinVisible:    0.25,
+	}
+}
+
+// Render draws the scene at time t through cam and returns the luma frame
+// together with the ground-truth boxes of detectable objects. frameSeed
+// decorrelates sensor noise across frames.
+func (r *Renderer) Render(cam *Camera, t float64, frameSeed int64) (*imgx.Plane, []GTBox) {
+	w, h := cam.W, cam.H
+	frame := imgx.NewPlane(w, h)
+	if cap(r.depth) < w*h {
+		r.depth = make([]float64, w*h)
+	}
+	depth := r.depth[:w*h]
+	for i := range depth {
+		depth[i] = math.Inf(1)
+	}
+
+	r.drawBackground(cam, frame, depth)
+
+	objs := r.scene.ObjectsNear(cam.Pos, t, r.MaxObjectDist)
+	type drawn struct {
+		obj  *Billboard
+		rect imgx.Rect
+		dpt  float64
+	}
+	var rendered []drawn
+	for _, obj := range objs {
+		rect, dpt, ok := r.drawBillboard(cam, frame, depth, obj, t)
+		if ok {
+			rendered = append(rendered, drawn{obj, rect, dpt})
+		}
+	}
+
+	if r.Illumination > 0 && r.Illumination != 1 {
+		// Night capture: luma (and with it texture contrast) scales down,
+		// with a small gain-lifted pedestal so the image is dim but not
+		// black.
+		for i := range frame.Pix {
+			frame.Pix[i] = clampU8(float64(frame.Pix[i])*r.Illumination + 14)
+		}
+	}
+	if r.NoiseStd > 0 {
+		rng := rand.New(rand.NewSource(frameSeed))
+		for i := range frame.Pix {
+			v := float64(frame.Pix[i]) + rng.NormFloat64()*r.NoiseStd
+			frame.Pix[i] = clampU8(v)
+		}
+	}
+
+	// Ground truth: visible fraction estimated against the final z-buffer.
+	var gts []GTBox
+	for _, d := range rendered {
+		if d.obj.Class == ClassStructure {
+			continue
+		}
+		box := d.rect.ClipTo(w, h)
+		if box.Area() < r.MinBoxPixels {
+			continue
+		}
+		vis := visibleFraction(depth, w, box, d.dpt)
+		if vis < r.MinVisible {
+			continue
+		}
+		gts = append(gts, GTBox{
+			ObjectID: d.obj.ID,
+			Class:    d.obj.Class,
+			Box:      box,
+			Depth:    d.dpt,
+			Visible:  vis,
+			Moving:   d.obj.Moving(t),
+		})
+	}
+	return frame, gts
+}
+
+// drawBackground fills the sky above the horizon and ray-casts the textured
+// ground plane below it.
+func (r *Renderer) drawBackground(cam *Camera, frame *imgx.Plane, depth []float64) {
+	w, h := cam.W, cam.H
+	groundY := r.scene.GroundY
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := cam.RayDir(float64(x)+0.5, float64(y)+0.5)
+			idx := y*w + x
+			if d.Y > 1e-6 {
+				tHit := (groundY - cam.Pos.Y) / d.Y
+				if tHit > 0 {
+					p := cam.Pos.Add(d.Scale(tHit))
+					frame.Pix[idx] = r.scene.GroundTex.Sample(p.X, p.Z)
+					depth[idx] = tHit // d has camera-z 1, so t == depth
+					continue
+				}
+			}
+			// Sky: parameterize by direction.
+			az := math.Atan2(d.X, d.Z) / math.Pi
+			el := geomClamp(-d.Y*2, 0, 1)
+			frame.Pix[idx] = r.scene.Sky.Sample(az, el)
+		}
+	}
+}
+
+// drawBillboard rasterizes one billboard with perspective-correct inverse
+// mapping and depth testing. It returns the projected bounding rectangle
+// and the object's representative depth.
+func (r *Renderer) drawBillboard(cam *Camera, frame *imgx.Plane, depth []float64, obj *Billboard, t float64) (imgx.Rect, float64, bool) {
+	base := obj.Pos(t)
+	right, normal := obj.Axes(t, cam.Pos)
+	fwd := normal // GT depth extent lies along the view direction
+	rect, dpt, ok := cam.ProjectBox(base, right, fwd, obj.Width, obj.Height, obj.Depth)
+	if !ok {
+		return imgx.Rect{}, 0, false
+	}
+	clipped := rect.ClipTo(cam.W, cam.H)
+	if clipped.Empty() {
+		return imgx.Rect{}, 0, false
+	}
+	up := geom.Vec3{Y: -1}
+	denomBase := normal.Dot(base.Sub(cam.Pos))
+	wrote := false
+	for y := clipped.MinY; y < clipped.MaxY; y++ {
+		for x := clipped.MinX; x < clipped.MaxX; x++ {
+			d := cam.RayDir(float64(x)+0.5, float64(y)+0.5)
+			nd := normal.Dot(d)
+			if math.Abs(nd) < 1e-9 {
+				continue
+			}
+			tHit := denomBase / nd
+			if tHit < 0.5 {
+				continue
+			}
+			idx := y*cam.W + x
+			if tHit >= depth[idx] {
+				continue
+			}
+			p := cam.Pos.Add(d.Scale(tHit))
+			rel := p.Sub(base)
+			u := rel.Dot(right)
+			v := rel.Dot(up)
+			if u < -obj.Width/2 || u > obj.Width/2 || v < 0 || v > obj.Height {
+				continue
+			}
+			frame.Pix[idx] = obj.Tex.Sample(u+obj.Width/2, obj.Height-v)
+			depth[idx] = tHit
+			wrote = true
+		}
+	}
+	return rect, dpt, wrote
+}
+
+// visibleFraction samples the z-buffer on a grid inside box and reports the
+// fraction of samples whose final depth is close to objDepth, i.e. the
+// fraction of the object not hidden behind nearer geometry.
+func visibleFraction(depth []float64, stride int, box imgx.Rect, objDepth float64) float64 {
+	const grid = 6
+	total, vis := 0, 0
+	for gy := 0; gy < grid; gy++ {
+		for gx := 0; gx < grid; gx++ {
+			x := box.MinX + (box.W()*(2*gx+1))/(2*grid)
+			y := box.MinY + (box.H()*(2*gy+1))/(2*grid)
+			total++
+			d := depth[y*stride+x]
+			if d <= objDepth*1.15+1.0 {
+				// The surface here is the object itself (or something at
+				// its depth); count as visible.
+				if d >= objDepth*0.8-1.0 {
+					vis++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(vis) / float64(total)
+}

@@ -1,0 +1,151 @@
+package world
+
+import "math"
+
+// Texture produces a luma value for a surface coordinate in meters.
+// Procedural textures keep the world deterministic and storage-free while
+// giving the block matcher real gradients to lock onto.
+type Texture interface {
+	Sample(u, v float64) uint8
+}
+
+// hash2 is a deterministic lattice hash onto [0, 1).
+func hash2(x, y int64, seed uint64) float64 {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ seed*0x165667B19E3779F9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// smoothstep is the cubic fade used for value-noise interpolation.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// valueNoise returns smooth 2-D value noise in [0, 1).
+func valueNoise(u, v float64, seed uint64) float64 {
+	x0 := math.Floor(u)
+	y0 := math.Floor(v)
+	fx := smoothstep(u - x0)
+	fy := smoothstep(v - y0)
+	ix, iy := int64(x0), int64(y0)
+	v00 := hash2(ix, iy, seed)
+	v10 := hash2(ix+1, iy, seed)
+	v01 := hash2(ix, iy+1, seed)
+	v11 := hash2(ix+1, iy+1, seed)
+	a := v00 + (v10-v00)*fx
+	b := v01 + (v11-v01)*fx
+	return a + (b-a)*fy
+}
+
+// NoiseTexture is two octaves of value noise around a base level; the
+// general-purpose "surface with visible texture" used for vehicles,
+// buildings and pedestrians.
+type NoiseTexture struct {
+	Base      float64 // mean luma
+	Amplitude float64 // luma swing of the coarse octave
+	Scale     float64 // features per meter of the coarse octave
+	Seed      uint64
+}
+
+// Sample implements Texture.
+func (t NoiseTexture) Sample(u, v float64) uint8 {
+	n := valueNoise(u*t.Scale, v*t.Scale, t.Seed)*2 - 1
+	n += (valueNoise(u*t.Scale*4, v*t.Scale*4, t.Seed^0xABCD)*2 - 1) * 0.4
+	return clampU8(t.Base + t.Amplitude*n)
+}
+
+// StripedTexture overlays horizontal stripes on noise; it reads as windows
+// on buildings and panel lines on vehicles, giving strong vertical
+// gradients that anchor motion estimation.
+type StripedTexture struct {
+	Base      float64
+	Amplitude float64
+	Period    float64 // stripe period in meters
+	Seed      uint64
+}
+
+// Sample implements Texture.
+func (t StripedTexture) Sample(u, v float64) uint8 {
+	s := math.Sin(2 * math.Pi * v / t.Period)
+	n := valueNoise(u*3, v*3, t.Seed)*2 - 1
+	return clampU8(t.Base + t.Amplitude*(0.7*s+0.5*n))
+}
+
+// RoadTexture renders asphalt with dashed lane markings parallel to the z
+// axis. u is the world x coordinate (lateral), v the world z (longitudinal).
+type RoadTexture struct {
+	Seed       uint64
+	LaneWidth  float64 // meters between lane lines
+	DashLen    float64 // meters of painted dash
+	DashPeriod float64 // meters between dash starts
+	HalfWidth  float64 // road half-width; beyond it lies shoulder/sidewalk
+}
+
+// Sample implements Texture.
+func (t RoadTexture) Sample(u, v float64) uint8 {
+	if math.Abs(u) > t.HalfWidth {
+		// Sidewalk: lighter, slightly coarser texture.
+		n := valueNoise(u*2.5, v*2.5, t.Seed^0x51DE)*2 - 1
+		return clampU8(150 + 18*n)
+	}
+	// Asphalt: coarse patches (tar seams, repairs) plus mid and fine
+	// grain. The coarse octave gives block matching structure to lock
+	// onto even when near-field perspective magnifies the surface.
+	n := valueNoise(u*0.9, v*0.9, t.Seed^0xA11)*2 - 1
+	n += (valueNoise(u*4, v*4, t.Seed)*2 - 1) * 0.6
+	n += (valueNoise(u*16, v*16, t.Seed^0x0F0F)*2 - 1) * 0.3
+	luma := 95 + 22*n
+	// Lane markings: center line and lane separators.
+	lat := math.Abs(u)
+	for _, lx := range []float64{0, t.LaneWidth} {
+		if math.Abs(lat-lx) < 0.10 {
+			phase := math.Mod(v, t.DashPeriod)
+			if phase < 0 {
+				phase += t.DashPeriod
+			}
+			if phase < t.DashLen {
+				luma = 215 + 10*n
+			}
+		}
+	}
+	// Curb line at the road edge.
+	if math.Abs(lat-t.HalfWidth) < 0.15 {
+		luma = 180 + 10*n
+	}
+	return clampU8(luma)
+}
+
+// SkyTexture is the near-featureless gradient above the horizon. Its low
+// texture is deliberate: the paper observes that plain regions produce
+// noisy, unusable motion vectors, and the sky reproduces that regime.
+type SkyTexture struct {
+	Seed uint64
+}
+
+// Sample returns the sky luma for a view direction expressed as (azimuth
+// fraction, elevation fraction).
+func (t SkyTexture) Sample(u, v float64) uint8 {
+	base := 205 + 35*geomClamp(v, 0, 1)
+	n := valueNoise(u*6, v*6, t.Seed)*2 - 1
+	return clampU8(base + 4*n)
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+func geomClamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,242 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+
+	"dive/internal/geom"
+)
+
+// MotionState labels the ego vehicle's motion for Figure 14's breakdown.
+type MotionState int
+
+// Motion states.
+const (
+	MotionStatic MotionState = iota + 1
+	MotionStraight
+	MotionTurning
+)
+
+// String returns the state name.
+func (m MotionState) String() string {
+	switch m {
+	case MotionStatic:
+		return "static"
+	case MotionStraight:
+		return "straight"
+	case MotionTurning:
+		return "turning"
+	default:
+		return "unknown"
+	}
+}
+
+// TrajectorySegment is one phase of an ego trajectory with constant speed
+// and yaw rate.
+type TrajectorySegment struct {
+	Duration float64 // seconds
+	Speed    float64 // m/s along the heading
+	YawRate  float64 // rad/s (positive turns right in the y-down frame)
+}
+
+// State classifies the segment for the Figure 14 experiment.
+func (s TrajectorySegment) State() MotionState {
+	switch {
+	case s.Speed < 0.2:
+		return MotionStatic
+	case math.Abs(s.YawRate) > 0.02:
+		return MotionTurning
+	default:
+		return MotionStraight
+	}
+}
+
+// EgoTrajectory integrates a sequence of segments into poses. Pitch carries
+// small road-vibration oscillation so the rotation-elimination stage always
+// has work to do, as on a real vehicle.
+type EgoTrajectory struct {
+	Segments   []TrajectorySegment
+	PitchAmp   float64 // radians of pitch oscillation amplitude
+	PitchFreq  float64 // Hz
+	pitchPhase float64
+}
+
+// Pose is an ego pose sample.
+type Pose struct {
+	Pos   geom.Vec3
+	Yaw   float64
+	Pitch float64
+	Speed float64
+	// YawRate and PitchRate are the instantaneous angular velocities
+	// (rad/s); the IMU ground truth for Figures 7 and 10.
+	YawRate   float64
+	PitchRate float64
+	State     MotionState
+}
+
+// Duration returns the total trajectory duration in seconds.
+func (tr *EgoTrajectory) Duration() float64 {
+	d := 0.0
+	for _, s := range tr.Segments {
+		d += s.Duration
+	}
+	return d
+}
+
+// At integrates the trajectory to time t and returns the pose. Times beyond
+// the last segment hold the final pose.
+func (tr *EgoTrajectory) At(t float64) Pose {
+	pos := geom.Vec3{}
+	yaw := 0.0
+	remaining := t
+	var cur TrajectorySegment
+	state := MotionStatic
+	for _, seg := range tr.Segments {
+		cur = seg
+		state = seg.State()
+		dt := seg.Duration
+		if remaining < dt {
+			dt = remaining
+		}
+		pos, yaw = integrate(pos, yaw, seg, dt)
+		remaining -= dt
+		if remaining <= 0 {
+			break
+		}
+	}
+	if remaining > 0 {
+		// Past the end: freeze.
+		cur = TrajectorySegment{}
+		state = MotionStatic
+	}
+	pitch := tr.PitchAmp * math.Sin(2*math.Pi*tr.PitchFreq*t+tr.pitchPhase)
+	pitchRate := tr.PitchAmp * 2 * math.Pi * tr.PitchFreq * math.Cos(2*math.Pi*tr.PitchFreq*t+tr.pitchPhase)
+	if cur.Speed < 0.2 {
+		// A stationary vehicle does not vibrate.
+		pitch, pitchRate = 0, 0
+	}
+	return Pose{
+		Pos: pos, Yaw: yaw, Pitch: pitch,
+		Speed: cur.Speed, YawRate: cur.YawRate, PitchRate: pitchRate,
+		State: state,
+	}
+}
+
+// integrate advances (pos, yaw) through a segment for dt seconds using the
+// exact constant-curvature solution.
+func integrate(pos geom.Vec3, yaw float64, seg TrajectorySegment, dt float64) (geom.Vec3, float64) {
+	if math.Abs(seg.YawRate) < 1e-9 {
+		dir := geom.Vec3{X: math.Sin(yaw), Z: math.Cos(yaw)}
+		return pos.Add(dir.Scale(seg.Speed * dt)), yaw
+	}
+	r := seg.Speed / seg.YawRate
+	newYaw := yaw + seg.YawRate*dt
+	dx := r * (math.Cos(yaw) - math.Cos(newYaw))
+	dz := r * (math.Sin(newYaw) - math.Sin(yaw))
+	return pos.Add(geom.Vec3{X: dx, Z: dz}), newYaw
+}
+
+// IMUSample is one inertial measurement: angular velocity about the camera
+// x (pitch) and y (yaw) axes, with sensor noise.
+type IMUSample struct {
+	T      float64
+	GyroX  float64 // rad/s about x (pitch rate)
+	GyroY  float64 // rad/s about y (yaw rate)
+	TrueGX float64 // noise-free pitch rate (ground truth)
+	TrueGY float64 // noise-free yaw rate (ground truth)
+}
+
+// SampleIMU samples the trajectory's angular rates at rate Hz with Gaussian
+// noise, mirroring the KITTI 100 Hz IMU the paper calibrates against.
+func (tr *EgoTrajectory) SampleIMU(duration, rate, noiseStd float64, rng *rand.Rand) []IMUSample {
+	n := int(duration * rate)
+	out := make([]IMUSample, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		p := tr.At(t)
+		out = append(out, IMUSample{
+			T:      t,
+			GyroX:  p.PitchRate + rng.NormFloat64()*noiseStd,
+			GyroY:  p.YawRate + rng.NormFloat64()*noiseStd,
+			TrueGX: p.PitchRate,
+			TrueGY: p.YawRate,
+		})
+	}
+	return out
+}
+
+// UrbanTrajectory builds a stop-and-go city trajectory. All three motion
+// states (straight, turning, static) occur within the first four seconds so
+// that even short evaluation clips exercise every regime, mirroring the mix
+// of the nuScenes clips the paper samples.
+func UrbanTrajectory(rng *rand.Rand) *EgoTrajectory {
+	cruise := 8 + rng.Float64()*4 // m/s
+	turn := 0.18 + rng.Float64()*0.12
+	if rng.Intn(2) == 0 {
+		turn = -turn
+	}
+	return &EgoTrajectory{
+		Segments: []TrajectorySegment{
+			{Duration: 1.0, Speed: cruise},
+			{Duration: 1.2, Speed: cruise, YawRate: turn},
+			{Duration: 0.6, Speed: cruise * 0.45},
+			{Duration: 1.2, Speed: 0}, // red light, ends at 4.0 s
+			{Duration: 0.8, Speed: cruise * 0.6},
+			{Duration: 2.2, Speed: cruise},
+			{Duration: 1.5, Speed: cruise, YawRate: -turn * 0.8},
+			{Duration: 11.0, Speed: cruise},
+		},
+		PitchAmp:   0.0015,
+		PitchFreq:  1.7,
+		pitchPhase: rng.Float64() * 2 * math.Pi,
+	}
+}
+
+// SuburbanTrajectory builds a RobotCar-flavored route: steady progress,
+// gentle bends, and one brief stop — again with every motion state inside
+// the first four seconds.
+func SuburbanTrajectory(rng *rand.Rand) *EgoTrajectory {
+	cruise := 10 + rng.Float64()*4
+	bend := 0.08 + rng.Float64()*0.06
+	if rng.Intn(2) == 0 {
+		bend = -bend
+	}
+	return &EgoTrajectory{
+		Segments: []TrajectorySegment{
+			{Duration: 1.0, Speed: cruise},
+			{Duration: 1.3, Speed: cruise, YawRate: bend},
+			{Duration: 0.7, Speed: cruise * 0.5},
+			{Duration: 1.0, Speed: 0}, // give-way stop, ends at 4.0 s
+			{Duration: 0.8, Speed: cruise * 0.7},
+			{Duration: 2.2, Speed: cruise},
+			{Duration: 1.5, Speed: cruise, YawRate: -bend * 0.7},
+			{Duration: 11.5, Speed: cruise},
+		},
+		PitchAmp:   0.002,
+		PitchFreq:  2.1,
+		pitchPhase: rng.Float64() * 2 * math.Pi,
+	}
+}
+
+// HighwayTrajectory builds a KITTI-flavored route: fast, mostly straight,
+// with an early sweeping curve — the regime where rotation estimation
+// matters.
+func HighwayTrajectory(rng *rand.Rand) *EgoTrajectory {
+	cruise := 16 + rng.Float64()*6
+	sweep := 0.05 + rng.Float64()*0.05
+	if rng.Intn(2) == 0 {
+		sweep = -sweep
+	}
+	return &EgoTrajectory{
+		Segments: []TrajectorySegment{
+			{Duration: 2.0, Speed: cruise},
+			{Duration: 2.5, Speed: cruise, YawRate: sweep},
+			{Duration: 4.0, Speed: cruise},
+			{Duration: 2.0, Speed: cruise, YawRate: -sweep * 0.6},
+			{Duration: 9.5, Speed: cruise},
+		},
+		PitchAmp:   0.0025,
+		PitchFreq:  2.6,
+		pitchPhase: rng.Float64() * 2 * math.Pi,
+	}
+}

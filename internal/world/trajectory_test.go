@@ -1,0 +1,83 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTrajectoriesCoverAllStatesEarly guards the experiment contract: every
+// profile's trajectory must exhibit straight, turning AND static motion
+// within the first four seconds, so that default-scale clips exercise every
+// regime (Figures 6 and 14 depend on this).
+func TestTrajectoriesCoverAllStatesEarly(t *testing.T) {
+	cases := []struct {
+		name       string
+		fn         func(*rand.Rand) *EgoTrajectory
+		wantStatic bool
+	}{
+		{"urban", UrbanTrajectory, true},
+		{"suburban", SuburbanTrajectory, true},
+		{"highway", HighwayTrajectory, false}, // highways do not stop
+	}
+	for _, c := range cases {
+		for seed := int64(0); seed < 5; seed++ {
+			tr := c.fn(rand.New(rand.NewSource(seed)))
+			seen := map[MotionState]bool{}
+			for ts := 0.0; ts < 4.0; ts += 0.05 {
+				seen[tr.At(ts).State] = true
+			}
+			if !seen[MotionStraight] {
+				t.Errorf("%s seed %d: no straight motion in first 4s", c.name, seed)
+			}
+			if !seen[MotionTurning] {
+				t.Errorf("%s seed %d: no turning in first 4s", c.name, seed)
+			}
+			if c.wantStatic && !seen[MotionStatic] {
+				t.Errorf("%s seed %d: no stop in first 4s", c.name, seed)
+			}
+		}
+	}
+}
+
+// TestTrajectoryDurationsLongEnough ensures every profile trajectory covers
+// the longest clip any experiment renders (22 s for Figure 13).
+func TestTrajectoryDurationsLongEnough(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, fn := range []func(*rand.Rand) *EgoTrajectory{UrbanTrajectory, SuburbanTrajectory, HighwayTrajectory} {
+		if d := fn(rng).Duration(); d < 19 {
+			t.Errorf("trajectory duration %v too short for long experiments", d)
+		}
+	}
+}
+
+// TestLeadVehiclesNearEgoSpeed verifies that the traffic generator creates
+// persistent tracking targets: at least one same-direction car moving
+// within 30%% of ego cruise speed.
+func TestLeadVehiclesNearEgoSpeed(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NuScenesLike()
+		traj := p.Trajectory(rng)
+		scene := buildScene(p, traj, rng)
+		cruise := 0.0
+		for _, seg := range traj.Segments {
+			if seg.Speed > cruise {
+				cruise = seg.Speed
+			}
+		}
+		found := false
+		for _, o := range scene.Objects {
+			if o.Class != ClassCar || o.vel.Norm() == 0 {
+				continue
+			}
+			ratio := o.vel.Norm() / cruise
+			// Same-direction movers sit in [0.75, 1.05]·cruise.
+			if ratio > 0.7 && ratio < 1.1 && o.vel.Z > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: no lead vehicle near ego speed", seed)
+		}
+	}
+}
