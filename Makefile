@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-obs clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-bearing packages.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/baselines/...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (the per-figure benches in bench_test.go are slow).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Telemetry overhead benchmarks: the disabled span must stay <5 ns/op.
+bench-obs:
+	$(GO) test -run xxx -bench . -benchtime 2s ./internal/obs/
+
+clean:
+	$(GO) clean ./...
+	rm -f bench_results.json

@@ -6,10 +6,21 @@
 // Usage:
 //
 //	diveagent [-addr 127.0.0.1:7060] [-profile nuScenes] [-seed 1]
-//	          [-duration 4] [-rate 2.0]
+//	          [-duration 4] [-rate 2.0] [-telemetry :7061]
 //
 // -rate throttles the uplink to the given Mbps (0 = unthrottled), pacing
 // writes so the bandwidth estimator sees realistic feedback.
+//
+// The seed contract: the agent renders its clip from (-profile, -seed,
+// -duration) and sends exactly those values in the Hello handshake; the
+// server re-renders the identical clip from them. There is no separate
+// server-side seed flag — agreement is automatic, which is what lets the
+// server score detections against the pristine frames without any pixels
+// crossing the wire.
+//
+// -telemetry serves live introspection on the given address: /metrics
+// (Prometheus text format), /debug/vars (JSON snapshot), /debug/frames
+// (per-frame lifecycle records as JSONL) and /debug/pprof/.
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -39,9 +51,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("diveagent", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7060", "edge server address")
 	profile := fs.String("profile", "nuScenes", "clip profile: nuScenes, RobotCar or KITTI")
-	seed := fs.Int64("seed", 1, "clip seed (must match nothing; the server re-renders it)")
+	seed := fs.Int64("seed", 1, "clip seed; sent to the server in the handshake so both sides render the same clip")
 	duration := fs.Float64("duration", 4, "clip duration in seconds")
 	rate := fs.Float64("rate", 2.0, "uplink throttle in Mbps (0 = unthrottled)")
+	telemetry := fs.String("telemetry", "", "serve telemetry (/metrics, /debug/frames, pprof) on this address, e.g. :7061")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,9 +77,19 @@ func run(args []string) error {
 	agent, err := dive.NewAgent(dive.Config{
 		Width: clip.W, Height: clip.H, FPS: clip.FPS, FocalPx: clip.Focal,
 		BandwidthPriorBps: dive.Mbps(maxf(*rate, 0.5)),
+		Telemetry:         *telemetry != "",
 	})
 	if err != nil {
 		return err
+	}
+	if *telemetry != "" {
+		ln, err := net.Listen("tcp", *telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listen: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("telemetry on http://%s/ (/metrics, /debug/vars, /debug/frames, /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, agent.TelemetryHandler())
 	}
 
 	conn, err := net.Dial("tcp", *addr)

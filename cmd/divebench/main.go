@@ -4,12 +4,23 @@
 // Usage:
 //
 //	divebench [-scale smoke|default|full] [-seed N] [-only t1,f6,...]
+//	          [-json bench_results.json] [-telemetry]
 //
 // Experiment ids: t1 (Table I), f6, f7, f9, f10, f11, f12, f13, f14,
 // f16, f17. By default every experiment runs at the default scale.
+//
+// -json also writes a machine-readable results file: per-profile bitrate,
+// AP and latency quantiles from the end-to-end experiments (f16/f17),
+// per-experiment wall times, and — with -telemetry — a snapshot of the
+// pipeline telemetry (stage-duration histograms, counters, gauges), so
+// successive PRs can track a performance trajectory.
+//
+// -telemetry installs a process-wide recorder and prints a one-line
+// pipeline summary to stderr every 10 seconds while experiments run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +28,7 @@ import (
 	"time"
 
 	"dive/internal/experiments"
+	"dive/internal/obs"
 )
 
 func main() {
@@ -31,6 +43,8 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "default", "experiment scale: smoke, default or full")
 	seed := fs.Int64("seed", experiments.BaseSeed, "base random seed")
 	only := fs.String("only", "", "comma-separated experiment ids (t1,f6,f7,f9,f10,f11,f12,f13,f14,f16,f17,abl,abl2,night)")
+	jsonPath := fs.String("json", "bench_results.json", "write machine-readable results here (empty disables)")
+	telemetry := fs.Bool("telemetry", false, "record pipeline telemetry and print periodic one-line summaries to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +67,32 @@ func run(args []string) error {
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	var rec *obs.Recorder
+	if *telemetry {
+		rec = obs.NewRecorder(4096)
+		obs.SetDefault(rec)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(10 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, "telemetry:", rec.Summary())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	// results accumulates the machine-readable output for -json.
+	results := &benchResults{
+		Scale: scale.String(), Seed: *seed,
+		ExperimentSecs: map[string]float64{},
+	}
 
 	type exp struct {
 		id  string
@@ -123,6 +163,7 @@ func run(args []string) error {
 			if err != nil {
 				return nil, err
 			}
+			results.EndToEnd = append(results.EndToEnd, rows...)
 			return experiments.RenderEndToEnd("Fig 16: end-to-end comparison, RobotCar", rows), nil
 		}},
 		{"abl", func() (*experiments.Table, error) {
@@ -151,6 +192,7 @@ func run(args []string) error {
 			if err != nil {
 				return nil, err
 			}
+			results.EndToEnd = append(results.EndToEnd, rows...)
 			return experiments.RenderEndToEnd("Fig 17: end-to-end comparison, nuScenes", rows), nil
 		}},
 	}
@@ -166,7 +208,35 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		table.Fprint(os.Stdout)
-		fmt.Printf("[%s took %.1fs]\n\n", e.id, time.Since(t0).Seconds())
+		took := time.Since(t0).Seconds()
+		results.ExperimentSecs[e.id] = took
+		fmt.Printf("[%s took %.1fs]\n\n", e.id, took)
+	}
+
+	if *jsonPath != "" {
+		if rec != nil {
+			results.Telemetry = rec.Snapshot()
+		}
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// benchResults is the schema of the -json output. EndToEnd holds the
+// per-profile, per-scheme rows of the f16/f17 comparisons (bitrate, AP,
+// p50/p95 latency); Telemetry is the recorder snapshot when -telemetry
+// was set (stage-duration histograms with quantiles, counters, gauges).
+type benchResults struct {
+	Scale          string                    `json:"scale"`
+	Seed           int64                     `json:"seed"`
+	ExperimentSecs map[string]float64        `json:"experiment_secs"`
+	EndToEnd       []experiments.EndToEndRow `json:"end_to_end,omitempty"`
+	Telemetry      *obs.Snapshot             `json:"telemetry,omitempty"`
 }

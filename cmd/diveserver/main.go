@@ -4,16 +4,23 @@
 //
 // Usage:
 //
-//	diveserver [-addr :7060]
+//	diveserver [-addr :7060] [-telemetry :7070]
+//
+// -telemetry serves live introspection on the given address: /metrics
+// (Prometheus text format: session/frame/byte counters, decode and detect
+// latency histograms), /debug/vars (JSON snapshot) and /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"dive/internal/edge"
+	"dive/internal/obs"
 )
 
 func main() {
@@ -26,11 +33,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("diveserver", flag.ContinueOnError)
 	addr := fs.String("addr", ":7060", "listen address")
+	telemetry := fs.String("telemetry", "", "serve telemetry (/metrics, pprof) on this address, e.g. :7070")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := edge.NewServer()
 	srv.Logf = log.Printf
+	if *telemetry != "" {
+		rec := obs.NewRecorder(0)
+		srv.Obs = rec
+		ln, err := net.Listen("tcp", *telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listen: %w", err)
+		}
+		defer ln.Close()
+		log.Printf("telemetry on http://%s/ (/metrics, /debug/vars, /debug/pprof/)", ln.Addr())
+		go http.Serve(ln, rec.Handler())
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err

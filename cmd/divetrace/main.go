@@ -6,6 +6,12 @@
 // Usage:
 //
 //	divetrace [-profile nuScenes] [-seed 1] [-duration 4] [-mbps 2] [-o out.csv]
+//	          [-format csv|jsonl]
+//
+// -format jsonl emits the telemetry subsystem's frame-lifecycle records
+// (one JSON object per frame: stage durations in milliseconds,
+// rate-control internals, uplink ack) instead of the analysis CSV — the
+// same schema served live at /debug/frames by diveagent -telemetry.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"dive/internal/core"
 	"dive/internal/imgx"
 	"dive/internal/netsim"
+	"dive/internal/obs"
 	"dive/internal/world"
 )
 
@@ -34,8 +41,12 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs.Float64("duration", 4, "clip duration in seconds")
 	mbps := fs.Float64("mbps", 2, "simulated uplink bandwidth")
 	out := fs.String("o", "", "output file (default stdout)")
+	format := fs.String("format", "csv", "output format: csv or jsonl (frame-lifecycle records)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "csv" && *format != "jsonl" {
+		return fmt.Errorf("unknown format %q", *format)
 	}
 
 	var p world.Profile
@@ -61,6 +72,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *format == "jsonl" {
+		return TraceJSONL(p, *seed, netsim.Mbps(*mbps), w)
 	}
 	return Trace(p, *seed, netsim.Mbps(*mbps), w)
 }
@@ -111,3 +125,27 @@ func Trace(p world.Profile, seed int64, uplinkBps float64, w io.Writer) error {
 
 // agentRecon exposes the encoder reconstruction for PSNR reporting.
 func agentRecon(a *core.Agent) *imgx.Plane { return a.Reconstructed() }
+
+// TraceJSONL runs the agent with a telemetry recorder attached and writes
+// the frame-lifecycle ring as JSONL.
+func TraceJSONL(p world.Profile, seed int64, uplinkBps float64, w io.Writer) error {
+	clip := world.GenerateClip(p, seed)
+	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+	cfg.Seed = seed
+	rec := obs.NewRecorder(clip.NumFrames())
+	cfg.Obs = rec
+	agent, err := core.NewAgent(cfg)
+	if err != nil {
+		return err
+	}
+	for i, frame := range clip.Frames {
+		now := float64(i) / clip.FPS
+		fr, err := agent.ProcessFrame(frame, now)
+		if err != nil {
+			return err
+		}
+		tx := float64(fr.Encoded.NumBits) / uplinkBps
+		agent.OnTransmitComplete(now, now+tx, fr.Encoded.NumBits)
+	}
+	return rec.Frames().WriteJSONL(w)
+}

@@ -28,12 +28,15 @@ package dive
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 
 	"dive/internal/codec"
 	"dive/internal/core"
 	"dive/internal/detect"
 	"dive/internal/imgx"
 	"dive/internal/netsim"
+	"dive/internal/obs"
 )
 
 // Frame is an 8-bit luma image. Pix is row-major, W*H bytes.
@@ -72,6 +75,14 @@ type Config struct {
 	// Seed drives all randomized components (RANSAC); same seed, same
 	// behaviour.
 	Seed int64
+	// Telemetry enables the observability subsystem: per-stage timing
+	// histograms, frame-lifecycle records and rate-control internals,
+	// queryable via Snapshot, WriteFrameTrace and TelemetryHandler. Off it
+	// costs nothing; on it costs a few clock reads per frame.
+	Telemetry bool
+	// TelemetryRingSize bounds the retained frame-lifecycle records
+	// (default 1024).
+	TelemetryRingSize int
 }
 
 // Output is the result of processing one frame.
@@ -119,6 +130,7 @@ type Region struct {
 // Agent is a DiVE mobile agent.
 type Agent struct {
 	inner *core.Agent
+	rec   *obs.Recorder // nil unless Config.Telemetry
 }
 
 // NewAgent validates cfg and creates an agent.
@@ -156,11 +168,16 @@ func NewAgent(cfg Config) (*Agent, error) {
 	if cfg.Seed != 0 {
 		ac.Seed = cfg.Seed
 	}
+	var rec *obs.Recorder
+	if cfg.Telemetry {
+		rec = obs.NewRecorder(cfg.TelemetryRingSize)
+		ac.Obs = rec
+	}
 	inner, err := core.NewAgent(ac)
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{inner: inner}, nil
+	return &Agent{inner: inner, rec: rec}, nil
 }
 
 // Process runs the DiVE pipeline on one captured frame. now is the capture
@@ -209,6 +226,32 @@ func (a *Agent) CacheDetections(dets []Detection) { a.inner.OnDetections(dets) }
 // ForceNextIFrame makes the next encoded frame intra-coded; call it after
 // dropping frames so the remote decoder can resynchronize.
 func (a *Agent) ForceNextIFrame() { a.inner.ForceNextIFrame() }
+
+// Snapshot returns the agent's telemetry as JSON: counters (frames, bits,
+// I-frames), gauges (η, foreground fraction, bandwidth estimate) and
+// per-stage latency histograms with p50/p95/p99. It fails unless
+// Config.Telemetry was set.
+func (a *Agent) Snapshot() ([]byte, error) {
+	if a.rec == nil {
+		return nil, fmt.Errorf("dive: telemetry not enabled (set Config.Telemetry)")
+	}
+	return a.rec.SnapshotJSON()
+}
+
+// WriteFrameTrace writes the retained frame-lifecycle records as JSONL
+// (one frame per line, oldest first) — the same schema divetrace -jsonl
+// emits. It fails unless Config.Telemetry was set.
+func (a *Agent) WriteFrameTrace(w io.Writer) error {
+	if a.rec == nil {
+		return fmt.Errorf("dive: telemetry not enabled (set Config.Telemetry)")
+	}
+	return a.rec.Frames().WriteJSONL(w)
+}
+
+// TelemetryHandler returns the agent's live introspection HTTP handler
+// (/metrics in Prometheus text format, /debug/vars, /debug/frames,
+// /debug/pprof/), or nil unless Config.Telemetry was set.
+func (a *Agent) TelemetryHandler() http.Handler { return a.rec.Handler() }
 
 // Decoder reconstructs frames from Agent bitstreams — the edge-server side.
 type Decoder struct {

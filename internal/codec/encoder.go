@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dive/internal/imgx"
+	"dive/internal/obs"
 )
 
 // FrameType distinguishes intra-coded from predicted frames.
@@ -49,6 +50,10 @@ type Config struct {
 	// both encoder- and decoder-side, improving reference quality at high
 	// QP exactly as H.264's loop filter does.
 	Deblock bool
+	// Obs receives per-stage encode telemetry (motion search, DCT,
+	// entropy coding, rate-control trial counts). Nil disables
+	// instrumentation; the Decoder ignores it.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns sensible defaults for a frame size.
@@ -235,6 +240,7 @@ func (e *Encoder) AnalyzeMotion(frame *imgx.Plane) *MotionField {
 	if e.analyzed == frame && e.motion != nil {
 		return e.motion
 	}
+	searchTimer := e.cfg.Obs.StartStage(obs.StageCodecMotion)
 	scale := 1
 	if e.cfg.SubPel {
 		scale = 2
@@ -294,6 +300,7 @@ func (e *Encoder) AnalyzeMotion(frame *imgx.Plane) *MotionField {
 	}
 	e.analyzed = frame
 	e.motion = mf
+	searchTimer.Stop()
 	return mf
 }
 
@@ -326,8 +333,11 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 	// and share it across rate-control trial passes.
 	var dctCache [][blockSize * blockSize]float64
 	if ftype == PFrame {
+		dctTimer := e.cfg.Obs.StartStage(obs.StageCodecDCT)
 		dctCache = e.buildInterDCTCache(frame, mf)
+		dctTimer.Stop()
 	}
+	entropyTimer := e.cfg.Obs.StartStage(obs.StageCodecEntropy)
 	var result *passResult
 	if opts.TargetBits > 0 {
 		// Bisect the base QP over cheap trial passes (entropy-only: no
@@ -335,20 +345,24 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 		// at the chosen QP. Trial and final passes produce identical bit
 		// counts.
 		lo, hi := 0, 51
+		trials := 0
 		for lo < hi {
 			mid := (lo + hi) / 2
 			r := e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false)
+			trials++
 			if r.bits <= opts.TargetBits {
 				hi = mid
 			} else {
 				lo = mid + 1
 			}
 		}
+		e.cfg.Obs.Counter(obs.MetricRCTrials).Add(int64(trials))
 		result = e.encodePass(frame, ftype, mf, dctCache, lo, opts.QPOffsets, true)
 		baseQP = result.qp
 	} else {
 		result = e.encodePass(frame, ftype, mf, dctCache, baseQP, opts.QPOffsets, true)
 	}
+	entropyTimer.Stop()
 
 	e.ref = result.recon
 	e.refQPs = result.qps

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"dive/internal/codec"
 	"dive/internal/detect"
@@ -10,6 +11,7 @@ import (
 	"dive/internal/imgx"
 	"dive/internal/mvfield"
 	"dive/internal/netsim"
+	"dive/internal/obs"
 )
 
 // AgentConfig assembles the whole DiVE agent.
@@ -46,6 +48,10 @@ type AgentConfig struct {
 	// consumes raw (rotation-contaminated) vectors.
 	DisableRotation bool
 	Seed            int64
+	// Obs receives pipeline telemetry (per-stage timings, frame lifecycle
+	// records, rate-control internals). Nil disables instrumentation at a
+	// cost of a few nanoseconds per frame.
+	Obs *obs.Recorder
 }
 
 // DefaultAgentConfig returns a full DiVE configuration for a frame size and
@@ -65,6 +71,7 @@ func DefaultAgentConfig(w, h int, fps, focal float64) AgentConfig {
 		BandwidthPrior:  netsim.Mbps(2),
 		OutageTimeout:   0.35,
 		Seed:            1,
+		Obs:             obs.Default(),
 	}
 }
 
@@ -133,14 +140,19 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, fmt.Errorf("core: codec size %dx%d does not match agent size %dx%d",
 			cfg.Codec.Width, cfg.Codec.Height, cfg.Width, cfg.Height)
 	}
+	if cfg.Codec.Obs == nil {
+		cfg.Codec.Obs = cfg.Obs
+	}
 	enc, err := codec.NewEncoder(cfg.Codec)
 	if err != nil {
 		return nil, err
 	}
+	estimator := netsim.NewEstimator(cfg.BandwidthWindow, cfg.BandwidthPrior)
+	estimator.Obs = cfg.Obs
 	return &Agent{
 		cfg:       cfg,
 		enc:       enc,
-		estimator: netsim.NewEstimator(cfg.BandwidthWindow, cfg.BandwidthPrior),
+		estimator: estimator,
 		foeCal:    mvfield.NewFOECalibrator(),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
@@ -158,9 +170,14 @@ func (a *Agent) cy() float64 { return float64(a.cfg.Height) / 2 }
 // byproducts.
 func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, error) {
 	res := &FrameResult{}
+	r := a.cfg.Obs
+	frameTimer := r.StartStage(obs.StageFrame)
+	var motionDur, rotationDur, foregroundDur, encodeDur time.Duration
 
 	// Preprocessing: motion vectors come free from the encoder.
+	motionTimer := r.StartStage(obs.StageMotion)
 	mf := a.enc.AnalyzeMotion(frame)
+	motionDur = motionTimer.Stop()
 	if mf != nil {
 		field := mvfield.FromMotion(mf, a.cfg.Focal, a.cx(), a.cy(), 0)
 		res.RawField = field
@@ -170,11 +187,13 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 		if res.Moving {
 			// Rotational component elimination (Section III-B3).
 			if !a.cfg.DisableRotation {
+				rotTimer := r.StartStage(obs.StageRotation)
 				phiX, phiY, err := a.cfg.Rotation.Estimate(field, a.foeCal.FOE(), a.rng)
 				if err == nil {
 					res.Rotation = RotationEstimate{PhiX: phiX, PhiY: phiY, OK: true}
 					field = field.RemoveRotation(phiX, phiY)
 				}
+				rotationDur = rotTimer.Stop()
 			}
 			// FOE calibration on the corrected field.
 			if foe, err := mvfield.EstimateFOE(field, a.rng); err == nil {
@@ -186,7 +205,9 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 			res.Field = field
 
 			// Foreground extraction (Section III-C).
+			fgTimer := r.StartStage(obs.StageForeground)
 			fg := ExtractForeground(field, a.foeCal.FOE(), a.cfg.Foreground)
+			foregroundDur = fgTimer.Stop()
 			if fg != nil && !fg.Empty() {
 				a.lastFG = fg
 			} else {
@@ -222,13 +243,39 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 		opts.TargetBits = res.TargetBits
 		opts.IFrameBudgetScale = a.cfg.AVE.IFrameBudgetScale
 	}
+	encTimer := r.StartStage(obs.StageEncode)
 	ef, err := a.enc.Encode(frame, opts)
+	encodeDur = encTimer.Stop()
 	a.forceI = false
 	if err != nil {
 		return nil, err
 	}
 	res.Encoded = ef
 	a.frameNum++
+	total := frameTimer.Stop()
+
+	if r != nil {
+		r.Counter(obs.MetricFrames).Inc()
+		r.Counter(obs.MetricBits).Add(int64(ef.NumBits))
+		r.Counter(obs.MetricBytes).Add(int64(len(ef.Data)))
+		if ef.Type == codec.IFrame {
+			r.Counter(obs.MetricIFrames).Inc()
+		}
+		r.Gauge(obs.GaugeEta).Set(res.Eta)
+		r.Gauge(obs.GaugeFGFraction).Set(frac)
+		r.RecordFrame(obs.FrameRecord{
+			Frame: ef.Index, TimeSec: now, Type: ef.Type.String(),
+			Eta: res.Eta, Moving: res.Moving, ReusedFG: res.Reused,
+			FGFraction: frac, Delta: res.Delta,
+			BaseQP: ef.BaseQP, Bits: ef.NumBits, TargetBits: res.TargetBits,
+			EstBWBps:     res.EstimatedBandwidth,
+			MotionMs:     motionDur.Seconds() * 1000,
+			RotationMs:   rotationDur.Seconds() * 1000,
+			ForegroundMs: foregroundDur.Seconds() * 1000,
+			EncodeMs:     encodeDur.Seconds() * 1000,
+			TotalMs:      total.Seconds() * 1000,
+		})
+	}
 	return res, nil
 }
 
@@ -236,6 +283,10 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 // bits were serialized onto the link during [start, end].
 func (a *Agent) OnTransmitComplete(start, end float64, bits int) {
 	a.estimator.Record(start, end, bits)
+	a.cfg.Obs.AmendLastFrame(func(fr *obs.FrameRecord) {
+		fr.AckBits += bits
+		fr.AckEndSec = end
+	})
 }
 
 // OnDetections caches the newest edge results for outage tracking.
@@ -261,7 +312,10 @@ func (a *Agent) OutageTimeout() float64 { return a.cfg.OutageTimeout }
 // ForceNextIFrame makes the next encoded frame an I-frame. The transport
 // calls this when frames were dropped (link outage) so the edge decoder can
 // resynchronize on the next delivered frame.
-func (a *Agent) ForceNextIFrame() { a.forceI = true }
+func (a *Agent) ForceNextIFrame() {
+	a.forceI = true
+	a.cfg.Obs.Counter(obs.MetricForcedIFrames).Inc()
+}
 
 // Reconstructed returns the encoder's reconstruction of the last processed
 // frame — bit-exact with what the edge decoder produces, so callers can

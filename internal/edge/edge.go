@@ -21,6 +21,7 @@ import (
 	"dive/internal/codec"
 	"dive/internal/detect"
 	"dive/internal/imgx"
+	"dive/internal/obs"
 	"dive/internal/world"
 )
 
@@ -104,6 +105,9 @@ type Server struct {
 	Detector *detect.Detector
 	// Logf receives progress lines; nil silences the server.
 	Logf func(format string, args ...interface{})
+	// Obs receives server telemetry: session/frame/byte counters and
+	// decode + detect latency histograms. Nil disables instrumentation.
+	Obs *obs.Recorder
 
 	mu sync.Mutex
 	ln net.Listener
@@ -207,6 +211,7 @@ func (s *Server) handle(conn net.Conn) error {
 	if err := dec.Decode(&hello); err != nil {
 		return fmt.Errorf("edge: handshake: %w", err)
 	}
+	s.Obs.Counter(obs.MetricEdgeSessions).Inc()
 	profile, err := profileByName(hello.Profile)
 	if err != nil {
 		enc.Encode(ResultMsg{Index: -1, Err: err.Error()})
@@ -233,13 +238,22 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		t0 := time.Now()
 		res := ResultMsg{Index: fm.Index, SentNanos: fm.SentNanos}
+		s.Obs.Counter(obs.MetricEdgeFrames).Inc()
+		s.Obs.Counter(obs.MetricEdgeBytes).Add(int64(len(fm.Bitstream)))
 		if fm.Index < 0 || fm.Index >= clip.NumFrames() {
 			res.Err = fmt.Sprintf("frame index %d out of range", fm.Index)
-		} else if df, derr := vdec.Decode(fm.Bitstream); derr != nil {
-			res.Err = derr.Error()
 		} else {
-			dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
-			res.Detections = ToWire(dets)
+			decodeTimer := s.Obs.StartStage(obs.StageEdgeDecode)
+			df, derr := vdec.Decode(fm.Bitstream)
+			decodeTimer.Stop()
+			if derr != nil {
+				res.Err = derr.Error()
+			} else {
+				detectTimer := s.Obs.StartStage(obs.StageEdgeDetect)
+				dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
+				detectTimer.Stop()
+				res.Detections = ToWire(dets)
+			}
 		}
 		res.ServerMs = time.Since(t0).Seconds() * 1000
 		if err := enc.Encode(res); err != nil {

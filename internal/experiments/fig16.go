@@ -9,14 +9,17 @@ import (
 
 // EndToEndRow is one (scheme, bandwidth) end-to-end measurement.
 type EndToEndRow struct {
-	Dataset   string
-	Scheme    string
-	Bandwidth float64 // Mbps
-	MAP       float64
-	CarAP     float64
-	PedAP     float64
-	MeanRT    float64 // seconds
-	P95RT     float64
+	Dataset     string  `json:"dataset"`
+	Scheme      string  `json:"scheme"`
+	Bandwidth   float64 `json:"bandwidth_mbps"` // link capacity, Mbps
+	MAP         float64 `json:"map"`
+	CarAP       float64 `json:"car_ap"`
+	PedAP       float64 `json:"ped_ap"`
+	MeanRT      float64 `json:"mean_rt_sec"` // seconds
+	P50RT       float64 `json:"p50_rt_sec"`
+	P95RT       float64 `json:"p95_rt_sec"`
+	BitrateMbps float64 `json:"bitrate_mbps"` // achieved uplink bitrate
+	Frames      int     `json:"frames"`
 }
 
 // schemes returns the full comparison field of Section IV-G.
@@ -41,7 +44,8 @@ func endToEnd(w Workload, scale Scale, seed int64) ([]EndToEndRow, error) {
 			rows = append(rows, EndToEndRow{
 				Dataset: w.Name, Scheme: s.Name(), Bandwidth: bw,
 				MAP: res.MAP, CarAP: res.CarAP, PedAP: res.PedAP,
-				MeanRT: res.MeanRT, P95RT: res.P95RT,
+				MeanRT: res.MeanRT, P50RT: res.P50RT, P95RT: res.P95RT,
+				BitrateMbps: res.BitrateMbps, Frames: res.Frames,
 			})
 		}
 	}

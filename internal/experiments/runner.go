@@ -4,21 +4,25 @@ import (
 	"dive/internal/detect"
 	"dive/internal/metrics"
 	"dive/internal/netsim"
+	"dive/internal/obs"
 	"dive/internal/sim"
 	"dive/internal/world"
 )
 
 // EvalResult aggregates one (scheme, workload, network) evaluation.
 type EvalResult struct {
-	Scheme   string
-	Dataset  string
-	MAP      float64
-	CarAP    float64
-	PedAP    float64
-	MeanRT   float64 // seconds
-	P95RT    float64
-	BitsSent int
-	Frames   int
+	Scheme      string
+	Dataset     string
+	MAP         float64
+	CarAP       float64
+	PedAP       float64
+	MeanRT      float64 // seconds
+	P50RT       float64
+	P95RT       float64
+	BitsSent    int
+	Frames      int
+	ClipSeconds float64 // summed clip durations
+	BitrateMbps float64 // BitsSent over ClipSeconds
 }
 
 // runScheme evaluates a scheme over every clip of a workload; traceFn
@@ -40,13 +44,26 @@ func runScheme(w Workload, scheme sim.Scheme, traceFn func(clipIdx int) netsim.T
 		rts = append(rts, res.ResponseTimes...)
 		out.BitsSent += res.TotalBits()
 		out.Frames += clip.NumFrames()
+		out.ClipSeconds += float64(clip.NumFrames()) / clip.FPS
 	}
 	out.CarAP = metrics.AP(allDets, allGT, world.ClassCar, metrics.DefaultIoU)
 	out.PedAP = metrics.AP(allDets, allGT, world.ClassPedestrian, metrics.DefaultIoU)
 	out.MAP = (out.CarAP + out.PedAP) / 2
 	lat := metrics.SummarizeLatency(rts)
 	out.MeanRT = lat.Mean
+	out.P50RT = lat.P50
 	out.P95RT = lat.P95
+	if out.ClipSeconds > 0 {
+		out.BitrateMbps = float64(out.BitsSent) / out.ClipSeconds / 1e6
+	}
+	// Feed the end-to-end response-time histogram when telemetry is on, so
+	// live observers (divebench -telemetry) see the distribution build up.
+	if rec := obs.Default(); rec != nil {
+		h := rec.Histogram(obs.StageResponse)
+		for _, rt := range rts {
+			h.Observe(rt)
+		}
+	}
 	return out, nil
 }
 

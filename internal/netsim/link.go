@@ -1,6 +1,10 @@
 package netsim
 
-import "math"
+import (
+	"math"
+
+	"dive/internal/obs"
+)
 
 // Link is a FIFO uplink driven by a bandwidth Trace. Transmissions are
 // serialized: a message starts when both it has been enqueued and every
@@ -11,6 +15,9 @@ type Link struct {
 	// PropDelay is the one-way propagation delay in seconds, added on top
 	// of serialization.
 	PropDelay float64
+	// Obs receives link telemetry: the actual trace bandwidth at each
+	// send, queue delays and outage sends. Nil disables instrumentation.
+	Obs *obs.Recorder
 	// busyUntil is when the link finishes draining everything enqueued.
 	busyUntil float64
 	// integrationStep bounds the numeric integration error (seconds).
@@ -18,8 +25,9 @@ type Link struct {
 }
 
 // NewLink creates a link over the trace with the given propagation delay.
+// The process-wide default recorder (obs.SetDefault) is picked up here.
 func NewLink(trace Trace, propDelay float64) *Link {
-	return &Link{Trace: trace, PropDelay: propDelay, integrationStep: 1e-3}
+	return &Link{Trace: trace, PropDelay: propDelay, Obs: obs.Default(), integrationStep: 1e-3}
 }
 
 // Send enqueues bits at time t and returns (startTime, serializedTime,
@@ -34,6 +42,14 @@ func (l *Link) Send(t float64, bits int) (start, serialized, delivery float64) {
 	}
 	end := l.drainTime(start, float64(bits))
 	l.busyUntil = end
+	if l.Obs != nil {
+		actual := l.Trace.BandwidthAt(start)
+		l.Obs.Gauge(obs.GaugeBWActual).Set(actual)
+		l.Obs.Histogram(obs.StageQueueDelay).Observe(start - t)
+		if actual <= 0 {
+			l.Obs.Counter(obs.MetricOutageTx).Inc()
+		}
+	}
 	return start, end, end + l.PropDelay
 }
 
@@ -91,7 +107,10 @@ type Estimator struct {
 	// Window is the sliding horizon in seconds.
 	Window float64
 	// Prior is returned before any samples arrive (bits/s).
-	Prior   float64
+	Prior float64
+	// Obs receives estimator telemetry: acked bits, serialization times
+	// and the live bandwidth estimate. Nil disables instrumentation.
+	Obs     *obs.Recorder
 	samples []ackSample
 }
 
@@ -100,15 +119,20 @@ type ackSample struct {
 	bits       float64
 }
 
-// NewEstimator creates an estimator with the given window and prior.
+// NewEstimator creates an estimator with the given window and prior. The
+// process-wide default recorder (obs.SetDefault) is picked up here.
 func NewEstimator(window, prior float64) *Estimator {
-	return &Estimator{Window: window, Prior: prior}
+	return &Estimator{Window: window, Prior: prior, Obs: obs.Default()}
 }
 
 // Record notes that bits were serialized onto the link during [start, end].
 func (e *Estimator) Record(start, end float64, bits int) {
 	if end < start {
 		start, end = end, start
+	}
+	if e.Obs != nil {
+		e.Obs.Counter(obs.MetricAckedBits).Add(int64(bits))
+		e.Obs.Histogram(obs.StageAck).Observe(end - start)
 	}
 	e.samples = append(e.samples, ackSample{start: start, end: end, bits: float64(bits)})
 	// Trim anything far older than the window to bound memory.
@@ -150,7 +174,10 @@ func (e *Estimator) EstimateAt(t float64) float64 {
 		active += clipEnd - clipStart
 	}
 	if active <= 1e-9 {
+		e.Obs.Gauge(obs.GaugeBWEstimate).Set(e.Prior)
 		return e.Prior
 	}
-	return bits / active
+	est := bits / active
+	e.Obs.Gauge(obs.GaugeBWEstimate).Set(est)
+	return est
 }

@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// BenchmarkSpanDisabled measures the instrumentation cost when no recorder
+// is installed — the path every library user pays. The acceptance bar is
+// <5 ns/op: a nil check on each side and no clock reads.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := r.StartStage(StageEncode)
+		_ = t.Stop()
+	}
+}
+
+// BenchmarkCounterDisabled is the nil-counter fast path.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter(MetricFrames).Inc()
+	}
+}
+
+// BenchmarkSpanEnabled is the live cost: two clock reads plus one
+// histogram observation.
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := NewRecorder(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := r.StartStage(StageEncode)
+		_ = t.Stop()
+	}
+}
+
+// BenchmarkHistogramObserve is the raw observation cost (no clock reads).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefaultDurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}

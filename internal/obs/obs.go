@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical metric names. Keeping them in one place documents the schema
+// and lets the README reference a single source of truth.
+const (
+	// Agent pipeline (internal/core).
+	MetricFrames        = "dive_frames_total"
+	MetricBits          = "dive_bits_total"
+	MetricBytes         = "dive_bytes_total"
+	MetricIFrames       = "dive_iframes_total"
+	MetricForcedIFrames = "dive_forced_iframes_total"
+	GaugeEta            = "dive_eta"
+	GaugeFGFraction     = "dive_fg_fraction"
+	StageFrame          = "dive_frame_seconds"
+	StageMotion         = "dive_stage_motion_seconds"
+	StageRotation       = "dive_stage_rotation_seconds"
+	StageForeground     = "dive_stage_foreground_seconds"
+	StageEncode         = "dive_stage_encode_seconds"
+
+	// Codec internals (internal/codec).
+	StageCodecMotion  = "codec_motion_search_seconds"
+	StageCodecDCT     = "codec_dct_seconds"
+	StageCodecEntropy = "codec_entropy_seconds"
+	MetricRCTrials    = "codec_rc_trials_total"
+
+	// Network simulator (internal/netsim).
+	GaugeBWEstimate = "netsim_bw_estimate_bps"
+	GaugeBWActual   = "netsim_bw_actual_bps"
+	MetricAckedBits = "netsim_acked_bits_total"
+	StageAck        = "netsim_ack_seconds"
+	StageQueueDelay = "netsim_queue_delay_seconds"
+	MetricOutageTx  = "netsim_outage_sends_total"
+
+	// Edge server (internal/edge).
+	MetricEdgeSessions = "edge_sessions_total"
+	MetricEdgeFrames   = "edge_frames_total"
+	MetricEdgeBytes    = "edge_bytes_total"
+	StageEdgeDecode    = "edge_decode_seconds"
+	StageEdgeDetect    = "edge_detect_seconds"
+
+	// Baseline result queues (internal/baselines).
+	GaugeResultQueueDepth = "baseline_result_queue_depth"
+	MetricResults         = "baseline_results_total"
+	MetricResultsDropped  = "baseline_results_dropped_total"
+
+	// Experiment harness end-to-end response times.
+	StageResponse = "e2e_response_seconds"
+)
+
+// Recorder bundles a metrics registry and a frame-lifecycle ring. A nil
+// *Recorder is a valid, zero-cost no-op recorder; every method tolerates
+// it, so instrumented code never guards.
+type Recorder struct {
+	reg   *Registry
+	ring  *FrameRing
+	start time.Time
+}
+
+// NewRecorder creates a recorder whose frame ring keeps the last ringCap
+// records (<= 0 selects 1024).
+func NewRecorder(ringCap int) *Recorder {
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
+	return &Recorder{reg: NewRegistry(), ring: NewFrameRing(ringCap), start: time.Now()}
+}
+
+// Registry returns the underlying registry (nil for a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Frames returns the frame-lifecycle ring (nil for a nil recorder).
+func (r *Recorder) Frames() *FrameRing {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// Counter returns the named counter (nil, hence no-op, on a nil recorder).
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Counter(name)
+}
+
+// Gauge returns the named gauge (nil on a nil recorder).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Gauge(name)
+}
+
+// Histogram returns the named duration histogram (nil on a nil recorder).
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Histogram(name, DefaultDurationBuckets)
+}
+
+// StageTimer times one pipeline stage. The zero value (returned by a nil
+// recorder) is a no-op; no clock is read on either side.
+type StageTimer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartStage begins timing the named stage.
+func (r *Recorder) StartStage(name string) StageTimer {
+	if r == nil {
+		return StageTimer{}
+	}
+	return StageTimer{h: r.Histogram(name), start: time.Now()}
+}
+
+// Stop records the elapsed time into the stage histogram and returns it
+// (0 for the no-op timer).
+func (t StageTimer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}
+
+// RecordFrame appends one lifecycle record to the ring.
+func (r *Recorder) RecordFrame(rec FrameRecord) {
+	if r == nil {
+		return
+	}
+	r.ring.Append(rec)
+}
+
+// AmendLastFrame applies fn to the most recently appended record (no-op
+// when nil or empty) — used to attach uplink-ack data that arrives after
+// the frame was recorded.
+func (r *Recorder) AmendLastFrame(fn func(*FrameRecord)) {
+	if r == nil {
+		return
+	}
+	r.ring.AmendLast(fn)
+}
+
+// Snapshot returns a point-in-time copy of every metric plus uptime.
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
+	}
+	s := r.reg.Snapshot()
+	s.UptimeSec = time.Since(r.start).Seconds()
+	return s
+}
+
+// SnapshotJSON marshals Snapshot as indented JSON.
+func (r *Recorder) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// Summary renders a one-line human summary for periodic stderr progress:
+// frame counts, encode-path latency quantiles and the live bandwidth
+// estimate.
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return "telemetry off"
+	}
+	frames := r.Counter(MetricFrames).Value()
+	bits := r.Counter(MetricBits).Value()
+	h := r.Histogram(StageFrame)
+	return fmt.Sprintf("frames=%d bits=%d frame p50=%.1fms p95=%.1fms est_bw=%.2fMbps uptime=%.0fs",
+		frames, bits,
+		h.Quantile(0.50)*1000, h.Quantile(0.95)*1000,
+		r.Gauge(GaugeBWEstimate).Value()/1e6,
+		time.Since(r.start).Seconds())
+}
+
+// defaultRec is the process-wide recorder used by components that are not
+// explicitly wired (the experiment harness, baselines). Nil until a caller
+// opts in via SetDefault, so library users pay nothing.
+var defaultRec atomic.Pointer[Recorder]
+
+// SetDefault installs r as the process-wide default recorder. Components
+// constructed afterwards pick it up; pass nil to turn telemetry back off
+// for new components.
+func SetDefault(r *Recorder) {
+	defaultRec.Store(r)
+}
+
+// Default returns the process-wide recorder, or nil (no-op) when none was
+// installed.
+func Default() *Recorder {
+	return defaultRec.Load()
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// FrameRecord is the lifecycle of one frame through the DiVE pipeline:
+// capture → motion estimation → rotation removal → foreground extraction →
+// AVE/rate control + entropy encode → uplink ack. Durations are
+// milliseconds; zero means the stage did not run for this frame.
+type FrameRecord struct {
+	Frame   int     `json:"frame"`
+	TimeSec float64 `json:"time_sec"` // capture time on the pipeline clock
+	Type    string  `json:"type"`     // "I" or "P"
+
+	// Analysis byproducts.
+	Eta        float64 `json:"eta"`
+	Moving     bool    `json:"moving"`
+	ReusedFG   bool    `json:"reused_fg"`
+	FGFraction float64 `json:"fg_fraction"`
+	Delta      int     `json:"delta"`
+
+	// Rate control.
+	BaseQP     int     `json:"base_qp"`
+	Bits       int     `json:"bits"`
+	TargetBits int     `json:"target_bits"`
+	EstBWBps   float64 `json:"est_bw_bps"`
+
+	// Stage durations (wall clock, milliseconds).
+	MotionMs     float64 `json:"motion_ms"`
+	RotationMs   float64 `json:"rotation_ms"`
+	ForegroundMs float64 `json:"foreground_ms"`
+	EncodeMs     float64 `json:"encode_ms"`
+	TotalMs      float64 `json:"total_ms"`
+
+	// Uplink ack, attached when transport feedback arrives (zero until
+	// then): acked payload size and the serialization end time.
+	AckBits   int     `json:"ack_bits,omitempty"`
+	AckEndSec float64 `json:"ack_end_sec,omitempty"`
+}
+
+// FrameRing is a bounded ring buffer of FrameRecords. A nil ring is a
+// valid no-op.
+type FrameRing struct {
+	mu    sync.Mutex
+	buf   []FrameRecord
+	total int // records ever appended
+}
+
+// NewFrameRing creates a ring keeping the last capacity records.
+func NewFrameRing(capacity int) *FrameRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FrameRing{buf: make([]FrameRecord, 0, capacity)}
+}
+
+// Append adds one record, evicting the oldest when full.
+func (r *FrameRing) Append(rec FrameRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.total%cap(r.buf)] = rec
+	}
+	r.total++
+}
+
+// AmendLast applies fn to the most recently appended record; no-op when
+// empty.
+func (r *FrameRing) AmendLast(fn func(*FrameRecord)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total == 0 {
+		return
+	}
+	fn(&r.buf[(r.total-1)%cap(r.buf)])
+}
+
+// Total returns how many records were ever appended (≥ len(Snapshot())).
+func (r *FrameRing) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the retained records, oldest first.
+func (r *FrameRing) Snapshot() []FrameRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FrameRecord, 0, len(r.buf))
+	if r.total <= cap(r.buf) {
+		out = append(out, r.buf...)
+		return out
+	}
+	head := r.total % cap(r.buf) // index of the oldest record
+	out = append(out, r.buf[head:]...)
+	out = append(out, r.buf[:head]...)
+	return out
+}
+
+// WriteJSONL writes the retained records as one JSON object per line,
+// oldest first — the divetrace-style replay format.
+func (r *FrameRing) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewFrameRing(8)
+	for i := 0; i < 20; i++ {
+		r.Append(FrameRecord{Frame: i})
+	}
+	if got := r.Total(); got != 20 {
+		t.Errorf("total = %d, want 20", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(snap))
+	}
+	for i, rec := range snap {
+		if want := 12 + i; rec.Frame != want {
+			t.Errorf("snap[%d].Frame = %d, want %d (oldest-first)", i, rec.Frame, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewFrameRing(8)
+	for i := 0; i < 3; i++ {
+		r.Append(FrameRecord{Frame: i})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	for i, rec := range snap {
+		if rec.Frame != i {
+			t.Errorf("snap[%d].Frame = %d, want %d", i, rec.Frame, i)
+		}
+	}
+}
+
+func TestRingAmendLast(t *testing.T) {
+	r := NewFrameRing(2)
+	r.AmendLast(func(*FrameRecord) { t.Error("amend ran on empty ring") })
+	for i := 0; i < 5; i++ {
+		r.Append(FrameRecord{Frame: i})
+	}
+	r.AmendLast(func(fr *FrameRecord) {
+		if fr.Frame != 4 {
+			t.Errorf("amended frame %d, want the last (4)", fr.Frame)
+		}
+		fr.AckBits = 99
+	})
+	snap := r.Snapshot()
+	if snap[len(snap)-1].AckBits != 99 {
+		t.Error("amendment not visible in snapshot")
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewFrameRing(4)
+	for i := 0; i < 4; i++ {
+		r.Append(FrameRecord{Frame: i, Type: "P", Bits: 1000 * i})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var rec FrameRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if rec.Frame != n || rec.Bits != 1000*n {
+			t.Errorf("line %d decoded as frame=%d bits=%d", n, rec.Frame, rec.Bits)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("wrote %d lines, want 4", n)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewFrameRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Append(FrameRecord{Frame: i})
+				r.AmendLast(func(fr *FrameRecord) { fr.AckBits++ })
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != 4000 {
+		t.Errorf("total = %d, want 4000", got)
+	}
+}

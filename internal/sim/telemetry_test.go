@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dive/internal/core"
+	"dive/internal/netsim"
+	"dive/internal/obs"
+	"dive/internal/world"
+)
+
+// TestTelemetryFrameLifecycle runs the full DiVE scheme over a short clip
+// with a recorder attached and checks the frame-lifecycle export: one JSONL
+// record per frame, monotonically increasing frame numbers, non-negative
+// stage durations, and a metrics snapshot consistent with the run.
+func TestTelemetryFrameLifecycle(t *testing.T) {
+	clip := testClip(t, world.NuScenesLike(), 2, 21)
+	n := clip.NumFrames()
+	rec := obs.NewRecorder(n)
+	scheme := &DiVE{ConfigFn: func(c *core.AgentConfig) { c.Obs = rec }}
+	env := NewEnv(7)
+	link := netsim.NewLink(netsim.ConstantTrace(netsim.Mbps(2)), 0.012)
+	if _, err := scheme.Run(clip, link, env); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := rec.Frames().Total(); got != n {
+		t.Fatalf("ring total = %d, want one record per frame (%d)", got, n)
+	}
+	if got := rec.Counter(obs.MetricFrames).Value(); got != int64(n) {
+		t.Errorf("frames counter = %d, want %d", got, n)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Frames().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines, prev := 0, -1
+	for sc.Scan() {
+		var fr obs.FrameRecord
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if fr.Frame <= prev {
+			t.Errorf("frame numbers not monotonic: %d after %d", fr.Frame, prev)
+		}
+		prev = fr.Frame
+		for _, d := range []struct {
+			name string
+			ms   float64
+		}{
+			{"motion", fr.MotionMs}, {"rotation", fr.RotationMs},
+			{"foreground", fr.ForegroundMs}, {"encode", fr.EncodeMs},
+			{"total", fr.TotalMs},
+		} {
+			if d.ms < 0 {
+				t.Errorf("frame %d: %s duration %v ms < 0", fr.Frame, d.name, d.ms)
+			}
+		}
+		if fr.TotalMs < fr.EncodeMs {
+			t.Errorf("frame %d: total %.3fms < encode %.3fms", fr.Frame, fr.TotalMs, fr.EncodeMs)
+		}
+		if fr.Type != "I" && fr.Type != "P" {
+			t.Errorf("frame %d: type %q", fr.Frame, fr.Type)
+		}
+		if fr.Bits <= 0 {
+			t.Errorf("frame %d: bits = %d", fr.Frame, fr.Bits)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != n {
+		t.Errorf("JSONL lines = %d, want %d", lines, n)
+	}
+
+	// The first frame must be intra, and the intra counter must agree with
+	// the per-frame records.
+	snap := rec.Frames().Snapshot()
+	if snap[0].Type != "I" {
+		t.Errorf("first frame type %q, want I", snap[0].Type)
+	}
+	intra := 0
+	for _, fr := range snap {
+		if fr.Type == "I" {
+			intra++
+		}
+	}
+	if got := rec.Counter(obs.MetricIFrames).Value(); got != int64(intra) {
+		t.Errorf("iframe counter = %d, records show %d", got, intra)
+	}
+
+	// The stage histograms populated once per frame must have n samples.
+	s := rec.Snapshot()
+	for _, name := range []string{obs.StageFrame, obs.StageEncode} {
+		hs, ok := s.Histograms[name]
+		if !ok {
+			t.Errorf("snapshot missing histogram %s", name)
+			continue
+		}
+		if hs.Count != int64(n) {
+			t.Errorf("%s count = %d, want %d", name, hs.Count, n)
+		}
+	}
+}
+
+// TestTelemetryDisabledRunsIdentically verifies the no-recorder path still
+// produces a working run (no telemetry side effects required anywhere).
+func TestTelemetryDisabledRunsIdentically(t *testing.T) {
+	clip := testClip(t, world.NuScenesLike(), 2, 21)
+	env := NewEnv(7)
+	link := netsim.NewLink(netsim.ConstantTrace(netsim.Mbps(2)), 0.012)
+	res, err := (&DiVE{}).Run(clip, link, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBits() <= 0 {
+		t.Error("no bits sent")
+	}
+}
