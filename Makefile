@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs clean
+.PHONY: all build test race vet bench bench-obs bench-compare clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ test:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/baselines/...
+	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/...
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,12 @@ bench:
 # Telemetry overhead benchmarks: the disabled span must stay <5 ns/op.
 bench-obs:
 	$(GO) test -run xxx -bench . -benchtime 2s ./internal/obs/
+
+# Serial-vs-parallel comparison of the hot kernels: the GOMAXPROCS-sized
+# pools degrade to the serial path at -cpu 1, so the two columns compare
+# identical output at width 1 and width 4.
+bench-compare:
+	$(GO) test -run xxx -bench 'EncodeParallel|AnalyzeMotionParallel|RenderParallel' -benchmem -cpu 1,4 ./internal/codec/ ./internal/world/
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	diveagent [-addr 127.0.0.1:7060] [-profile nuScenes] [-seed 1]
-//	          [-duration 4] [-rate 2.0] [-telemetry :7061]
+//	          [-duration 4] [-rate 2.0] [-telemetry :7061] [-workers N]
 //
 // -rate throttles the uplink to the given Mbps (0 = unthrottled), pacing
 // writes so the bandwidth estimator sees realistic feedback.
@@ -55,6 +55,7 @@ func run(args []string) error {
 	duration := fs.Float64("duration", 4, "clip duration in seconds")
 	rate := fs.Float64("rate", 2.0, "uplink throttle in Mbps (0 = unthrottled)")
 	telemetry := fs.String("telemetry", "", "serve telemetry (/metrics, /debug/frames, pprof) on this address, e.g. :7061")
+	workers := fs.Int("workers", 0, "encoder pool width (0 = GOMAXPROCS, 1 = serial); the bitstream is identical at any width")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +79,7 @@ func run(args []string) error {
 		Width: clip.W, Height: clip.H, FPS: clip.FPS, FocalPx: clip.Focal,
 		BandwidthPriorBps: dive.Mbps(maxf(*rate, 0.5)),
 		Telemetry:         *telemetry != "",
+		Workers:           *workers,
 	})
 	if err != nil {
 		return err

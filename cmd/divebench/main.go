@@ -4,7 +4,13 @@
 // Usage:
 //
 //	divebench [-scale smoke|default|full] [-seed N] [-only t1,f6,...]
-//	          [-json bench_results.json] [-telemetry]
+//	          [-json bench_results.json] [-telemetry] [-workers N]
+//	          [-speedup=false]
+//
+// -workers bounds the experiment fan-out and encoder/renderer pool width
+// (0 = GOMAXPROCS, 1 = serial). Every table is identical at any width; the
+// parallel layer only changes wall-clock time. -speedup measures the
+// serial-vs-parallel encoder throughput ratio and records it in -json.
 //
 // Experiment ids: t1 (Table I), f6, f7, f9, f10, f11, f12, f13, f14,
 // f16, f17. By default every experiment runs at the default scale.
@@ -45,9 +51,12 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment ids (t1,f6,f7,f9,f10,f11,f12,f13,f14,f16,f17,abl,abl2,night)")
 	jsonPath := fs.String("json", "bench_results.json", "write machine-readable results here (empty disables)")
 	telemetry := fs.Bool("telemetry", false, "record pipeline telemetry and print periodic one-line summaries to stderr")
+	workers := fs.Int("workers", 0, "experiment fan-out and encoder pool width (0 = GOMAXPROCS, 1 = serial); tables are identical at any width")
+	speedup := fs.Bool("speedup", true, "measure serial-vs-parallel encoder speedup and record it in -json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.SetWorkers(*workers)
 	var scale experiments.Scale
 	switch *scaleName {
 	case "smoke":
@@ -213,6 +222,18 @@ func run(args []string) error {
 		fmt.Printf("[%s took %.1fs]\n\n", e.id, took)
 	}
 
+	if *speedup && *jsonPath != "" {
+		t0 := time.Now()
+		sp, err := experiments.EncodeSpeedup(scale, *seed, *workers)
+		if err != nil {
+			return fmt.Errorf("speedup: %w", err)
+		}
+		results.Speedup = &sp
+		results.ExperimentSecs["speedup"] = time.Since(t0).Seconds()
+		fmt.Printf("encoder speedup: %.2fx (%.1f -> %.1f ms/frame, %d workers)\n\n",
+			sp.Speedup, sp.SerialMs, sp.ParallelMs, sp.Workers)
+	}
+
 	if *jsonPath != "" {
 		if rec != nil {
 			results.Telemetry = rec.Snapshot()
@@ -238,5 +259,8 @@ type benchResults struct {
 	Seed           int64                     `json:"seed"`
 	ExperimentSecs map[string]float64        `json:"experiment_secs"`
 	EndToEnd       []experiments.EndToEndRow `json:"end_to_end,omitempty"`
-	Telemetry      *obs.Snapshot             `json:"telemetry,omitempty"`
+	// Speedup is the measured serial-vs-parallel encoder throughput ratio
+	// on this machine (bit-exact identical bitstreams both ways).
+	Speedup   *experiments.SpeedupResult `json:"encode_speedup,omitempty"`
+	Telemetry *obs.Snapshot              `json:"telemetry,omitempty"`
 }

@@ -83,6 +83,11 @@ type Config struct {
 	// TelemetryRingSize bounds the retained frame-lifecycle records
 	// (default 1024).
 	TelemetryRingSize int
+	// Workers bounds the codec's intra-frame parallelism (wavefront motion
+	// search, DCT sharding, speculative rate-control probes). 0 sizes the
+	// pool to GOMAXPROCS, 1 forces serial execution. The emitted bitstream
+	// is bit-exact identical at every width.
+	Workers int
 }
 
 // Output is the result of processing one frame.
@@ -168,6 +173,7 @@ func NewAgent(cfg Config) (*Agent, error) {
 	if cfg.Seed != 0 {
 		ac.Seed = cfg.Seed
 	}
+	ac.Codec.Workers = cfg.Workers
 	var rec *obs.Recorder
 	if cfg.Telemetry {
 		rec = obs.NewRecorder(cfg.TelemetryRingSize)

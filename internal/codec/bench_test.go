@@ -82,6 +82,52 @@ func BenchmarkMotionSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeParallel measures the full encode path with the pool sized
+// to GOMAXPROCS, so `go test -cpu 1,4` compares serial and parallel encoding
+// of bit-identical streams.
+func BenchmarkEncodeParallel(b *testing.B) {
+	f0, f1 := benchFrames()
+	cfg := DefaultConfig(320, 192)
+	cfg.Workers = 0 // GOMAXPROCS-sized: serial at -cpu 1, parallel at -cpu 4
+	enc, _ := NewEncoder(cfg)
+	if _, err := enc.Encode(f0, EncodeOptions{BaseQP: 20}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := f1
+		if i%2 == 1 {
+			f = f0
+		}
+		if _, err := enc.Encode(f, EncodeOptions{TargetBits: 150_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeMotionParallel measures wavefront motion search alone with
+// a GOMAXPROCS-sized pool.
+func BenchmarkAnalyzeMotionParallel(b *testing.B) {
+	f0, f1 := benchFrames()
+	cfg := DefaultConfig(320, 192)
+	cfg.Workers = 0
+	enc, _ := NewEncoder(cfg)
+	if _, err := enc.Encode(f0, EncodeOptions{BaseQP: 20}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := f1
+		if i%2 == 1 {
+			f = f0
+		}
+		enc.AnalyzeMotion(f)
+		enc.analyzed = nil
+	}
+}
+
 func BenchmarkDCT8(b *testing.B) {
 	var src, dst [blockSize * blockSize]float64
 	for i := range src {

@@ -5,6 +5,7 @@ import (
 
 	"dive/internal/imgx"
 	"dive/internal/obs"
+	"dive/internal/parallel"
 )
 
 // FrameType distinguishes intra-coded from predicted frames.
@@ -54,6 +55,11 @@ type Config struct {
 	// entropy coding, rate-control trial counts). Nil disables
 	// instrumentation; the Decoder ignores it.
 	Obs *obs.Recorder
+	// Workers bounds the encoder's intra-frame parallelism: wavefront
+	// motion search, inter-DCT cache sharding and speculative rate-control
+	// probes. 0 sizes to GOMAXPROCS, 1 forces the serial path. The output
+	// bitstream is bit-exact identical for every value.
+	Workers int
 }
 
 // DefaultConfig returns sensible defaults for a frame size.
@@ -105,13 +111,18 @@ func (f *MotionField) NonZeroRatio() float64 {
 // EncodedFrame is one compressed frame plus the side information the
 // analytics layer uses.
 type EncodedFrame struct {
-	Type    FrameType
-	Index   int
-	BaseQP  int
-	MBW     int
-	MBH     int
-	Motion  *MotionField // nil for the first frame
-	QPs     []int        // final per-MB QP
+	Type   FrameType
+	Index  int
+	BaseQP int
+	MBW    int
+	MBH    int
+	// Motion is the encoder's analysis for this frame (nil for the very
+	// first frame). Its backing storage is recycled: the field stays valid
+	// until the second following Encode/AnalyzeMotion call on the same
+	// encoder; consumers that need it longer must copy it
+	// (mvfield.FromMotion does).
+	Motion  *MotionField
+	QPs     []int // final per-MB QP
 	Data    []byte
 	NumBits int
 }
@@ -145,11 +156,26 @@ type EncodeOptions struct {
 type Encoder struct {
 	cfg      Config
 	mbw, mbh int
+	pool     *parallel.Pool
 	ref      *imgx.Plane // reconstructed previous frame
 	refQPs   []int       // per-MB QP the reference was coded with
 	frameIdx int
-	analyzed *imgx.Plane // frame for which `motion` is valid
-	motion   *MotionField
+	// analyzed/analyzedSeq identify the frame for which `motion` is valid:
+	// pointer identity plus the plane's content generation counter, so a
+	// caller that reuses one buffer across frames (and bumps it) never
+	// reads a stale cached field.
+	analyzed    *imgx.Plane
+	analyzedSeq uint64
+	motion      *MotionField
+	// mfBuf rotates two MotionField buffers across analyses: the field
+	// returned by one analysis stays intact through the whole next frame,
+	// so EncodedFrame.Motion consumers that finish before then never see a
+	// recycled buffer (see EncodedFrame.Motion).
+	mfBuf  [2]*MotionField
+	mfNext int
+	// dctScratch is the recycled backing array of the per-frame inter-DCT
+	// cache (QP-independent, rebuilt each P-frame, never escapes Encode).
+	dctScratch [][blockSize * blockSize]float64
 }
 
 // NewEncoder validates cfg and creates an encoder.
@@ -163,7 +189,10 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	if cfg.Method < MEDia || cfg.Method > MEEsa {
 		return nil, fmt.Errorf("codec: unknown motion estimation method %d", cfg.Method)
 	}
-	return &Encoder{cfg: cfg, mbw: cfg.Width / MBSize, mbh: cfg.Height / MBSize}, nil
+	return &Encoder{
+		cfg: cfg, mbw: cfg.Width / MBSize, mbh: cfg.Height / MBSize,
+		pool: parallel.New(cfg.Workers),
+	}, nil
 }
 
 // MBDims returns the macroblock grid size.
@@ -231,13 +260,22 @@ func (e *Encoder) neighborhoodMaxQP(bx, by int) int {
 
 // AnalyzeMotion runs motion estimation of frame against the current
 // reference and returns the motion field without encoding anything. The
-// result is cached: a subsequent Encode of the same frame reuses it. It
-// returns nil when no reference exists yet (the very first frame).
+// result is cached: a subsequent Encode of the same frame reuses it. The
+// cache key is the plane pointer plus its content generation counter
+// (imgx.Plane.Seq), so reusing one buffer for successive frames is safe as
+// long as writers bump the counter (Set/Fill do; direct Pix writers call
+// Bump). It returns nil when no reference exists yet (the very first frame).
+//
+// With a multi-worker pool the macroblock grid runs as a wavefront over
+// anti-diagonals d = bx + 2·by: each MB's predictor reads its left, top and
+// top-right neighbors, which all lie on earlier diagonals, so every MB sees
+// exactly the predictors the serial raster scan would have produced and the
+// resulting field is bit-identical at any worker count.
 func (e *Encoder) AnalyzeMotion(frame *imgx.Plane) *MotionField {
 	if e.ref == nil {
 		return nil
 	}
-	if e.analyzed == frame && e.motion != nil {
+	if e.analyzed == frame && e.analyzedSeq == frame.Seq() && e.motion != nil {
 		return e.motion
 	}
 	searchTimer := e.cfg.Obs.StartStage(obs.StageCodecMotion)
@@ -245,63 +283,86 @@ func (e *Encoder) AnalyzeMotion(frame *imgx.Plane) *MotionField {
 	if e.cfg.SubPel {
 		scale = 2
 	}
-	mf := &MotionField{
-		MBW: e.mbw, MBH: e.mbh,
-		MVs:   make([]MV, e.mbw*e.mbh),
-		Modes: make([]MBMode, e.mbw*e.mbh),
-		SADs:  make([]int, e.mbw*e.mbh),
-		Scale: scale,
-	}
-	for by := 0; by < e.mbh; by++ {
-		for bx := 0; bx < e.mbw; bx++ {
-			i := by*e.mbw + bx
-			pred := predictMV(mf.MVs, e.mbw, bx, by)
-			px, py := bx*MBSize, by*MBSize
-			// Skip test at the predictor. The threshold is QP-aware: a
-			// heavily quantized reference block carries reconstruction
-			// noise on the order of 64–77·Qstep of SAD even when the
-			// content is static, and searching through that noise would
-			// emit jitter vectors. The neighborhood maximum matters
-			// because deblocking smears a crushed neighbor's noise across
-			// the shared boundary.
-			skipThresh := e.cfg.SkipThreshold
-			if e.refQPs != nil {
-				if qpAware := int(96 * QStep(e.neighborhoodMaxQP(bx, by))); qpAware > skipThresh {
-					skipThresh = qpAware
-				}
-			}
-			var sadPred int
-			if e.cfg.SubPel {
-				sadPred = sadHalf(frame, px, py, e.ref, px*2+int(pred.X), py*2+int(pred.Y), MBSize, MBSize, skipThresh)
-			} else {
-				sadPred = imgx.SAD(frame, px, py, e.ref, px+int(pred.X), py+int(pred.Y), MBSize, MBSize, skipThresh)
-			}
-			if sadPred < skipThresh {
-				mf.MVs[i] = pred
-				mf.Modes[i] = ModeSkip
-				mf.SADs[i] = sadPred
-				continue
-			}
-			fullPred := pred
-			if e.cfg.SubPel {
-				fullPred = MV{pred.X / 2, pred.Y / 2}
-			}
-			mv, cost := SearchMB(frame, e.ref, px, py, fullPred, e.cfg.Method, e.cfg.SearchRange)
-			if e.cfg.SubPel {
-				hmv := MV{mv.X * 2, mv.Y * 2}
-				sad := sadHalf(frame, px, py, e.ref, px*2+int(hmv.X), py*2+int(hmv.Y), MBSize, MBSize, 1<<30)
-				hmv, sad = refineHalf(frame, e.ref, px, py, hmv, sad)
-				mv, cost = hmv, sad
-			}
-			mf.MVs[i] = mv
-			mf.Modes[i] = ModeInter
-			mf.SADs[i] = cost
-		}
-	}
+	mf := e.nextMotionField(scale)
+	e.pool.Wavefront(e.mbw, e.mbh, func(bx, by int) {
+		e.searchMB(frame, mf, bx, by)
+	})
 	e.analyzed = frame
+	e.analyzedSeq = frame.Seq()
 	e.motion = mf
 	searchTimer.Stop()
 	return mf
+}
+
+// nextMotionField returns the next recycled MotionField buffer. Rotating two
+// buffers keeps the previously returned field intact through the whole next
+// analysis (see EncodedFrame.Motion). No zeroing is needed: searchMB writes
+// every cell, and predictors only read cells already finalized this frame.
+func (e *Encoder) nextMotionField(scale int) *MotionField {
+	n := e.mbw * e.mbh
+	slot := e.mfNext
+	e.mfNext = 1 - e.mfNext
+	mf := e.mfBuf[slot]
+	if mf == nil {
+		mf = &MotionField{
+			MBW: e.mbw, MBH: e.mbh,
+			MVs:   make([]MV, n),
+			Modes: make([]MBMode, n),
+			SADs:  make([]int, n),
+		}
+		e.mfBuf[slot] = mf
+	}
+	mf.Scale = scale
+	return mf
+}
+
+// searchMB runs the skip test and motion search for macroblock (bx, by) and
+// writes its vector, mode and SAD into mf. Predictors are read from mf.MVs,
+// so the caller must guarantee the left, top and top-right entries are final
+// before this cell runs — raster order and the d = bx+2·by wavefront both do.
+func (e *Encoder) searchMB(frame *imgx.Plane, mf *MotionField, bx, by int) {
+	i := by*e.mbw + bx
+	pred := predictMV(mf.MVs, e.mbw, bx, by)
+	px, py := bx*MBSize, by*MBSize
+	// Skip test at the predictor. The threshold is QP-aware: a
+	// heavily quantized reference block carries reconstruction
+	// noise on the order of 64–77·Qstep of SAD even when the
+	// content is static, and searching through that noise would
+	// emit jitter vectors. The neighborhood maximum matters
+	// because deblocking smears a crushed neighbor's noise across
+	// the shared boundary.
+	skipThresh := e.cfg.SkipThreshold
+	if e.refQPs != nil {
+		if qpAware := int(96 * QStep(e.neighborhoodMaxQP(bx, by))); qpAware > skipThresh {
+			skipThresh = qpAware
+		}
+	}
+	var sadPred int
+	if e.cfg.SubPel {
+		sadPred = sadHalf(frame, px, py, e.ref, px*2+int(pred.X), py*2+int(pred.Y), MBSize, MBSize, skipThresh)
+	} else {
+		sadPred = imgx.SAD(frame, px, py, e.ref, px+int(pred.X), py+int(pred.Y), MBSize, MBSize, skipThresh)
+	}
+	if sadPred < skipThresh {
+		mf.MVs[i] = pred
+		mf.Modes[i] = ModeSkip
+		mf.SADs[i] = sadPred
+		return
+	}
+	fullPred := pred
+	if e.cfg.SubPel {
+		fullPred = MV{pred.X / 2, pred.Y / 2}
+	}
+	mv, cost := SearchMB(frame, e.ref, px, py, fullPred, e.cfg.Method, e.cfg.SearchRange)
+	if e.cfg.SubPel {
+		hmv := MV{mv.X * 2, mv.Y * 2}
+		sad := sadHalf(frame, px, py, e.ref, px*2+int(hmv.X), py*2+int(hmv.Y), MBSize, MBSize, 1<<30)
+		hmv, sad = refineHalf(frame, e.ref, px, py, hmv, sad)
+		mv, cost = hmv, sad
+	}
+	mf.MVs[i] = mv
+	mf.Modes[i] = ModeInter
+	mf.SADs[i] = cost
 }
 
 // Encode compresses one frame and advances the encoder state.
@@ -343,14 +404,22 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 		// Bisect the base QP over cheap trial passes (entropy-only: no
 		// reconstruction or loop filtering), then run one full final pass
 		// at the chosen QP. Trial and final passes produce identical bit
-		// counts.
+		// counts. A trial pass is a pure function of (frame, mf, dctCache,
+		// qp), so with a multi-worker pool the top levels of the bisection
+		// tree are probed speculatively in parallel and the loop below
+		// consumes the memo — the probed QPs cover every path the serial
+		// bisection could take through those levels, so the chosen QP is
+		// identical whether or not bits(qp) is monotonic.
+		memo, trials := e.prefetchRCProbes(frame, ftype, mf, dctCache, opts.QPOffsets)
 		lo, hi := 0, 51
-		trials := 0
 		for lo < hi {
 			mid := (lo + hi) / 2
-			r := e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false)
-			trials++
-			if r.bits <= opts.TargetBits {
+			bits := memo[mid]
+			if bits < 0 {
+				bits = e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false).bits
+				trials++
+			}
+			if bits <= opts.TargetBits {
 				hi = mid
 			} else {
 				lo = mid + 1
@@ -378,6 +447,46 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 	}, nil
 }
 
+// prefetchRCProbes speculatively executes rate-control trial passes for the
+// top levels of the bisection tree over [0, 51], as many levels as fit the
+// pool width (1 + 2 + 4 + ... probes). It returns per-QP bit counts (-1 for
+// QPs not probed) and the number of passes executed. A serial pool probes
+// nothing — the bisection loop then runs exactly the pre-existing serial
+// sequence of passes.
+func (e *Encoder) prefetchRCProbes(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, offsets []int) (memo [52]int, probes int) {
+	for i := range memo {
+		memo[i] = -1
+	}
+	nw := e.pool.Workers()
+	if nw <= 1 {
+		return memo, 0
+	}
+	// Enumerate the QPs the bisection may probe, level by level: interval
+	// (lo, hi) probes mid and continues with (lo, mid) or (mid+1, hi).
+	// Intervals on one level are disjoint, so the midpoints are distinct.
+	type iv struct{ lo, hi int }
+	level := []iv{{0, 51}}
+	var qps []int
+	for len(level) > 0 && len(qps)+len(level) <= nw {
+		var next []iv
+		for _, v := range level {
+			mid := (v.lo + v.hi) / 2
+			qps = append(qps, mid)
+			if v.lo < mid {
+				next = append(next, iv{v.lo, mid})
+			}
+			if mid+1 < v.hi {
+				next = append(next, iv{mid + 1, v.hi})
+			}
+		}
+		level = next
+	}
+	e.pool.ForEach(len(qps), func(k int) {
+		memo[qps[k]] = e.encodePass(frame, ftype, mf, dctCache, qps[k], offsets, false).bits
+	})
+	return memo, len(qps)
+}
+
 // passResult is the outcome of one trial encode at a fixed base QP.
 type passResult struct {
 	qp    int
@@ -396,7 +505,14 @@ type passResult struct {
 // reconstruction).
 func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, final bool) *passResult {
 	w := &BitWriter{}
-	recon := imgx.NewPlane(e.cfg.Width, e.cfg.Height)
+	// A P-frame trial pass never reconstructs (skip MBs compensate only
+	// when final, inter MBs only quantize and count bits), so it needs no
+	// reconstruction plane at all. Intra trial passes still do: intra
+	// prediction reads reconstructed causal neighbors.
+	var recon *imgx.Plane
+	if final || ftype == IFrame {
+		recon = imgx.NewPlane(e.cfg.Width, e.cfg.Height)
+	}
 	qps := make([]int, e.mbw*e.mbh)
 
 	// Header.
@@ -478,18 +594,23 @@ func refSample(ref *imgx.Plane, cx, cy int, mv MV, subpel bool) float64 {
 	return float64(ref.At(cx+int(mv.X), cy+int(mv.Y)))
 }
 
-// encodeInterMB codes the motion-compensated residual of one macroblock and
-// reconstructs it into recon.
 // buildInterDCTCache computes the forward DCT of every inter macroblock's
-// motion-compensated residual (4 blocks per MB, zero for skip MBs, in
-// raster order). The cache is QP-independent and shared by all passes.
+// motion-compensated residual (4 blocks per MB, in raster order). The cache
+// is QP-independent and shared by all passes. Macroblocks are independent,
+// so the grid is sharded flat across the pool. The backing array is recycled
+// across frames without zeroing: non-inter slots are never read (only
+// ModeInter macroblocks index into the cache).
 func (e *Encoder) buildInterDCTCache(frame *imgx.Plane, mf *MotionField) [][blockSize * blockSize]float64 {
-	cache := make([][blockSize * blockSize]float64, e.mbw*e.mbh*4)
-	var res [blockSize * blockSize]float64
-	for i := 0; i < e.mbw*e.mbh; i++ {
+	n := e.mbw * e.mbh * 4
+	if cap(e.dctScratch) < n {
+		e.dctScratch = make([][blockSize * blockSize]float64, n)
+	}
+	cache := e.dctScratch[:n]
+	e.pool.ForEach(e.mbw*e.mbh, func(i int) {
 		if mf.Modes[i] != ModeInter {
-			continue
+			return
 		}
+		var res [blockSize * blockSize]float64
 		bx, by := i%e.mbw, i/e.mbw
 		px, py := bx*MBSize, by*MBSize
 		mv := mf.MVs[i]
@@ -506,7 +627,7 @@ func (e *Encoder) buildInterDCTCache(frame *imgx.Plane, mf *MotionField) [][bloc
 				blk++
 			}
 		}
-	}
+	})
 	return cache
 }
 

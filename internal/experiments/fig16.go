@@ -32,21 +32,34 @@ func schemes() []sim.Scheme {
 	}
 }
 
-// endToEnd sweeps all schemes across bandwidths on one workload.
+// endToEnd sweeps all schemes across bandwidths on one workload. The
+// (bandwidth, scheme) cells are independent, so they fan across the harness
+// pool into a slice pre-sized and indexed by cell — row order is identical
+// to the serial double loop at any width. Each cell evaluates a fresh scheme
+// instance so no state is shared across concurrent cells.
 func endToEnd(w Workload, scale Scale, seed int64) ([]EndToEndRow, error) {
-	var rows []EndToEndRow
-	for _, bw := range bandwidthSweep(scale) {
-		for _, s := range schemes() {
-			res, err := runScheme(w, s, constTrace(bw), seed+int64(bw*131))
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, EndToEndRow{
-				Dataset: w.Name, Scheme: s.Name(), Bandwidth: bw,
-				MAP: res.MAP, CarAP: res.CarAP, PedAP: res.PedAP,
-				MeanRT: res.MeanRT, P50RT: res.P50RT, P95RT: res.P95RT,
-				BitrateMbps: res.BitrateMbps, Frames: res.Frames,
-			})
+	bws := bandwidthSweep(scale)
+	numSchemes := len(schemes())
+	rows := make([]EndToEndRow, len(bws)*numSchemes)
+	errs := make([]error, len(rows))
+	pool().ForEach(len(rows), func(j int) {
+		bw := bws[j/numSchemes]
+		s := schemes()[j%numSchemes]
+		res, err := runScheme(w, s, constTrace(bw), seed+int64(bw*131))
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		rows[j] = EndToEndRow{
+			Dataset: w.Name, Scheme: s.Name(), Bandwidth: bw,
+			MAP: res.MAP, CarAP: res.CarAP, PedAP: res.PedAP,
+			MeanRT: res.MeanRT, P50RT: res.P50RT, P95RT: res.P95RT,
+			BitrateMbps: res.BitrateMbps, Frames: res.Frames,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil

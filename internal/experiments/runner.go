@@ -25,26 +25,53 @@ type EvalResult struct {
 	BitrateMbps float64 // BitsSent over ClipSeconds
 }
 
+// clipOutcome is one clip's evaluation, produced into a pre-sized per-clip
+// slot so concurrent evaluation aggregates in the same order as the serial
+// loop (float summation order included).
+type clipOutcome struct {
+	dets, gt [][]detect.Detection
+	rts      []float64
+	bits     int
+	frames   int
+	seconds  float64
+	err      error
+}
+
 // runScheme evaluates a scheme over every clip of a workload; traceFn
-// builds the bandwidth trace per clip (fresh link state per clip).
+// builds the bandwidth trace per clip (fresh link state per clip). Clips are
+// independent — every scheme builds its per-run pipeline state inside Run —
+// and fan across the harness pool.
 func runScheme(w Workload, scheme sim.Scheme, traceFn func(clipIdx int) netsim.Trace, envSeed int64) (EvalResult, error) {
-	var allDets, allGT [][]detect.Detection
-	var rts []float64
 	out := EvalResult{Scheme: scheme.Name(), Dataset: w.Name}
-	for ci, clip := range w.Clips {
+	outs := make([]clipOutcome, len(w.Clips))
+	pool().ForEach(len(w.Clips), func(ci int) {
+		clip := w.Clips[ci]
 		env := sim.NewEnv(envSeed + int64(ci)*131071)
 		link := netsim.NewLink(traceFn(ci), 0.012)
 		res, err := scheme.Run(clip, link, env)
 		if err != nil {
-			return out, err
+			outs[ci].err = err
+			return
 		}
-		oracle := sim.OracleDetections(clip, env)
-		allDets = append(allDets, res.Detections...)
-		allGT = append(allGT, oracle...)
-		rts = append(rts, res.ResponseTimes...)
-		out.BitsSent += res.TotalBits()
-		out.Frames += clip.NumFrames()
-		out.ClipSeconds += float64(clip.NumFrames()) / clip.FPS
+		outs[ci] = clipOutcome{
+			dets: res.Detections, gt: sim.OracleDetections(clip, env),
+			rts: res.ResponseTimes, bits: res.TotalBits(),
+			frames:  clip.NumFrames(),
+			seconds: float64(clip.NumFrames()) / clip.FPS,
+		}
+	})
+	var allDets, allGT [][]detect.Detection
+	var rts []float64
+	for _, c := range outs {
+		if c.err != nil {
+			return out, c.err
+		}
+		allDets = append(allDets, c.dets...)
+		allGT = append(allGT, c.gt...)
+		rts = append(rts, c.rts...)
+		out.BitsSent += c.bits
+		out.Frames += c.frames
+		out.ClipSeconds += c.seconds
 	}
 	out.CarAP = metrics.AP(allDets, allGT, world.ClassCar, metrics.DefaultIoU)
 	out.PedAP = metrics.AP(allDets, allGT, world.ClassPedestrian, metrics.DefaultIoU)

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"dive/internal/codec"
+	"dive/internal/world"
+)
+
+// SpeedupResult reports encoder throughput serial vs parallel on identical
+// input — the speedup the deterministic parallel execution layer delivers on
+// this machine. Bitstreams are bit-exact between the two runs, so this is a
+// pure wall-clock comparison.
+type SpeedupResult struct {
+	Workers    int     `json:"workers"`
+	SerialMs   float64 `json:"serial_ms_per_frame"`
+	ParallelMs float64 `json:"parallel_ms_per_frame"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// encodeClipMs encodes every frame of the clip with a fixed-width encoder
+// pool and returns the mean wall-clock milliseconds per frame.
+func encodeClipMs(clip *world.Clip, workers int) (float64, error) {
+	cfg := codec.DefaultConfig(clip.W, clip.H)
+	cfg.Workers = workers
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	for _, f := range clip.Frames {
+		if _, err := enc.Encode(f, codec.EncodeOptions{TargetBits: 150_000}); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0).Seconds() * 1000 / float64(len(clip.Frames)), nil
+}
+
+// EncodeSpeedup renders one RobotCar-flavored clip and encodes it twice —
+// once with a width-1 pool, once with the given width (0 = GOMAXPROCS) —
+// and reports the measured per-frame times. divebench embeds the result in
+// its -json output.
+func EncodeSpeedup(scale Scale, seed int64, workers int) (SpeedupResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := world.RobotCarLike()
+	_, dur := scale.params()
+	p.ClipDuration = dur
+	clip := world.GenerateClip(p, seed)
+	res := SpeedupResult{Workers: workers}
+	var err error
+	if res.SerialMs, err = encodeClipMs(clip, 1); err != nil {
+		return res, err
+	}
+	if res.ParallelMs, err = encodeClipMs(clip, workers); err != nil {
+		return res, err
+	}
+	if res.ParallelMs > 0 {
+		res.Speedup = res.SerialMs / res.ParallelMs
+	}
+	return res, nil
+}

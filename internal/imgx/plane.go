@@ -15,6 +15,11 @@ import (
 type Plane struct {
 	W, H int
 	Pix  []uint8
+	// seq is a content generation counter: Set and Fill bump it, and
+	// callers that rewrite Pix directly and reuse the buffer across frames
+	// must call Bump so content-keyed caches (the encoder's motion-analysis
+	// memo) notice the change. Pointer identity alone cannot.
+	seq uint64
 }
 
 // NewPlane allocates a zeroed W×H plane. It panics on non-positive
@@ -49,7 +54,15 @@ func (p *Plane) Set(x, y int, v uint8) {
 		return
 	}
 	p.Pix[y*p.W+x] = v
+	p.seq++
 }
+
+// Bump advances the content generation counter. Call it after writing Pix
+// directly on a buffer that is reused across frames.
+func (p *Plane) Bump() { p.seq++ }
+
+// Seq returns the content generation counter.
+func (p *Plane) Seq() uint64 { return p.seq }
 
 // Clone returns a deep copy of the plane.
 func (p *Plane) Clone() *Plane {
@@ -63,6 +76,7 @@ func (p *Plane) Fill(v uint8) {
 	for i := range p.Pix {
 		p.Pix[i] = v
 	}
+	p.seq++
 }
 
 // Row returns the pixels of row y as a shared slice (no copy).

@@ -251,3 +251,29 @@ func TestSAD(t *testing.T) {
 		t.Errorf("clamped SAD = %d, want %d", got, want)
 	}
 }
+
+func TestPlaneSeqTracksContent(t *testing.T) {
+	p := NewPlane(4, 3)
+	if p.Seq() != 0 {
+		t.Errorf("fresh plane Seq = %d", p.Seq())
+	}
+	p.Set(1, 1, 9)
+	if p.Seq() == 0 {
+		t.Error("Set did not bump Seq")
+	}
+	s := p.Seq()
+	p.Set(-1, 0, 9) // out of bounds: no content change, no bump
+	if p.Seq() != s {
+		t.Error("out-of-bounds Set bumped Seq")
+	}
+	p.Fill(3)
+	if p.Seq() <= s {
+		t.Error("Fill did not bump Seq")
+	}
+	s = p.Seq()
+	p.Pix[0] = 42 // direct write: caller's responsibility
+	p.Bump()
+	if p.Seq() != s+1 {
+		t.Errorf("Bump moved Seq from %d to %d", s, p.Seq())
+	}
+}

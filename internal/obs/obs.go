@@ -52,6 +52,13 @@ const (
 
 	// Experiment harness end-to-end response times.
 	StageResponse = "e2e_response_seconds"
+
+	// Parallel execution layer (internal/parallel): pool width, regions in
+	// flight, cumulative regions and tasks dispatched.
+	GaugeParallelWorkers  = "parallel_pool_workers"
+	GaugeParallelActive   = "parallel_active_regions"
+	MetricParallelRegions = "parallel_regions_total"
+	MetricParallelTasks   = "parallel_tasks_total"
 )
 
 // Recorder bundles a metrics registry and a frame-lifecycle ring. A nil

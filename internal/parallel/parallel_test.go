@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"dive/internal/obs"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d", got)
+	}
+	if got := Serial().Workers(); got != 1 {
+		t.Errorf("Serial().Workers() = %d", got)
+	}
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		New(workers).ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSmallN(t *testing.T) {
+	var ran atomic.Int32
+	New(8).ForEach(0, func(i int) { ran.Add(1) })
+	New(8).ForEach(1, func(i int) { ran.Add(1) })
+	if ran.Load() != 1 {
+		t.Errorf("ran = %d, want 1", ran.Load())
+	}
+	// A nil pool is serial and must still execute everything.
+	var p *Pool
+	sum := 0
+	p.ForEach(5, func(i int) { sum += i })
+	if sum != 10 {
+		t.Errorf("nil pool sum = %d", sum)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	New(4).ForEach(100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestBandsPartitionIsFixed(t *testing.T) {
+	const n, band = 100, 16
+	for _, workers := range []int{1, 5} {
+		covered := make([]atomic.Int32, n)
+		var bandsSeen atomic.Int32
+		New(workers).Bands(n, band, func(b, lo, hi int) {
+			bandsSeen.Add(1)
+			if lo != b*band {
+				t.Errorf("band %d starts at %d, want %d", b, lo, b*band)
+			}
+			if hi-lo > band {
+				t.Errorf("band %d has height %d > %d", b, hi-lo, band)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		if bandsSeen.Load() != 7 { // ceil(100/16)
+			t.Errorf("workers=%d: %d bands, want 7", workers, bandsSeen.Load())
+		}
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("workers=%d: row %d covered %d times", workers, i, covered[i].Load())
+			}
+		}
+	}
+}
+
+// TestWavefrontDependencies asserts that when fn(x, y) runs, its left, top
+// and top-right neighbors have already completed — the exact precondition
+// for bit-identical motion-vector prediction.
+func TestWavefrontDependencies(t *testing.T) {
+	const w, h = 9, 7
+	for _, workers := range []int{1, 2, 8} {
+		done := make([]atomic.Bool, w*h)
+		New(workers).Wavefront(w, h, func(x, y int) {
+			check := func(nx, ny int) {
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					return
+				}
+				if !done[ny*w+nx].Load() {
+					t.Errorf("workers=%d: cell (%d,%d) ran before dependency (%d,%d)", workers, x, y, nx, ny)
+				}
+			}
+			check(x-1, y)
+			check(x, y-1)
+			check(x+1, y-1)
+			done[y*w+x].Store(true)
+		})
+		for i := range done {
+			if !done[i].Load() {
+				t.Fatalf("workers=%d: cell %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestWavefrontDegenerateGrids(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {5, 1}, {1, 5}, {2, 3}} {
+		w, h := dims[0], dims[1]
+		var n atomic.Int32
+		New(4).Wavefront(w, h, func(x, y int) { n.Add(1) })
+		if int(n.Load()) != w*h {
+			t.Errorf("%dx%d grid: ran %d cells", w, h, n.Load())
+		}
+	}
+}
+
+func TestRegionGauges(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	obs.SetDefault(rec)
+	defer obs.SetDefault(nil)
+	New(4).ForEach(64, func(i int) {})
+	snap := rec.Snapshot()
+	if snap.Counters[obs.MetricParallelRegions] < 1 {
+		t.Error("no parallel region recorded")
+	}
+	if snap.Counters[obs.MetricParallelTasks] < 64 {
+		t.Errorf("tasks counter = %d", snap.Counters[obs.MetricParallelTasks])
+	}
+	if snap.Gauges[obs.GaugeParallelWorkers] != 4 {
+		t.Errorf("workers gauge = %v", snap.Gauges[obs.GaugeParallelWorkers])
+	}
+	if snap.Gauges[obs.GaugeParallelActive] != 0 {
+		t.Errorf("active gauge = %v after region end", snap.Gauges[obs.GaugeParallelActive])
+	}
+}

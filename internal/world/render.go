@@ -6,6 +6,7 @@ import (
 
 	"dive/internal/geom"
 	"dive/internal/imgx"
+	"dive/internal/parallel"
 )
 
 // GTBox is a ground-truth 2-D annotation for one object in one frame.
@@ -18,10 +19,34 @@ type GTBox struct {
 	Moving   bool    // whether the object itself is in motion
 }
 
+// renderBand is the fixed scanline band height the renderer shards by. It is
+// part of the output contract: per-band sensor-noise RNG streams are seeded
+// by band index, so the band height (never the worker count) determines the
+// noise pattern.
+const renderBand = 16
+
+// drawn records one successfully rasterized billboard for ground-truth
+// extraction.
+type drawn struct {
+	obj  *Billboard
+	rect imgx.Rect
+	dpt  float64
+}
+
 // Renderer rasterizes a Scene through a Camera with a z-buffer.
 type Renderer struct {
 	scene *Scene
 	depth []float64
+	// rendered is the per-frame billboard scratch list, recycled across
+	// Render calls.
+	rendered []drawn
+	pool     *parallel.Pool
+	poolW    int
+	// Workers bounds the renderer's scanline-band parallelism (background
+	// ray-cast, illumination and sensor noise). 0 sizes to GOMAXPROCS, 1
+	// is serial. Output is identical for every value: bands are fixed
+	// renderBand-row slabs and each band owns an independent RNG stream.
+	Workers int
 	// MaxObjectDist culls objects farther than this from the camera.
 	MaxObjectDist float64
 	// NoiseStd adds per-pixel Gaussian sensor noise (luma levels).
@@ -65,33 +90,45 @@ func (r *Renderer) Render(cam *Camera, t float64, frameSeed int64) (*imgx.Plane,
 	r.drawBackground(cam, frame, depth)
 
 	objs := r.scene.ObjectsNear(cam.Pos, t, r.MaxObjectDist)
-	type drawn struct {
-		obj  *Billboard
-		rect imgx.Rect
-		dpt  float64
-	}
-	var rendered []drawn
+	// Billboards stay serial: they contend on the shared z-buffer and are a
+	// small fraction of the pixel work.
+	rendered := r.rendered[:0]
 	for _, obj := range objs {
 		rect, dpt, ok := r.drawBillboard(cam, frame, depth, obj, t)
 		if ok {
 			rendered = append(rendered, drawn{obj, rect, dpt})
 		}
 	}
+	r.rendered = rendered
 
-	if r.Illumination > 0 && r.Illumination != 1 {
-		// Night capture: luma (and with it texture contrast) scales down,
-		// with a small gain-lifted pedestal so the image is dim but not
-		// black.
-		for i := range frame.Pix {
-			frame.Pix[i] = clampU8(float64(frame.Pix[i])*r.Illumination + 14)
-		}
-	}
-	if r.NoiseStd > 0 {
-		rng := rand.New(rand.NewSource(frameSeed))
-		for i := range frame.Pix {
-			v := float64(frame.Pix[i]) + rng.NormFloat64()*r.NoiseStd
-			frame.Pix[i] = clampU8(v)
-		}
+	// Sensor model, one fused banded pass. Illumination is pixel-local, so
+	// banding cannot change it. Noise draws from a per-band RNG seeded by
+	// (frameSeed, band index): streams are independent of the worker count,
+	// so output is reproducible at any width — but the pattern differs from
+	// the old single-stream scan (documented output change; no golden
+	// depends on exact noise values, only on its statistics).
+	illum := r.Illumination > 0 && r.Illumination != 1
+	if illum || r.NoiseStd > 0 {
+		r.workerPool().Bands(h, renderBand, func(b, lo, hi int) {
+			var rng *rand.Rand
+			if r.NoiseStd > 0 {
+				mix := uint64(b+1) * 0x9E3779B97F4A7C15 // Fibonacci hashing spreads band seeds
+				rng = rand.New(rand.NewSource(frameSeed ^ int64(mix)))
+			}
+			for i := lo * w; i < hi*w; i++ {
+				v := float64(frame.Pix[i])
+				if illum {
+					// Night capture: luma (and with it texture contrast)
+					// scales down, with a small gain-lifted pedestal so the
+					// image is dim but not black.
+					v = float64(clampU8(v*r.Illumination + 14))
+				}
+				if rng != nil {
+					v += rng.NormFloat64() * r.NoiseStd
+				}
+				frame.Pix[i] = clampU8(v)
+			}
+		})
 	}
 
 	// Ground truth: visible fraction estimated against the final z-buffer.
@@ -120,12 +157,30 @@ func (r *Renderer) Render(cam *Camera, t float64, frameSeed int64) (*imgx.Plane,
 	return frame, gts
 }
 
+// workerPool returns the pool for the current Workers setting, rebuilding it
+// when the setting changed since the last frame.
+func (r *Renderer) workerPool() *parallel.Pool {
+	if r.pool == nil || r.poolW != r.Workers {
+		r.pool = parallel.New(r.Workers)
+		r.poolW = r.Workers
+	}
+	return r.pool
+}
+
 // drawBackground fills the sky above the horizon and ray-casts the textured
-// ground plane below it.
+// ground plane below it. Every pixel is independent, so the frame is sharded
+// into fixed scanline bands.
 func (r *Renderer) drawBackground(cam *Camera, frame *imgx.Plane, depth []float64) {
-	w, h := cam.W, cam.H
+	r.workerPool().Bands(cam.H, renderBand, func(_, lo, hi int) {
+		r.backgroundRows(cam, frame, depth, lo, hi)
+	})
+}
+
+// backgroundRows rasterizes background rows [lo, hi).
+func (r *Renderer) backgroundRows(cam *Camera, frame *imgx.Plane, depth []float64, lo, hi int) {
+	w := cam.W
 	groundY := r.scene.GroundY
-	for y := 0; y < h; y++ {
+	for y := lo; y < hi; y++ {
 		for x := 0; x < w; x++ {
 			d := cam.RayDir(float64(x)+0.5, float64(y)+0.5)
 			idx := y*w + x
