@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs bench-compare clean
+.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline clean
 
 all: build vet test
 
@@ -31,6 +31,22 @@ bench-obs:
 bench-compare:
 	$(GO) test -run xxx -bench 'EncodeParallel|AnalyzeMotionParallel|RenderParallel' -benchmem -cpu 1,4 ./internal/codec/ ./internal/world/
 
+# Smoke benchmark + automated diagnosis (the CI bench-smoke job): run the
+# tiny end-to-end experiment with telemetry, export a healthy-run decision
+# journal, and have divedoctor check both — journal pathologies and stage
+# latencies against the committed baseline. Exit 1 on any finding.
+bench-smoke:
+	$(GO) run ./cmd/divebench -scale smoke -only f16 -speedup=false -telemetry -json bench_smoke.json
+	$(GO) run ./cmd/divetrace -format journal -duration 2 -o smoke.journal.jsonl
+	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl -bench bench_smoke.json -baseline ci/bench_baseline.json -json
+
+# Regenerate the committed latency baseline from a fresh smoke run. Run on
+# the reference machine after intentional performance changes, then commit
+# ci/bench_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/divebench -scale smoke -only f16 -speedup=false -telemetry -json bench_smoke.json
+	$(GO) run ./cmd/divedoctor -bench bench_smoke.json -write-baseline ci/bench_baseline.json
+
 clean:
 	$(GO) clean ./...
-	rm -f bench_results.json
+	rm -f bench_results.json bench_smoke.json smoke.journal.jsonl

@@ -120,6 +120,7 @@ func run(args []string) error {
 		sendStart := time.Since(start).Seconds()
 		if err := enc.Encode(edge.FrameMsg{
 			Index: i, Bitstream: out.Bitstream, SentNanos: time.Now().UnixNano(),
+			TraceID: out.TraceID, SpanID: out.SpanID,
 		}); err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -42,6 +43,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "divebench:", err)
 		os.Exit(1)
 	}
+}
+
+// collectRunMeta captures the execution environment for the -json output.
+// The git commit is best effort: empty outside a checkout or without git.
+func collectRunMeta(workers int, profile string) obs.RunMeta {
+	meta := obs.CollectRunMeta(workers)
+	meta.Profile = profile
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		meta.GitCommit = strings.TrimSpace(string(out))
+	}
+	return meta
 }
 
 func run(args []string) error {
@@ -100,6 +112,7 @@ func run(args []string) error {
 	// results accumulates the machine-readable output for -json.
 	results := &benchResults{
 		Scale: scale.String(), Seed: *seed,
+		RunMeta:        collectRunMeta(*workers, scale.String()),
 		ExperimentSecs: map[string]float64{},
 	}
 
@@ -255,8 +268,12 @@ func run(args []string) error {
 // p50/p95 latency); Telemetry is the recorder snapshot when -telemetry
 // was set (stage-duration histograms with quantiles, counters, gauges).
 type benchResults struct {
-	Scale          string                    `json:"scale"`
-	Seed           int64                     `json:"seed"`
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+	// RunMeta pins the environment that produced the numbers (Go version,
+	// machine shape, -workers, git commit) so analyzers can tell a code
+	// regression from a machine change.
+	RunMeta        obs.RunMeta               `json:"run_meta"`
 	ExperimentSecs map[string]float64        `json:"experiment_secs"`
 	EndToEnd       []experiments.EndToEndRow `json:"end_to_end,omitempty"`
 	// Speedup is the measured serial-vs-parallel encoder throughput ratio

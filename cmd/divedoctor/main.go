@@ -1,0 +1,247 @@
+// Command divedoctor is the automated trace analyzer: it ingests the
+// decision journal and trace spans a DiVE run exported (offline JSONL files
+// or the live /debug/journal and /debug/spans endpoints) and prints a
+// diagnosis report — QP oscillation, systematic bandwidth mis-estimation,
+// foreground-segmentation collapse during turns, stale-MOT drift across
+// outages, and per-stage latency regressions against a committed baseline.
+//
+// Usage:
+//
+//	divedoctor [-journal run.journal.jsonl] [-spans run.spans.jsonl]
+//	           [-url http://localhost:7061] [-bench bench_results.json]
+//	           [-baseline ci/bench_baseline.json]
+//	           [-write-baseline ci/bench_baseline.json] [-json]
+//
+// Input modes (combinable):
+//
+//   - -journal / -spans read exported JSONL files ("-" reads the journal
+//     from stdin).
+//   - -url fetches both live from a telemetry endpoint.
+//   - -bench reads a divebench -json -telemetry results file; with
+//     -baseline its stage histograms are checked for latency regressions,
+//     with -write-baseline they become the new committed baseline.
+//
+// Exit status: 0 when the run diagnoses clean, 1 when any finding fired
+// (machine-gateable), 2 on usage or I/O errors. -json prints the full
+// report as JSON for CI to parse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"dive/internal/doctor"
+	"dive/internal/obs"
+)
+
+func main() {
+	rep, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divedoctor:", err)
+		os.Exit(2)
+	}
+	if rep != nil && !rep.Healthy() {
+		os.Exit(1)
+	}
+}
+
+// benchFile is the slice of divebench's -json schema divedoctor consumes.
+type benchFile struct {
+	RunMeta   obs.RunMeta   `json:"run_meta"`
+	Telemetry *obs.Snapshot `json:"telemetry"`
+}
+
+func run(args []string, w io.Writer) (*doctor.Report, error) {
+	fs := flag.NewFlagSet("divedoctor", flag.ContinueOnError)
+	journalPath := fs.String("journal", "", "decision-journal JSONL file (- = stdin)")
+	spansPath := fs.String("spans", "", "trace-span JSONL file")
+	url := fs.String("url", "", "live telemetry base URL, e.g. http://localhost:7061; fetches /debug/journal and /debug/spans")
+	benchPath := fs.String("bench", "", "divebench -json results file (needs -telemetry for stage histograms)")
+	baselinePath := fs.String("baseline", "", "committed latency baseline to compare -bench against")
+	writeBaseline := fs.String("write-baseline", "", "write the -bench stage histograms as a new baseline file and exit")
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *journalPath == "" && *url == "" && *benchPath == "" {
+		fs.Usage()
+		return nil, fmt.Errorf("nothing to analyze: pass -journal, -url or -bench")
+	}
+
+	var journal []obs.JournalRecord
+	var spans []obs.SpanRecord
+	var err error
+	if *journalPath != "" {
+		journal, err = readJournalFile(*journalPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if *spansPath != "" {
+		spans, err = readSpansFile(*spansPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if *url != "" {
+		j, s, err := fetchLive(*url)
+		if err != nil {
+			return nil, err
+		}
+		journal = append(journal, j...)
+		spans = append(spans, s...)
+	}
+
+	rep := doctor.Analyze(journal, spans, doctor.Thresholds{})
+
+	if *benchPath != "" {
+		bf, err := readBench(*benchPath)
+		if err != nil {
+			return nil, err
+		}
+		cur := doctor.NewBaseline(bf.RunMeta, bf.Telemetry)
+		if *writeBaseline != "" {
+			if len(cur.Stages) == 0 {
+				return nil, fmt.Errorf("%s has no stage histograms (run divebench with -telemetry)", *benchPath)
+			}
+			f, err := os.Create(*writeBaseline)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			if err := cur.WriteBaseline(f); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "wrote baseline %s (%d stages)\n", *writeBaseline, len(cur.Stages))
+			return rep, nil
+		}
+		if *baselinePath != "" {
+			f, err := os.Open(*baselinePath)
+			if err != nil {
+				return nil, err
+			}
+			base, err := doctor.ReadBaseline(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			rep.Checks = append(rep.Checks, "latency-regression")
+			rep.Findings = append(rep.Findings, doctor.CompareLatency(cur, base, doctor.Thresholds{})...)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	printReport(w, rep)
+	return rep, nil
+}
+
+func printReport(w io.Writer, rep *doctor.Report) {
+	fmt.Fprintf(w, "divedoctor: %d journal frames, %d spans, checks: %v\n",
+		rep.Frames, rep.Spans, rep.Checks)
+	if rep.Healthy() {
+		fmt.Fprintln(w, "diagnosis: healthy — no findings")
+		return
+	}
+	fmt.Fprintf(w, "diagnosis: %d finding(s)\n", len(rep.Findings))
+	for _, f := range rep.Findings {
+		loc := ""
+		if f.LastFrame > 0 || f.FirstFrame > 0 {
+			loc = fmt.Sprintf(" [frames %d–%d]", f.FirstFrame, f.LastFrame)
+		}
+		fmt.Fprintf(w, "  %-4s %-20s%s %s\n", f.Severity, f.Check, loc, f.Message)
+	}
+}
+
+func readJournalFile(path string) ([]obs.JournalRecord, error) {
+	r, err := openArg(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	recs, err := obs.ReadJournal(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse journal %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func readSpansFile(path string) ([]obs.SpanRecord, error) {
+	r, err := openArg(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	recs, err := obs.ReadSpans(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse spans %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func openArg(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func readBench(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parse bench results %s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// fetchLive pulls the journal and spans from a running agent's telemetry
+// endpoint.
+func fetchLive(base string) ([]obs.JournalRecord, []obs.SpanRecord, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	jr, err := fetch(client, base+"/debug/journal")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer jr.Close()
+	journal, err := obs.ReadJournal(jr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse %s/debug/journal: %w", base, err)
+	}
+	sr, err := fetch(client, base+"/debug/spans")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sr.Close()
+	spans, err := obs.ReadSpans(sr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse %s/debug/spans: %w", base, err)
+	}
+	return journal, spans, nil
+}
+
+func fetch(client *http.Client, url string) (io.ReadCloser, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dive/internal/doctor"
+	"dive/internal/obs"
+)
+
+func writeJournal(t *testing.T, recs []obs.JournalRecord) string {
+	t.Helper()
+	ring := obs.NewJournalRing(len(recs))
+	for _, r := range recs {
+		ring.Append(r)
+	}
+	var buf bytes.Buffer
+	if err := ring.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.journal.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func oscillatingJournal() []obs.JournalRecord {
+	var out []obs.JournalRecord
+	for i, qp := range []int{24, 34, 22, 35, 23, 33, 21, 34} {
+		out = append(out, obs.JournalRecord{Frame: i, BaseQP: qp, Type: "P"})
+	}
+	return out
+}
+
+func TestRunDiagnosesJournalFile(t *testing.T) {
+	path := writeJournal(t, oscillatingJournal())
+	var out bytes.Buffer
+	rep, err := run([]string{"-journal", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatalf("oscillating journal diagnosed healthy: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "qp-oscillation") {
+		t.Errorf("report does not name the check:\n%s", out.String())
+	}
+}
+
+func TestRunJSONReportIsMachineReadable(t *testing.T) {
+	path := writeJournal(t, oscillatingJournal())
+	var out bytes.Buffer
+	rep, err := run([]string{"-journal", path, "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded doctor.Report
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded.Findings) != len(rep.Findings) {
+		t.Errorf("decoded %d findings, ran %d", len(decoded.Findings), len(rep.Findings))
+	}
+	if decoded.Findings[0].Check != "qp-oscillation" {
+		t.Errorf("finding check %q", decoded.Findings[0].Check)
+	}
+}
+
+func TestRunFetchesLiveEndpoints(t *testing.T) {
+	rec := obs.NewRecorder(16)
+	for _, r := range oscillatingJournal() {
+		rec.RecordJournal(r)
+	}
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+	var out bytes.Buffer
+	rep, err := run([]string{"-url", srv.URL}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatalf("live oscillating journal diagnosed healthy: %s", out.String())
+	}
+}
+
+func TestRunBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	meta := obs.CollectRunMeta(2)
+	meta.Profile = "smoke"
+	mkBench := func(encodeP95 float64) string {
+		bf := benchFile{RunMeta: meta, Telemetry: &obs.Snapshot{
+			Counters: map[string]int64{}, Gauges: map[string]float64{},
+			Histograms: map[string]obs.HistogramSnapshot{
+				obs.StageEncode: {Count: 50, P95: encodeP95},
+				obs.StageMotion: {Count: 50, P95: 0.004},
+			},
+		}}
+		data, err := json.Marshal(bf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "bench.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	bench := mkBench(0.010)
+	baseline := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if _, err := run([]string{"-bench", bench, "-write-baseline", baseline}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Same numbers against the new baseline: healthy.
+	rep, err := run([]string{"-bench", bench, "-baseline", baseline}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("identical run flagged: %+v", rep.Findings)
+	}
+	// Encode p95 regressed 3x on the same machine: flagged.
+	out.Reset()
+	rep, err = run([]string{"-bench", mkBench(0.030), "-baseline", baseline}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() || !strings.Contains(out.String(), "latency-regression") {
+		t.Fatalf("3x encode regression not flagged:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyInvocation(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(nil, &out); err == nil {
+		t.Fatal("no-input invocation did not error")
+	}
+}

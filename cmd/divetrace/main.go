@@ -6,12 +6,16 @@
 // Usage:
 //
 //	divetrace [-profile nuScenes] [-seed 1] [-duration 4] [-mbps 2] [-o out.csv]
-//	          [-format csv|jsonl]
+//	          [-format csv|jsonl|journal|spans]
 //
 // -format jsonl emits the telemetry subsystem's frame-lifecycle records
 // (one JSON object per frame: stage durations in milliseconds,
 // rate-control internals, uplink ack) instead of the analysis CSV — the
 // same schema served live at /debug/frames by diveagent -telemetry.
+// -format journal emits the per-frame decision journal and -format spans
+// the per-frame trace spans (the /debug/journal and /debug/spans schemas),
+// both directly consumable by cmd/divedoctor. Unknown formats are rejected
+// with a non-zero exit.
 package main
 
 import (
@@ -41,12 +45,15 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs.Float64("duration", 4, "clip duration in seconds")
 	mbps := fs.Float64("mbps", 2, "simulated uplink bandwidth")
 	out := fs.String("o", "", "output file (default stdout)")
-	format := fs.String("format", "csv", "output format: csv or jsonl (frame-lifecycle records)")
+	format := fs.String("format", "csv", "output format: csv, jsonl (frame-lifecycle records), journal (decision journal) or spans (trace spans)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *format != "csv" && *format != "jsonl" {
-		return fmt.Errorf("unknown format %q", *format)
+	switch *format {
+	case "csv", "jsonl", "journal", "spans":
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown -format %q (supported: csv, jsonl, journal, spans)", *format)
 	}
 
 	var p world.Profile
@@ -73,8 +80,8 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if *format == "jsonl" {
-		return TraceJSONL(p, *seed, netsim.Mbps(*mbps), w)
+	if *format != "csv" {
+		return TraceTelemetry(p, *seed, netsim.Mbps(*mbps), *format, w)
 	}
 	return Trace(p, *seed, netsim.Mbps(*mbps), w)
 }
@@ -129,6 +136,14 @@ func agentRecon(a *core.Agent) *imgx.Plane { return a.Reconstructed() }
 // TraceJSONL runs the agent with a telemetry recorder attached and writes
 // the frame-lifecycle ring as JSONL.
 func TraceJSONL(p world.Profile, seed int64, uplinkBps float64, w io.Writer) error {
+	return TraceTelemetry(p, seed, uplinkBps, "jsonl", w)
+}
+
+// TraceTelemetry runs the agent with a telemetry recorder attached and
+// writes the selected telemetry stream as JSONL: "jsonl" emits the
+// frame-lifecycle ring, "journal" the decision journal, "spans" the frame
+// trace spans.
+func TraceTelemetry(p world.Profile, seed int64, uplinkBps float64, format string, w io.Writer) error {
 	clip := world.GenerateClip(p, seed)
 	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
 	cfg.Seed = seed
@@ -147,5 +162,12 @@ func TraceJSONL(p world.Profile, seed int64, uplinkBps float64, w io.Writer) err
 		tx := float64(fr.Encoded.NumBits) / uplinkBps
 		agent.OnTransmitComplete(now, now+tx, fr.Encoded.NumBits)
 	}
-	return rec.Frames().WriteJSONL(w)
+	switch format {
+	case "journal":
+		return rec.Journal().WriteJSONL(w)
+	case "spans":
+		return rec.Spans().WriteJSONL(w)
+	default:
+		return rec.Frames().WriteJSONL(w)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dive/internal/netsim"
+	"dive/internal/obs"
 	"dive/internal/world"
 )
 
@@ -39,5 +40,56 @@ func TestRunFlagErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-profile", "bogus"}, &sb); err == nil {
 		t.Error("expected error for unknown profile")
+	}
+	err := run([]string{"-format", "xml"}, &sb)
+	if err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	for _, want := range []string{"xml", "csv", "jsonl", "journal", "spans"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("format error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestJournalFormatFeedsDoctorDecoder(t *testing.T) {
+	p := world.NuScenesLike()
+	p.ClipDuration = 0.5
+	var sb strings.Builder
+	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "journal", &sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadJournal(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("journal output does not round-trip: %v", err)
+	}
+	if len(recs) != int(0.5*p.FPS) {
+		t.Fatalf("journal has %d records, want %d", len(recs), int(0.5*p.FPS))
+	}
+	for i, r := range recs {
+		if r.Frame != i || r.TraceID == 0 || r.EtaThreshold <= 0 {
+			t.Errorf("record %d malformed: %+v", i, r)
+		}
+	}
+}
+
+func TestSpansFormatRoundTrips(t *testing.T) {
+	p := world.NuScenesLike()
+	p.ClipDuration = 0.5
+	var sb strings.Builder
+	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "spans", &sb); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := obs.ReadSpans(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("spans output does not round-trip: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+	for _, s := range spans {
+		if s.TraceID == 0 || s.Name == "" || s.Site == "" {
+			t.Errorf("span malformed: %+v", s)
+		}
 	}
 }

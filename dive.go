@@ -117,6 +117,13 @@ type Output struct {
 	// RotationPitch and RotationYaw are the removed per-frame rotation
 	// increments in radians (0 when not estimated).
 	RotationPitch, RotationYaw float64
+	// TraceID identifies the frame's end-to-end causal trace; the transport
+	// should carry it (and SpanID as the remote parent) to the edge so
+	// server-side spans stitch into the agent's trace. Zero without
+	// Config.Telemetry.
+	TraceID uint64
+	// SpanID is the frame's root span, the parent for remote spans.
+	SpanID uint64
 }
 
 // FrameTypeString returns "I" for intra frames and "P" otherwise.
@@ -202,6 +209,8 @@ func (a *Agent) Process(frame *Frame, now float64) (*Output, error) {
 		Moving:                res.Moving,
 		Delta:                 res.Delta,
 		EstimatedBandwidthBps: res.EstimatedBandwidth,
+		TraceID:               res.Trace.TraceID,
+		SpanID:                res.Trace.SpanID,
 	}
 	if res.Rotation.OK {
 		out.RotationPitch = res.Rotation.PhiX
@@ -254,9 +263,31 @@ func (a *Agent) WriteFrameTrace(w io.Writer) error {
 	return a.rec.Frames().WriteJSONL(w)
 }
 
+// WriteJournal writes the retained decision-journal records as JSONL (one
+// frame per line, oldest first) — the inputs and outputs of every pipeline
+// decision, the format divedoctor ingests. It fails unless Config.Telemetry
+// was set.
+func (a *Agent) WriteJournal(w io.Writer) error {
+	if a.rec == nil {
+		return fmt.Errorf("dive: telemetry not enabled (set Config.Telemetry)")
+	}
+	return a.rec.Journal().WriteJSONL(w)
+}
+
+// WriteSpans writes the retained trace spans as JSONL (oldest first): the
+// per-stage spans of each frame's end-to-end trace. It fails unless
+// Config.Telemetry was set.
+func (a *Agent) WriteSpans(w io.Writer) error {
+	if a.rec == nil {
+		return fmt.Errorf("dive: telemetry not enabled (set Config.Telemetry)")
+	}
+	return a.rec.Spans().WriteJSONL(w)
+}
+
 // TelemetryHandler returns the agent's live introspection HTTP handler
 // (/metrics in Prometheus text format, /debug/vars, /debug/frames,
-// /debug/pprof/), or nil unless Config.Telemetry was set.
+// /debug/journal, /debug/spans, /debug/pprof/). Without Config.Telemetry it
+// returns a handler that answers 503 on every path.
 func (a *Agent) TelemetryHandler() http.Handler { return a.rec.Handler() }
 
 // Decoder reconstructs frames from Agent bitstreams — the edge-server side.

@@ -125,6 +125,12 @@ type EncodedFrame struct {
 	QPs     []int // final per-MB QP
 	Data    []byte
 	NumBits int
+	// RCTrials is the rate-control bisection path that chose BaseQP: every
+	// probe the bisection consulted, in loop order, with its exact trial
+	// bit count (speculative entries were served from the parallel
+	// prefetcher's memo). Nil when rate control did not run or telemetry is
+	// disabled (Config.Obs nil) — the decision journal is its consumer.
+	RCTrials []obs.QPTrial
 }
 
 // Bytes returns the frame payload size in bytes.
@@ -400,6 +406,7 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 	}
 	entropyTimer := e.cfg.Obs.StartStage(obs.StageCodecEntropy)
 	var result *passResult
+	var rcTrace []obs.QPTrial
 	if opts.TargetBits > 0 {
 		// Bisect the base QP over cheap trial passes (entropy-only: no
 		// reconstruction or loop filtering), then run one full final pass
@@ -415,9 +422,13 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 		for lo < hi {
 			mid := (lo + hi) / 2
 			bits := memo[mid]
+			speculative := bits >= 0
 			if bits < 0 {
 				bits = e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false).bits
 				trials++
+			}
+			if e.cfg.Obs != nil {
+				rcTrace = append(rcTrace, obs.QPTrial{QP: mid, Bits: bits, Speculative: speculative})
 			}
 			if bits <= opts.TargetBits {
 				hi = mid
@@ -444,6 +455,7 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 		MBW: e.mbw, MBH: e.mbh,
 		Motion: mf, QPs: result.qps,
 		Data: result.data, NumBits: result.nbits,
+		RCTrials: rcTrace,
 	}, nil
 }
 

@@ -111,6 +111,11 @@ type FrameResult struct {
 	// RawField is the uncorrected flow field. Local tracking must use it:
 	// boxes follow the actual image motion, rotation included.
 	RawField *mvfield.Field
+	// Trace is the frame's causal trace context, minted at capture. The
+	// transport carries it to the edge (FrameMsg fields over TCP,
+	// Link.SendTraced in the simulator) so server-side spans stitch into
+	// the same trace. Invalid (zero) when telemetry is disabled.
+	Trace obs.TraceContext
 }
 
 // Agent is a DiVE mobile agent: it turns raw frames into differentially
@@ -171,13 +176,21 @@ func (a *Agent) cy() float64 { return float64(a.cfg.Height) / 2 }
 func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, error) {
 	res := &FrameResult{}
 	r := a.cfg.Obs
-	frameTimer := r.StartStage(obs.StageFrame)
+	// Mint the frame's causal trace at capture; every agent-side stage span
+	// below is a child of the root "frame" span, and the transport carries
+	// the context to the edge so decode/detect spans join the same trace.
+	ctx := r.StartTrace(a.frameNum)
+	frameSpan := r.StartStageSpan(ctx, "frame", "agent", obs.StageFrame)
+	actx := frameSpan.Context()
+	// Carry the root-span context outward: transport and edge spans become
+	// children of the frame span, exactly like the local stage spans.
+	res.Trace = actx
 	var motionDur, rotationDur, foregroundDur, encodeDur time.Duration
 
 	// Preprocessing: motion vectors come free from the encoder.
-	motionTimer := r.StartStage(obs.StageMotion)
+	motionSpan := r.StartStageSpan(actx, "motion", "agent", obs.StageMotion)
 	mf := a.enc.AnalyzeMotion(frame)
-	motionDur = motionTimer.Stop()
+	motionDur = motionSpan.End()
 	if mf != nil {
 		field := mvfield.FromMotion(mf, a.cfg.Focal, a.cx(), a.cy(), 0)
 		res.RawField = field
@@ -187,13 +200,13 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 		if res.Moving {
 			// Rotational component elimination (Section III-B3).
 			if !a.cfg.DisableRotation {
-				rotTimer := r.StartStage(obs.StageRotation)
+				rotSpan := r.StartStageSpan(actx, "rotation", "agent", obs.StageRotation)
 				phiX, phiY, err := a.cfg.Rotation.Estimate(field, a.foeCal.FOE(), a.rng)
 				if err == nil {
 					res.Rotation = RotationEstimate{PhiX: phiX, PhiY: phiY, OK: true}
 					field = field.RemoveRotation(phiX, phiY)
 				}
-				rotationDur = rotTimer.Stop()
+				rotationDur = rotSpan.End()
 			}
 			// FOE calibration on the corrected field.
 			if foe, err := mvfield.EstimateFOE(field, a.rng); err == nil {
@@ -205,9 +218,9 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 			res.Field = field
 
 			// Foreground extraction (Section III-C).
-			fgTimer := r.StartStage(obs.StageForeground)
+			fgSpan := r.StartStageSpan(actx, "foreground", "agent", obs.StageForeground)
 			fg := ExtractForeground(field, a.foeCal.FOE(), a.cfg.Foreground)
-			foregroundDur = fgTimer.Stop()
+			foregroundDur = fgSpan.End()
 			if fg != nil && !fg.Empty() {
 				a.lastFG = fg
 			} else {
@@ -243,16 +256,16 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 		opts.TargetBits = res.TargetBits
 		opts.IFrameBudgetScale = a.cfg.AVE.IFrameBudgetScale
 	}
-	encTimer := r.StartStage(obs.StageEncode)
+	encSpan := r.StartStageSpan(actx, "encode", "agent", obs.StageEncode)
 	ef, err := a.enc.Encode(frame, opts)
-	encodeDur = encTimer.Stop()
+	encodeDur = encSpan.End()
 	a.forceI = false
 	if err != nil {
 		return nil, err
 	}
 	res.Encoded = ef
 	a.frameNum++
-	total := frameTimer.Stop()
+	total := frameSpan.End()
 
 	if r != nil {
 		r.Counter(obs.MetricFrames).Inc()
@@ -275,8 +288,83 @@ func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, erro
 			EncodeMs:     encodeDur.Seconds() * 1000,
 			TotalMs:      total.Seconds() * 1000,
 		})
+		r.RecordJournal(a.journalRecord(ctx, res, ef, now, frac))
 	}
 	return res, nil
+}
+
+// journalRecord assembles the frame's decision-journal entry: the inputs
+// and outputs of every decision point ProcessFrame took. Only called with
+// telemetry enabled, so the extra field scans here cost nothing on the
+// disabled hot path.
+func (a *Agent) journalRecord(ctx obs.TraceContext, res *FrameResult, ef *codec.EncodedFrame, now, frac float64) obs.JournalRecord {
+	j := obs.JournalRecord{
+		TraceID: ctx.TraceID, Frame: ef.Index, TimeSec: now, Type: ef.Type.String(),
+		Eta: res.Eta, EtaThreshold: a.cfg.EtaThreshold, Moving: res.Moving,
+		RotOK: res.Rotation.OK, PhiX: res.Rotation.PhiX, PhiY: res.Rotation.PhiY,
+		RotResidual: 1,
+		FOEX:        res.FOE.X, FOEY: res.FOE.Y,
+		FGFraction: frac, FGReused: res.Reused,
+		Delta: res.Delta, TargetBits: res.TargetBits,
+		BaseQP: ef.BaseQP, Bits: ef.NumBits, RCTrials: ef.RCTrials,
+		EstBWBps: res.EstimatedBandwidth,
+	}
+	if mo := ef.Motion; mo != nil && len(mo.SADs) > 0 {
+		sum := 0
+		for _, s := range mo.SADs {
+			sum += s
+		}
+		j.MeanSAD = float64(sum) / float64(len(mo.SADs))
+	}
+	if res.Rotation.OK {
+		// How much flow the estimated rotation explained: the mean flow
+		// magnitude that survives removal, relative to the raw field.
+		raw, corr := meanFlowMagnitude(res.RawField), meanFlowMagnitude(res.Field)
+		if raw > 0 {
+			j.RotResidual = corr / raw
+		}
+	}
+	if fg := res.Foreground; fg != nil {
+		j.FGObjects = len(fg.Objects)
+		j.GroundMBs = countMask(fg.GroundMask)
+		j.FGMBs = countMask(fg.Mask)
+		j.BGMBs = len(fg.Mask) - j.FGMBs - j.GroundMBs
+		if j.BGMBs < 0 {
+			j.BGMBs = 0
+		}
+	}
+	return j
+}
+
+// meanFlowMagnitude averages |flow| over the valid vectors of a field
+// (0 for nil or all-invalid fields).
+func meanFlowMagnitude(f *mvfield.Field) float64 {
+	if f == nil {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, v := range f.Vectors {
+		if !v.Valid {
+			continue
+		}
+		sum += v.Flow.Norm()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// countMask counts set entries.
+func countMask(mask []bool) int {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return n
 }
 
 // OnTransmitComplete feeds uplink feedback into the bandwidth estimator:
@@ -286,6 +374,26 @@ func (a *Agent) OnTransmitComplete(start, end float64, bits int) {
 	a.cfg.Obs.AmendLastFrame(func(fr *obs.FrameRecord) {
 		fr.AckBits += bits
 		fr.AckEndSec = end
+	})
+	a.cfg.Obs.AmendLastJournal(func(j *obs.JournalRecord) {
+		j.AckBits += bits
+		j.AckStartSec = start
+		j.AckEndSec = end
+		if end > start {
+			j.RealizedBWBps = float64(bits) / (end - start)
+		}
+	})
+}
+
+// NoteOutage journals that the frame just processed could not be uploaded:
+// the head-of-queue timer fired at queueDelay seconds and the agent fell
+// back to local tracking over trackedBoxes cached detections. The simulator
+// (or a live transport) calls this right after declaring the outage.
+func (a *Agent) NoteOutage(queueDelay float64, trackedBoxes int) {
+	a.cfg.Obs.AmendLastJournal(func(j *obs.JournalRecord) {
+		j.Outage = true
+		j.QueueDelaySec = queueDelay
+		j.TrackedBoxes = trackedBoxes
 	})
 }
 
@@ -315,6 +423,7 @@ func (a *Agent) OutageTimeout() float64 { return a.cfg.OutageTimeout }
 func (a *Agent) ForceNextIFrame() {
 	a.forceI = true
 	a.cfg.Obs.Counter(obs.MetricForcedIFrames).Inc()
+	a.cfg.Obs.AmendLastJournal(func(j *obs.JournalRecord) { j.ForcedIFrame = true })
 }
 
 // Reconstructed returns the encoder's reconstruction of the last processed

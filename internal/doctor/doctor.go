@@ -1,0 +1,313 @@
+// Package doctor is the automated trace analyzer behind cmd/divedoctor: it
+// ingests the decision journal and trace spans the obs layer exports and
+// diagnoses known DiVE pathologies — rate-control oscillation, systematic
+// bandwidth mis-estimation, foreground-segmentation collapse during turns,
+// stale-MOT drift across long outages, and per-stage latency regressions
+// against a committed baseline. Findings are machine-readable so CI can gate
+// on them.
+package doctor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dive/internal/obs"
+)
+
+// Severity ranks a finding. CI gates treat both as failures; Warn marks
+// diagnoses that may be environmental (e.g. latency on a loaded machine).
+type Severity string
+
+const (
+	Warn Severity = "warn"
+	Fail Severity = "fail"
+)
+
+// Finding is one diagnosed pathology, anchored to the frame range that
+// exhibits it.
+type Finding struct {
+	// Check names the detector that fired (e.g. "qp-oscillation").
+	Check      string   `json:"check"`
+	Severity   Severity `json:"severity"`
+	FirstFrame int      `json:"first_frame"`
+	LastFrame  int      `json:"last_frame"`
+	// Value is the measured statistic, Threshold the limit it violated.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Message   string  `json:"message"`
+}
+
+// Report is the full diagnosis of one run.
+type Report struct {
+	Frames   int       `json:"frames"`
+	Spans    int       `json:"spans"`
+	Checks   []string  `json:"checks_run"`
+	Findings []Finding `json:"findings"`
+}
+
+// Healthy reports whether the diagnosis found nothing.
+func (r *Report) Healthy() bool { return len(r.Findings) == 0 }
+
+// Thresholds tunes the detectors. The zero value is replaced by
+// DefaultThresholds field-wise, so callers can override selectively.
+type Thresholds struct {
+	// QPSwing is the minimum |ΔBaseQP| between consecutive frames that
+	// counts as a swing; QPAlternations is how many sign-alternating swings
+	// in a row constitute oscillation.
+	QPSwing        int
+	QPAlternations int
+	// BWBiasRatio flags the estimator when the geometric mean of
+	// estimate/realized bandwidth over at least BWMinAcked acknowledged
+	// frames exceeds it (over-estimation) or falls below its reciprocal
+	// (under-estimation).
+	BWBiasRatio float64
+	BWMinAcked  int
+	// FGCollapseRun is the run length of moving, rotation-corrected frames
+	// with no fresh foreground that constitutes segmentation collapse.
+	FGCollapseRun int
+	// OutageRun is the run length of consecutive outage frames after which
+	// locally tracked boxes are considered drifted stale.
+	OutageRun int
+	// LatencyP95Ratio flags a pipeline stage whose p95 grew by this factor
+	// over a baseline from a comparable environment; StageShareGrowth is
+	// the fallback factor on the stage's share of total pipeline time when
+	// the environments are not comparable (different machine or worker
+	// count), where absolute times mean nothing.
+	LatencyP95Ratio  float64
+	StageShareGrowth float64
+}
+
+// DefaultThresholds returns the tuned defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		QPSwing:          6,
+		QPAlternations:   4,
+		BWBiasRatio:      1.5,
+		BWMinAcked:       16,
+		FGCollapseRun:    5,
+		OutageRun:        6,
+		LatencyP95Ratio:  1.5,
+		StageShareGrowth: 1.6,
+	}
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.QPSwing <= 0 {
+		t.QPSwing = d.QPSwing
+	}
+	if t.QPAlternations <= 0 {
+		t.QPAlternations = d.QPAlternations
+	}
+	if t.BWBiasRatio <= 0 {
+		t.BWBiasRatio = d.BWBiasRatio
+	}
+	if t.BWMinAcked <= 0 {
+		t.BWMinAcked = d.BWMinAcked
+	}
+	if t.FGCollapseRun <= 0 {
+		t.FGCollapseRun = d.FGCollapseRun
+	}
+	if t.OutageRun <= 0 {
+		t.OutageRun = d.OutageRun
+	}
+	if t.LatencyP95Ratio <= 0 {
+		t.LatencyP95Ratio = d.LatencyP95Ratio
+	}
+	if t.StageShareGrowth <= 0 {
+		t.StageShareGrowth = d.StageShareGrowth
+	}
+	return t
+}
+
+// Analyze diagnoses a run from its decision journal and trace spans (spans
+// may be nil; the span-based checks are then skipped).
+func Analyze(journal []obs.JournalRecord, spans []obs.SpanRecord, th Thresholds) *Report {
+	th = th.withDefaults()
+	rep := &Report{Frames: len(journal), Spans: len(spans)}
+	rep.run("qp-oscillation", func() []Finding { return detectQPOscillation(journal, th) })
+	rep.run("bandwidth-bias", func() []Finding { return detectBandwidthBias(journal, th) })
+	rep.run("fg-collapse", func() []Finding { return detectFGCollapse(journal, th) })
+	rep.run("outage-drift", func() []Finding { return detectOutageDrift(journal, th) })
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].FirstFrame < rep.Findings[j].FirstFrame
+	})
+	return rep
+}
+
+func (r *Report) run(check string, fn func() []Finding) {
+	r.Checks = append(r.Checks, check)
+	r.Findings = append(r.Findings, fn()...)
+}
+
+// detectQPOscillation finds runs of sign-alternating base-QP swings — the
+// signature of a rate controller fighting its own bandwidth feedback (each
+// over-sized frame depresses the next estimate, which shrinks the next
+// frame, which inflates the estimate again).
+func detectQPOscillation(journal []obs.JournalRecord, th Thresholds) []Finding {
+	var out []Finding
+	altStart, alternations, lastSign := -1, 0, 0
+	flush := func(endIdx int) {
+		if alternations >= th.QPAlternations {
+			out = append(out, Finding{
+				Check: "qp-oscillation", Severity: Fail,
+				FirstFrame: journal[altStart].Frame, LastFrame: journal[endIdx].Frame,
+				Value: float64(alternations), Threshold: float64(th.QPAlternations),
+				Message: fmt.Sprintf(
+					"base QP oscillated %d times (swing ≥ %d) between frames %d and %d: rate control is fighting its bandwidth feedback",
+					alternations, th.QPSwing, journal[altStart].Frame, journal[endIdx].Frame),
+			})
+		}
+		altStart, alternations, lastSign = -1, 0, 0
+	}
+	for i := 1; i < len(journal); i++ {
+		d := journal[i].BaseQP - journal[i-1].BaseQP
+		sign := 0
+		if d >= th.QPSwing {
+			sign = 1
+		} else if d <= -th.QPSwing {
+			sign = -1
+		}
+		switch {
+		case sign == 0:
+			flush(i - 1)
+		case lastSign == 0 || sign == lastSign:
+			// First swing of a potential run, or same direction (a trend,
+			// not an oscillation) — restart counting from here.
+			if lastSign == sign {
+				flush(i - 1)
+			}
+			altStart, alternations, lastSign = i-1, 1, sign
+		default:
+			// Direction flipped: one more alternation.
+			alternations++
+			lastSign = sign
+		}
+	}
+	if len(journal) > 0 {
+		flush(len(journal) - 1)
+	}
+	return out
+}
+
+// detectBandwidthBias compares the estimate rate control consumed against
+// the bandwidth the link realized for the same frames. A systematic ratio
+// away from 1 means the estimator is mis-calibrated — over-estimation shows
+// up as queue build-ups and outages, under-estimation as wasted uplink.
+func detectBandwidthBias(journal []obs.JournalRecord, th Thresholds) []Finding {
+	var logSum float64
+	n, first, last := 0, -1, -1
+	for _, j := range journal {
+		if j.EstBWBps <= 0 || j.RealizedBWBps <= 0 {
+			continue
+		}
+		logSum += math.Log(j.EstBWBps / j.RealizedBWBps)
+		n++
+		if first < 0 {
+			first = j.Frame
+		}
+		last = j.Frame
+	}
+	if n < th.BWMinAcked {
+		return nil
+	}
+	ratio := math.Exp(logSum / float64(n))
+	if ratio > th.BWBiasRatio {
+		return []Finding{{
+			Check: "bandwidth-bias", Severity: Fail,
+			FirstFrame: first, LastFrame: last,
+			Value: ratio, Threshold: th.BWBiasRatio,
+			Message: fmt.Sprintf(
+				"bandwidth estimator systematically over-estimates: estimate/realized geometric mean %.2f over %d acked frames (limit %.2f)",
+				ratio, n, th.BWBiasRatio),
+		}}
+	}
+	if ratio < 1/th.BWBiasRatio {
+		return []Finding{{
+			Check: "bandwidth-bias", Severity: Fail,
+			FirstFrame: first, LastFrame: last,
+			Value: ratio, Threshold: 1 / th.BWBiasRatio,
+			Message: fmt.Sprintf(
+				"bandwidth estimator systematically under-estimates: estimate/realized geometric mean %.2f over %d acked frames (limit %.2f)",
+				ratio, n, 1/th.BWBiasRatio),
+		}}
+	}
+	return nil
+}
+
+// detectFGCollapse finds stretches where the agent is moving (and rotation
+// removal succeeded, so the flow field was usable) yet foreground
+// extraction kept coming back empty and the encoder fell back to a stale
+// mask — the failure mode of §III-C when the ground prior or cluster
+// growing collapses during sustained turns.
+func detectFGCollapse(journal []obs.JournalRecord, th Thresholds) []Finding {
+	var out []Finding
+	runStart, runLen := -1, 0
+	flush := func(endIdx int) {
+		if runLen >= th.FGCollapseRun {
+			out = append(out, Finding{
+				Check: "fg-collapse", Severity: Fail,
+				FirstFrame: journal[runStart].Frame, LastFrame: journal[endIdx].Frame,
+				Value: float64(runLen), Threshold: float64(th.FGCollapseRun),
+				Message: fmt.Sprintf(
+					"foreground segmentation produced nothing fresh for %d consecutive moving frames (%d–%d): encoder is protecting a stale mask",
+					runLen, journal[runStart].Frame, journal[endIdx].Frame),
+			})
+		}
+		runStart, runLen = -1, 0
+	}
+	for i, j := range journal {
+		collapsed := j.Moving && j.RotOK && (j.FGReused || j.FGMBs == 0)
+		if collapsed {
+			if runStart < 0 {
+				runStart = i
+			}
+			runLen++
+			continue
+		}
+		flush(i - 1)
+	}
+	if len(journal) > 0 {
+		flush(len(journal) - 1)
+	}
+	return out
+}
+
+// detectOutageDrift finds long consecutive outage stretches during which
+// detections were only advanced by local motion-vector tracking. MV
+// tracking is accurate over a handful of frames but drifts beyond that
+// (the paper's Figure 13), so a long run means the agent served stale
+// boxes.
+func detectOutageDrift(journal []obs.JournalRecord, th Thresholds) []Finding {
+	var out []Finding
+	runStart, runLen, boxes := -1, 0, 0
+	flush := func(endIdx int) {
+		if runLen >= th.OutageRun {
+			out = append(out, Finding{
+				Check: "outage-drift", Severity: Fail,
+				FirstFrame: journal[runStart].Frame, LastFrame: journal[endIdx].Frame,
+				Value: float64(runLen), Threshold: float64(th.OutageRun),
+				Message: fmt.Sprintf(
+					"link outage spanned %d consecutive frames (%d–%d); %d locally tracked boxes had no server correction and have likely drifted",
+					runLen, journal[runStart].Frame, journal[endIdx].Frame, boxes),
+			})
+		}
+		runStart, runLen, boxes = -1, 0, 0
+	}
+	for i, j := range journal {
+		if j.Outage {
+			if runStart < 0 {
+				runStart = i
+			}
+			runLen++
+			boxes = j.TrackedBoxes
+			continue
+		}
+		flush(i - 1)
+	}
+	if len(journal) > 0 {
+		flush(len(journal) - 1)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package doctor
+
+import (
+	"testing"
+
+	"dive/internal/core"
+	"dive/internal/netsim"
+	"dive/internal/obs"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// runDiVE runs the real pipeline over the given link trace with telemetry on
+// and returns the recorder holding journal + spans.
+func runDiVE(t *testing.T, trace netsim.Trace, dur float64) *obs.Recorder {
+	t.Helper()
+	profile := world.NuScenesLike()
+	profile.ClipDuration = dur
+	clip := world.GenerateClip(profile, 31)
+	rec := obs.NewRecorder(clip.NumFrames())
+	link := netsim.NewLink(trace, 0.012)
+	link.Obs = rec
+	scheme := &sim.DiVE{ConfigFn: func(cfg *core.AgentConfig) { cfg.Obs = rec }}
+	if _, err := scheme.Run(clip, link, sim.NewEnv(9)); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestHealthyRunZeroFindings is the false-positive guard: the default
+// pipeline over a steady, adequate link must diagnose clean.
+func TestHealthyRunZeroFindings(t *testing.T) {
+	rec := runDiVE(t, netsim.ConstantTrace(netsim.Mbps(3)), 2.5)
+	rep := Analyze(rec.Journal().Snapshot(), rec.Spans().Snapshot(), Thresholds{})
+	if !rep.Healthy() {
+		t.Fatalf("healthy run produced findings: %+v", rep.Findings)
+	}
+	if len(rep.Checks) < 4 {
+		t.Errorf("only %d checks ran: %v", len(rep.Checks), rep.Checks)
+	}
+	if rep.Frames == 0 {
+		t.Error("report saw no journal frames")
+	}
+}
+
+// TestSeededOutageDriftDetected injects a long hard outage through the real
+// simulator: the head-of-queue timer fires frame after frame, local MOT
+// carries the boxes, and the doctor must call the drift out.
+func TestSeededOutageDriftDetected(t *testing.T) {
+	rec := runDiVE(t, &netsim.OutageTrace{
+		Inner: netsim.ConstantTrace(netsim.Mbps(2)),
+		Start: 0.8, Interval: 10, Duration: 1.5,
+	}, 3)
+	journal := rec.Journal().Snapshot()
+	rep := Analyze(journal, rec.Spans().Snapshot(), Thresholds{})
+	if !hasCheck(rep, "outage-drift") {
+		t.Fatalf("outage drift not flagged; findings: %+v", rep.Findings)
+	}
+	// The journal must actually show the outage mechanics the finding is
+	// built on.
+	outages := 0
+	for _, j := range journal {
+		if j.Outage {
+			outages++
+			if j.QueueDelaySec <= 0 {
+				t.Errorf("frame %d journaled outage without a queue delay", j.Frame)
+			}
+		}
+	}
+	if outages < DefaultThresholds().OutageRun {
+		t.Fatalf("only %d outage frames journaled", outages)
+	}
+}
+
+// TestSeededQPOscillationDetected seeds the journal of a rate controller
+// caught in an estimate/response feedback loop: the base QP swings hard in
+// alternating directions every frame.
+func TestSeededQPOscillationDetected(t *testing.T) {
+	var journal []obs.JournalRecord
+	qps := []int{24, 34, 22, 35, 23, 33, 21, 34, 24}
+	for i, qp := range qps {
+		journal = append(journal, obs.JournalRecord{Frame: i, BaseQP: qp, Type: "P"})
+	}
+	rep := Analyze(journal, nil, Thresholds{})
+	f, ok := findCheck(rep, "qp-oscillation")
+	if !ok {
+		t.Fatalf("oscillation not flagged; findings: %+v", rep.Findings)
+	}
+	if f.FirstFrame != 0 || f.LastFrame != len(qps)-1 {
+		t.Errorf("finding anchored at %d–%d, want 0–%d", f.FirstFrame, f.LastFrame, len(qps)-1)
+	}
+
+	// A monotone ramp with the same step sizes is adaptation, not
+	// oscillation — must stay clean.
+	var ramp []obs.JournalRecord
+	for i := 0; i < 9; i++ {
+		ramp = append(ramp, obs.JournalRecord{Frame: i, BaseQP: 10 + 4*i, Type: "P"})
+	}
+	if rep := Analyze(ramp, nil, Thresholds{}); hasCheck(rep, "qp-oscillation") {
+		t.Errorf("monotone QP ramp misdiagnosed as oscillation")
+	}
+}
+
+// TestSeededBandwidthBiasDetected seeds a journal whose estimator
+// consistently promised twice what the link delivered.
+func TestSeededBandwidthBiasDetected(t *testing.T) {
+	var journal []obs.JournalRecord
+	for i := 0; i < 24; i++ {
+		journal = append(journal, obs.JournalRecord{
+			Frame: i, BaseQP: 28, Type: "P",
+			EstBWBps: 2e6, RealizedBWBps: 1e6,
+		})
+	}
+	rep := Analyze(journal, nil, Thresholds{})
+	f, ok := findCheck(rep, "bandwidth-bias")
+	if !ok {
+		t.Fatalf("bandwidth over-estimation not flagged; findings: %+v", rep.Findings)
+	}
+	if f.Value < 1.9 || f.Value > 2.1 {
+		t.Errorf("measured bias ratio %.2f, want ~2.0", f.Value)
+	}
+
+	// An unbiased estimator with the same sample count stays clean.
+	for i := range journal {
+		journal[i].RealizedBWBps = journal[i].EstBWBps * 1.05
+	}
+	if rep := Analyze(journal, nil, Thresholds{}); hasCheck(rep, "bandwidth-bias") {
+		t.Errorf("unbiased estimator misdiagnosed")
+	}
+
+	// Too few acked frames must not trigger: outage-heavy runs would
+	// otherwise produce noise findings.
+	if rep := Analyze(journal[:4], nil, Thresholds{}); hasCheck(rep, "bandwidth-bias") {
+		t.Errorf("bias flagged on %d samples, below the minimum", 4)
+	}
+}
+
+// TestSeededFGCollapseDetected seeds the turn-collapse signature: moving,
+// rotation removal succeeding, yet frame after frame falls back to a stale
+// foreground mask.
+func TestSeededFGCollapseDetected(t *testing.T) {
+	var journal []obs.JournalRecord
+	for i := 0; i < 8; i++ {
+		journal = append(journal, obs.JournalRecord{
+			Frame: i, Type: "P",
+			Moving: true, RotOK: true, PhiY: 0.01,
+			FGReused: true, FGMBs: 0,
+		})
+	}
+	rep := Analyze(journal, nil, Thresholds{})
+	if !hasCheck(rep, "fg-collapse") {
+		t.Fatalf("foreground collapse not flagged; findings: %+v", rep.Findings)
+	}
+
+	// Stopped frames legitimately reuse the mask — no finding.
+	for i := range journal {
+		journal[i].Moving = false
+		journal[i].RotOK = false
+	}
+	if rep := Analyze(journal, nil, Thresholds{}); hasCheck(rep, "fg-collapse") {
+		t.Errorf("stationary mask reuse misdiagnosed as collapse")
+	}
+}
+
+func TestLatencyRegressionComparable(t *testing.T) {
+	meta := obs.CollectRunMeta(4)
+	meta.Profile = "smoke"
+	base := &Baseline{Meta: meta, Stages: map[string]obs.HistogramSnapshot{
+		obs.StageEncode: {Count: 100, P95: 0.010},
+		obs.StageMotion: {Count: 100, P95: 0.004},
+	}}
+	cur := &Baseline{Meta: meta, Stages: map[string]obs.HistogramSnapshot{
+		obs.StageEncode: {Count: 100, P95: 0.025}, // 2.5x
+		obs.StageMotion: {Count: 100, P95: 0.004},
+	}}
+	fs := CompareLatency(cur, base, Thresholds{})
+	if len(fs) != 1 || fs[0].Check != "latency-regression" || fs[0].Severity != Fail {
+		t.Fatalf("findings = %+v, want one comparable-environment regression", fs)
+	}
+	if fs[0].Value < 2.4 || fs[0].Value > 2.6 {
+		t.Errorf("ratio %.2f, want 2.5", fs[0].Value)
+	}
+	// Identical run: clean.
+	if fs := CompareLatency(base, base, Thresholds{}); len(fs) != 0 {
+		t.Errorf("identical run flagged: %+v", fs)
+	}
+}
+
+func TestLatencyRegressionDifferentMachines(t *testing.T) {
+	baseMeta := obs.CollectRunMeta(4)
+	baseMeta.Profile = "smoke"
+	curMeta := baseMeta
+	curMeta.GOMAXPROCS = baseMeta.GOMAXPROCS + 2 // different machine shape
+	base := &Baseline{Meta: baseMeta, Stages: map[string]obs.HistogramSnapshot{
+		obs.StageEncode:     {Count: 100, P95: 0.010},
+		obs.StageMotion:     {Count: 100, P95: 0.005},
+		obs.StageForeground: {Count: 100, P95: 0.005},
+	}}
+	// Uniformly 3x slower (a slower machine, same proportions): clean.
+	slower := &Baseline{Meta: curMeta, Stages: map[string]obs.HistogramSnapshot{
+		obs.StageEncode:     {Count: 100, P95: 0.030},
+		obs.StageMotion:     {Count: 100, P95: 0.015},
+		obs.StageForeground: {Count: 100, P95: 0.015},
+	}}
+	if fs := CompareLatency(slower, base, Thresholds{}); len(fs) != 0 {
+		t.Fatalf("uniformly slower machine flagged: %+v", fs)
+	}
+	// One stage ballooned relative to the rest: flagged as Warn.
+	skewed := &Baseline{Meta: curMeta, Stages: map[string]obs.HistogramSnapshot{
+		obs.StageEncode:     {Count: 100, P95: 0.090},
+		obs.StageMotion:     {Count: 100, P95: 0.005},
+		obs.StageForeground: {Count: 100, P95: 0.005},
+	}}
+	fs := CompareLatency(skewed, base, Thresholds{})
+	if len(fs) != 1 || fs[0].Severity != Warn {
+		t.Fatalf("findings = %+v, want one share-based warning", fs)
+	}
+}
+
+func hasCheck(rep *Report, check string) bool {
+	_, ok := findCheck(rep, check)
+	return ok
+}
+
+func findCheck(rep *Report, check string) (Finding, bool) {
+	for _, f := range rep.Findings {
+		if f.Check == check {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}

@@ -33,11 +33,16 @@ type Hello struct {
 	Duration float64 // seconds
 }
 
-// FrameMsg carries one encoded frame.
+// FrameMsg carries one encoded frame. TraceID/SpanID propagate the
+// agent-minted trace context across the wire so server-side decode/detect
+// spans stitch into the same end-to-end trace as the agent's encode spans
+// (zero when the agent runs without telemetry).
 type FrameMsg struct {
 	Index     int
 	Bitstream []byte
 	SentNanos int64 // agent clock, echoed back for RTT measurement
+	TraceID   uint64
+	SpanID    uint64 // the agent-side parent span of the server's work
 }
 
 // WireDetection is a transport-friendly detection.
@@ -47,13 +52,15 @@ type WireDetection struct {
 	Score                  float64
 }
 
-// ResultMsg returns the detections for one frame.
+// ResultMsg returns the detections for one frame. TraceID echoes the
+// FrameMsg trace so the agent can attribute the ack to its frame trace.
 type ResultMsg struct {
 	Index      int
 	Detections []WireDetection
 	SentNanos  int64 // echoed from FrameMsg
 	ServerMs   float64
 	Err        string
+	TraceID    uint64
 }
 
 // ToWire converts detections for transport.
@@ -237,26 +244,32 @@ func (s *Server) handle(conn net.Conn) error {
 			return fmt.Errorf("edge: read frame: %w", err)
 		}
 		t0 := time.Now()
-		res := ResultMsg{Index: fm.Index, SentNanos: fm.SentNanos}
+		res := ResultMsg{Index: fm.Index, SentNanos: fm.SentNanos, TraceID: fm.TraceID}
+		// Rehydrate the agent-minted trace context: decode/detect spans
+		// recorded under it stitch into the agent's frame trace by ID.
+		ctx := obs.TraceContext{TraceID: fm.TraceID, Frame: fm.Index, SpanID: fm.SpanID}
 		s.Obs.Counter(obs.MetricEdgeFrames).Inc()
 		s.Obs.Counter(obs.MetricEdgeBytes).Add(int64(len(fm.Bitstream)))
 		if fm.Index < 0 || fm.Index >= clip.NumFrames() {
 			res.Err = fmt.Sprintf("frame index %d out of range", fm.Index)
 		} else {
-			decodeTimer := s.Obs.StartStage(obs.StageEdgeDecode)
+			decodeSpan := s.Obs.StartStageSpan(ctx, "decode", "edge", obs.StageEdgeDecode)
 			df, derr := vdec.Decode(fm.Bitstream)
-			decodeTimer.Stop()
+			decodeSpan.End()
 			if derr != nil {
 				res.Err = derr.Error()
 			} else {
-				detectTimer := s.Obs.StartStage(obs.StageEdgeDetect)
+				detectSpan := s.Obs.StartStageSpan(ctx, "detect", "edge", obs.StageEdgeDetect)
 				dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
-				detectTimer.Stop()
+				detectSpan.End()
 				res.Detections = ToWire(dets)
 			}
 		}
 		res.ServerMs = time.Since(t0).Seconds() * 1000
-		if err := enc.Encode(res); err != nil {
+		ackSpan := s.Obs.StartSpan(ctx, "ack", "edge")
+		err := enc.Encode(res)
+		ackSpan.End()
+		if err != nil {
 			return fmt.Errorf("edge: write result: %w", err)
 		}
 	}

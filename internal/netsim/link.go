@@ -53,6 +53,17 @@ func (l *Link) Send(t float64, bits int) (start, serialized, delivery float64) {
 	return start, end, end + l.PropDelay
 }
 
+// SendTraced is Send plus trace carriage: the serialization interval is
+// recorded as a "send" span of the frame's trace (on the simulated clock,
+// at the agent's radio), so agent-side encode spans and edge-side decode
+// spans stitch across the link. An invalid context or nil recorder records
+// nothing; the link behaves identically either way.
+func (l *Link) SendTraced(ctx obs.TraceContext, t float64, bits int) (start, serialized, delivery float64) {
+	start, serialized, delivery = l.Send(t, bits)
+	l.Obs.RecordSpan(ctx, "send", "agent", start, serialized-start)
+	return start, serialized, delivery
+}
+
 // QueueDelay returns how long a message enqueued at t would wait before its
 // first bit is sent.
 func (l *Link) QueueDelay(t float64) float64 {

@@ -23,6 +23,20 @@ func BenchmarkCounterDisabled(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceDisabled measures the full disabled frame-trace path —
+// mint a context, run a stage span, record a sim span — which must stay
+// allocation-free and within a few nanoseconds, like the plain span path.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := r.StartTrace(i)
+		s := r.StartStageSpan(ctx, "motion", "agent", StageMotion)
+		_ = s.End()
+		r.RecordSpan(ctx, "send", "agent", 0, 1)
+	}
+}
+
 // BenchmarkSpanEnabled is the live cost: two clock reads plus one
 // histogram observation.
 func BenchmarkSpanEnabled(b *testing.B) {

@@ -10,12 +10,18 @@ import (
 //	/metrics       Prometheus text exposition of every metric
 //	/debug/vars    JSON snapshot (counters, gauges, histogram quantiles)
 //	/debug/frames  recent frame-lifecycle records as JSONL
+//	/debug/journal recent per-frame decision-journal records as JSONL
+//	/debug/spans   recent frame-trace spans as JSONL
 //	/debug/pprof/  the standard Go profiler endpoints
 //
-// Returns nil for a nil recorder so callers can gate mounting on it.
+// A nil recorder returns a handler that answers every request with 503
+// Service Unavailable, so callers can mount the surface unconditionally
+// without panicking when telemetry is disabled.
 func (r *Recorder) Handler() http.Handler {
 	if r == nil {
-		return nil
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			http.Error(w, "telemetry disabled: no recorder installed", http.StatusServiceUnavailable)
+		})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
@@ -24,7 +30,7 @@ func (r *Recorder) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("DiVE telemetry\n\n/metrics\n/debug/vars\n/debug/frames\n/debug/pprof/\n"))
+		w.Write([]byte("DiVE telemetry\n\n/metrics\n/debug/vars\n/debug/frames\n/debug/journal\n/debug/spans\n/debug/pprof/\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -42,6 +48,14 @@ func (r *Recorder) Handler() http.Handler {
 	mux.HandleFunc("/debug/frames", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		r.ring.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		r.journal.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		r.spans.WriteJSONL(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNilRecorderHandlerReturns503 pins the disabled-telemetry contract:
+// the handler can be mounted unconditionally and answers 503 everywhere
+// instead of panicking or falling through to another mux.
+func TestNilRecorderHandlerReturns503(t *testing.T) {
+	var r *Recorder
+	h := r.Handler()
+	if h == nil {
+		t.Fatal("nil recorder Handler() is nil")
+	}
+	for _, path := range []string{"/", "/metrics", "/debug/vars", "/debug/frames", "/debug/journal", "/debug/spans"} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != 503 {
+			t.Errorf("%s: status %d, want 503", path, w.Code)
+		}
+	}
+}
+
+// TestMetricsEndpointPrometheusWellFormed drives real pipeline-ish metrics
+// through /metrics and parses the exposition: every sample line must be
+// "name value" or "name{le=...} value" with a numeric value, every metric
+// must carry a preceding # TYPE line, and histograms must expose
+// cumulative, monotonically non-decreasing buckets ending in +Inf plus
+// _sum/_count.
+func TestMetricsEndpointPrometheusWellFormed(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Counter(MetricFrames).Add(12)
+	rec.Gauge(GaugeBWEstimate).Set(2e6)
+	for i := 0; i < 40; i++ {
+		rec.Histogram(StageEncode).Observe(0.004)
+	}
+
+	w := httptest.NewRecorder()
+	rec.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	typed := map[string]string{}
+	var lastBucket int64
+	var infSeen, sumSeen, countSeen bool
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[fields[2]] = fields[3]
+			lastBucket = -1
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "\"}") {
+				t.Fatalf("malformed label set: %q", line)
+			}
+			base = base[:i]
+		}
+		base = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding # TYPE for %q", line, base)
+		}
+		if typed[base] == "histogram" {
+			switch {
+			case strings.Contains(name, "_bucket"):
+				n, _ := strconv.ParseInt(val, 10, 64)
+				if n < lastBucket {
+					t.Fatalf("histogram buckets not cumulative at %q (%d < %d)", line, n, lastBucket)
+				}
+				lastBucket = n
+				if strings.Contains(name, `le="+Inf"`) {
+					infSeen = true
+				}
+			case strings.HasSuffix(name, "_sum"):
+				sumSeen = true
+			case strings.HasSuffix(name, "_count"):
+				countSeen = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(typed) != 3 {
+		t.Errorf("exposed %d metrics, want 3 (counter, gauge, histogram): %v", len(typed), typed)
+	}
+	if !infSeen || !sumSeen || !countSeen {
+		t.Errorf("histogram exposition incomplete: +Inf=%v sum=%v count=%v", infSeen, sumSeen, countSeen)
+	}
+}
+
+// TestDebugFramesRoundTripsThroughDecoder serves /debug/frames and decodes
+// the body with the journal-side FrameRecord decoder — the exact path
+// divedoctor takes when pointed at a live agent.
+func TestDebugFramesRoundTripsThroughDecoder(t *testing.T) {
+	rec := NewRecorder(8)
+	want := []FrameRecord{
+		{Frame: 0, Type: "I", BaseQP: 30, Bits: 50000, EstBWBps: 2e6, TotalMs: 12},
+		{Frame: 1, Type: "P", BaseQP: 26, Bits: 20000, EstBWBps: 2.1e6, TotalMs: 9, AckBits: 20000, AckEndSec: 0.1},
+	}
+	for _, fr := range want {
+		rec.RecordFrame(fr)
+	}
+	w := httptest.NewRecorder()
+	rec.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/frames", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	got, err := ReadFrameRecords(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDebugJournalEndpoint serves /debug/journal and round-trips it through
+// ReadJournal.
+func TestDebugJournalEndpoint(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.RecordJournal(JournalRecord{TraceID: 1, Frame: 0, BaseQP: 28, RCTrials: []QPTrial{{QP: 25, Bits: 40000}}})
+	w := httptest.NewRecorder()
+	rec.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/journal", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	got, err := ReadJournal(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].TraceID != 1 || len(got[0].RCTrials) != 1 {
+		t.Fatalf("journal round-trip mangled: %+v", got)
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// QPTrial is one consulted probe of the rate-control QP bisection: the base
+// QP tried and the exact bit count the trial pass produced. Speculative
+// marks probes whose bit count came from the parallel prefetcher's memo
+// rather than a pass executed inside the bisection loop.
+type QPTrial struct {
+	QP          int  `json:"qp"`
+	Bits        int  `json:"bits"`
+	Speculative bool `json:"speculative,omitempty"`
+}
+
+// JournalRecord is the decision journal of one frame: the inputs and
+// outputs of every decision point the DiVE pipeline takes, from the
+// motion-state judgement through rate control to outage handling. It is the
+// causal companion of FrameRecord (which records how long stages took):
+// the journal records what was decided and why, so an accuracy or bitrate
+// anomaly can be attributed to a specific decision. Exported as JSONL at
+// /debug/journal and consumed by cmd/divedoctor.
+type JournalRecord struct {
+	TraceID uint64  `json:"trace_id"`
+	Frame   int     `json:"frame"`
+	TimeSec float64 `json:"time_sec"`
+	Type    string  `json:"type"` // "I" or "P"
+
+	// Motion-state judgement (paper §III-B2): the non-zero MV ratio, the
+	// configured threshold, the verdict and its margin. MeanSAD is the mean
+	// matching cost of the motion vectors — a cheap confidence signal (high
+	// SAD = unreliable vectors, low-texture or night scenes).
+	Eta          float64 `json:"eta"`
+	EtaThreshold float64 `json:"eta_threshold"`
+	Moving       bool    `json:"moving"`
+	MeanSAD      float64 `json:"mean_sad"`
+
+	// Rotational-component elimination (§III-B3). RotResidual is the mean
+	// flow magnitude after rotation removal divided by the mean magnitude
+	// before it (1 = nothing removed; small = rotation dominated the flow).
+	RotOK       bool    `json:"rot_ok"`
+	PhiX        float64 `json:"phi_x"`
+	PhiY        float64 `json:"phi_y"`
+	RotResidual float64 `json:"rot_residual"`
+
+	// Focus of expansion used for foreground extraction (§III-B3), in
+	// centered image coordinates.
+	FOEX float64 `json:"foe_x"`
+	FOEY float64 `json:"foe_y"`
+
+	// Foreground extraction (§III-C): per-class macroblock counts from the
+	// ground / background / foreground segmentation, the object count, and
+	// whether a stale extraction was reused.
+	GroundMBs  int     `json:"ground_mbs"`
+	FGMBs      int     `json:"fg_mbs"`
+	BGMBs      int     `json:"bg_mbs"`
+	FGObjects  int     `json:"fg_objects"`
+	FGFraction float64 `json:"fg_fraction"`
+	FGReused   bool    `json:"fg_reused"`
+
+	// Adaptive video encoding (§III-D): the background QP offset, the
+	// bandwidth-derived bit budget, the bisection path that chose the base
+	// QP (every consulted probe with its trial bit count), and the final
+	// outcome.
+	Delta      int       `json:"delta"`
+	TargetBits int       `json:"target_bits"`
+	BaseQP     int       `json:"base_qp"`
+	Bits       int       `json:"bits"`
+	RCTrials   []QPTrial `json:"rc_trials,omitempty"`
+
+	// Bandwidth estimation (§III-D1): the estimate rate control consumed,
+	// and — amended when transport feedback arrives — the acknowledged
+	// serialization interval and the bandwidth the link actually realized
+	// over it. Estimate vs. realized is the estimator-bias signal.
+	EstBWBps      float64 `json:"est_bw_bps"`
+	AckBits       int     `json:"ack_bits,omitempty"`
+	AckStartSec   float64 `json:"ack_start_sec,omitempty"`
+	AckEndSec     float64 `json:"ack_end_sec,omitempty"`
+	RealizedBWBps float64 `json:"realized_bw_bps,omitempty"`
+
+	// Outage handling (§III-E), amended by the transport loop: whether this
+	// frame's upload was abandoned on the head-of-queue timer, the queue
+	// delay that triggered it, how many cached detections local MOT carried
+	// forward, and whether the drop forced the next frame intra.
+	Outage        bool    `json:"outage,omitempty"`
+	QueueDelaySec float64 `json:"queue_delay_sec,omitempty"`
+	TrackedBoxes  int     `json:"tracked_boxes,omitempty"`
+	ForcedIFrame  bool    `json:"forced_iframe,omitempty"`
+}
+
+// JournalRing is a bounded ring buffer of JournalRecords. A nil ring is a
+// valid no-op.
+type JournalRing struct {
+	mu    sync.Mutex
+	buf   []JournalRecord
+	total int
+}
+
+// NewJournalRing creates a ring keeping the last capacity records.
+func NewJournalRing(capacity int) *JournalRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &JournalRing{buf: make([]JournalRecord, 0, capacity)}
+}
+
+// Append adds one record, evicting the oldest when full.
+func (r *JournalRing) Append(rec JournalRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.total%cap(r.buf)] = rec
+	}
+	r.total++
+}
+
+// AmendLast applies fn to the most recently appended record; no-op when
+// empty.
+func (r *JournalRing) AmendLast(fn func(*JournalRecord)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total == 0 {
+		return
+	}
+	fn(&r.buf[(r.total-1)%cap(r.buf)])
+}
+
+// Total returns how many records were ever appended.
+func (r *JournalRing) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the retained records, oldest first.
+func (r *JournalRing) Snapshot() []JournalRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JournalRecord, 0, len(r.buf))
+	if r.total <= cap(r.buf) {
+		out = append(out, r.buf...)
+		return out
+	}
+	head := r.total % cap(r.buf)
+	out = append(out, r.buf[head:]...)
+	out = append(out, r.buf[:head]...)
+	return out
+}
+
+// WriteJSONL writes the retained records as one JSON object per line,
+// oldest first — the /debug/journal format.
+func (r *JournalRing) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJournal decodes journal JSONL (the /debug/journal format), skipping
+// blank lines.
+func ReadJournal(r io.Reader) ([]JournalRecord, error) {
+	var out []JournalRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// ReadFrameRecords decodes frame-lifecycle JSONL (the /debug/frames and
+// divetrace -format jsonl format), skipping blank lines.
+func ReadFrameRecords(r io.Reader) ([]FrameRecord, error) {
+	var out []FrameRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec FrameRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// Journal returns the decision-journal ring (nil for a nil recorder).
+func (r *Recorder) Journal() *JournalRing {
+	if r == nil {
+		return nil
+	}
+	return r.journal
+}
+
+// RecordJournal appends one decision record to the journal ring.
+func (r *Recorder) RecordJournal(rec JournalRecord) {
+	if r == nil {
+		return
+	}
+	r.journal.Append(rec)
+}
+
+// AmendLastJournal applies fn to the most recently journaled frame — used
+// to attach transport feedback (ack, realized bandwidth) and outage/MOT
+// handoffs that happen after the frame was encoded.
+func (r *Recorder) AmendLastJournal(fn func(*JournalRecord)) {
+	if r == nil {
+		return
+	}
+	r.journal.AmendLast(fn)
+}

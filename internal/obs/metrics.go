@@ -2,8 +2,10 @@
 // metrics registry (atomic counters, gauges and fixed-bucket histograms
 // with quantile estimates), a stage-timing span API that degrades to a
 // no-op when no recorder is installed, a bounded ring buffer of per-frame
-// lifecycle records exportable as JSONL, and HTTP surfacing (/metrics in
-// Prometheus text format, /debug/frames, pprof).
+// lifecycle records exportable as JSONL, a causal tracing layer (per-frame
+// TraceContext, agent/link/edge spans, a per-frame decision journal), and
+// HTTP surfacing (/metrics in Prometheus text format, /debug/frames,
+// /debug/journal, /debug/spans, pprof).
 //
 // Everything is safe for concurrent use. Instrumented packages hold a
 // *Recorder that may be nil; every method on Recorder, Counter, Gauge,

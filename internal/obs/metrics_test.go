@@ -135,8 +135,8 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	if s := r.Snapshot(); len(s.Counters) != 0 {
 		t.Error("nil recorder snapshot not empty")
 	}
-	if r.Handler() != nil {
-		t.Error("nil recorder handler != nil")
+	if r.Handler() == nil {
+		t.Error("nil recorder handler is nil, want a 503-serving handler")
 	}
 	if got := r.Summary(); got != "telemetry off" {
 		t.Errorf("nil summary = %q", got)

@@ -61,23 +61,40 @@ const (
 	MetricParallelTasks   = "parallel_tasks_total"
 )
 
-// Recorder bundles a metrics registry and a frame-lifecycle ring. A nil
-// *Recorder is a valid, zero-cost no-op recorder; every method tolerates
-// it, so instrumented code never guards.
+// Recorder bundles a metrics registry, a frame-lifecycle ring, a decision
+// journal and a span ring for causal frame traces. A nil *Recorder is a
+// valid, zero-cost no-op recorder; every method tolerates it, so
+// instrumented code never guards.
 type Recorder struct {
-	reg   *Registry
-	ring  *FrameRing
-	start time.Time
+	reg     *Registry
+	ring    *FrameRing
+	journal *JournalRing
+	spans   *SpanRing
+	start   time.Time
+
+	traceSeq atomic.Uint64 // trace IDs minted by StartTrace
+	spanSeq  atomic.Uint64 // span IDs minted by StartSpan/RecordSpan
 }
 
-// NewRecorder creates a recorder whose frame ring keeps the last ringCap
-// records (<= 0 selects 1024).
+// NewRecorder creates a recorder whose frame ring and decision journal keep
+// the last ringCap records (<= 0 selects 1024). The span ring keeps several
+// spans per frame, so it is sized to a small multiple of ringCap.
 func NewRecorder(ringCap int) *Recorder {
 	if ringCap <= 0 {
 		ringCap = 1024
 	}
-	return &Recorder{reg: NewRegistry(), ring: NewFrameRing(ringCap), start: time.Now()}
+	return &Recorder{
+		reg:     NewRegistry(),
+		ring:    NewFrameRing(ringCap),
+		journal: NewJournalRing(ringCap),
+		spans:   NewSpanRing(ringCap * spansPerFrame),
+		start:   time.Now(),
+	}
 }
+
+// spansPerFrame sizes the span ring relative to the frame rings: a frame
+// trace holds roughly one span per pipeline stage on each side of the link.
+const spansPerFrame = 10
 
 // Registry returns the underlying registry (nil for a nil recorder).
 func (r *Recorder) Registry() *Registry {

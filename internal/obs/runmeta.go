@@ -1,0 +1,48 @@
+package obs
+
+import "runtime"
+
+// RunMeta records the execution environment of a benchmark or telemetry
+// capture, so analyzers (cmd/divedoctor) can refuse or relax comparisons
+// that are not like-for-like: a p95 from a 2-core CI runner says nothing
+// about a regression against a 16-core workstation baseline.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the -workers flag the run used (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Profile names the workload that produced the numbers (an experiment
+	// scale such as "smoke", or a clip profile name).
+	Profile string `json:"profile,omitempty"`
+	// GitCommit is the source revision, when the producer could determine
+	// it (best effort; empty outside a git checkout).
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// CollectRunMeta captures the runtime environment. The caller fills
+// Profile and GitCommit, which obs cannot know.
+func CollectRunMeta(workers int) RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+}
+
+// Comparable reports whether two runs are like-for-like for absolute
+// latency comparison: same Go toolchain, same architecture, same effective
+// parallelism and same workload. Mismatched runs can still be compared on
+// relative stage shares.
+func (m RunMeta) Comparable(other RunMeta) bool {
+	return m.GoVersion == other.GoVersion &&
+		m.GOOS == other.GOOS && m.GOARCH == other.GOARCH &&
+		m.GOMAXPROCS == other.GOMAXPROCS &&
+		m.Workers == other.Workers &&
+		m.Profile == other.Profile
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceContext identifies one frame's end-to-end causal trace. A context is
+// minted agent-side at capture (Recorder.StartTrace) and carried alongside
+// the encoded bitstream — as side information over the in-process sim link,
+// as explicit FrameMsg fields over TCP — so agent-side encode spans and
+// server-side decode/detect spans stitch into a single trace per frame.
+// The zero value is an invalid (disabled) context; every span API treats it
+// as a no-op destination.
+type TraceContext struct {
+	TraceID uint64 `json:"trace_id"`
+	Frame   int    `json:"frame"`
+	// SpanID is the parent span for spans started under this context
+	// (0 = root).
+	SpanID uint64 `json:"span_id,omitempty"`
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (c TraceContext) Valid() bool { return c.TraceID != 0 }
+
+// SpanRecord is one completed span of a frame trace. Agent- and edge-side
+// pipeline stages record wall-clock spans; the simulated uplink records
+// spans on the simulated clock. StartSec is relative to the recorder start
+// (wall spans) or to the simulation epoch (sim spans); DurSec is always a
+// duration, which is what latency analysis consumes.
+type SpanRecord struct {
+	TraceID  uint64  `json:"trace_id"`
+	SpanID   uint64  `json:"span_id"`
+	ParentID uint64  `json:"parent_span_id,omitempty"`
+	Frame    int     `json:"frame"`
+	Name     string  `json:"name"`
+	Site     string  `json:"site"` // "agent", "link" or "edge"
+	StartSec float64 `json:"start_sec"`
+	DurSec   float64 `json:"dur_sec"`
+}
+
+// SpanRing is a bounded ring buffer of SpanRecords. A nil ring is a valid
+// no-op.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	total int
+}
+
+// NewSpanRing creates a ring keeping the last capacity spans.
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Append adds one span, evicting the oldest when full.
+func (r *SpanRing) Append(rec SpanRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.total%cap(r.buf)] = rec
+	}
+	r.total++
+}
+
+// Total returns how many spans were ever appended.
+func (r *SpanRing) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the retained spans, oldest first.
+func (r *SpanRing) Snapshot() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	if r.total <= cap(r.buf) {
+		out = append(out, r.buf...)
+		return out
+	}
+	head := r.total % cap(r.buf)
+	out = append(out, r.buf[head:]...)
+	out = append(out, r.buf[:head]...)
+	return out
+}
+
+// WriteJSONL writes the retained spans as one JSON object per line, oldest
+// first.
+func (r *SpanRing) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans decodes span JSONL (the /debug/spans format), skipping blank
+// lines.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// StartTrace mints a fresh trace context for the frame captured now. A nil
+// recorder returns the invalid zero context at zero cost.
+func (r *Recorder) StartTrace(frame int) TraceContext {
+	if r == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: r.traceSeq.Add(1), Frame: frame}
+}
+
+// Spans returns the span ring (nil for a nil recorder).
+func (r *Recorder) Spans() *SpanRing {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Span is one in-flight wall-clock span. The zero value (returned under a
+// nil recorder or an invalid context) is a no-op on both sides; no clock is
+// read and nothing allocates.
+type Span struct {
+	r     *Recorder
+	ctx   TraceContext
+	h     *Histogram
+	name  string
+	site  string
+	id    uint64
+	start time.Time
+}
+
+// StartSpan begins a wall-clock span under ctx at the given site.
+func (r *Recorder) StartSpan(ctx TraceContext, name, site string) Span {
+	return r.StartStageSpan(ctx, name, site, "")
+}
+
+// StartStageSpan begins a wall-clock span that, on End, also observes its
+// duration into the named stage histogram ("" skips the histogram). This is
+// the one-clock-read-per-side primitive pipeline stages use: the span feeds
+// the causal trace, the histogram feeds the aggregate metrics. With an
+// invalid context (e.g. the peer ran without telemetry) the histogram is
+// still fed, only the trace record is skipped.
+func (r *Recorder) StartStageSpan(ctx TraceContext, name, site, histName string) Span {
+	if r == nil {
+		return Span{}
+	}
+	var h *Histogram
+	if histName != "" {
+		h = r.Histogram(histName)
+	}
+	if !ctx.Valid() && h == nil {
+		return Span{}
+	}
+	var id uint64
+	if ctx.Valid() {
+		id = r.spanSeq.Add(1)
+	}
+	return Span{
+		r: r, ctx: ctx, h: h, name: name, site: site,
+		id:    id,
+		start: time.Now(),
+	}
+}
+
+// Context returns ctx rebased onto this span, so spans started under it
+// become children. The no-op span returns its (invalid) context unchanged.
+func (s Span) Context() TraceContext {
+	ctx := s.ctx
+	if s.r != nil {
+		ctx.SpanID = s.id
+	}
+	return ctx
+}
+
+// End completes the span, appends its record to the span ring (when the
+// context was valid) and returns the elapsed duration (0 for the no-op
+// span).
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	if s.ctx.Valid() {
+		s.r.spans.Append(SpanRecord{
+			TraceID: s.ctx.TraceID, SpanID: s.id, ParentID: s.ctx.SpanID,
+			Frame: s.ctx.Frame, Name: s.name, Site: s.site,
+			StartSec: s.start.Sub(s.r.start).Seconds(),
+			DurSec:   d.Seconds(),
+		})
+	}
+	return d
+}
+
+// RecordSpan appends a completed span with explicit times — the entry point
+// for components on the simulated clock (the netsim uplink, the simulated
+// edge server latencies), where start and duration are simulated seconds.
+// Returns the span ID (0 under a nil recorder or invalid context).
+func (r *Recorder) RecordSpan(ctx TraceContext, name, site string, startSec, durSec float64) uint64 {
+	if r == nil || !ctx.Valid() {
+		return 0
+	}
+	id := r.spanSeq.Add(1)
+	r.spans.Append(SpanRecord{
+		TraceID: ctx.TraceID, SpanID: id, ParentID: ctx.SpanID,
+		Frame: ctx.Frame, Name: name, Site: site,
+		StartSec: startSec, DurSec: durSec,
+	})
+	return id
+}

@@ -142,6 +142,13 @@ func (p *Pool) Bands(n, band int, fn func(b, lo, hi int)) {
 	})
 }
 
+// defaultWavefrontBatch is the cells-per-task grouping Wavefront uses: one
+// macroblock's motion search is a few microseconds, so dispatching each cell
+// as its own task makes the per-diagonal barrier overhead visible on small
+// frames. Three cells per task amortizes it while still exposing enough
+// tasks per diagonal to keep a typical pool busy.
+const defaultWavefrontBatch = 3
+
 // Wavefront runs fn over a w×h grid in which cell (x, y) reads results of
 // its left (x-1, y), top (x, y-1) and top-right (x+1, y-1) neighbors — the
 // motion-vector prediction dependency of H.264-style codecs. Cells are
@@ -151,8 +158,21 @@ func (p *Pool) Bands(n, band int, fn func(b, lo, hi int)) {
 // exactly the finalized neighbor values the serial raster scan produces.
 // The barrier (ForEach completion) also establishes the happens-before edge
 // that makes neighbor reads race-free. A serial pool runs the plain raster
-// scan.
+// scan. Cells are dispatched in small fixed-size batches
+// (WavefrontBatch with defaultWavefrontBatch); the grouping never depends
+// on the worker count, so output is identical at every width.
 func (p *Pool) Wavefront(w, h int, fn func(x, y int)) {
+	p.WavefrontBatch(w, h, defaultWavefrontBatch, fn)
+}
+
+// WavefrontBatch is Wavefront with an explicit cells-per-task batch size:
+// each scheduled task executes up to batch consecutive cells of one
+// anti-diagonal. Cells on the same diagonal are mutually independent (their
+// dependencies all lie on earlier diagonals), so any within-diagonal
+// grouping preserves the dependency order — the output is bit-exact with
+// the serial raster scan at every batch size and worker count; batch only
+// tunes how much work amortizes each scheduling step. batch < 1 selects 1.
+func (p *Pool) WavefrontBatch(w, h, batch int, fn func(x, y int)) {
 	if p.Workers() <= 1 || w <= 0 || h <= 0 || w*h == 1 {
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
@@ -160,6 +180,9 @@ func (p *Pool) Wavefront(w, h int, fn func(x, y int)) {
 			}
 		}
 		return
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	maxD := (w - 1) + 2*(h-1)
 	for d := 0; d <= maxD; d++ {
@@ -174,9 +197,18 @@ func (p *Pool) Wavefront(w, h int, fn func(x, y int)) {
 		if yHi < yLo {
 			continue
 		}
-		p.ForEach(yHi-yLo+1, func(k int) {
-			y := yLo + k
-			fn(d-2*y, y)
+		cells := yHi - yLo + 1
+		tasks := (cells + batch - 1) / batch
+		p.ForEach(tasks, func(t int) {
+			lo := t * batch
+			hi := lo + batch
+			if hi > cells {
+				hi = cells
+			}
+			for k := lo; k < hi; k++ {
+				y := yLo + k
+				fn(d-2*y, y)
+			}
 		})
 	}
 }

@@ -126,6 +126,73 @@ func TestWavefrontDependencies(t *testing.T) {
 	}
 }
 
+// TestWavefrontBatchDependencies repeats the dependency assertion for every
+// batch size the codec might pick: batching must only group cells that are
+// already mutually independent, so the precondition holds regardless.
+func TestWavefrontBatchDependencies(t *testing.T) {
+	const w, h = 11, 6
+	for _, batch := range []int{1, 2, 3, 4, 7, 100} {
+		for _, workers := range []int{2, 8} {
+			done := make([]atomic.Bool, w*h)
+			New(workers).WavefrontBatch(w, h, batch, func(x, y int) {
+				check := func(nx, ny int) {
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						return
+					}
+					if !done[ny*w+nx].Load() {
+						t.Errorf("batch=%d workers=%d: cell (%d,%d) ran before dependency (%d,%d)",
+							batch, workers, x, y, nx, ny)
+					}
+				}
+				check(x-1, y)
+				check(x, y-1)
+				check(x+1, y-1)
+				done[y*w+x].Store(true)
+			})
+			for i := range done {
+				if !done[i].Load() {
+					t.Fatalf("batch=%d workers=%d: cell %d never ran", batch, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontBatchBitExact runs a neighbor-dependent computation (each
+// cell derives its value from the finalized left/top/top-right values, like
+// MV prediction) and asserts the result is identical to the serial raster
+// scan at every batch size and worker count.
+func TestWavefrontBatchBitExact(t *testing.T) {
+	const w, h = 13, 9
+	compute := func(out []int64, x, y int) {
+		at := func(nx, ny int) int64 {
+			if nx < 0 || ny < 0 || nx >= w || ny >= h {
+				return -1
+			}
+			return out[ny*w+nx]
+		}
+		out[y*w+x] = 3*at(x-1, y) + 5*at(x, y-1) + 7*at(x+1, y-1) + int64(x*31+y)
+	}
+	want := make([]int64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			compute(want, x, y)
+		}
+	}
+	for _, batch := range []int{0, 1, 2, 3, 4} {
+		for _, workers := range []int{2, 8} {
+			got := make([]int64, w*h)
+			New(workers).WavefrontBatch(w, h, batch, func(x, y int) { compute(got, x, y) })
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("batch=%d workers=%d: cell %d = %d, want %d (serial)",
+						batch, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestWavefrontDegenerateGrids(t *testing.T) {
 	for _, dims := range [][2]int{{1, 1}, {5, 1}, {1, 5}, {2, 3}} {
 		w, h := dims[0], dims[1]

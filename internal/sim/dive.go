@@ -5,6 +5,7 @@ import (
 	"dive/internal/core"
 	"dive/internal/detect"
 	"dive/internal/netsim"
+	"dive/internal/obs"
 	"dive/internal/world"
 )
 
@@ -42,6 +43,10 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	// rec stitches the simulated-edge side of each frame's trace (send,
+	// decode, detect, ack spans on the simulated clock) onto the context the
+	// agent minted at capture. Nil keeps everything a no-op.
+	rec := cfg.Obs
 	dec, err := codec.NewDecoder(cfg.Codec)
 	if err != nil {
 		return nil, err
@@ -78,20 +83,28 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 			agent.ForceNextIFrame()
 			res.Detections[i] = agent.LastDetections()
 			res.ResponseTimes[i] = env.Lat.Encode + env.Lat.Track
+			agent.NoteOutage(link.QueueDelay(ready), len(res.Detections[i]))
 			continue
 		}
 
 		encoded := fr.Encoded
-		start, serialized, delivered := link.Send(ready, encoded.NumBits)
+		start, serialized, delivered := link.SendTraced(fr.Trace, ready, encoded.NumBits)
 		agent.OnTransmitComplete(start, serialized, encoded.NumBits)
 		res.BitsSent[i] = encoded.NumBits
 		res.Uploaded[i] = true
 
+		decodeSpan := rec.StartStageSpan(fr.Trace, "decode", "edge", obs.StageEdgeDecode)
 		decoded, err := dec.Decode(encoded.Data)
+		decodeSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		detectSpan := rec.StartStageSpan(fr.Trace, "detect", "edge", obs.StageEdgeDetect)
 		dets, resultAt := ServerInference(env, decoded.Image, frame, clip.GT[i], delivered, env.Seed^int64(i*7919))
+		detectSpan.End()
+		// The downlink leg lives on the simulated clock: delivery of the
+		// bitstream until the result lands back at the agent.
+		rec.RecordSpan(fr.Trace, "ack", "edge", delivered, resultAt-delivered)
 		if len(dets) > 0 || d.DisableMOT {
 			agent.OnDetections(dets)
 		}
