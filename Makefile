@@ -10,9 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrency-bearing packages.
+# Race-detector pass over the concurrency-bearing packages. core and sim
+# carry the frame-pipeline determinism tests (serial vs pipelined
+# byte-identity at depths 1-3), so this also proves the overlap is clean.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/...
+	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/... ./internal/core/... ./internal/sim/...
 
 vet:
 	$(GO) vet ./...
@@ -35,9 +37,12 @@ bench-compare:
 # tiny end-to-end experiment with telemetry, export a healthy-run decision
 # journal, and have divedoctor check both — journal pathologies and stage
 # latencies against the committed baseline. Exit 1 on any finding.
+# The journal is exported from a pipelined run (-pipeline-depth 3): the
+# records are defined to be identical to serial, so doctor findings double
+# as a pipeline-determinism gate.
 bench-smoke:
 	$(GO) run ./cmd/divebench -scale smoke -only f16 -speedup=false -telemetry -json bench_smoke.json
-	$(GO) run ./cmd/divetrace -format journal -duration 2 -o smoke.journal.jsonl
+	$(GO) run ./cmd/divetrace -format journal -duration 2 -pipeline-depth 3 -o smoke.journal.jsonl
 	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl -bench bench_smoke.json -baseline ci/bench_baseline.json -json
 
 # Regenerate the committed latency baseline from a fresh smoke run. Run on

@@ -7,9 +7,17 @@
 //
 //	diveagent [-addr 127.0.0.1:7060] [-profile nuScenes] [-seed 1]
 //	          [-duration 4] [-rate 2.0] [-telemetry :7061] [-workers N]
+//	          [-pipeline-depth N]
 //
 // -rate throttles the uplink to the given Mbps (0 = unthrottled), pacing
 // writes so the bandwidth estimator sees realistic feedback.
+//
+// -pipeline-depth >= 2 lets up to that many frames be in flight to the
+// server at once: frame N's server inference and downlink overlap frame
+// N+1's encode instead of blocking it. Results are read by a background
+// goroutine in frame order; the encoded bitstreams are identical at any
+// depth (the agent pipeline is deterministic), only wall-clock response
+// times change. Depth 1 (the default) is the classic lock-step loop.
 //
 // The seed contract: the agent renders its clip from (-profile, -seed,
 // -duration) and sends exactly those values in the Hello handshake; the
@@ -56,8 +64,13 @@ func run(args []string) error {
 	rate := fs.Float64("rate", 2.0, "uplink throttle in Mbps (0 = unthrottled)")
 	telemetry := fs.String("telemetry", "", "serve telemetry (/metrics, /debug/frames, pprof) on this address, e.g. :7061")
 	workers := fs.Int("workers", 0, "encoder pool width (0 = GOMAXPROCS, 1 = serial); the bitstream is identical at any width")
+	pipelineDepth := fs.Int("pipeline-depth", 1, "max frames in flight to the server (1 = lock-step request/response)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	depth := *pipelineDepth
+	if depth < 1 {
+		depth = 1
 	}
 
 	var wp world.Profile
@@ -106,16 +119,67 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	dets := make([][]detect.Detection, clip.NumFrames())
+	n := clip.NumFrames()
+	dets := make([][]detect.Detection, n)
 	var rts []float64
 	totalBits := 0
+
+	// The result reader runs concurrently so the server's inference and
+	// downlink overlap the next frames' encode. sem bounds the in-flight
+	// window to depth (acquired before a frame is processed, released after
+	// its result is handled); metaCh hands each frame's display metadata to
+	// the reader with a proper happens-before edge. The reader only touches
+	// agent state disjoint from encoding (the cached-detections slot), so
+	// it is safe alongside Process.
+	type frameMeta struct {
+		bits int
+		qp   int
+		fg   float64
+		eta  float64
+	}
+	sem := make(chan struct{}, depth)
+	metaCh := make(chan frameMeta, depth+1)
+	readerDone := make(chan error, 1)
+	go func() {
+		readerDone <- func() error {
+			for k := 0; k < n; k++ {
+				var res edge.ResultMsg
+				if err := dec.Decode(&res); err != nil {
+					return err
+				}
+				m := <-metaCh
+				if res.Err != "" {
+					return fmt.Errorf("server: %s", res.Err)
+				}
+				rt := float64(time.Now().UnixNano()-res.SentNanos) / 1e9
+				rts = append(rts, rt)
+				dets[res.Index] = edge.FromWire(res.Detections)
+				agent.CacheDetections(dets[res.Index])
+				fmt.Printf("frame %3d: %5.1f kbit qp=%2d fg=%4.1f%% η=%.2f dets=%d rt=%5.1fms\n",
+					res.Index, float64(m.bits)/1000, m.qp, m.fg*100,
+					m.eta, len(dets[res.Index]), rt*1000)
+				<-sem
+			}
+			return nil
+		}()
+	}()
+
 	for i, frame := range clip.Frames {
+		select {
+		case sem <- struct{}{}:
+		case err := <-readerDone:
+			if err == nil {
+				err = fmt.Errorf("result reader exited early")
+			}
+			return err
+		}
 		now := time.Since(start).Seconds()
 		out, err := agent.Process(frame, now)
 		if err != nil {
 			return err
 		}
 		totalBits += out.Bits
+		metaCh <- frameMeta{bits: out.Bits, qp: out.BaseQP, fg: out.ForegroundFraction, eta: out.Eta}
 
 		sendStart := time.Since(start).Seconds()
 		if err := enc.Encode(edge.FrameMsg{
@@ -129,21 +193,9 @@ func run(args []string) error {
 			time.Sleep(time.Duration(float64(out.Bits) / dive.Mbps(*rate) * float64(time.Second)))
 		}
 		agent.AckUplink(sendStart, time.Since(start).Seconds(), out.Bits)
-
-		var res edge.ResultMsg
-		if err := dec.Decode(&res); err != nil {
-			return err
-		}
-		if res.Err != "" {
-			return fmt.Errorf("server: %s", res.Err)
-		}
-		rt := float64(time.Now().UnixNano()-res.SentNanos) / 1e9
-		rts = append(rts, rt)
-		dets[i] = edge.FromWire(res.Detections)
-		agent.CacheDetections(dets[i])
-		fmt.Printf("frame %3d: %5.1f kbit qp=%2d fg=%4.1f%% η=%.2f dets=%d rt=%5.1fms\n",
-			i, float64(out.Bits)/1000, out.BaseQP, out.ForegroundFraction*100,
-			out.Eta, len(dets[i]), rt*1000)
+	}
+	if err := <-readerDone; err != nil {
+		return err
 	}
 
 	// Accuracy against the oracle (detections on raw frames).

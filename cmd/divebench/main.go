@@ -5,12 +5,14 @@
 //
 //	divebench [-scale smoke|default|full] [-seed N] [-only t1,f6,...]
 //	          [-json bench_results.json] [-telemetry] [-workers N]
-//	          [-speedup=false]
+//	          [-speedup=false] [-pipeline-depth N]
 //
 // -workers bounds the experiment fan-out and encoder/renderer pool width
 // (0 = GOMAXPROCS, 1 = serial). Every table is identical at any width; the
 // parallel layer only changes wall-clock time. -speedup measures the
-// serial-vs-parallel encoder throughput ratio and records it in -json.
+// serial-vs-parallel encoder throughput ratio and records it in -json,
+// along with the frame-pipeline throughput ratio (capture ∥ analyze ∥ emit
+// at -pipeline-depth frames in flight; 0 disables the measurement).
 //
 // Experiment ids: t1 (Table I), f6, f7, f9, f10, f11, f12, f13, f14,
 // f16, f17. By default every experiment runs at the default scale.
@@ -65,6 +67,7 @@ func run(args []string) error {
 	telemetry := fs.Bool("telemetry", false, "record pipeline telemetry and print periodic one-line summaries to stderr")
 	workers := fs.Int("workers", 0, "experiment fan-out and encoder pool width (0 = GOMAXPROCS, 1 = serial); tables are identical at any width")
 	speedup := fs.Bool("speedup", true, "measure serial-vs-parallel encoder speedup and record it in -json")
+	pipelineDepth := fs.Int("pipeline-depth", 3, "frame-pipeline depth for the pipeline-speedup measurement (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,6 +250,18 @@ func run(args []string) error {
 			sp.Speedup, sp.SerialMs, sp.ParallelMs, sp.Workers)
 	}
 
+	if *speedup && *jsonPath != "" && *pipelineDepth >= 2 {
+		t0 := time.Now()
+		pp, err := experiments.PipelineSpeedup(scale, *seed, *workers, *pipelineDepth)
+		if err != nil {
+			return fmt.Errorf("pipeline speedup: %w", err)
+		}
+		results.Pipeline = &pp
+		results.ExperimentSecs["pipeline_speedup"] = time.Since(t0).Seconds()
+		fmt.Printf("pipeline speedup: %.2fx at depth %d (%.1f -> %.1f ms/frame, %.2f frames in flight mean, %d peak)\n\n",
+			pp.Speedup, pp.Depth, pp.SerialMs, pp.PipelinedMs, pp.MeanInFlight, pp.MaxInFlight)
+	}
+
 	if *jsonPath != "" {
 		if rec != nil {
 			results.Telemetry = rec.Snapshot()
@@ -278,6 +293,10 @@ type benchResults struct {
 	EndToEnd       []experiments.EndToEndRow `json:"end_to_end,omitempty"`
 	// Speedup is the measured serial-vs-parallel encoder throughput ratio
 	// on this machine (bit-exact identical bitstreams both ways).
-	Speedup   *experiments.SpeedupResult `json:"encode_speedup,omitempty"`
-	Telemetry *obs.Snapshot              `json:"telemetry,omitempty"`
+	Speedup *experiments.SpeedupResult `json:"encode_speedup,omitempty"`
+	// Pipeline is the frame-level pipeline throughput ratio (capture ∥
+	// analyze ∥ emit, byte-exact identical bitstreams both ways) with the
+	// achieved frames-in-flight occupancy.
+	Pipeline  *experiments.PipelineResult `json:"pipeline_speedup,omitempty"`
+	Telemetry *obs.Snapshot               `json:"telemetry,omitempty"`
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	divetrace [-profile nuScenes] [-seed 1] [-duration 4] [-mbps 2] [-o out.csv]
-//	          [-format csv|jsonl|journal|spans]
+//	          [-format csv|jsonl|journal|spans] [-pipeline-depth N]
 //
 // -format jsonl emits the telemetry subsystem's frame-lifecycle records
 // (one JSON object per frame: stage durations in milliseconds,
@@ -16,6 +16,13 @@
 // the per-frame trace spans (the /debug/journal and /debug/spans schemas),
 // both directly consumable by cmd/divedoctor. Unknown formats are rejected
 // with a non-zero exit.
+//
+// -pipeline-depth >= 2 runs the agent's frame-level pipeline (capture ∥
+// analyze ∥ emit) for the telemetry formats, so the emitted spans show the
+// real overlapped execution. Records and bitstreams are identical to the
+// serial run at any depth; only the wall-clock span timings change. The
+// CSV format reads the encoder reconstruction per frame and therefore
+// always runs serially.
 package main
 
 import (
@@ -46,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 	mbps := fs.Float64("mbps", 2, "simulated uplink bandwidth")
 	out := fs.String("o", "", "output file (default stdout)")
 	format := fs.String("format", "csv", "output format: csv, jsonl (frame-lifecycle records), journal (decision journal) or spans (trace spans)")
+	pipelineDepth := fs.Int("pipeline-depth", 1, "frame-pipeline depth for the telemetry formats (1 = serial; csv is always serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +89,7 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	if *format != "csv" {
-		return TraceTelemetry(p, *seed, netsim.Mbps(*mbps), *format, w)
+		return TraceTelemetry(p, *seed, netsim.Mbps(*mbps), *format, *pipelineDepth, w)
 	}
 	return Trace(p, *seed, netsim.Mbps(*mbps), w)
 }
@@ -136,14 +144,16 @@ func agentRecon(a *core.Agent) *imgx.Plane { return a.Reconstructed() }
 // TraceJSONL runs the agent with a telemetry recorder attached and writes
 // the frame-lifecycle ring as JSONL.
 func TraceJSONL(p world.Profile, seed int64, uplinkBps float64, w io.Writer) error {
-	return TraceTelemetry(p, seed, uplinkBps, "jsonl", w)
+	return TraceTelemetry(p, seed, uplinkBps, "jsonl", 1, w)
 }
 
 // TraceTelemetry runs the agent with a telemetry recorder attached and
 // writes the selected telemetry stream as JSONL: "jsonl" emits the
 // frame-lifecycle ring, "journal" the decision journal, "spans" the frame
-// trace spans.
-func TraceTelemetry(p world.Profile, seed int64, uplinkBps float64, format string, w io.Writer) error {
+// trace spans. depth >= 2 overlaps capture, analysis and entropy coding
+// via the agent's frame pipeline; the records are identical at any depth
+// (only wall-clock span timings change).
+func TraceTelemetry(p world.Profile, seed int64, uplinkBps float64, format string, depth int, w io.Writer) error {
 	clip := world.GenerateClip(p, seed)
 	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
 	cfg.Seed = seed
@@ -153,14 +163,22 @@ func TraceTelemetry(p world.Profile, seed int64, uplinkBps float64, format strin
 	if err != nil {
 		return err
 	}
-	for i, frame := range clip.Frames {
-		now := float64(i) / clip.FPS
-		fr, err := agent.ProcessFrame(frame, now)
-		if err != nil {
-			return err
-		}
-		tx := float64(fr.Encoded.NumBits) / uplinkBps
-		agent.OnTransmitComplete(now, now+tx, fr.Encoded.NumBits)
+	// The uplink ack is analysis-stage feedback: it must land before the
+	// next frame's rate control runs, which the pipeline guarantees by
+	// running the post hook on the analysis stage.
+	_, err = agent.ProcessStream(clip.NumFrames(), depth,
+		func(i int) (*imgx.Plane, float64) {
+			return clip.Frames[i], float64(i) / clip.FPS
+		},
+		func(i int, fr *core.FrameResult) error {
+			now := float64(i) / clip.FPS
+			tx := float64(fr.Encoded.NumBits) / uplinkBps
+			agent.OnTransmitComplete(now, now+tx, fr.Encoded.NumBits)
+			return nil
+		},
+		nil)
+	if err != nil {
+		return err
 	}
 	switch format {
 	case "journal":

@@ -56,7 +56,7 @@ func TestJournalFormatFeedsDoctorDecoder(t *testing.T) {
 	p := world.NuScenesLike()
 	p.ClipDuration = 0.5
 	var sb strings.Builder
-	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "journal", &sb); err != nil {
+	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "journal", 1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := obs.ReadJournal(strings.NewReader(sb.String()))
@@ -71,13 +71,23 @@ func TestJournalFormatFeedsDoctorDecoder(t *testing.T) {
 			t.Errorf("record %d malformed: %+v", i, r)
 		}
 	}
+
+	// The journal carries no wall-clock timings, so a pipelined run must
+	// reproduce it byte for byte.
+	var pipelined strings.Builder
+	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "journal", 3, &pipelined); err != nil {
+		t.Fatal(err)
+	}
+	if pipelined.String() != sb.String() {
+		t.Error("journal output differs between depth 1 and depth 3")
+	}
 }
 
 func TestSpansFormatRoundTrips(t *testing.T) {
 	p := world.NuScenesLike()
 	p.ClipDuration = 0.5
 	var sb strings.Builder
-	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "spans", &sb); err != nil {
+	if err := TraceTelemetry(p, 3, netsim.Mbps(2), "spans", 3, &sb); err != nil {
 		t.Fatal(err)
 	}
 	spans, err := obs.ReadSpans(strings.NewReader(sb.String()))

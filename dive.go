@@ -195,11 +195,80 @@ func NewAgent(cfg Config) (*Agent, error) {
 
 // Process runs the DiVE pipeline on one captured frame. now is the capture
 // time in seconds on any monotonic clock shared with AckUplink.
+// It is Analyze followed immediately by Emit.
 func (a *Agent) Process(frame *Frame, now float64) (*Output, error) {
-	res, err := a.inner.ProcessFrame(frame, now)
+	p, err := a.Analyze(frame, now)
 	if err != nil {
 		return nil, err
 	}
+	return a.Emit(p)
+}
+
+// Pending is a frame between Analyze and Emit: fully analyzed, rate
+// controlled and quantized, but not yet entropy coded. Bits reports the
+// exact bitstream size ahead of serialization, so transport scheduling can
+// run before the bytes exist.
+type Pending struct {
+	inner *core.PendingFrame
+}
+
+// Bits returns the frame's exact encoded size in bits (known before Emit —
+// entropy coding only serializes what quantization already decided).
+func (p *Pending) Bits() int { return p.inner.Result().Encoded.NumBits }
+
+// Analyze runs phase one of the pipeline on one captured frame: motion
+// analysis, foreground extraction, rate control and quantization. The agent
+// is immediately ready to analyze the next frame; the returned Pending must
+// be passed to Emit — in order, exactly once — for the bitstream. Emit may
+// run concurrently with later Analyze calls, which is what lets a frame
+// pipeline overlap entropy coding with the next frame's analysis.
+func (a *Agent) Analyze(frame *Frame, now float64) (*Pending, error) {
+	p, err := a.inner.AnalyzeFrame(frame, now)
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{inner: p}, nil
+}
+
+// Emit runs phase two: entropy coding. It consumes the Pending and returns
+// the completed Output, byte-identical to what a direct Process call would
+// have produced.
+func (a *Agent) Emit(p *Pending) (*Output, error) {
+	res, err := a.inner.EmitFrame(p.inner)
+	if err != nil {
+		return nil, err
+	}
+	return outputFromResult(res), nil
+}
+
+// ProcessStream runs frames [0, n) through the agent as a bounded-depth
+// frame pipeline: frame N+1's capture (the source callback) and analysis
+// overlap frame N's entropy coding and delivery, with at most depth frames
+// in flight. Bitstreams are byte-identical to a serial Process loop at any
+// depth, and hooks observe frames in order. The post hook runs right after
+// a frame's analysis — before its bitstream exists (Bitstream is nil) but
+// with Bits already exact — and is where AckUplink and ForceNextIFrame
+// belong; the deliver hook receives the completed Output and is where
+// CacheDetections belongs. depth <= 1 runs everything inline.
+func (a *Agent) ProcessStream(n, depth int,
+	source func(i int) (*Frame, float64),
+	post func(i int, out *Output) error,
+	deliver func(i int, out *Output) error,
+) error {
+	wrap := func(hook func(int, *Output) error) func(int, *core.FrameResult) error {
+		if hook == nil {
+			return nil
+		}
+		return func(i int, res *core.FrameResult) error {
+			return hook(i, outputFromResult(res))
+		}
+	}
+	_, err := a.inner.ProcessStream(n, depth, source, wrap(post), wrap(deliver))
+	return err
+}
+
+// outputFromResult converts the internal frame result to the public Output.
+func outputFromResult(res *core.FrameResult) *Output {
 	out := &Output{
 		Bitstream:             res.Encoded.Data,
 		Bits:                  res.Encoded.NumBits,
@@ -225,7 +294,7 @@ func (a *Agent) Process(frame *Frame, now float64) (*Output, error) {
 			})
 		}
 	}
-	return out, nil
+	return out
 }
 
 // AckUplink reports transport feedback: bits were serialized onto the

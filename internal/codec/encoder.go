@@ -182,6 +182,10 @@ type Encoder struct {
 	// dctScratch is the recycled backing array of the per-frame inter-DCT
 	// cache (QP-independent, rebuilt each P-frame, never escapes Encode).
 	dctScratch [][blockSize * blockSize]float64
+	// jobFree recycles FrameJob backing storage between EmitBitstream
+	// (which may run on a pipeline goroutine) and the next
+	// AnalyzeAndQuantize; the channel provides the happens-before edge.
+	jobFree chan *FrameJob
 }
 
 // NewEncoder validates cfg and creates an encoder.
@@ -197,7 +201,8 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	}
 	return &Encoder{
 		cfg: cfg, mbw: cfg.Width / MBSize, mbh: cfg.Height / MBSize,
-		pool: parallel.New(cfg.Workers),
+		pool:    parallel.New(cfg.Workers),
+		jobFree: make(chan *FrameJob, jobFreeCap),
 	}, nil
 }
 
@@ -371,92 +376,15 @@ func (e *Encoder) searchMB(frame *imgx.Plane, mf *MotionField, bx, by int) {
 	mf.SADs[i] = cost
 }
 
-// Encode compresses one frame and advances the encoder state.
+// Encode compresses one frame and advances the encoder state. It is the
+// serial composition of the two-phase API (see twophase.go): quantize, then
+// emit immediately.
 func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, error) {
-	if frame.W != e.cfg.Width || frame.H != e.cfg.Height {
-		return nil, fmt.Errorf("codec: frame size %dx%d does not match config %dx%d", frame.W, frame.H, e.cfg.Width, e.cfg.Height)
+	job, err := e.AnalyzeAndQuantize(frame, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.QPOffsets != nil && len(opts.QPOffsets) != e.mbw*e.mbh {
-		return nil, fmt.Errorf("codec: QP offset map has %d entries, want %d", len(opts.QPOffsets), e.mbw*e.mbh)
-	}
-	ftype := PFrame
-	if e.ref == nil || opts.ForceIFrame || (e.cfg.GoPSize <= 1) || (e.frameIdx%e.cfg.GoPSize == 0) {
-		ftype = IFrame
-	}
-	var mf *MotionField
-	if ftype == PFrame {
-		mf = e.AnalyzeMotion(frame)
-	} else if e.ref != nil {
-		// Analytics still want MVs on I-frames; compute but do not use
-		// them for prediction.
-		mf = e.AnalyzeMotion(frame)
-	}
-
-	baseQP := clampQP(opts.BaseQP)
-	if ftype == IFrame && opts.IFrameBudgetScale > 1 && opts.TargetBits > 0 {
-		opts.TargetBits = int(float64(opts.TargetBits) * opts.IFrameBudgetScale)
-	}
-	// The DCT of each inter residual is independent of QP; compute it once
-	// and share it across rate-control trial passes.
-	var dctCache [][blockSize * blockSize]float64
-	if ftype == PFrame {
-		dctTimer := e.cfg.Obs.StartStage(obs.StageCodecDCT)
-		dctCache = e.buildInterDCTCache(frame, mf)
-		dctTimer.Stop()
-	}
-	entropyTimer := e.cfg.Obs.StartStage(obs.StageCodecEntropy)
-	var result *passResult
-	var rcTrace []obs.QPTrial
-	if opts.TargetBits > 0 {
-		// Bisect the base QP over cheap trial passes (entropy-only: no
-		// reconstruction or loop filtering), then run one full final pass
-		// at the chosen QP. Trial and final passes produce identical bit
-		// counts. A trial pass is a pure function of (frame, mf, dctCache,
-		// qp), so with a multi-worker pool the top levels of the bisection
-		// tree are probed speculatively in parallel and the loop below
-		// consumes the memo — the probed QPs cover every path the serial
-		// bisection could take through those levels, so the chosen QP is
-		// identical whether or not bits(qp) is monotonic.
-		memo, trials := e.prefetchRCProbes(frame, ftype, mf, dctCache, opts.QPOffsets)
-		lo, hi := 0, 51
-		for lo < hi {
-			mid := (lo + hi) / 2
-			bits := memo[mid]
-			speculative := bits >= 0
-			if bits < 0 {
-				bits = e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false).bits
-				trials++
-			}
-			if e.cfg.Obs != nil {
-				rcTrace = append(rcTrace, obs.QPTrial{QP: mid, Bits: bits, Speculative: speculative})
-			}
-			if bits <= opts.TargetBits {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		e.cfg.Obs.Counter(obs.MetricRCTrials).Add(int64(trials))
-		result = e.encodePass(frame, ftype, mf, dctCache, lo, opts.QPOffsets, true)
-		baseQP = result.qp
-	} else {
-		result = e.encodePass(frame, ftype, mf, dctCache, baseQP, opts.QPOffsets, true)
-	}
-	entropyTimer.Stop()
-
-	e.ref = result.recon
-	e.refQPs = result.qps
-	e.analyzed, e.motion = nil, nil
-	idx := e.frameIdx
-	e.frameIdx++
-
-	return &EncodedFrame{
-		Type: ftype, Index: idx, BaseQP: baseQP,
-		MBW: e.mbw, MBH: e.mbh,
-		Motion: mf, QPs: result.qps,
-		Data: result.data, NumBits: result.nbits,
-		RCTrials: rcTrace,
-	}, nil
+	return e.EmitBitstream(job)
 }
 
 // prefetchRCProbes speculatively executes rate-control trial passes for the

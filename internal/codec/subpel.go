@@ -29,11 +29,52 @@ func sampleHalf(p *imgx.Plane, hx, hy int) uint8 {
 
 // sadHalf computes the SAD between the w×h block at (ax, ay) in a and the
 // half-pel displaced block at half-pel origin (hbx, hby) in b, with early
-// exit.
+// exit (checked after each completed row, matching imgx.SAD).
 func sadHalf(a *imgx.Plane, ax, ay int, b *imgx.Plane, hbx, hby, w, h, earlyExit int) int {
 	// Fast path: even coordinates are plain integer SAD.
 	if hbx&1 == 0 && hby&1 == 0 {
 		return imgx.SAD(a, ax, ay, b, hbx>>1, hby>>1, w, h, earlyExit)
+	}
+	ix0, iy0 := hbx>>1, hby>>1
+	// Interior fast path: when every integer sample the bilinear taps touch
+	// (columns ix0..ix0+w, rows iy0..iy0+h — conservatively including the +1
+	// tap even on the even axis) is inside b, interpolation reads row slices
+	// directly instead of going through the clamping sampleHalf, with the
+	// identical rounding arithmetic and branchless absolute values.
+	if ix0 >= 0 && iy0 >= 0 && ix0+w < b.W && iy0+h < b.H {
+		oddX, oddY := hbx&1 == 1, hby&1 == 1
+		sum := 0
+		for y := 0; y < h; y++ {
+			ra := a.Pix[(ay+y)*a.W+ax : (ay+y)*a.W+ax+w]
+			iy := iy0 + y
+			r0 := b.Pix[iy*b.W+ix0 : iy*b.W+ix0+w+1]
+			switch {
+			case oddX && !oddY:
+				for x := 0; x < w; x++ {
+					d := int(ra[x]) - (int(r0[x])+int(r0[x+1])+1)/2
+					m := d >> 63
+					sum += (d + m) ^ m
+				}
+			case !oddX && oddY:
+				r1 := b.Pix[(iy+1)*b.W+ix0 : (iy+1)*b.W+ix0+w+1]
+				for x := 0; x < w; x++ {
+					d := int(ra[x]) - (int(r0[x])+int(r1[x])+1)/2
+					m := d >> 63
+					sum += (d + m) ^ m
+				}
+			default: // odd in both axes
+				r1 := b.Pix[(iy+1)*b.W+ix0 : (iy+1)*b.W+ix0+w+1]
+				for x := 0; x < w; x++ {
+					d := int(ra[x]) - (int(r0[x])+int(r0[x+1])+int(r1[x])+int(r1[x+1])+2)/4
+					m := d >> 63
+					sum += (d + m) ^ m
+				}
+			}
+			if sum >= earlyExit {
+				return sum
+			}
+		}
+		return sum
 	}
 	sum := 0
 	for y := 0; y < h; y++ {

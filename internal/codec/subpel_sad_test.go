@@ -1,0 +1,81 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"dive/internal/imgx"
+)
+
+// sadHalfNaive mirrors the original per-pixel sampleHalf implementation of
+// sadHalf, including the row-granular early exit; the restructured interior
+// fast path must match it bit-for-bit.
+func sadHalfNaive(a *imgx.Plane, ax, ay int, b *imgx.Plane, hbx, hby, w, h, earlyExit int) int {
+	sum := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(a.Pix[(ay+y)*a.W+ax+x]) - int(sampleHalf(b, hbx+2*x, hby+2*y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum >= earlyExit {
+			return sum
+		}
+	}
+	return sum
+}
+
+func randPlane(rng *rand.Rand, w, h int) *imgx.Plane {
+	p := imgx.NewPlane(w, h)
+	for i := range p.Pix {
+		p.Pix[i] = uint8(rng.Intn(256))
+	}
+	return p
+}
+
+// TestSadHalfMatchesNaive cross-checks sadHalf (interior fast path and
+// clamped fallback) against the naive sampleHalf loop over randomized
+// positions, all four half-pel phases, and early-exit thresholds.
+func TestSadHalfMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := randPlane(rng, 80, 64)
+	b := randPlane(rng, 80, 64)
+	for trial := 0; trial < 5000; trial++ {
+		w, h := MBSize, MBSize
+		if trial%3 == 0 {
+			w, h = 8, 8
+		}
+		ax := rng.Intn(a.W-w) &^ 1
+		ay := rng.Intn(a.H-h) &^ 1
+		hbx := rng.Intn(2*(b.W+16)) - 16
+		hby := rng.Intn(2*(b.H+16)) - 16
+		early := 1 << 30
+		if trial%4 == 0 {
+			early = rng.Intn(w * h * 64)
+		}
+		got := sadHalf(a, ax, ay, b, hbx, hby, w, h, early)
+		want := sadHalfNaive(a, ax, ay, b, hbx, hby, w, h, early)
+		if got != want {
+			t.Fatalf("trial %d: sadHalf(%d,%d vs half %d,%d %dx%d early=%d) = %d, naive = %d",
+				trial, ax, ay, hbx, hby, w, h, early, got, want)
+		}
+	}
+}
+
+func BenchmarkSadHalf(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pa := randPlane(rng, 320, 192)
+	pb := randPlane(rng, 320, 192)
+	b.Run("odd-both", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sadHalf(pa, 64, 64, pb, 2*67+1, 2*62+1, MBSize, MBSize, 1<<30)
+		}
+	})
+	b.Run("odd-x", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sadHalf(pa, 64, 64, pb, 2*67+1, 2*62, MBSize, MBSize, 1<<30)
+		}
+	})
+}

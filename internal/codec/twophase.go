@@ -1,0 +1,406 @@
+package codec
+
+import (
+	"fmt"
+
+	"dive/internal/imgx"
+	"dive/internal/obs"
+)
+
+// Two-phase encoding. Encode is split into AnalyzeAndQuantize (motion
+// analysis, rate control, transform, quantization and reconstruction — the
+// part the next frame depends on) and EmitBitstream (entropy serialization —
+// the part nothing downstream of the encoder state depends on). The split is
+// what makes frame-level pipelining possible: reconstruction is a function of
+// the quantized coefficients only, never of the written bits, so the encoder
+// reference advances at the end of phase one and frame N+1's motion search
+// can start while frame N's bits are still being written on another
+// goroutine.
+//
+// Contract: AnalyzeAndQuantize(f, o) followed by EmitBitstream(job) produces
+// a byte-identical bitstream, identical reconstruction and identical encoder
+// state trajectory to the pre-split Encode(f, o). NumBits is computed
+// arithmetically in phase one (exact, verified against the writer in
+// EmitBitstream), so rate-dependent consumers (the link simulator, rate
+// estimators) can run before the bytes exist.
+
+// FrameJob is one frame's encode carried between AnalyzeAndQuantize and
+// EmitBitstream: the quantized coefficient grid, coded modes/vectors and the
+// already-installed reconstruction. Job backing storage is recycled through
+// the encoder's free list once EmitBitstream consumes it.
+//
+// EmitBitstream only reads immutable encoder config, so it may run
+// concurrently with the encoder's next AnalyzeAndQuantize calls.
+type FrameJob struct {
+	// Frame is the encoded frame under construction: every field except
+	// Data is final when AnalyzeAndQuantize returns; EmitBitstream fills
+	// Data and hands the frame out.
+	Frame *EncodedFrame
+
+	enc   *Encoder
+	recon *imgx.Plane
+	// modes/mvs are the coded per-MB decisions (mvs is the codedMVs array
+	// the emit-side MV predictor replays). intraModes holds 4 per-block
+	// directional modes per MB (I-frames only). levels is the full
+	// quantized-coefficient grid, 4 blocks of 64 levels per MB; slots of
+	// skip MBs are stale garbage and never read, exactly like the
+	// recycled inter-DCT cache.
+	modes      []MBMode
+	mvs        []MV
+	intraModes []uint8
+	levels     []int32
+}
+
+// block returns the levels of transform block blk (0..3) of macroblock i.
+func (j *FrameJob) block(i, blk int) *[blockSize * blockSize]int32 {
+	off := (i*4 + blk) * blockSize * blockSize
+	return (*[blockSize * blockSize]int32)(j.levels[off : off+blockSize*blockSize])
+}
+
+// jobFreeCap bounds the encoder's job free list; a pipeline keeps at most a
+// few frames in flight, and overflow jobs are simply garbage-collected.
+const jobFreeCap = 4
+
+// getJob returns a recycled or freshly allocated job. The channel free list
+// gives the release (EmitBitstream, possibly on another goroutine) a
+// happens-before edge to the next acquisition here.
+func (e *Encoder) getJob() *FrameJob {
+	select {
+	case j := <-e.jobFree:
+		return j
+	default:
+	}
+	n := e.mbw * e.mbh
+	return &FrameJob{
+		enc:        e,
+		modes:      make([]MBMode, n),
+		mvs:        make([]MV, n),
+		intraModes: make([]uint8, n*4),
+		levels:     make([]int32, n*4*blockSize*blockSize),
+	}
+}
+
+// putJob releases a consumed job's backing storage to the free list.
+// Transferred fields (Frame, recon — now the encoder reference) are cleared;
+// mvs needs no zeroing because the emit-side predictor only reads cells the
+// same frame wrote earlier in raster order.
+func (e *Encoder) putJob(j *FrameJob) {
+	j.Frame = nil
+	j.recon = nil
+	select {
+	case e.jobFree <- j:
+	default:
+	}
+}
+
+// AnalyzeAndQuantize runs phase one of the two-phase encode: frame-type
+// decision, motion analysis, rate control, transform, quantization and
+// reconstruction. On return the encoder's reference state has advanced — the
+// next frame may be analyzed immediately — and the returned job carries
+// everything EmitBitstream needs to serialize the bitstream later, on any
+// goroutine. Jobs must be emitted in the order they were produced (the
+// bitstream is stateless but consumers expect frame order) and exactly once.
+func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*FrameJob, error) {
+	if frame.W != e.cfg.Width || frame.H != e.cfg.Height {
+		return nil, fmt.Errorf("codec: frame size %dx%d does not match config %dx%d", frame.W, frame.H, e.cfg.Width, e.cfg.Height)
+	}
+	if opts.QPOffsets != nil && len(opts.QPOffsets) != e.mbw*e.mbh {
+		return nil, fmt.Errorf("codec: QP offset map has %d entries, want %d", len(opts.QPOffsets), e.mbw*e.mbh)
+	}
+	ftype := PFrame
+	if e.ref == nil || opts.ForceIFrame || (e.cfg.GoPSize <= 1) || (e.frameIdx%e.cfg.GoPSize == 0) {
+		ftype = IFrame
+	}
+	var mf *MotionField
+	if e.ref != nil {
+		// Analytics want MVs on I-frames too; compute but do not predict
+		// from them.
+		mf = e.AnalyzeMotion(frame)
+	}
+
+	baseQP := clampQP(opts.BaseQP)
+	if ftype == IFrame && opts.IFrameBudgetScale > 1 && opts.TargetBits > 0 {
+		opts.TargetBits = int(float64(opts.TargetBits) * opts.IFrameBudgetScale)
+	}
+	var dctCache [][blockSize * blockSize]float64
+	if ftype == PFrame {
+		dctTimer := e.cfg.Obs.StartStage(obs.StageCodecDCT)
+		dctCache = e.buildInterDCTCache(frame, mf)
+		dctTimer.Stop()
+	}
+
+	entropyTimer := e.cfg.Obs.StartStage(obs.StageCodecEntropy)
+	var rcTrace []obs.QPTrial
+	if opts.TargetBits > 0 {
+		// Bisect the base QP over cheap trial passes exactly as before the
+		// split (see Encode's original rate-control comment): trials are
+		// entropy-only and the speculative prefetcher seeds the memo.
+		memo, trials := e.prefetchRCProbes(frame, ftype, mf, dctCache, opts.QPOffsets)
+		lo, hi := 0, 51
+		for lo < hi {
+			mid := (lo + hi) / 2
+			bits := memo[mid]
+			speculative := bits >= 0
+			if bits < 0 {
+				bits = e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false).bits
+				trials++
+			}
+			if e.cfg.Obs != nil {
+				rcTrace = append(rcTrace, obs.QPTrial{QP: mid, Bits: bits, Speculative: speculative})
+			}
+			if bits <= opts.TargetBits {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		e.cfg.Obs.Counter(obs.MetricRCTrials).Add(int64(trials))
+		baseQP = lo
+	}
+	job := e.getJob()
+	job.enc = e
+	qps, nbits := e.quantizePass(frame, ftype, mf, dctCache, baseQP, opts.QPOffsets, job)
+	entropyTimer.Stop()
+
+	e.ref = job.recon
+	e.refQPs = qps
+	e.analyzed, e.motion = nil, nil
+	idx := e.frameIdx
+	e.frameIdx++
+
+	job.Frame = &EncodedFrame{
+		Type: ftype, Index: idx, BaseQP: baseQP,
+		MBW: e.mbw, MBH: e.mbh,
+		Motion: mf, QPs: qps,
+		NumBits:  nbits,
+		RCTrials: rcTrace,
+	}
+	return job, nil
+}
+
+// quantizePass is the phase-one counterpart of encodePass(final=true): it
+// makes the identical mode decisions and produces the identical
+// reconstruction and per-MB QPs, but records quantized levels (and intra
+// modes) into the job instead of entropy-coding them, counting the exact
+// bits each write would produce. It returns the per-MB QPs and the total bit
+// count, which EmitBitstream later verifies against the real writer.
+func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, job *FrameJob) ([]int, int) {
+	recon := imgx.NewPlane(e.cfg.Width, e.cfg.Height)
+	job.recon = recon
+	qps := make([]int, e.mbw*e.mbh)
+
+	bits := ueBits(uint32(ftype)) + ueBits(uint32(baseQP)) +
+		ueBits(uint32(e.mbw)) + ueBits(uint32(e.mbh)) + 2 // subpel + deblock flags
+
+	codedMVs := job.mvs
+	for by := 0; by < e.mbh; by++ {
+		for bx := 0; bx < e.mbw; bx++ {
+			i := by*e.mbw + bx
+			qp := baseQP
+			if offsets != nil {
+				qp = clampQP(baseQP + offsets[i])
+			}
+			qps[i] = qp
+			px, py := bx*MBSize, by*MBSize
+
+			if ftype == IFrame {
+				job.modes[i] = ModeIntra
+				bits += ueBits(uint32(ModeIntra)) + seBits(int32(qp-baseQP))
+				bits += quantizeIntraMB(frame, recon, px, py, qp,
+					job.levels[i*4*blockSize*blockSize:(i+1)*4*blockSize*blockSize],
+					job.intraModes[i*4:i*4+4])
+				continue
+			}
+
+			mode := mf.Modes[i]
+			mv := mf.MVs[i]
+			pred := predictMV(codedMVs, e.mbw, bx, by)
+			if mode == ModeSkip && mv == pred {
+				job.modes[i] = ModeSkip
+				bits += ueBits(uint32(ModeSkip))
+				codedMVs[i] = pred
+				motionCompensate(recon, e.ref, px, py, pred, e.cfg.SubPel)
+				continue
+			}
+			job.modes[i] = ModeInter
+			bits += ueBits(uint32(ModeInter)) +
+				seBits(int32(mv.X)-int32(pred.X)) +
+				seBits(int32(mv.Y)-int32(pred.Y)) +
+				seBits(int32(qp-baseQP))
+			codedMVs[i] = mv
+			bits += quantizeInterMB(dctCache[i*4:i*4+4], e.ref, recon, px, py, mv, qp, e.cfg.SubPel,
+				job.levels[i*4*blockSize*blockSize:(i+1)*4*blockSize*blockSize])
+		}
+	}
+	if e.cfg.Deblock {
+		deblockFrame(recon, qps, e.mbw)
+	}
+	return qps, bits
+}
+
+// quantizeInterMB quantizes one inter macroblock from its cached DCT blocks
+// into out (4 × 64 levels), reconstructs it, and returns the exact bit cost
+// of entropy-coding the levels.
+func quantizeInterMB(dctBlocks [][blockSize * blockSize]float64, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel bool, out []int32) int {
+	qstep := QStep(qp)
+	var dct, res [blockSize * blockSize]float64
+	bits := 0
+	blk := 0
+	for by := 0; by < MBSize; by += blockSize {
+		for bx := 0; bx < MBSize; bx += blockSize {
+			off := blk * blockSize * blockSize
+			levels := (*[blockSize * blockSize]int32)(out[off : off+blockSize*blockSize])
+			quantizeBlock(&dctBlocks[blk], qstep, levels)
+			bits += coeffsBits(levels)
+			blk++
+			dequantizeBlock(levels, qstep, &dct)
+			idct8(&dct, &res)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					cx, cy := px+bx+x, py+by+y
+					v := refSample(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
+					recon.Set(cx, cy, clampPix(v))
+				}
+			}
+		}
+	}
+	return bits
+}
+
+// quantizeIntraMB codes one intra macroblock's prediction, transform and
+// quantization into out/modesOut, reconstructs it, and returns the exact bit
+// cost of the per-block mode symbols and levels.
+func quantizeIntraMB(cur, recon *imgx.Plane, px, py int, qp int, out []int32, modesOut []uint8) int {
+	qstep := QStep(qp)
+	var pred, res, dct [blockSize * blockSize]float64
+	bits := 0
+	blk := 0
+	for by := 0; by < MBSize; by += blockSize {
+		for bx := 0; bx < MBSize; bx += blockSize {
+			mode := chooseIntraMode(cur, recon, px+bx, py+by)
+			modesOut[blk] = uint8(mode)
+			bits += ueBits(uint32(mode))
+			intraPredict(recon, px+bx, py+by, mode, &pred)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					res[y*blockSize+x] = float64(cur.At(px+bx+x, py+by+y)) - pred[y*blockSize+x]
+				}
+			}
+			fdct8(&res, &dct)
+			off := blk * blockSize * blockSize
+			levels := (*[blockSize * blockSize]int32)(out[off : off+blockSize*blockSize])
+			quantizeBlock(&dct, qstep, levels)
+			bits += coeffsBits(levels)
+			blk++
+			dequantizeBlock(levels, qstep, &dct)
+			idct8(&dct, &res)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					recon.Set(px+bx+x, py+by+y, clampPix(pred[y*blockSize+x]+res[y*blockSize+x]))
+				}
+			}
+		}
+	}
+	return bits
+}
+
+// EmitBitstream runs phase two: it serializes the job into the final
+// bitstream, verifies the writer agrees with phase one's arithmetic bit
+// count, recycles the job and returns the completed frame. It reads only
+// job state and immutable encoder config, so it is safe to run concurrently
+// with later AnalyzeAndQuantize calls on the same encoder; jobs must be
+// emitted in production order, exactly once.
+func (e *Encoder) EmitBitstream(job *FrameJob) (*EncodedFrame, error) {
+	if job == nil || job.Frame == nil {
+		return nil, fmt.Errorf("codec: EmitBitstream on a consumed or nil job")
+	}
+	if job.enc != e {
+		return nil, fmt.Errorf("codec: EmitBitstream on a job from a different encoder")
+	}
+	emitTimer := e.cfg.Obs.StartStage(obs.StageCodecEmit)
+	defer emitTimer.Stop()
+
+	ef := job.Frame
+	w := &BitWriter{}
+	w.WriteUE(uint32(ef.Type))
+	w.WriteUE(uint32(ef.BaseQP))
+	w.WriteUE(uint32(e.mbw))
+	w.WriteUE(uint32(e.mbh))
+	if e.cfg.SubPel {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	if e.cfg.Deblock {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+
+	for by := 0; by < e.mbh; by++ {
+		for bx := 0; bx < e.mbw; bx++ {
+			i := by*e.mbw + bx
+			qp := ef.QPs[i]
+			switch job.modes[i] {
+			case ModeIntra:
+				w.WriteUE(uint32(ModeIntra))
+				w.WriteSE(int32(qp - ef.BaseQP))
+				for blk := 0; blk < 4; blk++ {
+					w.WriteUE(uint32(job.intraModes[i*4+blk]))
+					writeCoeffs(w, job.block(i, blk))
+				}
+			case ModeSkip:
+				w.WriteUE(uint32(ModeSkip))
+			case ModeInter:
+				mv := job.mvs[i]
+				pred := predictMV(job.mvs, e.mbw, bx, by)
+				w.WriteUE(uint32(ModeInter))
+				w.WriteSE(int32(mv.X) - int32(pred.X))
+				w.WriteSE(int32(mv.Y) - int32(pred.Y))
+				w.WriteSE(int32(qp - ef.BaseQP))
+				for blk := 0; blk < 4; blk++ {
+					writeCoeffs(w, job.block(i, blk))
+				}
+			}
+		}
+	}
+	if w.Len() != ef.NumBits {
+		return nil, fmt.Errorf("codec: emitted %d bits for frame %d, phase one counted %d", w.Len(), ef.Index, ef.NumBits)
+	}
+	ef.Data = w.Bytes()
+	e.putJob(job)
+	return ef, nil
+}
+
+// Bit-length arithmetic mirroring the Exp-Golomb writers: ueBits(v) is the
+// exact length WriteUE(v) appends, seBits the WriteSE counterpart, and
+// coeffsBits the exact length of writeCoeffs for a block.
+
+func ueBits(v uint32) int { return 2*bitLen64(uint64(v)+1) - 1 }
+
+func seBits(v int32) int { return ueBits(seToUE(v)) }
+
+func coeffsBits(levels *[blockSize * blockSize]int32) int {
+	any := false
+	for _, l := range levels {
+		if l != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 1 // coded-block flag: empty
+	}
+	bits := 1
+	run := uint32(0)
+	for _, pos := range zigzag8 {
+		l := levels[pos]
+		if l == 0 {
+			run++
+			continue
+		}
+		bits += ueBits(run) + seBits(l)
+		run = 0
+	}
+	return bits + ueBits(blockSize*blockSize)
+}

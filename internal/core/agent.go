@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"dive/internal/codec"
 	"dive/internal/detect"
@@ -172,125 +171,16 @@ func (a *Agent) cy() float64 { return float64(a.cfg.Height) / 2 }
 
 // ProcessFrame runs the full DiVE pipeline on one captured frame at
 // simulated time now and returns the encoded frame plus all analysis
-// byproducts.
+// byproducts. It is the serial composition of the two pipeline phases:
+// AnalyzeFrame (motion, foreground, rate control, quantization) immediately
+// followed by EmitFrame (bitstream serialization). Streaming callers use
+// ProcessStream to overlap the phases across consecutive frames.
 func (a *Agent) ProcessFrame(frame *imgx.Plane, now float64) (*FrameResult, error) {
-	res := &FrameResult{}
-	r := a.cfg.Obs
-	// Mint the frame's causal trace at capture; every agent-side stage span
-	// below is a child of the root "frame" span, and the transport carries
-	// the context to the edge so decode/detect spans join the same trace.
-	ctx := r.StartTrace(a.frameNum)
-	frameSpan := r.StartStageSpan(ctx, "frame", "agent", obs.StageFrame)
-	actx := frameSpan.Context()
-	// Carry the root-span context outward: transport and edge spans become
-	// children of the frame span, exactly like the local stage spans.
-	res.Trace = actx
-	var motionDur, rotationDur, foregroundDur, encodeDur time.Duration
-
-	// Preprocessing: motion vectors come free from the encoder.
-	motionSpan := r.StartStageSpan(actx, "motion", "agent", obs.StageMotion)
-	mf := a.enc.AnalyzeMotion(frame)
-	motionDur = motionSpan.End()
-	if mf != nil {
-		field := mvfield.FromMotion(mf, a.cfg.Focal, a.cx(), a.cy(), 0)
-		res.RawField = field
-		res.Eta = field.Eta()
-		res.Moving = res.Eta > a.cfg.EtaThreshold
-
-		if res.Moving {
-			// Rotational component elimination (Section III-B3).
-			if !a.cfg.DisableRotation {
-				rotSpan := r.StartStageSpan(actx, "rotation", "agent", obs.StageRotation)
-				phiX, phiY, err := a.cfg.Rotation.Estimate(field, a.foeCal.FOE(), a.rng)
-				if err == nil {
-					res.Rotation = RotationEstimate{PhiX: phiX, PhiY: phiY, OK: true}
-					field = field.RemoveRotation(phiX, phiY)
-				}
-				rotationDur = rotSpan.End()
-			}
-			// FOE calibration on the corrected field.
-			if foe, err := mvfield.EstimateFOE(field, a.rng); err == nil {
-				a.foeCal.Update(foe)
-				res.FOE = foe
-			} else {
-				res.FOE = a.foeCal.FOE()
-			}
-			res.Field = field
-
-			// Foreground extraction (Section III-C).
-			fgSpan := r.StartStageSpan(actx, "foreground", "agent", obs.StageForeground)
-			fg := ExtractForeground(field, a.foeCal.FOE(), a.cfg.Foreground)
-			foregroundDur = fgSpan.End()
-			if fg != nil && !fg.Empty() {
-				a.lastFG = fg
-			} else {
-				res.Reused = true
-			}
-		} else {
-			// Stopped: no usable ground flow; reuse the latest foreground.
-			res.Field = field
-			res.Reused = true
-		}
-	} else {
-		res.Reused = a.lastFG != nil
-	}
-	res.Foreground = a.lastFG
-
-	// Adaptive video encoding (Section III-D).
-	frac := 0.0
-	var mask []bool
-	if a.lastFG != nil {
-		frac = a.lastFG.Fraction()
-		mask = a.lastFG.Mask
-	}
-	res.Delta = a.cfg.AVE.Delta(frac)
-	mbw, mbh := a.enc.MBDims()
-	offsets := BuildQPOffsets(mask, mbw*mbh, res.Delta)
-
-	opts := codec.EncodeOptions{QPOffsets: offsets, ForceIFrame: a.forceI}
-	if a.cfg.CRF {
-		opts.BaseQP = a.cfg.CRFQP
-	} else {
-		res.EstimatedBandwidth = a.estimator.EstimateAt(now)
-		res.TargetBits = a.cfg.AVE.TargetBits(res.EstimatedBandwidth, a.cfg.FPS)
-		opts.TargetBits = res.TargetBits
-		opts.IFrameBudgetScale = a.cfg.AVE.IFrameBudgetScale
-	}
-	encSpan := r.StartStageSpan(actx, "encode", "agent", obs.StageEncode)
-	ef, err := a.enc.Encode(frame, opts)
-	encodeDur = encSpan.End()
-	a.forceI = false
+	p, err := a.AnalyzeFrame(frame, now)
 	if err != nil {
 		return nil, err
 	}
-	res.Encoded = ef
-	a.frameNum++
-	total := frameSpan.End()
-
-	if r != nil {
-		r.Counter(obs.MetricFrames).Inc()
-		r.Counter(obs.MetricBits).Add(int64(ef.NumBits))
-		r.Counter(obs.MetricBytes).Add(int64(len(ef.Data)))
-		if ef.Type == codec.IFrame {
-			r.Counter(obs.MetricIFrames).Inc()
-		}
-		r.Gauge(obs.GaugeEta).Set(res.Eta)
-		r.Gauge(obs.GaugeFGFraction).Set(frac)
-		r.RecordFrame(obs.FrameRecord{
-			Frame: ef.Index, TimeSec: now, Type: ef.Type.String(),
-			Eta: res.Eta, Moving: res.Moving, ReusedFG: res.Reused,
-			FGFraction: frac, Delta: res.Delta,
-			BaseQP: ef.BaseQP, Bits: ef.NumBits, TargetBits: res.TargetBits,
-			EstBWBps:     res.EstimatedBandwidth,
-			MotionMs:     motionDur.Seconds() * 1000,
-			RotationMs:   rotationDur.Seconds() * 1000,
-			ForegroundMs: foregroundDur.Seconds() * 1000,
-			EncodeMs:     encodeDur.Seconds() * 1000,
-			TotalMs:      total.Seconds() * 1000,
-		})
-		r.RecordJournal(a.journalRecord(ctx, res, ef, now, frac))
-	}
-	return res, nil
+	return a.EmitFrame(p)
 }
 
 // journalRecord assembles the frame's decision-journal entry: the inputs

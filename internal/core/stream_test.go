@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dive/internal/imgx"
+	"dive/internal/netsim"
+	"dive/internal/world"
+)
+
+// streamClip renders a short moving clip shared by the stream tests.
+func streamClip(t *testing.T) *world.Clip {
+	t.Helper()
+	p := world.NuScenesLike()
+	p.ClipDuration = 1.25
+	return world.GenerateClip(p, 77)
+}
+
+// runSerialReference drives the classic ProcessFrame loop with transport
+// feedback and returns the per-frame bitstreams.
+func runSerialReference(t *testing.T, clip *world.Clip) [][]byte {
+	t.Helper()
+	cfg := DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+	agent, err := NewAgent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := netsim.Mbps(2)
+	var payloads [][]byte
+	for i, frame := range clip.Frames {
+		now := float64(i) / clip.FPS
+		res, err := agent.ProcessFrame(frame, now)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		agent.OnTransmitComplete(now, now+float64(res.Encoded.NumBits)/bw, res.Encoded.NumBits)
+		payloads = append(payloads, res.Encoded.Data)
+	}
+	return payloads
+}
+
+// TestProcessStreamMatchesProcessFrame is the pipelining output contract at
+// the agent level: for every depth, the streamed path must produce
+// byte-identical bitstreams to the serial ProcessFrame loop, delivered in
+// frame order, with the same transport feedback applied at the same points.
+func TestProcessStreamMatchesProcessFrame(t *testing.T) {
+	clip := streamClip(t)
+	want := runSerialReference(t, clip)
+	bw := netsim.Mbps(2)
+
+	for _, depth := range []int{1, 2, 3} {
+		cfg := DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+		agent, err := NewAgent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]byte, clip.NumFrames())
+		delivered := 0
+		stats, err := agent.ProcessStream(clip.NumFrames(), depth,
+			func(i int) (*imgx.Plane, float64) {
+				return clip.Frames[i], float64(i) / clip.FPS
+			},
+			func(i int, fr *FrameResult) error {
+				if fr.Encoded == nil || fr.Encoded.NumBits <= 0 {
+					t.Errorf("depth %d frame %d: post hook saw no frame metadata", depth, i)
+				}
+				now := float64(i) / clip.FPS
+				agent.OnTransmitComplete(now, now+float64(fr.Encoded.NumBits)/bw, fr.Encoded.NumBits)
+				return nil
+			},
+			func(i int, fr *FrameResult) error {
+				if i != delivered {
+					t.Errorf("depth %d: frame %d delivered out of order (want %d)", depth, i, delivered)
+				}
+				delivered++
+				got[i] = fr.Encoded.Data
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if delivered != clip.NumFrames() {
+			t.Fatalf("depth %d: delivered %d of %d frames", depth, delivered, clip.NumFrames())
+		}
+		if stats.Items != clip.NumFrames() {
+			t.Errorf("depth %d: stats.Items = %d, want %d", depth, stats.Items, clip.NumFrames())
+		}
+		if stats.MaxInFlight > depth {
+			t.Errorf("depth %d: %d frames in flight", depth, stats.MaxInFlight)
+		}
+		for i := range want {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("depth %d frame %d: bitstream differs from serial (%d vs %d bytes)",
+					depth, i, len(got[i]), len(want[i]))
+			}
+		}
+	}
+}
+
+// TestAnalyzeEmitSplitMatchesProcessFrame checks the two-phase agent API
+// directly: deferring EmitFrame behind later AnalyzeFrame calls must not
+// change a byte.
+func TestAnalyzeEmitSplitMatchesProcessFrame(t *testing.T) {
+	clip := streamClip(t)
+	want := runSerialReference(t, clip)
+
+	cfg := DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+	agent, err := NewAgent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := netsim.Mbps(2)
+	const lag = 2
+	var pending []*PendingFrame
+	var got [][]byte
+	emit := func() {
+		p := pending[0]
+		pending = pending[1:]
+		fr, err := agent.EmitFrame(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fr.Encoded.Data)
+	}
+	for i, frame := range clip.Frames {
+		now := float64(i) / clip.FPS
+		p, err := agent.AnalyzeFrame(frame, now)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if p.Result().Encoded.Data != nil {
+			t.Fatalf("frame %d: pending frame already has a bitstream", i)
+		}
+		agent.OnTransmitComplete(now, now+float64(p.Result().Encoded.NumBits)/bw, p.Result().Encoded.NumBits)
+		pending = append(pending, p)
+		if len(pending) > lag {
+			emit()
+		}
+	}
+	for len(pending) > 0 {
+		emit()
+	}
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("frame %d: deferred-emit bitstream differs", i)
+		}
+	}
+	// Misuse: a consumed pending frame must not emit twice.
+	p, err := agent.AnalyzeFrame(clip.Frames[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.EmitFrame(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.EmitFrame(p); err == nil {
+		t.Error("double EmitFrame should fail")
+	}
+}

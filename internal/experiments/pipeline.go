@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dive/internal/core"
+	"dive/internal/imgx"
+	"dive/internal/parallel"
+	"dive/internal/world"
+)
+
+// PipelineResult reports end-to-end agent throughput serial vs pipelined on
+// identical input — the frames/sec the frame-level pipeline (capture ∥
+// analyze ∥ emit) buys on this machine. Bitstreams are byte-exact between
+// the two runs (verified during the measurement), so this is a pure
+// wall-clock comparison.
+type PipelineResult struct {
+	// Depth is the pipelined run's in-flight frame bound.
+	Depth   int `json:"depth"`
+	Workers int `json:"workers"`
+	// SerialMs and PipelinedMs are mean wall-clock milliseconds per frame,
+	// capture through emitted bitstream.
+	SerialMs    float64 `json:"serial_ms_per_frame"`
+	PipelinedMs float64 `json:"pipelined_ms_per_frame"`
+	Speedup     float64 `json:"speedup"`
+	// MeanInFlight and MaxInFlight report the pipelined run's occupancy:
+	// the time-weighted average and peak number of frames simultaneously
+	// between capture and delivery (1.0 = no overlap achieved).
+	MeanInFlight float64 `json:"mean_in_flight"`
+	MaxInFlight  int     `json:"max_in_flight"`
+}
+
+// streamClipMs runs the full agent loop — on-demand frame rendering,
+// analysis, entropy coding — over one clip at the given pipeline depth and
+// returns the mean wall-clock milliseconds per frame, the pipeline stats
+// and the total emitted bits (for the byte-exactness cross-check). Depth 1
+// takes ProcessStream's inline path: exactly the serial loop.
+func streamClipMs(p world.Profile, seed int64, workers, depth int) (float64, parallel.PipelineStats, int64, error) {
+	src := world.NewClipSource(p, seed)
+	cfg := core.DefaultAgentConfig(p.W, p.H, p.FPS, src.Focal())
+	cfg.Codec.Workers = workers
+	agent, err := core.NewAgent(cfg)
+	if err != nil {
+		return 0, parallel.PipelineStats{}, 0, err
+	}
+	var bits int64
+	n := src.NumFrames()
+	t0 := time.Now()
+	stats, err := agent.ProcessStream(n, depth,
+		func(i int) (*imgx.Plane, float64) {
+			frame, _, _ := src.Frame(i)
+			return frame, float64(i) / p.FPS
+		},
+		nil,
+		func(i int, fr *core.FrameResult) error {
+			bits += int64(fr.Encoded.NumBits)
+			return nil
+		})
+	ms := time.Since(t0).Seconds() * 1000 / float64(n)
+	return ms, stats, bits, err
+}
+
+// PipelineSpeedup renders and encodes one RobotCar-flavored clip twice with
+// identical codec settings — once with the stages inline (depth 1), once
+// with the frame pipeline at the given depth (0 = 3) — and reports the
+// measured per-frame times and pipeline occupancy. divebench embeds the
+// result in its -json output next to the intra-frame encode speedup.
+func PipelineSpeedup(scale Scale, seed int64, workers, depth int) (PipelineResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth < 2 {
+		depth = 3
+	}
+	p := world.RobotCarLike()
+	_, dur := scale.params()
+	p.ClipDuration = dur
+	res := PipelineResult{Depth: depth, Workers: workers}
+
+	serialMs, _, serialBits, err := streamClipMs(p, seed, workers, 1)
+	if err != nil {
+		return res, err
+	}
+	pipelinedMs, stats, pipelinedBits, err := streamClipMs(p, seed, workers, depth)
+	if err != nil {
+		return res, err
+	}
+	if serialBits != pipelinedBits {
+		return res, fmt.Errorf("experiments: pipelined run produced %d bits, serial %d — determinism broken",
+			pipelinedBits, serialBits)
+	}
+	res.SerialMs = serialMs
+	res.PipelinedMs = pipelinedMs
+	res.MeanInFlight = stats.MeanInFlight
+	res.MaxInFlight = stats.MaxInFlight
+	if pipelinedMs > 0 {
+		res.Speedup = serialMs / pipelinedMs
+	}
+	return res, nil
+}

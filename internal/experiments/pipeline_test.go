@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestPipelineSpeedupSmoke runs the pipeline throughput harness at smoke
+// scale. The byte-exactness cross-check (serial vs pipelined total bits) is
+// enforced inside PipelineSpeedup; here we check the measurement shape.
+// Speedup > 1 is asserted only by the bench gate, not here — CI machines
+// may be serial.
+func TestPipelineSpeedupSmoke(t *testing.T) {
+	res, err := PipelineSpeedup(ScaleSmoke, 7, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 3 {
+		t.Errorf("Depth = %d, want 3", res.Depth)
+	}
+	if res.SerialMs <= 0 || res.PipelinedMs <= 0 || res.Speedup <= 0 {
+		t.Errorf("non-positive timings: %+v", res)
+	}
+	if res.MaxInFlight < 1 || res.MaxInFlight > res.Depth {
+		t.Errorf("MaxInFlight = %d out of [1, %d]", res.MaxInFlight, res.Depth)
+	}
+	if res.MeanInFlight <= 0 || res.MeanInFlight > float64(res.Depth) {
+		t.Errorf("MeanInFlight = %v out of (0, %d]", res.MeanInFlight, res.Depth)
+	}
+}

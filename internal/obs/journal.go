@@ -137,6 +137,26 @@ func (r *JournalRing) AmendLast(fn func(*JournalRecord)) {
 	fn(&r.buf[(r.total-1)%cap(r.buf)])
 }
 
+// AmendFrame applies fn to the most recent retained record whose Frame
+// field matches; no-op when the frame was never journaled or has been
+// evicted. Pipelined runs use this instead of AmendLast: by the time a
+// frame's transport/outage verdict lands, later frames may already have
+// been journaled.
+func (r *JournalRing) AmendFrame(frame int, fn func(*JournalRecord)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := r.total - 1; k >= 0 && k >= r.total-len(r.buf); k-- {
+		rec := &r.buf[k%cap(r.buf)]
+		if rec.Frame == frame {
+			fn(rec)
+			return
+		}
+	}
+}
+
 // Total returns how many records were ever appended.
 func (r *JournalRing) Total() int {
 	if r == nil {
@@ -242,4 +262,14 @@ func (r *Recorder) AmendLastJournal(fn func(*JournalRecord)) {
 		return
 	}
 	r.journal.AmendLast(fn)
+}
+
+// AmendJournalFrame applies fn to the journal record of a specific frame —
+// the pipelined counterpart of AmendLastJournal, for feedback that arrives
+// after later frames have already been journaled.
+func (r *Recorder) AmendJournalFrame(frame int, fn func(*JournalRecord)) {
+	if r == nil {
+		return
+	}
+	r.journal.AmendFrame(frame, fn)
 }

@@ -24,10 +24,13 @@ const (
 	StageForeground     = "dive_stage_foreground_seconds"
 	StageEncode         = "dive_stage_encode_seconds"
 
-	// Codec internals (internal/codec).
+	// Codec internals (internal/codec). StageCodecEntropy covers rate
+	// control and quantization (bit-accounting); StageCodecEmit is the
+	// deferred bitstream serialization of the two-phase encoder.
 	StageCodecMotion  = "codec_motion_search_seconds"
 	StageCodecDCT     = "codec_dct_seconds"
 	StageCodecEntropy = "codec_entropy_seconds"
+	StageCodecEmit    = "codec_emit_seconds"
 	MetricRCTrials    = "codec_rc_trials_total"
 
 	// Network simulator (internal/netsim).
@@ -59,6 +62,11 @@ const (
 	GaugeParallelActive   = "parallel_active_regions"
 	MetricParallelRegions = "parallel_regions_total"
 	MetricParallelTasks   = "parallel_tasks_total"
+
+	// Frame-level pipeline (internal/parallel.Pipeline): configured depth
+	// and the live number of frames concurrently in flight across stages.
+	GaugePipelineDepth    = "pipeline_depth"
+	GaugePipelineInFlight = "pipeline_frames_in_flight"
 )
 
 // Recorder bundles a metrics registry, a frame-lifecycle ring, a decision
@@ -178,6 +186,16 @@ func (r *Recorder) AmendLastFrame(fn func(*FrameRecord)) {
 		return
 	}
 	r.ring.AmendLast(fn)
+}
+
+// AmendFrameRecord applies fn to the lifecycle record of a specific frame —
+// the pipelined counterpart of AmendLastFrame, for completions (deferred
+// bitstream emit) that land after later frames were already recorded.
+func (r *Recorder) AmendFrameRecord(frame int, fn func(*FrameRecord)) {
+	if r == nil {
+		return
+	}
+	r.ring.AmendFrame(frame, fn)
 }
 
 // Snapshot returns a point-in-time copy of every metric plus uptime.

@@ -34,7 +34,10 @@ type FrameRecord struct {
 	RotationMs   float64 `json:"rotation_ms"`
 	ForegroundMs float64 `json:"foreground_ms"`
 	EncodeMs     float64 `json:"encode_ms"`
-	TotalMs      float64 `json:"total_ms"`
+	// EmitMs is the deferred bitstream-serialization time, amended when the
+	// frame's EmitBitstream completes (possibly on a later pipeline stage).
+	EmitMs  float64 `json:"emit_ms,omitempty"`
+	TotalMs float64 `json:"total_ms"`
 
 	// Uplink ack, attached when transport feedback arrives (zero until
 	// then): acked payload size and the serialization end time.
@@ -85,6 +88,25 @@ func (r *FrameRing) AmendLast(fn func(*FrameRecord)) {
 		return
 	}
 	fn(&r.buf[(r.total-1)%cap(r.buf)])
+}
+
+// AmendFrame applies fn to the most recent retained record whose Frame
+// field matches; no-op when that frame was never recorded or has been
+// evicted. Pipelined runs use this instead of AmendLast: a frame's emit
+// completion can land after later frames were already recorded.
+func (r *FrameRing) AmendFrame(frame int, fn func(*FrameRecord)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := r.total - 1; k >= 0 && k >= r.total-len(r.buf); k-- {
+		rec := &r.buf[k%cap(r.buf)]
+		if rec.Frame == frame {
+			fn(rec)
+			return
+		}
+	}
 }
 
 // Total returns how many records were ever appended (≥ len(Snapshot())).

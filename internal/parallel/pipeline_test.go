@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPipelineOrderContract asserts the three ordering guarantees: per-item
+// stage order, per-stage FIFO item order, and the bounded-depth window.
+func TestPipelineOrderContract(t *testing.T) {
+	const n, depth, nstages = 40, 3, 3
+	var mu sync.Mutex
+	done := make([][nstages]bool, n) // done[i][s]: stage s of item i finished
+	var inflight, maxInflight int32
+
+	stage := func(s int) func(i int) error {
+		return func(i int) error {
+			if s == 0 {
+				cur := atomic.AddInt32(&inflight, 1)
+				for {
+					old := atomic.LoadInt32(&maxInflight)
+					if cur <= old || atomic.CompareAndSwapInt32(&maxInflight, old, cur) {
+						break
+					}
+				}
+			}
+			mu.Lock()
+			if s > 0 && !done[i][s-1] {
+				mu.Unlock()
+				return fmt.Errorf("item %d stage %d ran before stage %d", i, s, s-1)
+			}
+			if i > 0 && !done[i-1][s] {
+				mu.Unlock()
+				return fmt.Errorf("item %d stage %d ran before item %d", i, s, i-1)
+			}
+			done[i][s] = true
+			mu.Unlock()
+			if s == nstages-1 {
+				atomic.AddInt32(&inflight, -1)
+			}
+			return nil
+		}
+	}
+
+	pool := New(4)
+	stats, err := pool.Pipeline(n, depth, stage(0), stage(1), stage(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&maxInflight); got > depth {
+		t.Errorf("observed %d items in flight, depth bound is %d", got, depth)
+	}
+	if stats.Items != n || stats.Depth != depth {
+		t.Errorf("stats = %+v, want Items=%d Depth=%d", stats, n, depth)
+	}
+	if stats.MaxInFlight < 1 || stats.MaxInFlight > depth {
+		t.Errorf("stats.MaxInFlight = %d, want in [1, %d]", stats.MaxInFlight, depth)
+	}
+	for i := range done {
+		for s := range done[i] {
+			if !done[i][s] {
+				t.Fatalf("item %d stage %d never ran", i, s)
+			}
+		}
+	}
+}
+
+// TestPipelineInlineMatchesSerial checks that the serial-pool and depth-1
+// paths are the plain nested loop.
+func TestPipelineInlineMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		pool  *Pool
+		depth int
+	}{
+		{"serial-pool", Serial(), 3},
+		{"depth-1", New(4), 1},
+		{"nil-pool", nil, 2},
+	} {
+		var order []string
+		s0 := func(i int) error { order = append(order, fmt.Sprintf("a%d", i)); return nil }
+		s1 := func(i int) error { order = append(order, fmt.Sprintf("b%d", i)); return nil }
+		stats, err := tc.pool.Pipeline(3, tc.depth, s0, s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "a0 b0 a1 b1 a2 b2"
+		got := ""
+		for i, s := range order {
+			if i > 0 {
+				got += " "
+			}
+			got += s
+		}
+		if got != want {
+			t.Errorf("%s: inline order %q, want %q", tc.name, got, want)
+		}
+		if stats.MaxInFlight != 1 || stats.Depth != 1 {
+			t.Errorf("%s: inline stats = %+v", tc.name, stats)
+		}
+	}
+}
+
+// TestPipelineError checks the first stage error aborts the run and is
+// returned; items already past the failing stage may finish, later items
+// must not start stage 0 indefinitely (the run terminates).
+func TestPipelineError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int32
+	pool := New(4)
+	_, err := pool.Pipeline(100, 3,
+		func(i int) error {
+			ran.Add(1)
+			if i == 5 {
+				return sentinel
+			}
+			return nil
+		},
+		func(i int) error { return nil },
+	)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if ran.Load() > 10 {
+		t.Errorf("stage 0 ran %d times after error at item 5", ran.Load())
+	}
+}
+
+// TestPipelineLateStageError checks an error in a non-first stage also
+// aborts and propagates.
+func TestPipelineLateStageError(t *testing.T) {
+	sentinel := errors.New("late")
+	pool := New(4)
+	_, err := pool.Pipeline(50, 2,
+		func(i int) error { return nil },
+		func(i int) error {
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		},
+	)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+// TestPipelinePanic checks a stage panic is re-raised on the caller.
+func TestPipelinePanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	pool := New(4)
+	pool.Pipeline(10, 2,
+		func(i int) error { return nil },
+		func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return nil
+		},
+	)
+	t.Fatal("pipeline did not re-raise the stage panic")
+}
+
+// TestPipelineZeroItems covers the degenerate shapes.
+func TestPipelineZeroItems(t *testing.T) {
+	pool := New(4)
+	if stats, err := pool.Pipeline(0, 3, func(int) error { return nil }); err != nil || stats.Items != 0 {
+		t.Errorf("n=0: stats=%+v err=%v", stats, err)
+	}
+	if _, err := pool.Pipeline(5, 3); err != nil {
+		t.Errorf("no stages: err=%v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"dive/internal/codec"
 	"dive/internal/core"
 	"dive/internal/detect"
+	"dive/internal/imgx"
 	"dive/internal/netsim"
 	"dive/internal/obs"
 	"dive/internal/world"
@@ -19,6 +20,14 @@ type DiVE struct {
 	// Figure 13 ablation): outage frames then keep the stale cached
 	// detections instead of tracking them forward.
 	DisableMOT bool
+	// PipelineDepth >= 2 runs the agent loop as a bounded frame pipeline
+	// (core.Agent.ProcessStream): frame N+1's analysis overlaps frame N's
+	// entropy coding and delivery. <= 1 keeps the plain serial loop. The
+	// simulated results — bitstreams, detections, response times — are
+	// identical at every depth; only wall-clock throughput changes.
+	PipelineDepth int
+	// KeepPayloads retains every frame's bitstream in Result.Payloads.
+	KeepPayloads bool
 }
 
 // Name implements Scheme.
@@ -60,12 +69,24 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 		BitsSent:      make([]int, n),
 		Uploaded:      make([]bool, n),
 	}
+	if d.KeepPayloads {
+		res.Payloads = make([][]byte, n)
+	}
+	if d.PipelineDepth >= 2 {
+		if err := d.runPipelined(clip, link, env, agent, dec, rec, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 
 	for i, frame := range clip.Frames {
 		capture := float64(i) / clip.FPS
 		fr, err := agent.ProcessFrame(frame, capture)
 		if err != nil {
 			return nil, err
+		}
+		if d.KeepPayloads {
+			res.Payloads[i] = fr.Encoded.Data
 		}
 		// Keep the cached belief current: advance it by this frame's raw
 		// flow, so an outage can start tracking from fresh boxes even if
@@ -112,4 +133,97 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 		res.ResponseTimes[i] = resultAt - capture
 	}
 	return res, nil
+}
+
+// runPipelined is the serial Run loop re-sliced onto ProcessStream's three
+// stages. Placement preserves the serial data flow exactly:
+//
+//   - Stage B (analysis order): the outage decision and the uplink send.
+//     Both read and advance serially-ordered state — the link queue, the
+//     bandwidth estimator, the next-frame ForceNextIFrame flag — that the
+//     NEXT frame's analysis or send must observe, so they run before frame
+//     N+1's analysis, exactly as in the serial loop.
+//   - Stage C (delivery order): local tracking, decode, detection and the
+//     detection cache. The lastDets sequence (TrackLocally then
+//     OnDetections, per frame) is confined to this single stage, so its
+//     interleaving is exactly the serial loop's even though stage B of
+//     later frames runs concurrently.
+//
+// Nothing the encoder consumes depends on stage C, which is why bitstreams
+// are byte-identical at every depth; everything the Result records rides
+// the simulated clock and serially-ordered state, which is why detections
+// and response times are identical too.
+func (d *DiVE) runPipelined(clip *world.Clip, link *netsim.Link, env *Env,
+	agent *core.Agent, dec *codec.Decoder, rec *obs.Recorder, res *Result) error {
+	n := clip.NumFrames()
+	type frameState struct {
+		outage     bool
+		queueDelay float64
+		delivered  float64
+	}
+	states := make([]frameState, n)
+
+	_, err := agent.ProcessStream(n, d.PipelineDepth,
+		func(i int) (*imgx.Plane, float64) {
+			return clip.Frames[i], float64(i) / clip.FPS
+		},
+		func(i int, fr *core.FrameResult) error {
+			st := &states[i]
+			ready := float64(i)/clip.FPS + env.Lat.Encode
+			if link.QueueDelay(ready) > agent.OutageTimeout() {
+				// Outage: skip the send and force the next frame intra
+				// before that frame is analyzed. The tracked-box count is
+				// only known at delivery, so the journal's outage fields
+				// are amended there — by frame, not "last": later frames
+				// have been journaled by then.
+				st.outage = true
+				st.queueDelay = link.QueueDelay(ready)
+				agent.ForceNextIFrame()
+				return nil
+			}
+			start, serialized, delivered := link.SendTraced(fr.Trace, ready, fr.Encoded.NumBits)
+			agent.OnTransmitComplete(start, serialized, fr.Encoded.NumBits)
+			st.delivered = delivered
+			res.BitsSent[i] = fr.Encoded.NumBits
+			res.Uploaded[i] = true
+			return nil
+		},
+		func(i int, fr *core.FrameResult) error {
+			if d.KeepPayloads {
+				res.Payloads[i] = fr.Encoded.Data
+			}
+			if !d.DisableMOT {
+				agent.TrackLocally(fr.RawField)
+			}
+			st := &states[i]
+			capture := float64(i) / clip.FPS
+			if st.outage {
+				res.Detections[i] = agent.LastDetections()
+				res.ResponseTimes[i] = env.Lat.Encode + env.Lat.Track
+				boxes := len(res.Detections[i])
+				rec.AmendJournalFrame(fr.Encoded.Index, func(j *obs.JournalRecord) {
+					j.Outage = true
+					j.QueueDelaySec = st.queueDelay
+					j.TrackedBoxes = boxes
+				})
+				return nil
+			}
+			decodeSpan := rec.StartStageSpan(fr.Trace, "decode", "edge", obs.StageEdgeDecode)
+			decoded, err := dec.Decode(fr.Encoded.Data)
+			decodeSpan.End()
+			if err != nil {
+				return err
+			}
+			detectSpan := rec.StartStageSpan(fr.Trace, "detect", "edge", obs.StageEdgeDetect)
+			dets, resultAt := ServerInference(env, decoded.Image, clip.Frames[i], clip.GT[i], st.delivered, env.Seed^int64(i*7919))
+			detectSpan.End()
+			rec.RecordSpan(fr.Trace, "ack", "edge", st.delivered, resultAt-st.delivered)
+			if len(dets) > 0 || d.DisableMOT {
+				agent.OnDetections(dets)
+			}
+			res.Detections[i] = dets
+			res.ResponseTimes[i] = resultAt - capture
+			return nil
+		})
+	return err
 }

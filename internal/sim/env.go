@@ -71,6 +71,9 @@ type Result struct {
 	BitsSent []int
 	// Uploaded[i] reports whether frame i reached the server.
 	Uploaded []bool
+	// Payloads[i] is frame i's encoded bitstream, retained only when the
+	// scheme was asked to keep them (determinism checks, replay).
+	Payloads [][]byte
 }
 
 // TotalBits sums the uplink payload of the run.

@@ -100,13 +100,36 @@ func (p Profile) focal() float64 {
 	return float64(p.W) / (2 * math.Tan(p.FOVDeg*math.Pi/360))
 }
 
-// GenerateClip renders one clip of the profile with the given seed. The
-// same (profile, seed) pair always produces the identical clip.
-func GenerateClip(p Profile, seed int64) *Clip {
+// ClipSource renders a clip frame by frame, on demand — the streaming
+// counterpart of GenerateClip for pipelined runs where frame capture
+// (pipeline stage A) overlaps the encode of earlier frames instead of
+// materializing the whole clip up front. The trajectory, scene and IMU
+// track are fixed at construction and every frame derives its sensor noise
+// from a per-frame seed, so Frame(i) is byte-identical to
+// GenerateClip(p, seed).Frames[i] regardless of how many frames are pulled.
+//
+// A ClipSource is not safe for concurrent use: Frame reuses the renderer's
+// scratch state. One pipeline capture stage (a single goroutine) is the
+// intended caller.
+type ClipSource struct {
+	profile Profile
+	seed    int64
+	traj    *EgoTrajectory
+	cam     *Camera
+	rdr     *Renderer
+	imu     []IMUSample
+	n       int
+}
+
+// NewClipSource fixes the clip's trajectory, scene and IMU track for the
+// given (profile, seed) pair, without rendering any frames.
+func NewClipSource(p Profile, seed int64) *ClipSource {
+	// RNG consumption order matches GenerateClip's original single pass
+	// (trajectory, scene, IMU): the per-frame renders never touch this
+	// generator, so sampling the IMU up front draws identical values.
 	rng := rand.New(rand.NewSource(seed))
 	traj := p.Trajectory(rng)
 	scene := buildScene(p, traj, rng)
-	cam := NewCamera(p.focal(), p.W, p.H)
 	rdr := NewRenderer(scene)
 	if p.Illumination > 0 {
 		rdr.Illumination = p.Illumination
@@ -114,26 +137,55 @@ func GenerateClip(p Profile, seed int64) *Clip {
 	if p.SensorNoiseBoost > 0 {
 		rdr.NoiseStd *= p.SensorNoiseBoost
 	}
+	src := &ClipSource{
+		profile: p,
+		seed:    seed,
+		traj:    traj,
+		cam:     NewCamera(p.focal(), p.W, p.H),
+		rdr:     rdr,
+		n:       int(p.ClipDuration*p.FPS + 0.5),
+	}
+	if p.IMURate > 0 {
+		src.imu = traj.SampleIMU(p.ClipDuration, p.IMURate, p.IMUNoiseStd, rng)
+	}
+	return src
+}
 
-	n := int(p.ClipDuration*p.FPS + 0.5)
+// NumFrames returns the clip length in frames.
+func (s *ClipSource) NumFrames() int { return s.n }
+
+// Focal returns the camera focal length in pixels.
+func (s *ClipSource) Focal() float64 { return s.profile.focal() }
+
+// IMU returns the clip's IMU track (nil when the profile has no IMU).
+func (s *ClipSource) IMU() []IMUSample { return s.imu }
+
+// Frame renders frame i and returns it with its ground truth and ego pose.
+func (s *ClipSource) Frame(i int) (*imgx.Plane, []GTBox, Pose) {
+	t := float64(i) / s.profile.FPS
+	pose := s.traj.At(t)
+	s.cam.SetPose(pose.Pos, pose.Yaw, pose.Pitch)
+	frame, gt := s.rdr.Render(s.cam, t, s.seed*1_000_003+int64(i))
+	return frame, gt, pose
+}
+
+// GenerateClip renders one clip of the profile with the given seed. The
+// same (profile, seed) pair always produces the identical clip.
+func GenerateClip(p Profile, seed int64) *Clip {
+	src := NewClipSource(p, seed)
 	clip := &Clip{
 		Profile: p.Name, FPS: p.FPS, W: p.W, H: p.H, Focal: p.focal(),
-		Frames: make([]*imgx.Plane, 0, n),
-		GT:     make([][]GTBox, 0, n),
-		Poses:  make([]Pose, 0, n),
+		Frames: make([]*imgx.Plane, 0, src.n),
+		GT:     make([][]GTBox, 0, src.n),
+		Poses:  make([]Pose, 0, src.n),
+		IMU:    src.imu,
 		Seed:   seed,
 	}
-	for i := 0; i < n; i++ {
-		t := float64(i) / p.FPS
-		pose := traj.At(t)
-		cam.SetPose(pose.Pos, pose.Yaw, pose.Pitch)
-		frame, gt := rdr.Render(cam, t, seed*1_000_003+int64(i))
+	for i := 0; i < src.n; i++ {
+		frame, gt, pose := src.Frame(i)
 		clip.Frames = append(clip.Frames, frame)
 		clip.GT = append(clip.GT, gt)
 		clip.Poses = append(clip.Poses, pose)
-	}
-	if p.IMURate > 0 {
-		clip.IMU = traj.SampleIMU(p.ClipDuration, p.IMURate, p.IMUNoiseStd, rng)
 	}
 	return clip
 }

@@ -40,6 +40,51 @@ func TestRenderParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestBillboardParallelMatchesSerial isolates the billboard pass: sensor
+// noise and illumination are disabled so every pixel difference would come
+// from billboard rasterization order. Both the pixels and the ground-truth
+// boxes (which depend on the per-object "did it rasterize" bit and the final
+// z-buffer) must be identical at every worker count.
+func TestBillboardParallelMatchesSerial(t *testing.T) {
+	render := func(workers int) ([]byte, []GTBox) {
+		rng := rand.New(rand.NewSource(5))
+		p := RobotCarLike()
+		traj := p.Trajectory(rng)
+		scene := buildScene(p, traj, rng)
+		cam := NewCamera(p.focal(), p.W, p.H)
+		rdr := NewRenderer(scene)
+		rdr.Workers = workers
+		rdr.NoiseStd = 0
+		rdr.Illumination = 1
+		var pix []byte
+		var gts []GTBox
+		for i := 0; i < 4; i++ {
+			tt := float64(i) / 8
+			pose := traj.At(tt)
+			cam.SetPose(pose.Pos, pose.Yaw, pose.Pitch)
+			frame, gt := rdr.Render(cam, tt, int64(7+i))
+			pix = append(pix, frame.Pix...)
+			gts = append(gts, gt...)
+		}
+		return pix, gts
+	}
+	wantPix, wantGT := render(1)
+	for _, workers := range []int{2, 3, 8} {
+		gotPix, gotGT := render(workers)
+		if !bytes.Equal(wantPix, gotPix) {
+			t.Errorf("workers=%d: billboard pixels differ from serial", workers)
+		}
+		if len(gotGT) != len(wantGT) {
+			t.Fatalf("workers=%d: %d ground-truth boxes, serial had %d", workers, len(gotGT), len(wantGT))
+		}
+		for i := range wantGT {
+			if wantGT[i] != gotGT[i] {
+				t.Errorf("workers=%d: GT box %d differs: %+v vs %+v", workers, i, gotGT[i], wantGT[i])
+			}
+		}
+	}
+}
+
 // BenchmarkRenderParallel measures a full frame render with the pool sized
 // to GOMAXPROCS, so `go test -cpu 1,4` compares serial and banded execution.
 func BenchmarkRenderParallel(b *testing.B) {

@@ -33,15 +33,31 @@ type drawn struct {
 	dpt  float64
 }
 
+// bbJob is one projected billboard prepared for banded rasterization: all
+// per-object geometry is computed once, serially, in draw order, so the
+// per-row raster work is pure and can shard across bands.
+type bbJob struct {
+	obj       *Billboard
+	rect      imgx.Rect // unclipped projected rect, kept for ground truth
+	clipped   imgx.Rect
+	dpt       float64
+	base      geom.Vec3
+	right     geom.Vec3
+	normal    geom.Vec3
+	denomBase float64
+}
+
 // Renderer rasterizes a Scene through a Camera with a z-buffer.
 type Renderer struct {
 	scene *Scene
 	depth []float64
 	// rendered is the per-frame billboard scratch list, recycled across
-	// Render calls.
-	rendered []drawn
-	pool     *parallel.Pool
-	poolW    int
+	// Render calls; jobs and wroteScratch are the billboard-pass equivalents.
+	rendered     []drawn
+	jobs         []bbJob
+	wroteScratch []bool
+	pool         *parallel.Pool
+	poolW        int
 	// Workers bounds the renderer's scanline-band parallelism (background
 	// ray-cast, illumination and sensor noise). 0 sizes to GOMAXPROCS, 1
 	// is serial. Output is identical for every value: bands are fixed
@@ -90,16 +106,7 @@ func (r *Renderer) Render(cam *Camera, t float64, frameSeed int64) (*imgx.Plane,
 	r.drawBackground(cam, frame, depth)
 
 	objs := r.scene.ObjectsNear(cam.Pos, t, r.MaxObjectDist)
-	// Billboards stay serial: they contend on the shared z-buffer and are a
-	// small fraction of the pixel work.
-	rendered := r.rendered[:0]
-	for _, obj := range objs {
-		rect, dpt, ok := r.drawBillboard(cam, frame, depth, obj, t)
-		if ok {
-			rendered = append(rendered, drawn{obj, rect, dpt})
-		}
-	}
-	r.rendered = rendered
+	rendered := r.drawBillboards(cam, frame, depth, objs, t)
 
 	// Sensor model, one fused banded pass. Illumination is pixel-local, so
 	// banding cannot change it. Noise draws from a per-band RNG seeded by
@@ -201,32 +208,98 @@ func (r *Renderer) backgroundRows(cam *Camera, frame *imgx.Plane, depth []float6
 	}
 }
 
-// drawBillboard rasterizes one billboard with perspective-correct inverse
-// mapping and depth testing. It returns the projected bounding rectangle
-// and the object's representative depth.
-func (r *Renderer) drawBillboard(cam *Camera, frame *imgx.Plane, depth []float64, obj *Billboard, t float64) (imgx.Rect, float64, bool) {
-	base := obj.Pos(t)
-	right, normal := obj.Axes(t, cam.Pos)
-	fwd := normal // GT depth extent lies along the view direction
-	rect, dpt, ok := cam.ProjectBox(base, right, fwd, obj.Width, obj.Height, obj.Depth)
-	if !ok {
-		return imgx.Rect{}, 0, false
+// drawBillboards rasterizes all billboards through the band pool. Projection
+// setup runs serially in draw order; rasterization shards by the same fixed
+// renderBand scanline bands as the rest of the renderer. Row ownership makes
+// the pass pixel-identical to the serial object loop at every worker count:
+// each pixel belongs to exactly one band, and each band replays the objects
+// in draw order, so the per-pixel z-test/write sequence is exactly the one
+// the serial loop produced — nearer depth always wins and equal-depth ties
+// resolve to the earlier object, with no merge step needed (row ownership
+// subsumes the per-band z-buffer merge: the full z-buffer rows are already
+// private to the band).
+func (r *Renderer) drawBillboards(cam *Camera, frame *imgx.Plane, depth []float64, objs []*Billboard, t float64) []drawn {
+	jobs := r.jobs[:0]
+	for _, obj := range objs {
+		base := obj.Pos(t)
+		right, normal := obj.Axes(t, cam.Pos)
+		fwd := normal // GT depth extent lies along the view direction
+		rect, dpt, ok := cam.ProjectBox(base, right, fwd, obj.Width, obj.Height, obj.Depth)
+		if !ok {
+			continue
+		}
+		clipped := rect.ClipTo(cam.W, cam.H)
+		if clipped.Empty() {
+			continue
+		}
+		jobs = append(jobs, bbJob{
+			obj: obj, rect: rect, clipped: clipped, dpt: dpt,
+			base: base, right: right, normal: normal,
+			denomBase: normal.Dot(base.Sub(cam.Pos)),
+		})
 	}
-	clipped := rect.ClipTo(cam.W, cam.H)
-	if clipped.Empty() {
-		return imgx.Rect{}, 0, false
+	r.jobs = jobs
+
+	// wrote[b*len(jobs)+j] records whether band b wrote any pixel of job j;
+	// the per-object OR below rebuilds the serial "did it rasterize" bit.
+	nb := (cam.H + renderBand - 1) / renderBand
+	wrote := r.wroteScratch
+	if cap(wrote) < len(jobs)*nb {
+		wrote = make([]bool, len(jobs)*nb)
 	}
+	wrote = wrote[:len(jobs)*nb]
+	for i := range wrote {
+		wrote[i] = false
+	}
+	r.wroteScratch = wrote
+	if len(jobs) > 0 {
+		r.workerPool().Bands(cam.H, renderBand, func(b, lo, hi int) {
+			for j := range jobs {
+				if r.rasterBillboardRows(cam, frame, depth, &jobs[j], lo, hi) {
+					wrote[b*len(jobs)+j] = true
+				}
+			}
+		})
+	}
+
+	rendered := r.rendered[:0]
+	for j := range jobs {
+		for b := 0; b < nb; b++ {
+			if wrote[b*len(jobs)+j] {
+				rendered = append(rendered, drawn{jobs[j].obj, jobs[j].rect, jobs[j].dpt})
+				break
+			}
+		}
+	}
+	r.rendered = rendered
+	return rendered
+}
+
+// rasterBillboardRows rasterizes the rows of one billboard that fall inside
+// [lo, hi) with perspective-correct inverse mapping and depth testing, and
+// reports whether any pixel was written.
+func (r *Renderer) rasterBillboardRows(cam *Camera, frame *imgx.Plane, depth []float64, job *bbJob, lo, hi int) bool {
+	yMin, yMax := job.clipped.MinY, job.clipped.MaxY
+	if yMin < lo {
+		yMin = lo
+	}
+	if yMax > hi {
+		yMax = hi
+	}
+	if yMin >= yMax {
+		return false
+	}
+	obj := job.obj
 	up := geom.Vec3{Y: -1}
-	denomBase := normal.Dot(base.Sub(cam.Pos))
 	wrote := false
-	for y := clipped.MinY; y < clipped.MaxY; y++ {
-		for x := clipped.MinX; x < clipped.MaxX; x++ {
+	for y := yMin; y < yMax; y++ {
+		for x := job.clipped.MinX; x < job.clipped.MaxX; x++ {
 			d := cam.RayDir(float64(x)+0.5, float64(y)+0.5)
-			nd := normal.Dot(d)
+			nd := job.normal.Dot(d)
 			if math.Abs(nd) < 1e-9 {
 				continue
 			}
-			tHit := denomBase / nd
+			tHit := job.denomBase / nd
 			if tHit < 0.5 {
 				continue
 			}
@@ -235,8 +308,8 @@ func (r *Renderer) drawBillboard(cam *Camera, frame *imgx.Plane, depth []float64
 				continue
 			}
 			p := cam.Pos.Add(d.Scale(tHit))
-			rel := p.Sub(base)
-			u := rel.Dot(right)
+			rel := p.Sub(job.base)
+			u := rel.Dot(job.right)
 			v := rel.Dot(up)
 			if u < -obj.Width/2 || u > obj.Width/2 || v < 0 || v > obj.Height {
 				continue
@@ -246,7 +319,7 @@ func (r *Renderer) drawBillboard(cam *Camera, frame *imgx.Plane, depth []float64
 			wrote = true
 		}
 	}
-	return rect, dpt, wrote
+	return wrote
 }
 
 // visibleFraction samples the z-buffer on a grid inside box and reports the
