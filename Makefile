@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline clean
+.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline chaos-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 # carry the frame-pipeline determinism tests (serial vs pipelined
 # byte-identity at depths 1-3), so this also proves the overlap is clean.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/... ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/chaos/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/... ./internal/core/... ./internal/sim/...
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,27 @@ bench-smoke:
 bench-baseline:
 	$(GO) run ./cmd/divebench -scale smoke -only f16 -speedup=false -telemetry -json bench_smoke.json
 	$(GO) run ./cmd/divedoctor -bench bench_smoke.json -write-baseline ci/bench_baseline.json
+
+# Chaos smoke (the CI chaos-smoke job): the seeded fault-injection suite
+# under -race — scripted scenario traces through the simulator, the
+# proxy/conn wrapper's own tests, and the live client↔server runs under
+# disconnects, corruption and blackouts — then a divedoctor gate proving the
+# recovery detectors (reconnect-storm, slow-recovery) stay silent on a
+# healthy-run journal.
+chaos-smoke:
+	$(GO) test -race ./internal/chaos/...
+	$(GO) test -race -run 'Chaos' ./internal/sim/
+	$(GO) test -race -run 'TestClient|TestServer|TestGraceful' ./internal/edge/
+	$(GO) run ./cmd/divetrace -format journal -duration 2 -o smoke.journal.jsonl
+	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl
+
+# Native fuzzing smoke over the edge wire decoders. Go allows exactly one
+# -fuzz pattern per invocation, so each target gets its own short run.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzHello -fuzztime=10s -run 'xxx' ./internal/edge/
+	$(GO) test -fuzz=FuzzFrameMsg -fuzztime=10s -run 'xxx' ./internal/edge/
+	$(GO) test -fuzz=FuzzResultMsg -fuzztime=10s -run 'xxx' ./internal/edge/
+	$(GO) test -fuzz=FuzzMsgReader -fuzztime=10s -run 'xxx' ./internal/edge/
 
 clean:
 	$(GO) clean ./...

@@ -1,23 +1,29 @@
 // Command diveagent runs a DiVE mobile agent against a live diveserver: it
-// renders a synthetic drive, encodes it differentially with the public
-// dive.Agent API, streams the bitstreams over TCP, and reports per-frame
-// response times plus a final accuracy summary.
+// renders a synthetic drive, encodes it differentially, streams the
+// bitstreams over TCP through the resilient edge client, and reports a final
+// accuracy and robustness summary.
 //
 // Usage:
 //
 //	diveagent [-addr 127.0.0.1:7060] [-profile nuScenes] [-seed 1]
 //	          [-duration 4] [-rate 2.0] [-telemetry :7061] [-workers N]
-//	          [-pipeline-depth N]
+//	          [-pipeline-depth N] [-ack-timeout 1s] [-max-reconnects 8]
 //
 // -rate throttles the uplink to the given Mbps (0 = unthrottled), pacing
 // writes so the bandwidth estimator sees realistic feedback.
 //
 // -pipeline-depth >= 2 lets up to that many frames be in flight to the
 // server at once: frame N's server inference and downlink overlap frame
-// N+1's encode instead of blocking it. Results are read by a background
-// goroutine in frame order; the encoded bitstreams are identical at any
-// depth (the agent pipeline is deterministic), only wall-clock response
-// times change. Depth 1 (the default) is the classic lock-step loop.
+// N+1's encode instead of blocking it. Depth 1 (the default) is the classic
+// lock-step loop.
+//
+// The session survives the link failing under it: a frame unacknowledged
+// past -ack-timeout is declared outaged and covered by local MV tracking
+// (the paper's MOT fallback), disconnects trigger reconnects with
+// exponential backoff + jitter and a session-resume handshake, server NACKs
+// force keyframes, and a link-health ladder degrades encode quality (QP
+// floor, budget cut, frame skip, MOT-only) before the link collapses
+// entirely. Every transition is journaled for divedoctor.
 //
 // The seed contract: the agent renders its clip from (-profile, -seed,
 // -duration) and sends exactly those values in the Hello handshake; the
@@ -32,7 +38,6 @@
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"net"
@@ -40,10 +45,11 @@ import (
 	"os"
 	"time"
 
-	"dive"
-	"dive/internal/detect"
+	"dive/internal/core"
 	"dive/internal/edge"
 	"dive/internal/metrics"
+	"dive/internal/netsim"
+	"dive/internal/obs"
 	"dive/internal/sim"
 	"dive/internal/world"
 )
@@ -65,12 +71,10 @@ func run(args []string) error {
 	telemetry := fs.String("telemetry", "", "serve telemetry (/metrics, /debug/frames, pprof) on this address, e.g. :7061")
 	workers := fs.Int("workers", 0, "encoder pool width (0 = GOMAXPROCS, 1 = serial); the bitstream is identical at any width")
 	pipelineDepth := fs.Int("pipeline-depth", 1, "max frames in flight to the server (1 = lock-step request/response)")
+	ackTimeout := fs.Duration("ack-timeout", time.Second, "per-frame ack deadline before the MOT outage fallback covers it")
+	maxReconnects := fs.Int("max-reconnects", 8, "consecutive failed reconnect attempts before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	depth := *pipelineDepth
-	if depth < 1 {
-		depth = 1
 	}
 
 	var wp world.Profile
@@ -88,12 +92,15 @@ func run(args []string) error {
 	fmt.Printf("rendering %s clip (%.0fs, seed %d)...\n", wp.Name, *duration, *seed)
 	clip := world.GenerateClip(wp, *seed)
 
-	agent, err := dive.NewAgent(dive.Config{
-		Width: clip.W, Height: clip.H, FPS: clip.FPS, FocalPx: clip.Focal,
-		BandwidthPriorBps: dive.Mbps(maxf(*rate, 0.5)),
-		Telemetry:         *telemetry != "",
-		Workers:           *workers,
-	})
+	rec := obs.NewRecorder(clip.NumFrames())
+	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+	cfg.Seed = *seed
+	cfg.Obs = rec
+	cfg.Codec.Workers = *workers
+	if *rate > 0.5 {
+		cfg.BandwidthPrior = netsim.Mbps(*rate)
+	}
+	agent, err := core.NewAgent(cfg)
 	if err != nil {
 		return err
 	}
@@ -104,114 +111,56 @@ func run(args []string) error {
 		}
 		defer ln.Close()
 		fmt.Printf("telemetry on http://%s/ (/metrics, /debug/vars, /debug/frames, /debug/pprof/)\n", ln.Addr())
-		go http.Serve(ln, agent.TelemetryHandler())
+		go http.Serve(ln, rec.Handler())
 	}
 
-	conn, err := net.Dial("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(edge.Hello{Profile: wp.Name, Seed: *seed, Duration: *duration}); err != nil {
-		return err
-	}
+	client := edge.NewClient(edge.ClientConfig{
+		Addr: *addr, Profile: wp.Name, Seed: *seed, Duration: *duration,
+		Window:     *pipelineDepth,
+		AckTimeout: *ackTimeout,
+		PaceBps:    netsim.Mbps(*rate),
+		Backoff:    edge.BackoffConfig{MaxAttempts: *maxReconnects},
+		Logf: func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		},
+		Obs: rec,
+	}, agent)
 
 	start := time.Now()
-	n := clip.NumFrames()
-	dets := make([][]detect.Detection, n)
-	var rts []float64
-	totalBits := 0
+	dets, stats, runErr := client.Run(clip)
+	wall := time.Since(start).Seconds()
 
-	// The result reader runs concurrently so the server's inference and
-	// downlink overlap the next frames' encode. sem bounds the in-flight
-	// window to depth (acquired before a frame is processed, released after
-	// its result is handled); metaCh hands each frame's display metadata to
-	// the reader with a proper happens-before edge. The reader only touches
-	// agent state disjoint from encoding (the cached-detections slot), so
-	// it is safe alongside Process.
-	type frameMeta struct {
-		bits int
-		qp   int
-		fg   float64
-		eta  float64
-	}
-	sem := make(chan struct{}, depth)
-	metaCh := make(chan frameMeta, depth+1)
-	readerDone := make(chan error, 1)
-	go func() {
-		readerDone <- func() error {
-			for k := 0; k < n; k++ {
-				var res edge.ResultMsg
-				if err := dec.Decode(&res); err != nil {
-					return err
-				}
-				m := <-metaCh
-				if res.Err != "" {
-					return fmt.Errorf("server: %s", res.Err)
-				}
-				rt := float64(time.Now().UnixNano()-res.SentNanos) / 1e9
-				rts = append(rts, rt)
-				dets[res.Index] = edge.FromWire(res.Detections)
-				agent.CacheDetections(dets[res.Index])
-				fmt.Printf("frame %3d: %5.1f kbit qp=%2d fg=%4.1f%% η=%.2f dets=%d rt=%5.1fms\n",
-					res.Index, float64(m.bits)/1000, m.qp, m.fg*100,
-					m.eta, len(dets[res.Index]), rt*1000)
-				<-sem
-			}
-			return nil
-		}()
-	}()
-
-	for i, frame := range clip.Frames {
-		select {
-		case sem <- struct{}{}:
-		case err := <-readerDone:
-			if err == nil {
-				err = fmt.Errorf("result reader exited early")
-			}
-			return err
+	// Per-frame recap from the decision journal: encode decisions plus the
+	// robustness events (outage, skip, reconnects, ladder level).
+	for _, j := range rec.Journal().Snapshot() {
+		note := ""
+		if j.Outage {
+			note += " OUTAGE"
 		}
-		now := time.Since(start).Seconds()
-		out, err := agent.Process(frame, now)
-		if err != nil {
-			return err
+		if j.SkippedSend {
+			note += " SKIP"
 		}
-		totalBits += out.Bits
-		metaCh <- frameMeta{bits: out.Bits, qp: out.BaseQP, fg: out.ForegroundFraction, eta: out.Eta}
-
-		sendStart := time.Since(start).Seconds()
-		if err := enc.Encode(edge.FrameMsg{
-			Index: i, Bitstream: out.Bitstream, SentNanos: time.Now().UnixNano(),
-			TraceID: out.TraceID, SpanID: out.SpanID,
-		}); err != nil {
-			return err
+		if j.NackKeyframe {
+			note += " NACK"
 		}
-		if *rate > 0 {
-			// Pace to the throttle so timing resembles a real uplink.
-			time.Sleep(time.Duration(float64(out.Bits) / dive.Mbps(*rate) * float64(time.Second)))
+		if j.ReconnectAttempts > 0 {
+			note += fmt.Sprintf(" reconnects=%d(%.2fs)", j.ReconnectAttempts, j.BackoffSec)
 		}
-		agent.AckUplink(sendStart, time.Since(start).Seconds(), out.Bits)
-	}
-	if err := <-readerDone; err != nil {
-		return err
+		if j.DegradeLevel > 0 {
+			note += fmt.Sprintf(" ladder=%s", core.LadderLevel(j.DegradeLevel))
+		}
+		fmt.Printf("frame %3d: %6.1f kbit qp=%2d fg=%4.1f%% η=%.2f%s\n",
+			j.Frame, float64(j.Bits)/1000, j.BaseQP, j.FGFraction*100, j.Eta, note)
 	}
 
-	// Accuracy against the oracle (detections on raw frames).
+	// Accuracy against the oracle (detections on raw frames). A run that
+	// failed mid-stream still scores the frames it covered.
 	env := sim.NewEnv(*seed)
 	oracle := sim.OracleDetections(clip, env)
 	mAP := metrics.MAP(dets, oracle, metrics.DefaultIoU)
-	lat := metrics.SummarizeLatency(rts)
-	dur := float64(clip.NumFrames()) / clip.FPS
-	fmt.Printf("\nsummary: frames=%d bitrate=%.2f Mbps mAP=%.3f meanRT=%.1fms p95RT=%.1fms\n",
-		clip.NumFrames(), float64(totalBits)/dur/1e6, mAP, lat.Mean*1000, lat.P95*1000)
-	return nil
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	fmt.Printf("\nsummary: frames=%d uploaded=%d skipped=%d outages=%d reconnects=%d nacks=%d mAP=%.3f wall=%.1fs\n",
+		stats.FramesProcessed, stats.FramesUploaded, stats.FramesSkipped,
+		stats.OutageFrames, stats.Reconnects, stats.Nacks, mAP, wall)
+	fmt.Printf("link: final health=%.2f ladder=%s\n", stats.FinalHealth, stats.FinalLevel)
+	return runErr
 }

@@ -3,7 +3,9 @@
 // or the live /debug/journal and /debug/spans endpoints) and prints a
 // diagnosis report — QP oscillation, systematic bandwidth mis-estimation,
 // foreground-segmentation collapse during turns, stale-MOT drift across
-// outages, and per-stage latency regressions against a committed baseline.
+// outages, reconnect storms with collapsed backoff, slow post-outage
+// recovery of the degradation ladder, and per-stage latency regressions
+// against a committed baseline.
 //
 // Usage:
 //

@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	diveserver [-addr :7060] [-telemetry :7070]
+//	diveserver [-addr :7060] [-telemetry :7070] [-read-timeout 60s]
+//	           [-write-timeout 10s] [-drain 5s]
+//
+// The wire protocol is CRC-framed: corrupt or malformed uplink messages are
+// rejected with a NACK demanding a keyframe instead of killing the session,
+// and sessions may resume mid-clip after a client reconnect. On SIGINT or
+// SIGTERM the server drains gracefully: it stops accepting sessions, lets
+// in-flight frames finish for up to -drain, then exits.
 //
 // -telemetry serves live introspection on the given address: /metrics
 // (Prometheus text format: session/frame/byte counters, decode and detect
@@ -18,6 +25,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dive/internal/edge"
 	"dive/internal/obs"
@@ -34,11 +44,16 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("diveserver", flag.ContinueOnError)
 	addr := fs.String("addr", ":7060", "listen address")
 	telemetry := fs.String("telemetry", "", "serve telemetry (/metrics, pprof) on this address, e.g. :7070")
+	readTimeout := fs.Duration("read-timeout", 60*time.Second, "per-message read deadline; an idle session past it is dropped")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-result write deadline")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown grace for in-flight frames on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := edge.NewServer()
 	srv.Logf = log.Printf
+	srv.ReadTimeout = *readTimeout
+	srv.WriteTimeout = *writeTimeout
 	if *telemetry != "" {
 		rec := obs.NewRecorder(0)
 		srv.Obs = rec
@@ -55,5 +70,14 @@ func run(args []string) error {
 		return err
 	}
 	log.Printf("edge server listening on %s", bound)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("%s: draining sessions (up to %s)...", sig, *drain)
+		srv.Shutdown(*drain)
+	}()
+
 	return srv.Serve()
 }

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyConfig configures an in-process fault-injecting TCP relay.
+type ProxyConfig struct {
+	// Uplink faults apply to agent→server bytes, Downlink to server→agent.
+	Uplink, Downlink PlanConfig
+	// DialTimeout bounds the upstream dial (default 2s).
+	DialTimeout time.Duration
+}
+
+// Proxy relays TCP connections to a target address through fault-injecting
+// streams. Tests place it between a live agent and a live edge server:
+// the agent dials Proxy.Addr(), the proxy dials the real server, and every
+// byte crosses the configured fault plans. On top of the seeded plans the
+// proxy offers scripted controls — CutConnections severs everything active,
+// SetBlackout refuses new connections, CorruptNextUplink flips one byte of
+// an upcoming uplink chunk — so scenarios can mix scheduled and scripted
+// faults deterministically.
+type Proxy struct {
+	cfg    ProxyConfig
+	target string
+	ln     net.Listener
+
+	blackout atomic.Bool
+
+	mu     sync.Mutex
+	nextID int64
+	active map[int64]*proxySession
+	closed bool
+	// pendingCorrupt is handed to the next accepted session's uplink.
+	pendingCorrupt []int
+
+	wg sync.WaitGroup
+
+	// Counters for assertions: sessions accepted, sessions severed by
+	// script, bytes relayed per direction.
+	Accepted  atomic.Int64
+	Severed   atomic.Int64
+	UpBytes   atomic.Int64
+	DownBytes atomic.Int64
+}
+
+type proxySession struct {
+	client, server net.Conn
+	up, down       *faultStream
+}
+
+// NewProxy starts a relay on 127.0.0.1:0 toward target. Close releases it.
+func NewProxy(target string, cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	p := &Proxy{cfg: cfg, target: target, ln: ln, active: make(map[int64]*proxySession)}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; point the agent here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.blackout.Load() {
+			conn.Close()
+			continue
+		}
+		server, err := net.DialTimeout("tcp", p.target, p.cfg.DialTimeout)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.Accepted.Add(1)
+		sess := &proxySession{
+			client: conn, server: server,
+			up:   newFaultStream(p.cfg.Uplink),
+			down: newFaultStream(p.cfg.Downlink),
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			server.Close()
+			return
+		}
+		id := p.nextID
+		p.nextID++
+		p.active[id] = sess
+		// Deliver any queued scripted corruptions to this session's uplink.
+		for _, at := range p.pendingCorrupt {
+			sess.up.corruptAt(at)
+		}
+		p.pendingCorrupt = nil
+		p.mu.Unlock()
+
+		p.wg.Add(2)
+		done := func() {
+			// Either direction failing tears down the whole session.
+			sess.client.Close()
+			sess.server.Close()
+			p.mu.Lock()
+			delete(p.active, id)
+			p.mu.Unlock()
+			p.wg.Done()
+		}
+		go func() { defer done(); p.pipe(sess.client, sess.server, sess.up, &p.UpBytes) }()
+		go func() { defer done(); p.pipe(sess.server, sess.client, sess.down, &p.DownBytes) }()
+	}
+}
+
+// pipe copies src→dst through a fault stream.
+func (p *Proxy) pipe(src, dst net.Conn, fs *faultStream, count *atomic.Int64) {
+	buf := make([]byte, 16*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			res := fs.apply(buf[:n])
+			if res.sleep > 0 {
+				time.Sleep(res.sleep)
+			}
+			if len(res.chunk) > 0 {
+				if _, werr := dst.Write(res.chunk); werr != nil {
+					return
+				}
+				count.Add(int64(len(res.chunk)))
+			}
+			if res.severed {
+				p.Severed.Add(1)
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+	}
+}
+
+// CutConnections severs every active session (a hard mid-stream disconnect)
+// and returns how many were cut.
+func (p *Proxy) CutConnections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for id, sess := range p.active {
+		sess.client.Close()
+		sess.server.Close()
+		delete(p.active, id)
+		n++
+	}
+	if n > 0 {
+		p.Severed.Add(int64(n))
+	}
+	return n
+}
+
+// SetBlackout toggles a full outage: while on, new connections are accepted
+// and immediately closed (the agent's dial succeeds but the session dies
+// before the handshake), and every active session is severed.
+func (p *Proxy) SetBlackout(on bool) {
+	p.blackout.Store(on)
+	if on {
+		p.CutConnections()
+	}
+}
+
+// CorruptNextUplink queues a one-shot single-byte corruption of the uplink,
+// relOffset bytes past the current position of every active session (and of
+// the next accepted session if none is active). Exercises the wire CRC and
+// the server's NACK→keyframe recovery.
+func (p *Proxy) CorruptNextUplink(relOffset int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.active) == 0 {
+		p.pendingCorrupt = append(p.pendingCorrupt, relOffset)
+		return
+	}
+	for _, sess := range p.active {
+		sess.up.corruptAt(relOffset)
+	}
+}
+
+// ActiveSessions reports how many sessions are currently relaying.
+func (p *Proxy) ActiveSessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.active)
+}
+
+// Close stops the listener and severs all sessions.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.CutConnections()
+	p.wg.Wait()
+	return err
+}

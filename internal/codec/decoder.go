@@ -22,6 +22,22 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	return &Decoder{cfg: cfg}, nil
 }
 
+// SniffFrameType reads only the frame-type header from a bitstream without
+// touching decoder state — servers use it to tell whether a frame is safe to
+// decode while the reference is known stale.
+func SniffFrameType(data []byte) (FrameType, error) {
+	r := NewBitReader(data)
+	ft, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	ftype := FrameType(ft)
+	if ftype != IFrame && ftype != PFrame {
+		return 0, fmt.Errorf("%w: bad frame type %d", ErrBitstream, ft)
+	}
+	return ftype, nil
+}
+
 // DecodedFrame carries the reconstructed image and decoded side info.
 type DecodedFrame struct {
 	Type   FrameType

@@ -156,6 +156,11 @@ type EncodeOptions struct {
 	IFrameBudgetScale float64
 	// ForceIFrame starts a new GoP at this frame.
 	ForceIFrame bool
+	// MinQP floors the frame QP: BaseQP is raised to it and rate control
+	// never bisects below it. Degradation ladders raise this floor on a
+	// failing link so the encoder cannot spend bits the uplink has already
+	// shown it cannot carry. Zero (the default) imposes no floor.
+	MinQP int
 }
 
 // Encoder compresses a sequence of frames.

@@ -119,6 +119,10 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 	}
 
 	baseQP := clampQP(opts.BaseQP)
+	minQP := clampQP(opts.MinQP)
+	if baseQP < minQP {
+		baseQP = minQP
+	}
 	if ftype == IFrame && opts.IFrameBudgetScale > 1 && opts.TargetBits > 0 {
 		opts.TargetBits = int(float64(opts.TargetBits) * opts.IFrameBudgetScale)
 	}
@@ -136,7 +140,10 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 		// split (see Encode's original rate-control comment): trials are
 		// entropy-only and the speculative prefetcher seeds the memo.
 		memo, trials := e.prefetchRCProbes(frame, ftype, mf, dctCache, opts.QPOffsets)
-		lo, hi := 0, 51
+		// MinQP floors the bisection: degradation ladders use it to keep a
+		// struggling link from being handed finely-quantized frames it
+		// cannot carry.
+		lo, hi := minQP, 51
 		for lo < hi {
 			mid := (lo + hi) / 2
 			bits := memo[mid]

@@ -130,6 +130,11 @@ type Agent struct {
 	lastDets  []detect.Detection
 	frameNum  int
 	forceI    bool
+	// degrade is the active graceful-degradation response (set by the
+	// transport's link-health ladder) and health the score it journaled
+	// under; both are read at encode time on the analysis stage.
+	degrade Degradation
+	health  float64
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -197,7 +202,9 @@ func (a *Agent) journalRecord(ctx obs.TraceContext, res *FrameResult, ef *codec.
 		FGFraction: frac, FGReused: res.Reused,
 		Delta: res.Delta, TargetBits: res.TargetBits,
 		BaseQP: ef.BaseQP, Bits: ef.NumBits, RCTrials: ef.RCTrials,
-		EstBWBps: res.EstimatedBandwidth,
+		EstBWBps:     res.EstimatedBandwidth,
+		DegradeLevel: int(a.degrade.Level), LinkHealth: a.health,
+		QPFloor: a.degrade.QPFloor,
 	}
 	if mo := ef.Motion; mo != nil && len(mo.SADs) > 0 {
 		sum := 0
@@ -286,6 +293,29 @@ func (a *Agent) NoteOutage(queueDelay float64, trackedBoxes int) {
 		j.TrackedBoxes = trackedBoxes
 	})
 }
+
+// NoteOutageAt is NoteOutage addressed to a specific frame — the pipelined
+// and live-transport variant, for outage verdicts that land after later
+// frames have already been journaled.
+func (a *Agent) NoteOutageAt(frame int, queueDelay float64, trackedBoxes int) {
+	a.cfg.Obs.AmendJournalFrame(frame, func(j *obs.JournalRecord) {
+		j.Outage = true
+		j.QueueDelaySec = queueDelay
+		j.TrackedBoxes = trackedBoxes
+	})
+}
+
+// SetDegradation installs the transport's graceful-degradation response and
+// the link-health score it was derived from: subsequent frames are encoded
+// under the rung's QP floor and budget scale, and journaled with both. Call
+// from the same goroutine (or pipeline stage) as AnalyzeFrame.
+func (a *Agent) SetDegradation(d Degradation, health float64) {
+	a.degrade = d
+	a.health = health
+}
+
+// Degradation returns the active degradation response.
+func (a *Agent) Degradation() Degradation { return a.degrade }
 
 // OnDetections caches the newest edge results for outage tracking.
 func (a *Agent) OnDetections(dets []detect.Detection) {

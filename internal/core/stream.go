@@ -137,12 +137,17 @@ func (a *Agent) analyzeFrame(frame *imgx.Plane, now float64, ctx obs.TraceContex
 	mbw, mbh := a.enc.MBDims()
 	offsets := BuildQPOffsets(mask, mbw*mbh, res.Delta)
 
-	opts := codec.EncodeOptions{QPOffsets: offsets, ForceIFrame: a.forceI}
+	opts := codec.EncodeOptions{QPOffsets: offsets, ForceIFrame: a.forceI, MinQP: a.degrade.QPFloor}
 	if a.cfg.CRF {
 		opts.BaseQP = a.cfg.CRFQP
 	} else {
 		res.EstimatedBandwidth = a.estimator.EstimateAt(now)
 		res.TargetBits = a.cfg.AVE.TargetBits(res.EstimatedBandwidth, a.cfg.FPS)
+		// The degradation ladder shrinks the budget before the bisection
+		// sees it: a struggling link gets cheaper frames, not hopeful ones.
+		if a.degrade.BudgetScale > 0 && a.degrade.BudgetScale < 1 {
+			res.TargetBits = int(float64(res.TargetBits) * a.degrade.BudgetScale)
+		}
 		opts.TargetBits = res.TargetBits
 		opts.IFrameBudgetScale = a.cfg.AVE.IFrameBudgetScale
 	}

@@ -2,9 +2,10 @@
 // ingests the decision journal and trace spans the obs layer exports and
 // diagnoses known DiVE pathologies — rate-control oscillation, systematic
 // bandwidth mis-estimation, foreground-segmentation collapse during turns,
-// stale-MOT drift across long outages, and per-stage latency regressions
-// against a committed baseline. Findings are machine-readable so CI can gate
-// on them.
+// stale-MOT drift across long outages, reconnect storms whose backoff
+// collapsed, degradation ladders that stay down after the link healed, and
+// per-stage latency regressions against a committed baseline. Findings are
+// machine-readable so CI can gate on them.
 package doctor
 
 import (
@@ -76,6 +77,17 @@ type Thresholds struct {
 	// count), where absolute times mean nothing.
 	LatencyP95Ratio  float64
 	StageShareGrowth float64
+	// StormAttempts is the number of reconnect attempts within any
+	// StormWindowFrames-frame window that constitutes a reconnect storm;
+	// MinMeanBackoffSec flags a storm whose mean per-attempt backoff is
+	// below it (the backoff schedule is not actually backing off).
+	StormAttempts     int
+	StormWindowFrames int
+	MinMeanBackoffSec float64
+	// LadderRecoverFrames is how many frames after the last failure event
+	// the degradation ladder may take to return to the healthy rung before
+	// recovery is diagnosed as slow (or stuck).
+	LadderRecoverFrames int
 }
 
 // DefaultThresholds returns the tuned defaults.
@@ -87,8 +99,12 @@ func DefaultThresholds() Thresholds {
 		BWMinAcked:       16,
 		FGCollapseRun:    5,
 		OutageRun:        6,
-		LatencyP95Ratio:  1.5,
-		StageShareGrowth: 1.6,
+		LatencyP95Ratio:     1.5,
+		StageShareGrowth:    1.6,
+		StormAttempts:       6,
+		StormWindowFrames:   12,
+		MinMeanBackoffSec:   0.02,
+		LadderRecoverFrames: 24,
 	}
 }
 
@@ -118,6 +134,18 @@ func (t Thresholds) withDefaults() Thresholds {
 	if t.StageShareGrowth <= 0 {
 		t.StageShareGrowth = d.StageShareGrowth
 	}
+	if t.StormAttempts <= 0 {
+		t.StormAttempts = d.StormAttempts
+	}
+	if t.StormWindowFrames <= 0 {
+		t.StormWindowFrames = d.StormWindowFrames
+	}
+	if t.MinMeanBackoffSec <= 0 {
+		t.MinMeanBackoffSec = d.MinMeanBackoffSec
+	}
+	if t.LadderRecoverFrames <= 0 {
+		t.LadderRecoverFrames = d.LadderRecoverFrames
+	}
 	return t
 }
 
@@ -130,6 +158,8 @@ func Analyze(journal []obs.JournalRecord, spans []obs.SpanRecord, th Thresholds)
 	rep.run("bandwidth-bias", func() []Finding { return detectBandwidthBias(journal, th) })
 	rep.run("fg-collapse", func() []Finding { return detectFGCollapse(journal, th) })
 	rep.run("outage-drift", func() []Finding { return detectOutageDrift(journal, th) })
+	rep.run("reconnect-storm", func() []Finding { return detectReconnectStorm(journal, th) })
+	rep.run("slow-recovery", func() []Finding { return detectSlowRecovery(journal, th) })
 	sort.SliceStable(rep.Findings, func(i, j int) bool {
 		return rep.Findings[i].FirstFrame < rep.Findings[j].FirstFrame
 	})
@@ -308,6 +338,108 @@ func detectOutageDrift(journal []obs.JournalRecord, th Thresholds) []Finding {
 	}
 	if len(journal) > 0 {
 		flush(len(journal) - 1)
+	}
+	return out
+}
+
+// detectReconnectStorm finds windows where the client hammered the server
+// with reconnect attempts. A storm with healthy per-attempt backoff is Warn
+// (a long blackout legitimately accumulates attempts); a storm whose mean
+// backoff collapsed below MinMeanBackoffSec is Fail — the backoff schedule
+// is not damping the retry rate and the client is DoSing its own edge.
+func detectReconnectStorm(journal []obs.JournalRecord, th Thresholds) []Finding {
+	var out []Finding
+	n := len(journal)
+	for i := 0; i < n; {
+		if journal[i].ReconnectAttempts == 0 {
+			i++
+			continue
+		}
+		// Burst starts here: total attempts and backoff over the next
+		// StormWindowFrames frames.
+		attempts, backoff, end := 0, 0.0, i
+		for j := i; j < n && journal[j].Frame-journal[i].Frame < th.StormWindowFrames; j++ {
+			if journal[j].ReconnectAttempts > 0 {
+				attempts += journal[j].ReconnectAttempts
+				backoff += journal[j].BackoffSec
+				end = j
+			}
+		}
+		if attempts < th.StormAttempts {
+			i++
+			continue
+		}
+		mean := backoff / float64(attempts)
+		sev := Warn
+		msg := fmt.Sprintf(
+			"reconnect storm: %d reconnect attempts within %d frames (%d–%d)",
+			attempts, th.StormWindowFrames, journal[i].Frame, journal[end].Frame)
+		if mean < th.MinMeanBackoffSec {
+			sev = Fail
+			msg += fmt.Sprintf(
+				"; mean backoff %.0f ms/attempt (floor %.0f ms) — the backoff schedule is not damping the retry rate",
+				mean*1000, th.MinMeanBackoffSec*1000)
+		}
+		out = append(out, Finding{
+			Check: "reconnect-storm", Severity: sev,
+			FirstFrame: journal[i].Frame, LastFrame: journal[end].Frame,
+			Value: float64(attempts), Threshold: float64(th.StormAttempts),
+			Message: msg,
+		})
+		// Skip past this window so overlapping windows don't re-report the
+		// same storm.
+		i = end + 1
+	}
+	return out
+}
+
+// detectSlowRecovery grades time-to-recover: once the last failure event of
+// an episode (outage, reconnect, NACK) has passed, the degradation ladder
+// must climb back to the healthy rung within LadderRecoverFrames frames.
+// Staying degraded longer means the hysteresis/dwell tuning is too sticky —
+// the agent keeps paying the quality penalty on a link that has healed.
+func detectSlowRecovery(journal []obs.JournalRecord, th Thresholds) []Finding {
+	var out []Finding
+	isFailure := func(j obs.JournalRecord) bool {
+		return j.Outage || j.ReconnectAttempts > 0 || j.NackKeyframe
+	}
+	lastFail := -1 // index of the most recent failure-event frame
+	reported := false
+	for i, j := range journal {
+		if isFailure(j) {
+			lastFail = i
+			reported = false
+			continue
+		}
+		if lastFail < 0 || reported {
+			continue
+		}
+		tail := j.Frame - journal[lastFail].Frame
+		if j.DegradeLevel == 0 {
+			if tail > th.LadderRecoverFrames {
+				out = append(out, Finding{
+					Check: "slow-recovery", Severity: Fail,
+					FirstFrame: journal[lastFail].Frame, LastFrame: j.Frame,
+					Value: float64(tail), Threshold: float64(th.LadderRecoverFrames),
+					Message: fmt.Sprintf(
+						"degradation ladder took %d frames after the last failure event (frame %d) to return to healthy (limit %d)",
+						tail, journal[lastFail].Frame, th.LadderRecoverFrames),
+				})
+			}
+			lastFail = -1
+			continue
+		}
+		if tail > th.LadderRecoverFrames {
+			out = append(out, Finding{
+				Check: "slow-recovery", Severity: Fail,
+				FirstFrame: journal[lastFail].Frame, LastFrame: j.Frame,
+				Value: float64(tail), Threshold: float64(th.LadderRecoverFrames),
+				Message: fmt.Sprintf(
+					"degradation ladder stuck at level %d for %d frames after the last failure event (frame %d, limit %d)",
+					j.DegradeLevel, tail, journal[lastFail].Frame, th.LadderRecoverFrames),
+			})
+			reported = true
+		}
 	}
 	return out
 }

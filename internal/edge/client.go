@@ -1,0 +1,552 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"dive/internal/core"
+	"dive/internal/detect"
+	"dive/internal/obs"
+	"dive/internal/world"
+)
+
+// BackoffConfig shapes the client's reconnect schedule: exponential growth
+// from Initial to Max with seeded multiplicative jitter, giving up after
+// MaxAttempts consecutive failures.
+type BackoffConfig struct {
+	Initial time.Duration // first retry delay (default 100ms)
+	Max     time.Duration // delay ceiling (default 3s)
+	Factor  float64       // growth per attempt (default 2)
+	// Jitter spreads each delay uniformly over [1-j, 1+j] times the base —
+	// reconnect storms from co-located agents must not synchronize.
+	Jitter float64 // default 0.25
+	// MaxAttempts bounds consecutive failed dials before Run gives up
+	// (default 8).
+	MaxAttempts int
+}
+
+func (b BackoffConfig) withDefaults() BackoffConfig {
+	if b.Initial <= 0 {
+		b.Initial = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 3 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter <= 0 {
+		b.Jitter = 0.25
+	}
+	if b.MaxAttempts <= 0 {
+		b.MaxAttempts = 8
+	}
+	return b
+}
+
+// delay returns the jittered backoff for the given 0-based attempt.
+func (b BackoffConfig) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(b.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	d *= 1 - b.Jitter + 2*b.Jitter*rng.Float64()
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// ClientConfig configures a resilient live session.
+type ClientConfig struct {
+	Addr string
+	// Profile/Seed/Duration are the clip identity sent in the handshake.
+	Profile  string
+	Seed     int64
+	Duration float64
+	// Window is the maximum number of frames in flight to the server
+	// (default 1 = lock-step).
+	Window int
+	// AckTimeout is the per-frame acknowledgement deadline: a frame unacked
+	// past it is declared outaged, local MOT covers it, and the next upload
+	// is intra-coded (default 1s).
+	AckTimeout time.Duration
+	// PaceBps throttles uplink writes to the given rate (0 = unpaced),
+	// which also provides the bandwidth estimator's feedback signal.
+	PaceBps float64
+	Backoff BackoffConfig
+	Health  core.HealthConfig
+	// Logf receives progress lines; nil silences the client.
+	Logf func(format string, args ...interface{})
+	Obs  *obs.Recorder
+}
+
+// ClientStats summarizes a session's robustness events.
+type ClientStats struct {
+	FramesProcessed int
+	FramesUploaded  int
+	// FramesSkipped counts uploads suppressed by the degradation ladder.
+	FramesSkipped int
+	// OutageFrames counts ack-deadline expiries (MOT covered those frames).
+	OutageFrames int
+	Reconnects   int
+	// Nacks counts server keyframe demands (corruption or desync).
+	Nacks int
+	// CorruptAcks counts downlink messages the client discarded on CRC or
+	// framing damage.
+	CorruptAcks int
+	// FinalLevel and FinalHealth are the ladder state at session end.
+	FinalLevel  core.LadderLevel
+	FinalHealth float64
+}
+
+// Client streams a DiVE agent's encoded frames to an edge server over TCP
+// and survives the link failing under it: per-ack deadlines trigger the MOT
+// outage fallback, disconnects trigger jittered-backoff reconnects with a
+// session-resume handshake, server NACKs force keyframes, and a link-health
+// ladder degrades encode quality before the link collapses entirely.
+type Client struct {
+	cfg    ClientConfig
+	agent  *core.Agent
+	health *core.LinkHealth
+	rng    *rand.Rand
+	stats  ClientStats
+
+	conn net.Conn
+	acks chan ackEvent
+
+	// inflight holds sent-but-unacked frames in send order.
+	inflight []inflightFrame
+	// pendingReconnects/pendingBackoff accumulate reconnect accounting to
+	// journal on the next processed frame.
+	pendingReconnects int
+	pendingBackoff    float64
+	// skippedSinceSend marks that uploads were suppressed, so the next
+	// sent frame must be intra-coded (the server's reference is stale).
+	skippedSinceSend bool
+}
+
+type inflightFrame struct {
+	idx    int
+	sentAt time.Time
+	fr     *core.FrameResult
+}
+
+type ackEvent struct {
+	res ResultMsg
+	err error // transport-fatal error; res is invalid
+	// corrupt marks a discarded damaged downlink message (non-fatal).
+	corrupt bool
+}
+
+// NewClient builds a client around an existing agent. The agent's encoder
+// state is owned by the client for the duration of Run.
+func NewClient(cfg ClientConfig, agent *core.Agent) *Client {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = time.Second
+	}
+	cfg.Backoff = cfg.Backoff.withDefaults()
+	return &Client{
+		cfg:    cfg,
+		agent:  agent,
+		health: core.NewLinkHealth(cfg.Health),
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
+}
+
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// connect dials and completes the handshake (plain or resume), installing
+// the connection and a fresh ack reader. firstFrame is the index the stream
+// will continue at.
+func (c *Client) connect(resume bool, firstFrame int) error {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	hello := Hello{
+		Profile: c.cfg.Profile, Seed: c.cfg.Seed, Duration: c.cfg.Duration,
+		Resume: resume, FirstFrame: firstFrame,
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteHello(conn, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	// The server acks the handshake before any frame flows; a rejection
+	// (unknown profile, bad resume point) arrives as res.Err.
+	mr := NewMsgReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, payload, err := mr.Next()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("handshake ack: %w", err)
+	}
+	if typ != MsgResult {
+		conn.Close()
+		return fmt.Errorf("handshake ack: unexpected message type %d", typ)
+	}
+	res, err := DecodeResultMsg(payload)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("handshake ack: %w", err)
+	}
+	if res.Err != "" {
+		conn.Close()
+		return fmt.Errorf("server rejected session: %s", res.Err)
+	}
+	c.conn = conn
+	c.acks = make(chan ackEvent, c.cfg.Window+4)
+	go readAcks(conn, mr, c.acks)
+	return nil
+}
+
+// readAcks pumps downlink results into the ack channel until the transport
+// fails. Recoverable wire damage (CRC, malformed) is reported as a corrupt
+// event and reading continues.
+func readAcks(conn net.Conn, mr *MsgReader, out chan<- ackEvent) {
+	defer close(out)
+	for {
+		conn.SetReadDeadline(time.Now().Add(120 * time.Second))
+		typ, payload, err := mr.Next()
+		if err != nil {
+			if IsRecoverable(err) {
+				out <- ackEvent{corrupt: true}
+				continue
+			}
+			out <- ackEvent{err: err}
+			return
+		}
+		if typ != MsgResult {
+			out <- ackEvent{corrupt: true}
+			continue
+		}
+		res, derr := DecodeResultMsg(payload)
+		if derr != nil {
+			out <- ackEvent{corrupt: true}
+			continue
+		}
+		out <- ackEvent{res: res}
+	}
+}
+
+// reconnect tears down the failed connection, journals every in-flight
+// frame as outage-tracked (their acks are gone), and re-dials with
+// exponential backoff and jitter until the handshake completes or attempts
+// run out. nextFrame is where the stream resumes.
+func (c *Client) reconnect(nextFrame int, dets [][]detect.Detection) error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.drainInflight(dets)
+	c.health.ObserveReconnect()
+	var totalBackoff float64
+	for attempt := 0; attempt < c.cfg.Backoff.MaxAttempts; attempt++ {
+		d := c.cfg.Backoff.delay(attempt, c.rng)
+		time.Sleep(d)
+		totalBackoff += d.Seconds()
+		c.stats.Reconnects++
+		c.cfg.Obs.Counter(obs.MetricClientReconnects).Inc()
+		err := c.connect(true, nextFrame)
+		if err == nil {
+			c.pendingReconnects += attempt + 1
+			c.pendingBackoff += totalBackoff
+			// The server's decoder is fresh: the next upload must be intra.
+			c.agent.ForceNextIFrame()
+			c.skippedSinceSend = false
+			c.logf("reconnected to %s (attempt %d, resume at frame %d)", c.cfg.Addr, attempt+1, nextFrame)
+			return nil
+		}
+		// Every failed dial is further link evidence: a long blackout digs
+		// the score deeper, so the ladder is already engaged when the
+		// session comes back instead of resuming at full quality.
+		c.health.ObserveReconnect()
+		c.logf("reconnect attempt %d failed: %v", attempt+1, err)
+	}
+	c.pendingReconnects += c.cfg.Backoff.MaxAttempts
+	c.pendingBackoff += totalBackoff
+	return fmt.Errorf("edge: reconnect to %s failed after %d attempts", c.cfg.Addr, c.cfg.Backoff.MaxAttempts)
+}
+
+// drainInflight converts every unacked frame into an outage: journal it,
+// advance local MOT over its flow field, and record its tracked detections.
+// Called when the connection is known dead.
+func (c *Client) drainInflight(dets [][]detect.Detection) {
+	for _, inf := range c.inflight {
+		c.noteFrameOutage(inf, dets)
+	}
+	c.inflight = c.inflight[:0]
+}
+
+// noteFrameOutage performs the MOT fallback for one lost frame.
+func (c *Client) noteFrameOutage(inf inflightFrame, dets [][]detect.Detection) {
+	c.stats.OutageFrames++
+	c.cfg.Obs.Counter(obs.MetricClientAckTimeout).Inc()
+	tracked := c.agent.TrackLocally(inf.fr.RawField)
+	if inf.idx < len(dets) {
+		dets[inf.idx] = tracked
+	}
+	c.agent.NoteOutageAt(inf.idx, time.Since(inf.sentAt).Seconds(), len(tracked))
+	c.agent.ForceNextIFrame()
+}
+
+// popInflight removes and returns the in-flight entry with the given index.
+func (c *Client) popInflight(idx int) (inflightFrame, bool) {
+	for k, inf := range c.inflight {
+		if inf.idx == idx {
+			c.inflight = append(c.inflight[:k], c.inflight[k+1:]...)
+			return inf, true
+		}
+	}
+	return inflightFrame{}, false
+}
+
+// handleAck folds one downlink event into session state. Returns a non-nil
+// error only on transport failure (the caller reconnects).
+func (c *Client) handleAck(ev ackEvent, dets [][]detect.Detection) error {
+	switch {
+	case ev.err != nil:
+		return ev.err
+	case ev.corrupt:
+		c.stats.CorruptAcks++
+		c.health.ObserveNack()
+		return nil
+	}
+	res := ev.res
+	if res.NeedKeyframe {
+		c.stats.Nacks++
+		c.health.ObserveNack()
+		c.agent.ForceNextIFrame()
+	}
+	if res.Index < 0 {
+		// Session-level NACK: some uplink message was damaged. The affected
+		// frame (if any) will hit its ack deadline; nothing else to do.
+		return nil
+	}
+	inf, ok := c.popInflight(res.Index)
+	if !ok {
+		// Stale ack for a frame already written off as outaged.
+		return nil
+	}
+	if res.NeedKeyframe {
+		c.cfg.Obs.AmendJournalFrame(res.Index, func(j *obs.JournalRecord) { j.NackKeyframe = true })
+	}
+	if res.Err != "" {
+		// The server processed the message but not the frame (desync,
+		// decode failure): MOT covers it.
+		c.noteFrameOutage(inf, dets)
+		return nil
+	}
+	if !res.NeedKeyframe {
+		c.health.ObserveAck()
+	}
+	got := FromWire(res.Detections)
+	c.agent.OnDetections(got)
+	if res.Index < len(dets) {
+		dets[res.Index] = got
+	}
+	return nil
+}
+
+// awaitAck blocks until one downlink event arrives or the oldest in-flight
+// frame's deadline expires (which declares that frame outaged). Returns a
+// transport error when the connection died.
+func (c *Client) awaitAck(dets [][]detect.Detection) error {
+	if len(c.inflight) == 0 {
+		select {
+		case ev, ok := <-c.acks:
+			if !ok {
+				return io.EOF
+			}
+			return c.handleAck(ev, dets)
+		default:
+			return nil
+		}
+	}
+	oldest := c.inflight[0]
+	wait := time.Until(oldest.sentAt.Add(c.cfg.AckTimeout))
+	if wait < 0 {
+		wait = 0
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case ev, ok := <-c.acks:
+		if !ok {
+			return io.EOF
+		}
+		return c.handleAck(ev, dets)
+	case <-timer.C:
+		// Ack deadline: the oldest frame is written off, MOT covers it,
+		// the link is penalized. The connection stays up — a late ack for
+		// it will be ignored as stale.
+		c.health.ObserveTimeout()
+		if inf, ok := c.popInflight(oldest.idx); ok {
+			c.noteFrameOutage(inf, dets)
+		}
+		return nil
+	}
+}
+
+// Run streams the clip through the agent to the server and returns
+// per-frame detections (edge results where the link held, MOT-tracked
+// detections across outages and skips). Run returns an error only when the
+// session cannot be established or re-established; link failures inside a
+// session degrade, they do not abort.
+func (c *Client) Run(clip *world.Clip) ([][]detect.Detection, ClientStats, error) {
+	n := clip.NumFrames()
+	dets := make([][]detect.Detection, n)
+	// The initial connect gets the same backoff schedule as reconnects: an
+	// agent booting during a link brownout should not abort on the first
+	// refused dial.
+	var cerr error
+	for attempt := 0; attempt < c.cfg.Backoff.MaxAttempts; attempt++ {
+		if cerr = c.connect(false, 0); cerr == nil {
+			break
+		}
+		c.logf("connect attempt %d failed: %v", attempt+1, cerr)
+		time.Sleep(c.cfg.Backoff.delay(attempt, c.rng))
+	}
+	if cerr != nil {
+		return nil, c.stats, fmt.Errorf("edge: connect to %s: %w", c.cfg.Addr, cerr)
+	}
+	defer func() {
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	}()
+	start := time.Now()
+
+	for i := 0; i < n; i++ {
+		// Ladder first: the frame is encoded under the degradation the
+		// link's recent behavior earned.
+		deg := c.health.Tick()
+		c.agent.SetDegradation(deg, c.health.Score())
+
+		// Drain any already-arrived acks without blocking progress.
+		for drained := false; !drained; {
+			select {
+			case ev, ok := <-c.acks:
+				var err error
+				if !ok {
+					err = io.EOF
+				} else {
+					err = c.handleAck(ev, dets)
+				}
+				if err != nil {
+					if rerr := c.reconnect(i, dets); rerr != nil {
+						return dets, c.stats, rerr
+					}
+				}
+			default:
+				drained = true
+			}
+		}
+
+		skip := deg.SkipModulo > 1 && i%deg.SkipModulo != 0
+		if skip && !c.skippedSinceSend {
+			// First skip after a send: nothing forces the next upload intra
+			// yet, so arm it now.
+			c.skippedSinceSend = true
+		}
+		if !skip && c.skippedSinceSend {
+			c.agent.ForceNextIFrame()
+			c.skippedSinceSend = false
+		}
+
+		now := time.Since(start).Seconds()
+		fr, err := c.agent.ProcessFrame(clip.Frames[i], now)
+		if err != nil {
+			return dets, c.stats, err
+		}
+		c.stats.FramesProcessed++
+		if c.pendingReconnects > 0 {
+			rc, bo := c.pendingReconnects, c.pendingBackoff
+			c.pendingReconnects, c.pendingBackoff = 0, 0
+			c.cfg.Obs.AmendJournalFrame(fr.Encoded.Index, func(j *obs.JournalRecord) {
+				j.ReconnectAttempts = rc
+				j.BackoffSec = bo
+			})
+		}
+
+		if skip {
+			c.stats.FramesSkipped++
+			c.cfg.Obs.Counter(obs.MetricClientSkips).Inc()
+			c.cfg.Obs.AmendJournalFrame(fr.Encoded.Index, func(j *obs.JournalRecord) { j.SkippedSend = true })
+			tracked := c.agent.TrackLocally(fr.RawField)
+			dets[i] = tracked
+			continue
+		}
+
+		// Upload with pacing; a write failure means the connection is dead.
+		msg := &FrameMsg{
+			Index: fr.Encoded.Index, Bitstream: fr.Encoded.Data,
+			SentNanos: time.Now().UnixNano(),
+			TraceID:   fr.Trace.TraceID, SpanID: fr.Trace.SpanID,
+		}
+		sendStart := time.Since(start).Seconds()
+		c.conn.SetWriteDeadline(time.Now().Add(2 * c.cfg.AckTimeout))
+		werr := WriteFrame(c.conn, msg)
+		if werr == nil && c.cfg.PaceBps > 0 {
+			time.Sleep(time.Duration(float64(fr.Encoded.NumBits) / c.cfg.PaceBps * float64(time.Second)))
+		}
+		if werr != nil {
+			c.logf("uplink write failed at frame %d: %v", i, werr)
+			// This frame never made it: treat it as in flight so the drain
+			// journals it, then reconnect and continue with the next frame.
+			c.inflight = append(c.inflight, inflightFrame{idx: fr.Encoded.Index, sentAt: time.Now(), fr: fr})
+			if rerr := c.reconnect(i+1, dets); rerr != nil {
+				return dets, c.stats, rerr
+			}
+			continue
+		}
+		c.stats.FramesUploaded++
+		c.agent.OnTransmitComplete(sendStart, time.Since(start).Seconds(), fr.Encoded.NumBits)
+		c.inflight = append(c.inflight, inflightFrame{idx: fr.Encoded.Index, sentAt: time.Now(), fr: fr})
+
+		// Respect the in-flight window (Window=1 is lock-step).
+		for len(c.inflight) >= c.cfg.Window {
+			if err := c.awaitAck(dets); err != nil {
+				if rerr := c.reconnect(i+1, dets); rerr != nil {
+					return dets, c.stats, rerr
+				}
+				break
+			}
+		}
+	}
+
+	// Drain the tail: wait for every outstanding ack (or its deadline).
+	for len(c.inflight) > 0 {
+		if err := c.awaitAck(dets); err != nil {
+			// The server went away with frames outstanding (mid-stream
+			// close): journal them as outage-tracked and exit cleanly —
+			// there is nothing left to resume for.
+			c.drainInflight(dets)
+			break
+		}
+	}
+	// Backfill any frame that never got a result (MOT kept lastDets warm).
+	for i := range dets {
+		if dets[i] == nil {
+			dets[i] = c.agent.LastDetections()
+		}
+	}
+	c.stats.FinalLevel = c.health.Level()
+	c.stats.FinalHealth = c.health.Score()
+	return dets, c.stats, nil
+}

@@ -1,6 +1,7 @@
-// Package edge implements the edge-server side of the live demo: a TCP
-// protocol (gob-framed) over which an agent streams DiVE bitstreams and the
-// server returns detections, plus the server loop itself.
+// Package edge implements the edge-server side of the live demo: a CRC-framed
+// binary protocol over TCP through which an agent streams DiVE bitstreams and
+// the server returns detections, the hardened server loop itself, and the
+// resilient agent-side client (client.go).
 //
 // The demo's "DNN" is the same simulated detector the experiments use. It
 // needs the pristine frame to measure compression damage, so agent and
@@ -8,10 +9,16 @@
 // generation seed and profile, the server renders the identical clip
 // locally, and only the encoded bitstream crosses the wire — exactly the
 // bytes a real deployment would ship.
+//
+// Failure is a first-class input here (see wire.go): every message is CRC
+// framed, reads and writes carry deadlines, a corrupt or malformed frame is
+// NACKed with a keyframe request instead of killing the session, frame-index
+// gaps force decoder resync, and a reconnecting agent resumes mid-clip with
+// the Resume handshake.
 package edge
 
 import (
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -26,17 +33,26 @@ import (
 )
 
 // Hello opens a session: it tells the server which synthetic clip the agent
-// is streaming so the server can reconstruct ground truth locally.
+// is streaming so the server can reconstruct ground truth locally. A
+// reconnecting agent sets Resume and FirstFrame; the server then expects the
+// stream to restart at that frame with an intra frame (its decoder is
+// fresh).
 type Hello struct {
 	Profile  string // "nuScenes", "RobotCar" or "KITTI"
 	Seed     int64
 	Duration float64 // seconds
+	// Resume marks a mid-clip reconnect after a link failure.
+	Resume bool
+	// FirstFrame is the index the resumed stream starts at.
+	FirstFrame int
 }
 
 // FrameMsg carries one encoded frame. TraceID/SpanID propagate the
 // agent-minted trace context across the wire so server-side decode/detect
 // spans stitch into the same end-to-end trace as the agent's encode spans
-// (zero when the agent runs without telemetry).
+// (zero when the agent runs without telemetry). Integrity comes from the
+// envelope CRC (wire.go), which covers the whole payload including the
+// bitstream.
 type FrameMsg struct {
 	Index     int
 	Bitstream []byte
@@ -52,15 +68,20 @@ type WireDetection struct {
 	Score                  float64
 }
 
-// ResultMsg returns the detections for one frame. TraceID echoes the
-// FrameMsg trace so the agent can attribute the ack to its frame trace.
+// ResultMsg returns the detections for one frame, or a NACK. TraceID echoes
+// the FrameMsg trace so the agent can attribute the ack to its frame trace.
+// NeedKeyframe asks the agent to intra-code its next frame: the server
+// decoder lost sync (corrupt message, frame gap, failed decode or a fresh
+// resume). Index is -1 on session-level messages (handshake ack, corrupt
+// NACKs whose frame index is unknown).
 type ResultMsg struct {
-	Index      int
-	Detections []WireDetection
-	SentNanos  int64 // echoed from FrameMsg
-	ServerMs   float64
-	Err        string
-	TraceID    uint64
+	Index        int
+	Detections   []WireDetection
+	SentNanos    int64 // echoed from FrameMsg
+	ServerMs     float64
+	Err          string
+	TraceID      uint64
+	NeedKeyframe bool
 }
 
 // ToWire converts detections for transport.
@@ -107,6 +128,17 @@ func profileByName(name string) (world.Profile, error) {
 	}
 }
 
+// clipKey identifies a rendered reference clip.
+type clipKey struct {
+	profile  string
+	seed     int64
+	duration float64
+}
+
+// clipCacheCap bounds the session clip cache; reconnect storms re-use the
+// clip instead of re-rendering it per attempt.
+const clipCacheCap = 8
+
 // Server serves DiVE analytics sessions over TCP.
 type Server struct {
 	Detector *detect.Detector
@@ -115,9 +147,21 @@ type Server struct {
 	// Obs receives server telemetry: session/frame/byte counters and
 	// decode + detect latency histograms. Nil disables instrumentation.
 	Obs *obs.Recorder
+	// ReadTimeout bounds the silence between messages on a session; a
+	// client that goes quiet longer is dropped (default 60s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each result write (default 10s).
+	WriteTimeout time.Duration
 
-	mu sync.Mutex
-	ln net.Listener
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+
+	clipMu    sync.Mutex
+	clips     map[clipKey]*world.Clip
+	clipOrder []clipKey
 }
 
 // NewServer builds a server with the default detector calibration.
@@ -131,6 +175,48 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 60 * time.Second
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return 10 * time.Second
+}
+
+// clipFor renders (or returns the cached) reference clip for a session.
+func (s *Server) clipFor(profile world.Profile, name string, seed int64) *world.Clip {
+	key := clipKey{profile: name, seed: seed, duration: profile.ClipDuration}
+	s.clipMu.Lock()
+	if s.clips == nil {
+		s.clips = make(map[clipKey]*world.Clip)
+	}
+	if clip, ok := s.clips[key]; ok {
+		s.clipMu.Unlock()
+		return clip
+	}
+	s.clipMu.Unlock()
+	clip := world.GenerateClip(profile, seed)
+	s.clipMu.Lock()
+	defer s.clipMu.Unlock()
+	if cached, ok := s.clips[key]; ok {
+		return cached
+	}
+	if len(s.clipOrder) >= clipCacheCap {
+		oldest := s.clipOrder[0]
+		s.clipOrder = s.clipOrder[1:]
+		delete(s.clips, oldest)
+	}
+	s.clips[key] = clip
+	s.clipOrder = append(s.clipOrder, key)
+	return clip
+}
+
 // Listen binds the address and returns the bound address (useful with
 // ":0").
 func (s *Server) Listen(addr string) (net.Addr, error) {
@@ -140,12 +226,17 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.draining = false
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
 	s.mu.Unlock()
 	return ln.Addr(), nil
 }
 
-// Serve accepts sessions until Close. Each connection is handled on its own
-// goroutine; Serve returns after the listener closes and all handlers exit.
+// Serve accepts sessions until Close or Shutdown. Each connection is handled
+// on its own goroutine; Serve returns after the listener closes and all
+// handlers exit.
 func (s *Server) Serve() error {
 	s.mu.Lock()
 	ln := s.ln
@@ -153,19 +244,31 @@ func (s *Server) Serve() error {
 	if ln == nil {
 		return fmt.Errorf("edge: Serve before Listen")
 	}
-	var wg sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			wg.Wait()
+			s.wg.Wait()
 			if isClosed(err) {
 				return nil
 			}
 			return err
 		}
-		wg.Add(1)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
-			defer wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.wg.Done()
+			}()
 			if err := s.handle(conn); err != nil && err != io.EOF {
 				s.logf("session error: %v", err)
 			}
@@ -173,7 +276,8 @@ func (s *Server) Serve() error {
 	}
 }
 
-// Close stops the listener.
+// Close stops the listener immediately; active sessions are left to finish
+// on their own. Use Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -183,6 +287,50 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.ln = nil
 	return err
+}
+
+// Shutdown drains the server: it stops accepting sessions, lets active
+// handlers finish their in-flight frame and exit cleanly within grace, then
+// force-closes whatever remains. Always returns after at most ~grace.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.ln = nil
+	// Wake blocked readers: their next read fails after the deadline, and
+	// the handler exits cleanly because draining is set.
+	deadline := time.Now().Add(grace)
+	for conn := range s.conns {
+		conn.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace + 500*time.Millisecond):
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 func isClosed(err error) bool {
@@ -208,41 +356,120 @@ func asOpError(err error, target **net.OpError) bool {
 	return false
 }
 
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // handle runs one session.
 func (s *Server) handle(conn net.Conn) error {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	mr := NewMsgReader(conn)
 
-	var hello Hello
-	if err := dec.Decode(&hello); err != nil {
+	writeResult := func(res *ResultMsg) error {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		return WriteResult(conn, res)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+	typ, payload, err := mr.Next()
+	if err != nil {
+		return fmt.Errorf("edge: handshake: %w", err)
+	}
+	if typ != MsgHello {
+		writeResult(&ResultMsg{Index: -1, Err: "expected hello"})
+		return fmt.Errorf("edge: handshake: got message type %d", typ)
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		writeResult(&ResultMsg{Index: -1, Err: err.Error()})
 		return fmt.Errorf("edge: handshake: %w", err)
 	}
 	s.Obs.Counter(obs.MetricEdgeSessions).Inc()
 	profile, err := profileByName(hello.Profile)
 	if err != nil {
-		enc.Encode(ResultMsg{Index: -1, Err: err.Error()})
+		writeResult(&ResultMsg{Index: -1, Err: err.Error()})
 		return err
 	}
 	if hello.Duration > 0 {
 		profile.ClipDuration = hello.Duration
 	}
-	s.logf("session: profile=%s seed=%d dur=%.1fs — rendering reference clip",
-		hello.Profile, hello.Seed, profile.ClipDuration)
-	clip := world.GenerateClip(profile, hello.Seed)
+	if hello.Resume {
+		s.Obs.Counter(obs.MetricEdgeResumes).Inc()
+		s.logf("session resume: profile=%s seed=%d from frame %d",
+			hello.Profile, hello.Seed, hello.FirstFrame)
+	} else {
+		s.logf("session: profile=%s seed=%d dur=%.1fs — rendering reference clip",
+			hello.Profile, hello.Seed, profile.ClipDuration)
+	}
+	clip := s.clipFor(profile, hello.Profile, hello.Seed)
+	if hello.FirstFrame >= clip.NumFrames() {
+		msg := fmt.Sprintf("resume frame %d beyond clip end %d", hello.FirstFrame, clip.NumFrames())
+		writeResult(&ResultMsg{Index: -1, Err: msg})
+		return fmt.Errorf("edge: %s", msg)
+	}
 	vdec, err := codec.NewDecoder(codec.DefaultConfig(clip.W, clip.H))
 	if err != nil {
 		return err
 	}
+	// Acknowledge the handshake so the client knows the session (and a
+	// resume in particular) was accepted before it starts streaming.
+	if err := writeResult(&ResultMsg{Index: -1, NeedKeyframe: true}); err != nil {
+		return fmt.Errorf("edge: handshake ack: %w", err)
+	}
+
+	// needKey tracks decoder sync: set after a resume, a corrupt or
+	// malformed message, a frame-index gap or a decode failure; cleared
+	// when an intra frame lands. While set, P-frames are NACKed without
+	// touching the decoder.
+	needKey := true
+	expect := hello.FirstFrame
 
 	for {
-		var fm FrameMsg
-		if err := dec.Decode(&fm); err != nil {
-			if err == io.EOF {
+		conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+		typ, payload, err := mr.Next()
+		if err != nil {
+			switch {
+			case err == io.EOF:
 				return nil
+			case IsRecoverable(err):
+				// One damaged message: NACK with a keyframe request —
+				// a frame may have been lost inside the garbage.
+				s.Obs.Counter(obs.MetricEdgeCorrupt).Inc()
+				s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+				needKey = true
+				if werr := writeResult(&ResultMsg{Index: -1, Err: "corrupt message: " + err.Error(), NeedKeyframe: true}); werr != nil {
+					return fmt.Errorf("edge: write nack: %w", werr)
+				}
+				continue
+			case isTimeout(err):
+				if s.Draining() {
+					return nil
+				}
+				return fmt.Errorf("edge: session idle past %v: %w", s.readTimeout(), err)
+			default:
+				return fmt.Errorf("edge: read frame: %w", err)
 			}
-			return fmt.Errorf("edge: read frame: %w", err)
 		}
+		if typ != MsgFrame {
+			s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+			if werr := writeResult(&ResultMsg{Index: -1, Err: fmt.Sprintf("unexpected message type %d", typ)}); werr != nil {
+				return fmt.Errorf("edge: write nack: %w", werr)
+			}
+			continue
+		}
+		fm, err := DecodeFrameMsg(payload)
+		if err != nil {
+			s.Obs.Counter(obs.MetricEdgeCorrupt).Inc()
+			s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+			needKey = true
+			if werr := writeResult(&ResultMsg{Index: -1, Err: "malformed frame: " + err.Error(), NeedKeyframe: true}); werr != nil {
+				return fmt.Errorf("edge: write nack: %w", werr)
+			}
+			continue
+		}
+
 		t0 := time.Now()
 		res := ResultMsg{Index: fm.Index, SentNanos: fm.SentNanos, TraceID: fm.TraceID}
 		// Rehydrate the agent-minted trace context: decode/detect spans
@@ -250,24 +477,51 @@ func (s *Server) handle(conn net.Conn) error {
 		ctx := obs.TraceContext{TraceID: fm.TraceID, Frame: fm.Index, SpanID: fm.SpanID}
 		s.Obs.Counter(obs.MetricEdgeFrames).Inc()
 		s.Obs.Counter(obs.MetricEdgeBytes).Add(int64(len(fm.Bitstream)))
-		if fm.Index < 0 || fm.Index >= clip.NumFrames() {
+		switch {
+		case fm.Index < 0 || fm.Index >= clip.NumFrames():
 			res.Err = fmt.Sprintf("frame index %d out of range", fm.Index)
-		} else {
-			decodeSpan := s.Obs.StartStageSpan(ctx, "decode", "edge", obs.StageEdgeDecode)
-			df, derr := vdec.Decode(fm.Bitstream)
-			decodeSpan.End()
-			if derr != nil {
-				res.Err = derr.Error()
-			} else {
-				detectSpan := s.Obs.StartStageSpan(ctx, "detect", "edge", obs.StageEdgeDetect)
-				dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
-				detectSpan.End()
-				res.Detections = ToWire(dets)
+		case fm.Index != expect:
+			// The agent skipped frames (outage, frame-skip degradation).
+			// The decoder reference is stale; require an intra frame.
+			needKey = true
+			fallthrough
+		default:
+			ftype, serr := codec.SniffFrameType(fm.Bitstream)
+			switch {
+			case serr != nil:
+				res.Err = "unreadable bitstream: " + serr.Error()
+				res.NeedKeyframe = true
+				needKey = true
+				s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+			case needKey && ftype != codec.IFrame:
+				// Desynced and the frame is predicted: decoding it against
+				// the stale reference would silently corrupt every frame
+				// until the next GoP. NACK instead.
+				res.Err = "decoder desynchronized"
+				res.NeedKeyframe = true
+				s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+			default:
+				decodeSpan := s.Obs.StartStageSpan(ctx, "decode", "edge", obs.StageEdgeDecode)
+				df, derr := vdec.Decode(fm.Bitstream)
+				decodeSpan.End()
+				if derr != nil {
+					res.Err = derr.Error()
+					res.NeedKeyframe = true
+					needKey = true
+					s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+				} else {
+					needKey = false
+					expect = fm.Index + 1
+					detectSpan := s.Obs.StartStageSpan(ctx, "detect", "edge", obs.StageEdgeDetect)
+					dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
+					detectSpan.End()
+					res.Detections = ToWire(dets)
+				}
 			}
 		}
 		res.ServerMs = time.Since(t0).Seconds() * 1000
 		ackSpan := s.Obs.StartSpan(ctx, "ack", "edge")
-		err := enc.Encode(res)
+		err = writeResult(&res)
 		ackSpan.End()
 		if err != nil {
 			return fmt.Errorf("edge: write result: %w", err)

@@ -1,7 +1,6 @@
 package edge
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"testing"
@@ -41,24 +40,74 @@ func TestProfileByName(t *testing.T) {
 	}
 }
 
-// TestServerSession runs a full live session over loopback TCP: encode a
-// tiny clip with the codec, stream it, check detections come back.
-func TestServerSession(t *testing.T) {
-	srv := NewServer()
+// startServer boots a server on loopback and returns its address plus a
+// shutdown func that asserts Serve exits cleanly.
+func startServer(t *testing.T, srv *Server) (string, func()) {
+	t.Helper()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()
-	defer func() {
+	return addr.String(), func() {
 		srv.Close()
 		select {
-		case <-done:
-		case <-time.After(5 * time.Second):
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
 			t.Error("server did not shut down")
 		}
-	}()
+	}
+}
+
+// testSession dials, handshakes (consuming the server's handshake ack) and
+// returns the conn plus a MsgReader.
+func testSession(t *testing.T, addr string, hello Hello) (net.Conn, *MsgReader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHello(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	mr := NewMsgReader(conn)
+	res := readResult(t, conn, mr)
+	if res.Err != "" {
+		t.Fatalf("handshake rejected: %s", res.Err)
+	}
+	if res.Index != -1 || !res.NeedKeyframe {
+		t.Fatalf("handshake ack = %+v, want Index=-1 NeedKeyframe", res)
+	}
+	return conn, mr
+}
+
+func readResult(t *testing.T, conn net.Conn, mr *MsgReader) ResultMsg {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(20 * time.Second))
+	typ, payload, err := mr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgResult {
+		t.Fatalf("got message type %d, want result", typ)
+	}
+	res, err := DecodeResultMsg(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestServerSession runs a full live session over loopback TCP: encode a
+// tiny clip with the codec, stream it, check detections come back.
+func TestServerSession(t *testing.T) {
+	srv := NewServer()
+	addr, stop := startServer(t, srv)
+	defer stop()
 
 	const seed = 99
 	const duration = 1.0
@@ -70,16 +119,8 @@ func TestServerSession(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	conn, err := net.Dial("tcp", addr.String())
-	if err != nil {
-		t.Fatal(err)
-	}
+	conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: seed, Duration: duration})
 	defer conn.Close()
-	genc := gob.NewEncoder(conn)
-	gdec := gob.NewDecoder(conn)
-	if err := genc.Encode(Hello{Profile: "nuScenes", Seed: seed, Duration: duration}); err != nil {
-		t.Fatal(err)
-	}
 
 	sawDets := false
 	for i, frame := range clip.Frames {
@@ -87,13 +128,10 @@ func TestServerSession(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := genc.Encode(FrameMsg{Index: i, Bitstream: ef.Data, SentNanos: time.Now().UnixNano()}); err != nil {
+		if err := WriteFrame(conn, &FrameMsg{Index: i, Bitstream: ef.Data, SentNanos: time.Now().UnixNano()}); err != nil {
 			t.Fatal(err)
 		}
-		var res ResultMsg
-		if err := gdec.Decode(&res); err != nil {
-			t.Fatal(err)
-		}
+		res := readResult(t, conn, mr)
 		if res.Err != "" {
 			t.Fatalf("frame %d: server error %s", i, res.Err)
 		}
@@ -109,44 +147,207 @@ func TestServerSession(t *testing.T) {
 	}
 
 	// Out-of-range index reports an error without killing the session.
-	if err := genc.Encode(FrameMsg{Index: 10000}); err != nil {
+	if err := WriteFrame(conn, &FrameMsg{Index: 10000, Bitstream: []byte{1}}); err != nil {
 		t.Fatal(err)
 	}
-	var res ResultMsg
-	if err := gdec.Decode(&res); err != nil {
-		t.Fatal(err)
-	}
-	if res.Err == "" {
+	if res := readResult(t, conn, mr); res.Err == "" {
 		t.Error("expected error for out-of-range index")
+	}
+}
+
+// TestServerNacksCorruptFrame flips bytes inside a frame message: the server
+// must answer with a keyframe NACK and recover once an intra frame arrives.
+func TestServerNacksCorruptFrame(t *testing.T) {
+	srv := NewServer()
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	p := world.NuScenesLike()
+	p.ClipDuration = 1
+	clip := world.GenerateClip(p, 7)
+	enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: 7, Duration: 1})
+	defer conn.Close()
+
+	// Frame 0 clean.
+	ef, _ := enc.Encode(clip.Frames[0], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn, &FrameMsg{Index: 0, Bitstream: ef.Data})
+	if res := readResult(t, conn, mr); res.Err != "" {
+		t.Fatalf("clean frame rejected: %s", res.Err)
+	}
+
+	// Frame 1 corrupted on the wire: envelope CRC must catch it.
+	ef, _ = enc.Encode(clip.Frames[1], codec.EncodeOptions{BaseQP: 16})
+	var raw []byte
+	{
+		buf := &collector{}
+		WriteFrame(buf, &FrameMsg{Index: 1, Bitstream: ef.Data})
+		raw = buf.b
+	}
+	raw[len(raw)/2] ^= 0x5A
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	res := readResult(t, conn, mr)
+	if !res.NeedKeyframe {
+		t.Fatalf("corrupt frame answered without NeedKeyframe: %+v", res)
+	}
+
+	// A P-frame now gets NACKed — the decoder is marked desynced.
+	ef, _ = enc.Encode(clip.Frames[2], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn, &FrameMsg{Index: 2, Bitstream: ef.Data})
+	res = readResult(t, conn, mr)
+	if !res.NeedKeyframe || res.Err == "" {
+		t.Fatalf("P-frame after desync accepted: %+v", res)
+	}
+
+	// An intra frame restores the session.
+	ef, _ = enc.Encode(clip.Frames[3], codec.EncodeOptions{BaseQP: 16, ForceIFrame: true})
+	WriteFrame(conn, &FrameMsg{Index: 3, Bitstream: ef.Data})
+	res = readResult(t, conn, mr)
+	if res.Err != "" || res.NeedKeyframe {
+		t.Fatalf("keyframe did not resync: %+v", res)
+	}
+}
+
+// collector is a minimal io.Writer for capturing framed bytes.
+type collector struct{ b []byte }
+
+func (c *collector) Write(p []byte) (int, error) {
+	c.b = append(c.b, p...)
+	return len(p), nil
+}
+
+// TestServerDetectsFrameGap skips an index: the decoder reference is stale,
+// so the server must NACK P-frames until a keyframe lands.
+func TestServerDetectsFrameGap(t *testing.T) {
+	srv := NewServer()
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	p := world.NuScenesLike()
+	p.ClipDuration = 1
+	clip := world.GenerateClip(p, 11)
+	enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: 11, Duration: 1})
+	defer conn.Close()
+
+	ef, _ := enc.Encode(clip.Frames[0], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn, &FrameMsg{Index: 0, Bitstream: ef.Data})
+	readResult(t, conn, mr)
+
+	// Encode 1 and 2 but only send 2 (simulating a dropped frame): P-frame
+	// at an unexpected index must be refused.
+	enc.Encode(clip.Frames[1], codec.EncodeOptions{BaseQP: 16})
+	ef, _ = enc.Encode(clip.Frames[2], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn, &FrameMsg{Index: 2, Bitstream: ef.Data})
+	res := readResult(t, conn, mr)
+	if !res.NeedKeyframe {
+		t.Fatalf("gap P-frame accepted: %+v", res)
+	}
+
+	// Keyframe at the gap index is accepted and resyncs.
+	ef, _ = enc.Encode(clip.Frames[3], codec.EncodeOptions{BaseQP: 16, ForceIFrame: true})
+	WriteFrame(conn, &FrameMsg{Index: 3, Bitstream: ef.Data})
+	res = readResult(t, conn, mr)
+	if res.Err != "" || res.NeedKeyframe {
+		t.Fatalf("keyframe after gap rejected: %+v", res)
+	}
+}
+
+// TestServerResume reconnects mid-clip with Hello.Resume: the second session
+// must start at FirstFrame and demand an intra frame.
+func TestServerResume(t *testing.T) {
+	srv := NewServer()
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	p := world.NuScenesLike()
+	p.ClipDuration = 1
+	clip := world.GenerateClip(p, 21)
+	enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: 21, Duration: 1})
+	ef, _ := enc.Encode(clip.Frames[0], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn, &FrameMsg{Index: 0, Bitstream: ef.Data})
+	readResult(t, conn, mr)
+	conn.Close() // mid-stream disconnect
+
+	// Reconnect, resuming at frame 4. P-frame first: refused. Keyframe: OK.
+	conn2, mr2 := testSession(t, addr, Hello{Profile: "nuScenes", Seed: 21, Duration: 1, Resume: true, FirstFrame: 4})
+	defer conn2.Close()
+	for i := 1; i <= 3; i++ {
+		enc.Encode(clip.Frames[i], codec.EncodeOptions{BaseQP: 16})
+	}
+	ef, _ = enc.Encode(clip.Frames[4], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn2, &FrameMsg{Index: 4, Bitstream: ef.Data})
+	if res := readResult(t, conn2, mr2); !res.NeedKeyframe {
+		t.Fatalf("resumed session accepted P-frame: %+v", res)
+	}
+	ef, _ = enc.Encode(clip.Frames[5], codec.EncodeOptions{BaseQP: 16, ForceIFrame: true})
+	WriteFrame(conn2, &FrameMsg{Index: 5, Bitstream: ef.Data})
+	if res := readResult(t, conn2, mr2); res.Err != "" || res.NeedKeyframe {
+		t.Fatalf("resume keyframe rejected: %+v", res)
+	}
+
+	// Resume beyond the clip end is refused at handshake.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	WriteHello(conn3, Hello{Profile: "nuScenes", Seed: 21, Duration: 1, Resume: true, FirstFrame: 100000})
+	mr3 := NewMsgReader(conn3)
+	if res := readResult(t, conn3, mr3); res.Err == "" {
+		t.Error("resume beyond clip end accepted")
 	}
 }
 
 func TestServerRejectsBadProfile(t *testing.T) {
 	srv := NewServer()
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go srv.Serve()
-	defer srv.Close()
+	addr, stop := startServer(t, srv)
+	defer stop()
 
-	conn, err := net.Dial("tcp", addr.String())
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	genc := gob.NewEncoder(conn)
-	gdec := gob.NewDecoder(conn)
-	if err := genc.Encode(Hello{Profile: "nope", Seed: 1}); err != nil {
+	if err := WriteHello(conn, Hello{Profile: "nope", Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	var res ResultMsg
-	if err := gdec.Decode(&res); err != nil {
-		t.Fatal(err)
-	}
-	if res.Err == "" {
+	mr := NewMsgReader(conn)
+	if res := readResult(t, conn, mr); res.Err == "" {
 		t.Error("expected handshake error")
 	}
+}
+
+// TestServerSurvivesMalformedHandshake sends garbage first: the session dies
+// but the server keeps serving new connections.
+func TestServerSurvivesMalformedHandshake(t *testing.T) {
+	srv := NewServer()
+	srv.ReadTimeout = 2 * time.Second
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	bad, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+	bad.Close()
+
+	// A well-formed session still works.
+	conn, _ := testSession(t, addr, Hello{Profile: "nuScenes", Seed: 5, Duration: 0.5})
+	conn.Close()
 }
 
 func TestServeBeforeListen(t *testing.T) {
@@ -159,23 +360,73 @@ func TestServeBeforeListen(t *testing.T) {
 	}
 }
 
-// TestConcurrentSessions exercises the server's goroutine-per-connection
-// path: several agents stream different clips simultaneously.
-func TestConcurrentSessions(t *testing.T) {
+// TestGracefulShutdown verifies Shutdown lets an in-flight session finish
+// its current frame and then stops accepting.
+func TestGracefulShutdown(t *testing.T) {
 	srv := NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve()
-	defer srv.Close()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	conn, mr := testSession(t, addr.String(), Hello{Profile: "nuScenes", Seed: 31, Duration: 0.5})
+	defer conn.Close()
+
+	p := world.NuScenesLike()
+	p.ClipDuration = 0.5
+	clip := world.GenerateClip(p, 31)
+	enc, _ := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+	ef, _ := enc.Encode(clip.Frames[0], codec.EncodeOptions{BaseQP: 16})
+	WriteFrame(conn, &FrameMsg{Index: 0, Bitstream: ef.Data})
+	if res := readResult(t, conn, mr); res.Err != "" {
+		t.Fatalf("pre-shutdown frame failed: %s", res.Err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(3 * time.Second) }()
+
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown hung")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve after Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// New dials are refused or immediately closed.
+	if c2, err := net.Dial("tcp", addr.String()); err == nil {
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		one := make([]byte, 1)
+		if _, rerr := c2.Read(one); rerr == nil {
+			t.Error("server accepted a session after Shutdown")
+		}
+		c2.Close()
+	}
+}
+
+// TestConcurrentSessions exercises the server's goroutine-per-connection
+// path: several agents stream different clips simultaneously.
+func TestConcurrentSessions(t *testing.T) {
+	srv := NewServer()
+	addr, stop := startServer(t, srv)
+	defer stop()
 
 	const sessions = 3
 	errs := make(chan error, sessions)
 	for s := 0; s < sessions; s++ {
 		seed := int64(200 + s)
 		go func(seed int64) {
-			errs <- runSession(addr.String(), seed)
+			errs <- runSession(addr, seed)
 		}(seed)
 	}
 	for s := 0; s < sessions; s++ {
@@ -187,6 +438,26 @@ func TestConcurrentSessions(t *testing.T) {
 		case <-time.After(60 * time.Second):
 			t.Fatal("session timed out")
 		}
+	}
+}
+
+// TestClipCacheReuse opens two sessions with identical parameters and
+// checks the reference clip is rendered once.
+func TestClipCacheReuse(t *testing.T) {
+	srv := NewServer()
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	for i := 0; i < 2; i++ {
+		if err := runSession(addr, 777); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	srv.clipMu.Lock()
+	n := len(srv.clips)
+	srv.clipMu.Unlock()
+	if n != 1 {
+		t.Errorf("clip cache holds %d entries after identical sessions, want 1", n)
 	}
 }
 
@@ -204,21 +475,38 @@ func runSession(addr string, seed int64) error {
 		return err
 	}
 	defer conn.Close()
-	genc := gob.NewEncoder(conn)
-	gdec := gob.NewDecoder(conn)
-	if err := genc.Encode(Hello{Profile: "nuScenes", Seed: seed, Duration: 0.5}); err != nil {
+	if err := WriteHello(conn, Hello{Profile: "nuScenes", Seed: seed, Duration: 0.5}); err != nil {
 		return err
+	}
+	mr := NewMsgReader(conn)
+	readRes := func() (ResultMsg, error) {
+		conn.SetReadDeadline(time.Now().Add(20 * time.Second))
+		typ, payload, err := mr.Next()
+		if err != nil {
+			return ResultMsg{}, err
+		}
+		if typ != MsgResult {
+			return ResultMsg{}, fmt.Errorf("message type %d", typ)
+		}
+		return DecodeResultMsg(payload)
+	}
+	ack, err := readRes()
+	if err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("handshake: %s", ack.Err)
 	}
 	for i, frame := range clip.Frames {
 		ef, err := enc.Encode(frame, codec.EncodeOptions{BaseQP: 16})
 		if err != nil {
 			return err
 		}
-		if err := genc.Encode(FrameMsg{Index: i, Bitstream: ef.Data}); err != nil {
+		if err := WriteFrame(conn, &FrameMsg{Index: i, Bitstream: ef.Data}); err != nil {
 			return err
 		}
-		var res ResultMsg
-		if err := gdec.Decode(&res); err != nil {
+		res, err := readRes()
+		if err != nil {
 			return err
 		}
 		if res.Err != "" {

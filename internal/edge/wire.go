@@ -1,0 +1,428 @@
+package edge
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Wire format. Every message is an envelope
+//
+//	magic(2: "Dv") | type(1) | length(4, BE) | payload(length) | crc32(4, BE)
+//
+// with the CRC (IEEE) computed over type|length|payload. The explicit frame
+// makes corruption detectable (the CRC), bounded (length caps reject
+// nonsense before allocation) and survivable (a reader that hits garbage
+// scans forward to the next magic marker instead of desynchronizing
+// forever). Payload encodings are hand-rolled fixed-width big-endian — no
+// reflection, no unbounded recursion, fuzzable as pure functions.
+
+const (
+	wireMagic0 = 'D'
+	wireMagic1 = 'v'
+
+	// MsgHello opens a session, MsgFrame carries one encoded frame uplink,
+	// MsgResult carries detections (or a NACK) downlink.
+	MsgHello  byte = 1
+	MsgFrame  byte = 2
+	MsgResult byte = 3
+
+	// MaxPayload caps any message payload; larger lengths are treated as
+	// corruption. Far above any real frame at these resolutions.
+	MaxPayload = 8 << 20
+	// maxStringLen caps embedded strings (profile names, error text).
+	maxStringLen = 1 << 10
+	// maxDetections caps the detection list in one result.
+	maxDetections = 1 << 14
+	// maxFrameIndex caps plausible frame indices.
+	maxFrameIndex = 1 << 28
+
+	wireHeaderLen  = 2 + 1 + 4
+	wireTrailerLen = 4
+)
+
+// Typed wire errors. ErrChecksum and ErrMalformed mark recoverable,
+// message-local damage: the stream is still aligned (or realignable) and the
+// reader may continue. Anything else is a transport error.
+var (
+	ErrChecksum  = errors.New("edge: message checksum mismatch")
+	ErrMalformed = errors.New("edge: malformed message")
+	ErrTooLarge  = errors.New("edge: message exceeds size cap")
+)
+
+// IsRecoverable reports whether a wire error damages only one message:
+// the connection can keep going after a NACK.
+func IsRecoverable(err error) bool {
+	return errors.Is(err, ErrChecksum) || errors.Is(err, ErrMalformed) || errors.Is(err, ErrTooLarge)
+}
+
+// WriteMsg frames and writes one message. The payload is not retained.
+func WriteMsg(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	buf := make([]byte, 0, wireHeaderLen+len(payload)+wireTrailerLen)
+	buf = append(buf, wireMagic0, wireMagic1, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[2 : wireHeaderLen+len(payload)])
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// MsgReader reads framed messages, scanning forward to the next magic marker
+// after corruption so one damaged message never desynchronizes the session.
+type MsgReader struct {
+	br *bufio.Reader
+}
+
+// NewMsgReader wraps r for framed reads.
+func NewMsgReader(r io.Reader) *MsgReader {
+	return &MsgReader{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// Next returns the next message. On ErrChecksum the damaged message was
+// consumed whole (the stream is aligned); on ErrMalformed/ErrTooLarge the
+// header was implausible and the next call rescans for the magic marker.
+// Other errors are transport failures.
+func (mr *MsgReader) Next() (typ byte, payload []byte, err error) {
+	// Scan to the magic marker. On a clean stream this consumes exactly
+	// two bytes.
+	for {
+		b0, err := mr.br.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		if b0 != wireMagic0 {
+			continue
+		}
+		b1, err := mr.br.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		if b1 == wireMagic1 {
+			break
+		}
+		// "D" followed by something else — could itself start "Dv";
+		// unread so the scan re-examines it.
+		if b1 == wireMagic0 {
+			mr.br.UnreadByte()
+		}
+	}
+	var hdr [5]byte // type + length
+	if _, err := io.ReadFull(mr.br, hdr[:]); err != nil {
+		return 0, nil, noteEOF(err)
+	}
+	typ = hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if typ < MsgHello || typ > MsgResult {
+		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrMalformed, typ)
+	}
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: claimed %d bytes", ErrTooLarge, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(mr.br, payload); err != nil {
+		return 0, nil, noteEOF(err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(mr.br, crcBuf[:]); err != nil {
+		return 0, nil, noteEOF(err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(crcBuf[:]) {
+		return typ, nil, ErrChecksum
+	}
+	return typ, payload, nil
+}
+
+// noteEOF maps a mid-message EOF onto ErrUnexpectedEOF so callers can
+// distinguish a clean session end (io.EOF between messages) from a
+// truncated message.
+func noteEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// --- payload codecs -------------------------------------------------------
+
+// rbuf is a bounds-checked big-endian reader over one payload.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrMalformed, what, r.off)
+	}
+}
+
+func (r *rbuf) u8(what string) byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u16(what string) uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *rbuf) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) i32(what string) int32 { return int32(r.u32(what)) }
+func (r *rbuf) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *rbuf) f64(what string) float64 {
+	v := math.Float64frombits(r.u64(what))
+	if r.err == nil && (math.IsInf(v, 0) || math.IsNaN(v)) {
+		r.err = fmt.Errorf("%w: non-finite %s", ErrMalformed, what)
+	}
+	return v
+}
+
+func (r *rbuf) str(what string) string {
+	n := int(r.u16(what))
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.err = fmt.Errorf("%w: %s length %d exceeds cap", ErrMalformed, what, n)
+		return ""
+	}
+	if r.off+n > len(r.b) {
+		r.fail(what)
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *rbuf) bytes(what string) []byte {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxPayload || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	v := append([]byte(nil), r.b[r.off:r.off+n]...)
+	r.off += n
+	return v
+}
+
+// done rejects trailing garbage: a well-formed payload is consumed exactly.
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// helloFlagResume marks a session-resume handshake: the agent reconnected
+// mid-clip and will continue from Hello.FirstFrame with a keyframe.
+const helloFlagResume = 1 << 0
+
+// EncodeHello serializes a Hello payload.
+func EncodeHello(h Hello) []byte {
+	b := make([]byte, 0, 32+len(h.Profile))
+	b = append(b, 1) // version
+	var flags byte
+	if h.Resume {
+		flags |= helloFlagResume
+	}
+	b = append(b, flags)
+	b = appendString(b, h.Profile)
+	b = binary.BigEndian.AppendUint64(b, uint64(h.Seed))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(h.Duration))
+	b = binary.BigEndian.AppendUint32(b, uint32(h.FirstFrame))
+	return b
+}
+
+// DecodeHello parses a Hello payload, rejecting malformed input with a
+// typed error (never panics, never over-allocates).
+func DecodeHello(p []byte) (Hello, error) {
+	r := &rbuf{b: p}
+	v := r.u8("version")
+	if r.err == nil && v != 1 {
+		return Hello{}, fmt.Errorf("%w: unsupported hello version %d", ErrMalformed, v)
+	}
+	flags := r.u8("flags")
+	h := Hello{
+		Resume:     flags&helloFlagResume != 0,
+		Profile:    r.str("profile"),
+		Seed:       r.i64("seed"),
+		Duration:   r.f64("duration"),
+		FirstFrame: int(r.u32("first_frame")),
+	}
+	if r.err == nil && (h.Duration < 0 || h.Duration > 3600) {
+		return Hello{}, fmt.Errorf("%w: duration %v out of range", ErrMalformed, h.Duration)
+	}
+	if r.err == nil && h.FirstFrame > maxFrameIndex {
+		return Hello{}, fmt.Errorf("%w: first frame %d out of range", ErrMalformed, h.FirstFrame)
+	}
+	if err := r.done(); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
+}
+
+// EncodeFrameMsg serializes a FrameMsg payload. The envelope CRC covers the
+// bitstream, so corruption anywhere in the frame is caught before decode.
+func EncodeFrameMsg(m *FrameMsg) []byte {
+	b := make([]byte, 0, 32+len(m.Bitstream))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Index))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.SentNanos))
+	b = binary.BigEndian.AppendUint64(b, m.TraceID)
+	b = binary.BigEndian.AppendUint64(b, m.SpanID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Bitstream)))
+	return append(b, m.Bitstream...)
+}
+
+// DecodeFrameMsg parses a FrameMsg payload.
+func DecodeFrameMsg(p []byte) (FrameMsg, error) {
+	r := &rbuf{b: p}
+	m := FrameMsg{
+		Index:     int(r.u32("index")),
+		SentNanos: r.i64("sent_nanos"),
+		TraceID:   r.u64("trace_id"),
+		SpanID:    r.u64("span_id"),
+		Bitstream: r.bytes("bitstream"),
+	}
+	if r.err == nil && m.Index > maxFrameIndex {
+		return FrameMsg{}, fmt.Errorf("%w: frame index %d out of range", ErrMalformed, m.Index)
+	}
+	if err := r.done(); err != nil {
+		return FrameMsg{}, err
+	}
+	return m, nil
+}
+
+// resultFlagNeedKeyframe asks the agent to intra-code its next frame: the
+// server decoder lost sync (corrupt frame, dropped frame, fresh resume).
+const resultFlagNeedKeyframe = 1 << 0
+
+// EncodeResultMsg serializes a ResultMsg payload.
+func EncodeResultMsg(m *ResultMsg) []byte {
+	b := make([]byte, 0, 48+len(m.Err)+34*len(m.Detections))
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(m.Index)))
+	var flags byte
+	if m.NeedKeyframe {
+		flags |= resultFlagNeedKeyframe
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.SentNanos))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.ServerMs))
+	b = binary.BigEndian.AppendUint64(b, m.TraceID)
+	b = appendString(b, m.Err)
+	n := len(m.Detections)
+	if n > maxDetections {
+		n = maxDetections
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(n))
+	for _, d := range m.Detections[:n] {
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(d.Class)))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(d.MinX)))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(d.MinY)))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(d.MaxX)))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(d.MaxY)))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Score))
+	}
+	return b
+}
+
+// DecodeResultMsg parses a ResultMsg payload.
+func DecodeResultMsg(p []byte) (ResultMsg, error) {
+	r := &rbuf{b: p}
+	m := ResultMsg{Index: int(int32(r.u32("index")))}
+	flags := r.u8("flags")
+	m.NeedKeyframe = flags&resultFlagNeedKeyframe != 0
+	m.SentNanos = r.i64("sent_nanos")
+	m.ServerMs = r.f64("server_ms")
+	m.TraceID = r.u64("trace_id")
+	m.Err = r.str("err")
+	n := int(r.u16("det_count"))
+	if r.err == nil && n > maxDetections {
+		return ResultMsg{}, fmt.Errorf("%w: %d detections exceeds cap", ErrMalformed, n)
+	}
+	if r.err == nil && n > 0 {
+		m.Detections = make([]WireDetection, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Detections = append(m.Detections, WireDetection{
+				Class: int(int32(r.u32("class"))),
+				MinX:  int(int32(r.u32("minx"))),
+				MinY:  int(int32(r.u32("miny"))),
+				MaxX:  int(int32(r.u32("maxx"))),
+				MaxY:  int(int32(r.u32("maxy"))),
+				Score: r.f64("score"),
+			})
+		}
+	}
+	if err := r.done(); err != nil {
+		return ResultMsg{}, err
+	}
+	if m.Index < -1 || m.Index > maxFrameIndex {
+		return ResultMsg{}, fmt.Errorf("%w: result index %d out of range", ErrMalformed, m.Index)
+	}
+	return m, nil
+}
+
+// WriteHello frames and writes a Hello.
+func WriteHello(w io.Writer, h Hello) error { return WriteMsg(w, MsgHello, EncodeHello(h)) }
+
+// WriteFrame frames and writes a FrameMsg.
+func WriteFrame(w io.Writer, m *FrameMsg) error { return WriteMsg(w, MsgFrame, EncodeFrameMsg(m)) }
+
+// WriteResult frames and writes a ResultMsg.
+func WriteResult(w io.Writer, m *ResultMsg) error { return WriteMsg(w, MsgResult, EncodeResultMsg(m)) }

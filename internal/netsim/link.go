@@ -121,8 +121,25 @@ type Estimator struct {
 	Prior float64
 	// Obs receives estimator telemetry: acked bits, serialization times
 	// and the live bandwidth estimate. Nil disables instrumentation.
-	Obs     *obs.Recorder
-	samples []ackSample
+	Obs *obs.Recorder
+	// MinEstimate floors EstimateAt (bits/s). Outage-poisoned windows —
+	// acked intervals carrying zero or near-zero bits — would otherwise
+	// drive the estimate to zero and deadlock rate control at a zero bit
+	// budget. Zero selects DefaultMinEstimate.
+	MinEstimate float64
+	samples     []ackSample
+}
+
+// DefaultMinEstimate is the estimate floor when MinEstimate is unset:
+// 8 kbit/s, far below any usable video rate but enough to keep rate
+// control's budget strictly positive so probe frames keep flowing.
+const DefaultMinEstimate = 8_000.0
+
+func (e *Estimator) floor() float64 {
+	if e.MinEstimate > 0 {
+		return e.MinEstimate
+	}
+	return DefaultMinEstimate
 }
 
 type ackSample struct {
@@ -185,10 +202,17 @@ func (e *Estimator) EstimateAt(t float64) float64 {
 		active += clipEnd - clipStart
 	}
 	if active <= 1e-9 {
-		e.Obs.Gauge(obs.GaugeBWEstimate).Set(e.Prior)
-		return e.Prior
+		est := e.Prior
+		if est < e.floor() {
+			est = e.floor()
+		}
+		e.Obs.Gauge(obs.GaugeBWEstimate).Set(est)
+		return est
 	}
 	est := bits / active
+	if est < e.floor() {
+		est = e.floor()
+	}
 	e.Obs.Gauge(obs.GaugeBWEstimate).Set(est)
 	return est
 }

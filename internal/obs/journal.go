@@ -90,6 +90,20 @@ type JournalRecord struct {
 	QueueDelaySec float64 `json:"queue_delay_sec,omitempty"`
 	TrackedBoxes  int     `json:"tracked_boxes,omitempty"`
 	ForcedIFrame  bool    `json:"forced_iframe,omitempty"`
+
+	// Graceful degradation (link-health ladder), recorded at encode time
+	// and amended by the transport: the ladder level and health score the
+	// frame was encoded under, the QP floor it imposed, whether the ladder
+	// suppressed the upload entirely, and — on the live link — reconnect
+	// accounting and server keyframe NACKs. divedoctor grades
+	// time-to-recover and reconnect storms from these.
+	DegradeLevel      int     `json:"degrade_level,omitempty"`
+	LinkHealth        float64 `json:"link_health,omitempty"`
+	QPFloor           int     `json:"qp_floor,omitempty"`
+	SkippedSend       bool    `json:"skipped_send,omitempty"`
+	ReconnectAttempts int     `json:"reconnect_attempts,omitempty"`
+	BackoffSec        float64 `json:"backoff_sec,omitempty"`
+	NackKeyframe      bool    `json:"nack_keyframe,omitempty"`
 }
 
 // JournalRing is a bounded ring buffer of JournalRecords. A nil ring is a

@@ -47,6 +47,16 @@ const (
 	MetricEdgeBytes    = "edge_bytes_total"
 	StageEdgeDecode    = "edge_decode_seconds"
 	StageEdgeDetect    = "edge_detect_seconds"
+	// Robustness counters: resumed sessions, corrupt/malformed messages
+	// survived, and keyframe NACKs issued by the server.
+	MetricEdgeResumes = "edge_session_resumes_total"
+	MetricEdgeCorrupt = "edge_corrupt_msgs_total"
+	MetricEdgeNacks   = "edge_nacks_total"
+	// Client-side robustness: reconnect attempts, ACK-deadline outage
+	// activations, and sends suppressed by the degradation ladder.
+	MetricClientReconnects = "edge_client_reconnects_total"
+	MetricClientAckTimeout = "edge_client_ack_timeouts_total"
+	MetricClientSkips      = "edge_client_skipped_sends_total"
 
 	// Baseline result queues (internal/baselines).
 	GaugeResultQueueDepth = "baseline_result_queue_depth"
