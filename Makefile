@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline chaos-smoke fuzz-smoke clean
+.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline chaos-smoke doctor-live fuzz-smoke clean
 
 all: build vet test
 
@@ -58,12 +58,18 @@ bench-baseline:
 # disconnects, corruption and blackouts — then a divedoctor gate proving the
 # recovery detectors (reconnect-storm, slow-recovery) stay silent on a
 # healthy-run journal.
-chaos-smoke:
+chaos-smoke: doctor-live
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test -race -run 'Chaos' ./internal/sim/
 	$(GO) test -race -run 'TestClient|TestServer|TestGraceful' ./internal/edge/
 	$(GO) run ./cmd/divetrace -format journal -duration 2 -o smoke.journal.jsonl
 	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl
+
+# Live-observability smoke: a paced chaos run served over HTTP, tailed by
+# divedoctor -follow, asserting outage findings stream as JSONL while the
+# run is still going (see ci/doctor_live.sh).
+doctor-live:
+	ci/doctor_live.sh
 
 # Native fuzzing smoke over the edge wire decoders. Go allows exactly one
 # -fuzz pattern per invocation, so each target gets its own short run.

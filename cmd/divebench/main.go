@@ -266,6 +266,11 @@ func run(args []string) error {
 		if rec != nil {
 			results.Telemetry = rec.Snapshot()
 		}
+		// Runtime shape of the producing process (heap, GC pauses,
+		// goroutines): with RunMeta it lets an analyzer tell a code
+		// regression from memory pressure on the bench machine.
+		rt := obs.CollectRuntimeStats()
+		results.Runtime = &rt
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			return err
@@ -299,4 +304,7 @@ type benchResults struct {
 	// achieved frames-in-flight occupancy.
 	Pipeline  *experiments.PipelineResult `json:"pipeline_speedup,omitempty"`
 	Telemetry *obs.Snapshot               `json:"telemetry,omitempty"`
+	// Runtime captures the Go runtime at the end of the run — live heap,
+	// GC pause p99, goroutine count — sampled via runtime/metrics.
+	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`
 }

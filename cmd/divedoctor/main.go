@@ -13,6 +13,8 @@
 //	           [-url http://localhost:7061] [-bench bench_results.json]
 //	           [-baseline ci/bench_baseline.json]
 //	           [-write-baseline ci/bench_baseline.json] [-json]
+//	divedoctor -follow -url http://localhost:7061 [-interval 500ms]
+//	           [-settle 8] [-for 15s]
 //
 // Input modes (combinable):
 //
@@ -22,6 +24,15 @@
 //   - -bench reads a divebench -json -telemetry results file; with
 //     -baseline its stage histograms are checked for latency regressions,
 //     with -write-baseline they become the new committed baseline.
+//
+// Watch mode: -follow tails -url's /debug/journal while the run is still
+// going, feeding new records through the streaming detectors and printing
+// each finding as one JSON line the moment it becomes final. -interval is
+// the poll period; -settle holds back the newest N frames so late journal
+// amendments (acks, outage verdicts) land before analysis; -for bounds the
+// watch (0 follows until the endpoint disappears or the process is
+// interrupted). The stream ends with a final flush over the tail and a
+// summary on stderr; stdout carries only finding JSONL.
 //
 // Exit status: 0 when the run diagnoses clean, 1 when any finding fired
 // (machine-gateable), 2 on usage or I/O errors. -json prints the full
@@ -67,8 +78,21 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 	baselinePath := fs.String("baseline", "", "committed latency baseline to compare -bench against")
 	writeBaseline := fs.String("write-baseline", "", "write the -bench stage histograms as a new baseline file and exit")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
+	follow := fs.Bool("follow", false, "watch mode: tail -url's /debug/journal and stream findings as JSONL")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll period in -follow mode")
+	settle := fs.Int("settle", doctor.DefaultSettleFrames, "journal frames held back from analysis in -follow mode (late amendments need time to land)")
+	followFor := fs.Duration("for", 0, "stop following after this long (0 = until the endpoint disappears)")
+	outageRun := fs.Int("outage-run", 0, "override the outage-drift run-length threshold (0 = default; scenarios with short outage windows need a lower bar)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	th := doctor.Thresholds{OutageRun: *outageRun}
+	if *follow {
+		if *url == "" {
+			fs.Usage()
+			return nil, fmt.Errorf("-follow needs -url")
+		}
+		return followLive(*url, *interval, *followFor, *settle, th, w)
 	}
 	if *journalPath == "" && *url == "" && *benchPath == "" {
 		fs.Usage()
@@ -99,7 +123,7 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 		spans = append(spans, s...)
 	}
 
-	rep := doctor.Analyze(journal, spans, doctor.Thresholds{})
+	rep := doctor.Analyze(journal, spans, th)
 
 	if *benchPath != "" {
 		bf, err := readBench(*benchPath)
@@ -209,6 +233,82 @@ func readBench(path string) (*benchFile, error) {
 		return nil, fmt.Errorf("parse bench results %s: %w", path, err)
 	}
 	return &bf, nil
+}
+
+// followLive tails a live /debug/journal, streaming each finding to w as
+// one JSON line the moment the incremental detectors finalize it. The loop
+// ends when the deadline passes or the endpoint stops answering (the run's
+// process exited); either way the held-back tail is flushed through the
+// detectors so end-of-stream findings are not lost.
+func followLive(base string, interval, dur time.Duration, settle int, th doctor.Thresholds, w io.Writer) (*doctor.Report, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	follower := doctor.NewFollower(th, settle)
+	enc := json.NewEncoder(w)
+	var findings []doctor.Finding
+	emit := func(fs []doctor.Finding) error {
+		for _, f := range fs {
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+		}
+		findings = append(findings, fs...)
+		return nil
+	}
+
+	var deadline time.Time
+	if dur > 0 {
+		deadline = time.Now().Add(dur)
+	}
+	var last []obs.JournalRecord
+	connected, failures := false, 0
+	for {
+		recs, err := fetchJournal(client, base)
+		switch {
+		case err == nil:
+			connected, failures = true, 0
+			last = recs
+			if err := emit(follower.Ingest(recs)); err != nil {
+				return nil, err
+			}
+		case connected:
+			// The endpoint answered before and stopped: the run is over.
+			failures++
+			if failures >= 2 {
+				goto done
+			}
+		default:
+			// Never connected; give a just-starting server a grace window.
+			failures++
+			if failures >= 10 {
+				return nil, fmt.Errorf("follow %s: %w", base, err)
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(interval)
+	}
+done:
+	if err := emit(follower.Close(last)); err != nil {
+		return nil, err
+	}
+	rep := &doctor.Report{Frames: follower.Frames(), Checks: follower.Checks(), Findings: findings}
+	fmt.Fprintf(os.Stderr, "divedoctor: followed %d journal frames, %d finding(s)\n",
+		rep.Frames, len(rep.Findings))
+	return rep, nil
+}
+
+func fetchJournal(client *http.Client, base string) ([]obs.JournalRecord, error) {
+	jr, err := fetch(client, base+"/debug/journal")
+	if err != nil {
+		return nil, err
+	}
+	defer jr.Close()
+	recs, err := obs.ReadJournal(jr)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s/debug/journal: %w", base, err)
+	}
+	return recs, nil
 }
 
 // fetchLive pulls the journal and spans from a running agent's telemetry

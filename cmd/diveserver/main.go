@@ -14,8 +14,11 @@
 // in-flight frames finish for up to -drain, then exits.
 //
 // -telemetry serves live introspection on the given address: /metrics
-// (Prometheus text format: session/frame/byte counters, decode and detect
-// latency histograms), /debug/vars (JSON snapshot) and /debug/pprof/.
+// (Prometheus text format: global and per-session frame/byte/NACK counters,
+// decode and detect latency histograms, SLO burn-rate gauges, Go runtime
+// gauges), /debug/slo (per-session SLO windows with error-budget burn),
+// /debug/doctor (streaming diagnosis of the live decision journal),
+// /debug/vars (JSON snapshot) and /debug/pprof/.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"dive/internal/doctor"
 	"dive/internal/edge"
 	"dive/internal/obs"
 )
@@ -57,13 +61,22 @@ func run(args []string) error {
 	if *telemetry != "" {
 		rec := obs.NewRecorder(0)
 		srv.Obs = rec
+		live := doctor.NewLive(doctor.Thresholds{}, -1, rec.Journal().Snapshot)
+		rec.RegisterDebug("/debug/doctor", live.Handler())
 		ln, err := net.Listen("tcp", *telemetry)
 		if err != nil {
 			return fmt.Errorf("telemetry listen: %w", err)
 		}
 		defer ln.Close()
-		log.Printf("telemetry on http://%s/ (/metrics, /debug/vars, /debug/pprof/)", ln.Addr())
+		log.Printf("telemetry on http://%s/ (/metrics, /debug/slo, /debug/doctor, /debug/vars, /debug/pprof/)", ln.Addr())
 		go http.Serve(ln, rec.Handler())
+		// Keep the Go runtime gauges on /metrics fresh without coupling
+		// their collection to scrape handling.
+		go func() {
+			for range time.Tick(5 * time.Second) {
+				rec.UpdateRuntimeGauges()
+			}
+		}()
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -7,6 +7,18 @@
 //
 //	divetrace [-profile nuScenes] [-seed 1] [-duration 4] [-mbps 2] [-o out.csv]
 //	          [-format csv|jsonl|journal|spans] [-pipeline-depth N]
+//	divetrace -serve 127.0.0.1:7061 [-chaos outage-burst] [-pace 30ms]
+//	          [-linger 5s] [-profile ...] [-seed ...] [-duration ...]
+//
+// -serve turns divetrace into a live telemetry source: the run is paced to
+// wall-clock (-pace per frame) while a telemetry HTTP endpoint serves
+// /metrics, /debug/journal, /debug/slo and a streaming /debug/doctor — a
+// self-contained target for divedoctor -follow and for exercising the
+// fleet observability stack without a real agent/server pair. -chaos picks
+// a named scenario from the standard chaos suite (outage-burst,
+// bandwidth-cliff, estimator-poison) as the link trace; without it the
+// constant -mbps link is used. -linger keeps the endpoint up after the run
+// finishes so followers can drain the journal tail.
 //
 // -format jsonl emits the telemetry subsystem's frame-lifecycle records
 // (one JSON object per frame: stage durations in milliseconds,
@@ -29,12 +41,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
+	"dive/internal/chaos"
 	"dive/internal/core"
+	"dive/internal/doctor"
 	"dive/internal/imgx"
 	"dive/internal/netsim"
 	"dive/internal/obs"
+	"dive/internal/sim"
 	"dive/internal/world"
 )
 
@@ -54,6 +72,10 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	format := fs.String("format", "csv", "output format: csv, jsonl (frame-lifecycle records), journal (decision journal) or spans (trace spans)")
 	pipelineDepth := fs.Int("pipeline-depth", 1, "frame-pipeline depth for the telemetry formats (1 = serial; csv is always serial)")
+	serve := fs.String("serve", "", "serve live telemetry on this address while running (e.g. 127.0.0.1:7061); disables file output")
+	chaosName := fs.String("chaos", "", "run under a standard chaos scenario (outage-burst, bandwidth-cliff, estimator-poison) instead of a constant link")
+	pace := fs.Duration("pace", 30*time.Millisecond, "wall-clock delay per frame in -serve mode, so followers see the journal grow")
+	linger := fs.Duration("linger", 5*time.Second, "keep the -serve endpoint up this long after the run ends, so followers can drain the tail")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +100,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown profile %q", *profile)
 	}
 	p.ClipDuration = *duration
+
+	if *serve != "" {
+		return ServeLive(p, *seed, *mbps, *chaosName, *serve, *pace, *linger)
+	}
 
 	w := stdout
 	if *out != "" {
@@ -188,4 +214,59 @@ func TraceTelemetry(p world.Profile, seed int64, uplinkBps float64, format strin
 	default:
 		return rec.Frames().WriteJSONL(w)
 	}
+}
+
+// ServeLive runs the full DiVE scheme (agent + simulated link) paced to
+// wall-clock while serving live telemetry over HTTP: the standard recorder
+// endpoints plus a streaming /debug/doctor. It is the self-contained target
+// for divedoctor -follow — `make doctor-live` points one at the other.
+func ServeLive(p world.Profile, seed int64, mbps float64, chaosName, addr string, pace, linger time.Duration) error {
+	clip := world.GenerateClip(p, seed)
+	rec := obs.NewRecorder(clip.NumFrames())
+	live := doctor.NewLive(doctor.Thresholds{}, -1, rec.Journal().Snapshot)
+	rec.RegisterDebug("/debug/doctor", live.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, rec.Handler())
+	fmt.Fprintf(os.Stderr, "divetrace: serving telemetry on http://%s\n", ln.Addr())
+
+	trace := netsim.Trace(netsim.ConstantTrace(netsim.Mbps(mbps)))
+	if chaosName != "" {
+		sc, err := findScenario(chaosName, seed, p.ClipDuration)
+		if err != nil {
+			return err
+		}
+		trace = sc.Trace
+	}
+	link := netsim.NewLink(trace, 0.012)
+	link.Obs = rec
+
+	scheme := &sim.DiVE{
+		ConfigFn:  func(cfg *core.AgentConfig) { cfg.Obs = rec },
+		FrameHook: func(int) { time.Sleep(pace) },
+	}
+	if _, err := scheme.Run(clip, link, sim.NewEnv(seed)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "divetrace: run complete (%d frames), lingering %s\n",
+		clip.NumFrames(), linger)
+	time.Sleep(linger)
+	return nil
+}
+
+// findScenario resolves a chaos scenario by name from the standard suite.
+func findScenario(name string, seed int64, duration float64) (chaos.Scenario, error) {
+	all := chaos.StandardScenarios(seed, duration)
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return chaos.Scenario{}, fmt.Errorf("unknown -chaos scenario %q (available: %v)", name, names)
 }

@@ -51,6 +51,12 @@ type AgentConfig struct {
 	// records, rate-control internals). Nil disables instrumentation at a
 	// cost of a few nanoseconds per frame.
 	Obs *obs.Recorder
+	// Session names this stream for per-session observability: when set,
+	// the agent's frame/bit counters are additionally exported as labeled
+	// series under this value (matching the edge server's profile-seed
+	// labels), so a process hosting several agents keeps per-stream
+	// attribution. Empty disables the labeled series.
+	Session string
 }
 
 // DefaultAgentConfig returns a full DiVE configuration for a frame size and
@@ -135,6 +141,11 @@ type Agent struct {
 	// under; both are read at encode time on the analysis stage.
 	degrade Degradation
 	health  float64
+
+	// Per-session labeled counter children, resolved once at construction
+	// (nil — hence no-op — without a recorder or a configured Session).
+	sessFrames *obs.Counter
+	sessBits   *obs.Counter
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -158,13 +169,18 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	estimator := netsim.NewEstimator(cfg.BandwidthWindow, cfg.BandwidthPrior)
 	estimator.Obs = cfg.Obs
-	return &Agent{
+	a := &Agent{
 		cfg:       cfg,
 		enc:       enc,
 		estimator: estimator,
 		foeCal:    mvfield.NewFOECalibrator(),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if cfg.Session != "" {
+		a.sessFrames = cfg.Obs.LabeledCounter(obs.MetricAgentSessionFrames, obs.SessionLabel).With(cfg.Session)
+		a.sessBits = cfg.Obs.LabeledCounter(obs.MetricAgentSessionBits, obs.SessionLabel).With(cfg.Session)
+	}
+	return a, nil
 }
 
 // Config returns the agent configuration.

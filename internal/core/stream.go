@@ -166,6 +166,8 @@ func (a *Agent) analyzeFrame(frame *imgx.Plane, now float64, ctx obs.TraceContex
 	if r != nil {
 		r.Counter(obs.MetricFrames).Inc()
 		r.Counter(obs.MetricBits).Add(int64(ef.NumBits))
+		a.sessFrames.Inc()
+		a.sessBits.Add(int64(ef.NumBits))
 		// The bitstream does not exist yet; the writer pads to a byte
 		// boundary, so its length is fully determined by the bit count.
 		r.Counter(obs.MetricBytes).Add(int64((ef.NumBits + 7) / 8))

@@ -9,8 +9,6 @@
 package doctor
 
 import (
-	"fmt"
-	"math"
 	"sort"
 
 	"dive/internal/obs"
@@ -93,12 +91,12 @@ type Thresholds struct {
 // DefaultThresholds returns the tuned defaults.
 func DefaultThresholds() Thresholds {
 	return Thresholds{
-		QPSwing:          6,
-		QPAlternations:   4,
-		BWBiasRatio:      1.5,
-		BWMinAcked:       16,
-		FGCollapseRun:    5,
-		OutageRun:        6,
+		QPSwing:             6,
+		QPAlternations:      4,
+		BWBiasRatio:         1.5,
+		BWMinAcked:          16,
+		FGCollapseRun:       5,
+		OutageRun:           6,
 		LatencyP95Ratio:     1.5,
 		StageShareGrowth:    1.6,
 		StormAttempts:       6,
@@ -150,296 +148,26 @@ func (t Thresholds) withDefaults() Thresholds {
 }
 
 // Analyze diagnoses a run from its decision journal and trace spans (spans
-// may be nil; the span-based checks are then skipped).
+// may be nil; the span-based checks are then skipped). It is a thin batch
+// wrapper over the streaming detectors in stream.go: the whole journal is
+// fed through each detector's Observe/Flush, so offline analysis and live
+// following (divedoctor -follow, /debug/doctor) share one implementation.
 func Analyze(journal []obs.JournalRecord, spans []obs.SpanRecord, th Thresholds) *Report {
-	th = th.withDefaults()
 	rep := &Report{Frames: len(journal), Spans: len(spans)}
-	rep.run("qp-oscillation", func() []Finding { return detectQPOscillation(journal, th) })
-	rep.run("bandwidth-bias", func() []Finding { return detectBandwidthBias(journal, th) })
-	rep.run("fg-collapse", func() []Finding { return detectFGCollapse(journal, th) })
-	rep.run("outage-drift", func() []Finding { return detectOutageDrift(journal, th) })
-	rep.run("reconnect-storm", func() []Finding { return detectReconnectStorm(journal, th) })
-	rep.run("slow-recovery", func() []Finding { return detectSlowRecovery(journal, th) })
+	dets := NewDetectors(th)
+	perDet := make([][]Finding, len(dets))
+	for i, d := range dets {
+		rep.Checks = append(rep.Checks, d.Name())
+		for _, rec := range journal {
+			perDet[i] = append(perDet[i], d.Observe(rec)...)
+		}
+		perDet[i] = append(perDet[i], d.Flush()...)
+	}
+	for _, fs := range perDet {
+		rep.Findings = append(rep.Findings, fs...)
+	}
 	sort.SliceStable(rep.Findings, func(i, j int) bool {
 		return rep.Findings[i].FirstFrame < rep.Findings[j].FirstFrame
 	})
 	return rep
-}
-
-func (r *Report) run(check string, fn func() []Finding) {
-	r.Checks = append(r.Checks, check)
-	r.Findings = append(r.Findings, fn()...)
-}
-
-// detectQPOscillation finds runs of sign-alternating base-QP swings — the
-// signature of a rate controller fighting its own bandwidth feedback (each
-// over-sized frame depresses the next estimate, which shrinks the next
-// frame, which inflates the estimate again).
-func detectQPOscillation(journal []obs.JournalRecord, th Thresholds) []Finding {
-	var out []Finding
-	altStart, alternations, lastSign := -1, 0, 0
-	flush := func(endIdx int) {
-		if alternations >= th.QPAlternations {
-			out = append(out, Finding{
-				Check: "qp-oscillation", Severity: Fail,
-				FirstFrame: journal[altStart].Frame, LastFrame: journal[endIdx].Frame,
-				Value: float64(alternations), Threshold: float64(th.QPAlternations),
-				Message: fmt.Sprintf(
-					"base QP oscillated %d times (swing ≥ %d) between frames %d and %d: rate control is fighting its bandwidth feedback",
-					alternations, th.QPSwing, journal[altStart].Frame, journal[endIdx].Frame),
-			})
-		}
-		altStart, alternations, lastSign = -1, 0, 0
-	}
-	for i := 1; i < len(journal); i++ {
-		d := journal[i].BaseQP - journal[i-1].BaseQP
-		sign := 0
-		if d >= th.QPSwing {
-			sign = 1
-		} else if d <= -th.QPSwing {
-			sign = -1
-		}
-		switch {
-		case sign == 0:
-			flush(i - 1)
-		case lastSign == 0 || sign == lastSign:
-			// First swing of a potential run, or same direction (a trend,
-			// not an oscillation) — restart counting from here.
-			if lastSign == sign {
-				flush(i - 1)
-			}
-			altStart, alternations, lastSign = i-1, 1, sign
-		default:
-			// Direction flipped: one more alternation.
-			alternations++
-			lastSign = sign
-		}
-	}
-	if len(journal) > 0 {
-		flush(len(journal) - 1)
-	}
-	return out
-}
-
-// detectBandwidthBias compares the estimate rate control consumed against
-// the bandwidth the link realized for the same frames. A systematic ratio
-// away from 1 means the estimator is mis-calibrated — over-estimation shows
-// up as queue build-ups and outages, under-estimation as wasted uplink.
-func detectBandwidthBias(journal []obs.JournalRecord, th Thresholds) []Finding {
-	var logSum float64
-	n, first, last := 0, -1, -1
-	for _, j := range journal {
-		if j.EstBWBps <= 0 || j.RealizedBWBps <= 0 {
-			continue
-		}
-		logSum += math.Log(j.EstBWBps / j.RealizedBWBps)
-		n++
-		if first < 0 {
-			first = j.Frame
-		}
-		last = j.Frame
-	}
-	if n < th.BWMinAcked {
-		return nil
-	}
-	ratio := math.Exp(logSum / float64(n))
-	if ratio > th.BWBiasRatio {
-		return []Finding{{
-			Check: "bandwidth-bias", Severity: Fail,
-			FirstFrame: first, LastFrame: last,
-			Value: ratio, Threshold: th.BWBiasRatio,
-			Message: fmt.Sprintf(
-				"bandwidth estimator systematically over-estimates: estimate/realized geometric mean %.2f over %d acked frames (limit %.2f)",
-				ratio, n, th.BWBiasRatio),
-		}}
-	}
-	if ratio < 1/th.BWBiasRatio {
-		return []Finding{{
-			Check: "bandwidth-bias", Severity: Fail,
-			FirstFrame: first, LastFrame: last,
-			Value: ratio, Threshold: 1 / th.BWBiasRatio,
-			Message: fmt.Sprintf(
-				"bandwidth estimator systematically under-estimates: estimate/realized geometric mean %.2f over %d acked frames (limit %.2f)",
-				ratio, n, 1/th.BWBiasRatio),
-		}}
-	}
-	return nil
-}
-
-// detectFGCollapse finds stretches where the agent is moving (and rotation
-// removal succeeded, so the flow field was usable) yet foreground
-// extraction kept coming back empty and the encoder fell back to a stale
-// mask — the failure mode of §III-C when the ground prior or cluster
-// growing collapses during sustained turns.
-func detectFGCollapse(journal []obs.JournalRecord, th Thresholds) []Finding {
-	var out []Finding
-	runStart, runLen := -1, 0
-	flush := func(endIdx int) {
-		if runLen >= th.FGCollapseRun {
-			out = append(out, Finding{
-				Check: "fg-collapse", Severity: Fail,
-				FirstFrame: journal[runStart].Frame, LastFrame: journal[endIdx].Frame,
-				Value: float64(runLen), Threshold: float64(th.FGCollapseRun),
-				Message: fmt.Sprintf(
-					"foreground segmentation produced nothing fresh for %d consecutive moving frames (%d–%d): encoder is protecting a stale mask",
-					runLen, journal[runStart].Frame, journal[endIdx].Frame),
-			})
-		}
-		runStart, runLen = -1, 0
-	}
-	for i, j := range journal {
-		collapsed := j.Moving && j.RotOK && (j.FGReused || j.FGMBs == 0)
-		if collapsed {
-			if runStart < 0 {
-				runStart = i
-			}
-			runLen++
-			continue
-		}
-		flush(i - 1)
-	}
-	if len(journal) > 0 {
-		flush(len(journal) - 1)
-	}
-	return out
-}
-
-// detectOutageDrift finds long consecutive outage stretches during which
-// detections were only advanced by local motion-vector tracking. MV
-// tracking is accurate over a handful of frames but drifts beyond that
-// (the paper's Figure 13), so a long run means the agent served stale
-// boxes.
-func detectOutageDrift(journal []obs.JournalRecord, th Thresholds) []Finding {
-	var out []Finding
-	runStart, runLen, boxes := -1, 0, 0
-	flush := func(endIdx int) {
-		if runLen >= th.OutageRun {
-			out = append(out, Finding{
-				Check: "outage-drift", Severity: Fail,
-				FirstFrame: journal[runStart].Frame, LastFrame: journal[endIdx].Frame,
-				Value: float64(runLen), Threshold: float64(th.OutageRun),
-				Message: fmt.Sprintf(
-					"link outage spanned %d consecutive frames (%d–%d); %d locally tracked boxes had no server correction and have likely drifted",
-					runLen, journal[runStart].Frame, journal[endIdx].Frame, boxes),
-			})
-		}
-		runStart, runLen, boxes = -1, 0, 0
-	}
-	for i, j := range journal {
-		if j.Outage {
-			if runStart < 0 {
-				runStart = i
-			}
-			runLen++
-			boxes = j.TrackedBoxes
-			continue
-		}
-		flush(i - 1)
-	}
-	if len(journal) > 0 {
-		flush(len(journal) - 1)
-	}
-	return out
-}
-
-// detectReconnectStorm finds windows where the client hammered the server
-// with reconnect attempts. A storm with healthy per-attempt backoff is Warn
-// (a long blackout legitimately accumulates attempts); a storm whose mean
-// backoff collapsed below MinMeanBackoffSec is Fail — the backoff schedule
-// is not damping the retry rate and the client is DoSing its own edge.
-func detectReconnectStorm(journal []obs.JournalRecord, th Thresholds) []Finding {
-	var out []Finding
-	n := len(journal)
-	for i := 0; i < n; {
-		if journal[i].ReconnectAttempts == 0 {
-			i++
-			continue
-		}
-		// Burst starts here: total attempts and backoff over the next
-		// StormWindowFrames frames.
-		attempts, backoff, end := 0, 0.0, i
-		for j := i; j < n && journal[j].Frame-journal[i].Frame < th.StormWindowFrames; j++ {
-			if journal[j].ReconnectAttempts > 0 {
-				attempts += journal[j].ReconnectAttempts
-				backoff += journal[j].BackoffSec
-				end = j
-			}
-		}
-		if attempts < th.StormAttempts {
-			i++
-			continue
-		}
-		mean := backoff / float64(attempts)
-		sev := Warn
-		msg := fmt.Sprintf(
-			"reconnect storm: %d reconnect attempts within %d frames (%d–%d)",
-			attempts, th.StormWindowFrames, journal[i].Frame, journal[end].Frame)
-		if mean < th.MinMeanBackoffSec {
-			sev = Fail
-			msg += fmt.Sprintf(
-				"; mean backoff %.0f ms/attempt (floor %.0f ms) — the backoff schedule is not damping the retry rate",
-				mean*1000, th.MinMeanBackoffSec*1000)
-		}
-		out = append(out, Finding{
-			Check: "reconnect-storm", Severity: sev,
-			FirstFrame: journal[i].Frame, LastFrame: journal[end].Frame,
-			Value: float64(attempts), Threshold: float64(th.StormAttempts),
-			Message: msg,
-		})
-		// Skip past this window so overlapping windows don't re-report the
-		// same storm.
-		i = end + 1
-	}
-	return out
-}
-
-// detectSlowRecovery grades time-to-recover: once the last failure event of
-// an episode (outage, reconnect, NACK) has passed, the degradation ladder
-// must climb back to the healthy rung within LadderRecoverFrames frames.
-// Staying degraded longer means the hysteresis/dwell tuning is too sticky —
-// the agent keeps paying the quality penalty on a link that has healed.
-func detectSlowRecovery(journal []obs.JournalRecord, th Thresholds) []Finding {
-	var out []Finding
-	isFailure := func(j obs.JournalRecord) bool {
-		return j.Outage || j.ReconnectAttempts > 0 || j.NackKeyframe
-	}
-	lastFail := -1 // index of the most recent failure-event frame
-	reported := false
-	for i, j := range journal {
-		if isFailure(j) {
-			lastFail = i
-			reported = false
-			continue
-		}
-		if lastFail < 0 || reported {
-			continue
-		}
-		tail := j.Frame - journal[lastFail].Frame
-		if j.DegradeLevel == 0 {
-			if tail > th.LadderRecoverFrames {
-				out = append(out, Finding{
-					Check: "slow-recovery", Severity: Fail,
-					FirstFrame: journal[lastFail].Frame, LastFrame: j.Frame,
-					Value: float64(tail), Threshold: float64(th.LadderRecoverFrames),
-					Message: fmt.Sprintf(
-						"degradation ladder took %d frames after the last failure event (frame %d) to return to healthy (limit %d)",
-						tail, journal[lastFail].Frame, th.LadderRecoverFrames),
-				})
-			}
-			lastFail = -1
-			continue
-		}
-		if tail > th.LadderRecoverFrames {
-			out = append(out, Finding{
-				Check: "slow-recovery", Severity: Fail,
-				FirstFrame: journal[lastFail].Frame, LastFrame: j.Frame,
-				Value: float64(tail), Threshold: float64(th.LadderRecoverFrames),
-				Message: fmt.Sprintf(
-					"degradation ladder stuck at level %d for %d frames after the last failure event (frame %d, limit %d)",
-					j.DegradeLevel, tail, journal[lastFail].Frame, th.LadderRecoverFrames),
-			})
-			reported = true
-		}
-	}
-	return out
 }

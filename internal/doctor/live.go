@@ -1,0 +1,182 @@
+package doctor
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"dive/internal/obs"
+)
+
+// Live following: incremental diagnosis of a journal that is still being
+// written. A Follower consumes successive snapshots of the journal ring
+// (from /debug/journal polls or the in-process ring itself), feeds the new
+// records through the streaming detectors, and surfaces findings as they
+// become final — while the run is still going, not after it.
+
+// DefaultSettleFrames is how many of the newest journal frames a follower
+// holds back before analysis. Journal records are amended after they are
+// appended — transport feedback (acks, realized bandwidth) and outage/MOT
+// verdicts land one to a few frames later — so analyzing a record the
+// moment it appears would see zeroed amendment fields and mis-diagnose.
+const DefaultSettleFrames = 8
+
+// Follower incrementally diagnoses a live journal stream. Feed it journal
+// snapshots (oldest-first, frames increasing, as /debug/journal serves
+// them) via Ingest; it consumes each frame exactly once, holding back the
+// newest settle frames until they have had time to be amended. Not
+// goroutine-safe; wrap in Live for a shared HTTP-facing instance.
+type Follower struct {
+	dets   []Detector
+	settle int
+
+	started   bool
+	nextFrame int // first frame not yet consumed
+	frames    int // frames consumed so far
+}
+
+// NewFollower builds a follower with the given thresholds and settle
+// margin (negative settle selects DefaultSettleFrames; 0 is valid and
+// analyzes every snapshot to its newest frame).
+func NewFollower(th Thresholds, settle int) *Follower {
+	if settle < 0 {
+		settle = DefaultSettleFrames
+	}
+	return &Follower{dets: NewDetectors(th), settle: settle}
+}
+
+// Checks returns the detector names, in canonical order.
+func (f *Follower) Checks() []string {
+	out := make([]string, len(f.dets))
+	for i, d := range f.dets {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+// Frames returns how many journal records have been consumed.
+func (f *Follower) Frames() int { return f.frames }
+
+// Ingest consumes the not-yet-seen, settled prefix of a journal snapshot
+// and returns the findings that became final. Records already consumed
+// (frame < the follower's cursor) are skipped, so overlapping snapshots
+// are fine; records within the settle margin of the snapshot's newest
+// frame are deferred to a later Ingest or Close.
+func (f *Follower) Ingest(snapshot []obs.JournalRecord) []Finding {
+	if len(snapshot) == 0 {
+		return nil
+	}
+	limit := snapshot[len(snapshot)-1].Frame - f.settle
+	var out []Finding
+	for _, rec := range snapshot {
+		if f.started && rec.Frame < f.nextFrame {
+			continue
+		}
+		if rec.Frame > limit {
+			break
+		}
+		out = append(out, f.observe(rec)...)
+	}
+	return out
+}
+
+func (f *Follower) observe(rec obs.JournalRecord) []Finding {
+	f.started = true
+	f.nextFrame = rec.Frame + 1
+	f.frames++
+	var out []Finding
+	for _, d := range f.dets {
+		out = append(out, d.Observe(rec)...)
+	}
+	return out
+}
+
+// Close consumes the held-back tail of the final snapshot (ignoring the
+// settle margin — the stream is over, nothing will amend further) and
+// flushes every detector, returning the remaining findings. The follower
+// must not be used afterwards.
+func (f *Follower) Close(finalSnapshot []obs.JournalRecord) []Finding {
+	var out []Finding
+	for _, rec := range finalSnapshot {
+		if f.started && rec.Frame < f.nextFrame {
+			continue
+		}
+		out = append(out, f.observe(rec)...)
+	}
+	for _, d := range f.dets {
+		out = append(out, d.Flush()...)
+	}
+	return out
+}
+
+// LiveReport is the /debug/doctor document: the live diagnosis so far.
+type LiveReport struct {
+	Frames   int       `json:"frames"`
+	Checks   []string  `json:"checks_run"`
+	Findings []Finding `json:"findings"`
+}
+
+// maxLiveFindings bounds the findings a Live instance retains (oldest
+// dropped first), so a pathological run cannot grow the process.
+const maxLiveFindings = 256
+
+// Live is a goroutine-safe follower bound to an in-process journal source,
+// serving the current diagnosis at /debug/doctor. Each Poll (or HTTP
+// request) ingests whatever the journal has accumulated since the last
+// one, so no background goroutine is needed.
+type Live struct {
+	source func() []obs.JournalRecord
+
+	mu       sync.Mutex
+	follower *Follower
+	findings []Finding
+}
+
+// NewLive builds a live doctor over a journal source (typically
+// recorder.Journal().Snapshot). th zero value takes defaults; settle < 0
+// selects DefaultSettleFrames.
+func NewLive(th Thresholds, settle int, source func() []obs.JournalRecord) *Live {
+	return &Live{source: source, follower: NewFollower(th, settle)}
+}
+
+// Poll ingests the journal's current snapshot and returns any findings
+// that became final on this poll.
+func (l *Live) Poll() []Finding {
+	if l == nil || l.source == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fresh := l.follower.Ingest(l.source())
+	l.findings = append(l.findings, fresh...)
+	if n := len(l.findings); n > maxLiveFindings {
+		l.findings = append(l.findings[:0:0], l.findings[n-maxLiveFindings:]...)
+	}
+	return fresh
+}
+
+// Report polls and returns the full live diagnosis.
+func (l *Live) Report() LiveReport {
+	l.Poll()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LiveReport{
+		Frames:   l.follower.Frames(),
+		Checks:   l.follower.Checks(),
+		Findings: append([]Finding(nil), l.findings...),
+	}
+}
+
+// Handler serves the live diagnosis as JSON — the /debug/doctor endpoint.
+func (l *Live) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if l == nil {
+			http.Error(w, "live doctor disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(l.Report())
+	})
+}

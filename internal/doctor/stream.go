@@ -1,0 +1,453 @@
+package doctor
+
+import (
+	"fmt"
+	"math"
+
+	"dive/internal/obs"
+)
+
+// Streaming detectors: every journal pathology check as an incremental
+// state machine consuming one JournalRecord at a time. Batch Analyze is a
+// thin wrapper that feeds a whole journal through these, so live mode
+// (divedoctor -follow, /debug/doctor) and offline mode share one
+// implementation and produce identical findings for identical input.
+//
+// Findings that depend only on a bounded suffix of the stream (runs,
+// alternations, windows) are emitted as soon as the run provably ended;
+// whole-stream aggregates (bandwidth bias) are emitted at Flush.
+
+// Detector is one incremental pathology check. Observe folds in the next
+// journal record (records must arrive in journal order) and returns any
+// findings that became final; Flush ends the stream, returning findings
+// whose runs were still open. After Flush the detector is reset and may be
+// reused for a new stream.
+type Detector interface {
+	// Name is the check name findings carry (e.g. "qp-oscillation").
+	Name() string
+	Observe(rec obs.JournalRecord) []Finding
+	Flush() []Finding
+}
+
+// NewDetectors builds the full journal detector suite in canonical order.
+func NewDetectors(th Thresholds) []Detector {
+	th = th.withDefaults()
+	return []Detector{
+		&qpOscillationDetector{th: th},
+		&bandwidthBiasDetector{th: th, first: -1, last: -1},
+		&fgCollapseDetector{th: th, runStartFrame: -1},
+		&outageDriftDetector{th: th, runStartFrame: -1},
+		&reconnectStormDetector{th: th},
+		&slowRecoveryDetector{th: th, lastFailFrame: -1},
+	}
+}
+
+// qpOscillationDetector finds runs of sign-alternating base-QP swings — the
+// signature of a rate controller fighting its own bandwidth feedback (each
+// over-sized frame depresses the next estimate, which shrinks the next
+// frame, which inflates the estimate again).
+type qpOscillationDetector struct {
+	th      Thresholds
+	started bool
+	prev    obs.JournalRecord
+
+	runStartFrame int // first frame of the alternation run, -1 when none
+	alternations  int
+	lastSign      int
+}
+
+func (d *qpOscillationDetector) Name() string { return "qp-oscillation" }
+
+// flushAt closes the current alternation run at endFrame.
+func (d *qpOscillationDetector) flushAt(endFrame int) []Finding {
+	var out []Finding
+	if d.runStartFrame >= 0 && d.alternations >= d.th.QPAlternations {
+		out = append(out, Finding{
+			Check: d.Name(), Severity: Fail,
+			FirstFrame: d.runStartFrame, LastFrame: endFrame,
+			Value: float64(d.alternations), Threshold: float64(d.th.QPAlternations),
+			Message: fmt.Sprintf(
+				"base QP oscillated %d times (swing ≥ %d) between frames %d and %d: rate control is fighting its bandwidth feedback",
+				d.alternations, d.th.QPSwing, d.runStartFrame, endFrame),
+		})
+	}
+	d.runStartFrame, d.alternations, d.lastSign = -1, 0, 0
+	return out
+}
+
+func (d *qpOscillationDetector) Observe(rec obs.JournalRecord) []Finding {
+	if !d.started {
+		d.started, d.prev = true, rec
+		d.runStartFrame = -1
+		return nil
+	}
+	diff := rec.BaseQP - d.prev.BaseQP
+	sign := 0
+	if diff >= d.th.QPSwing {
+		sign = 1
+	} else if diff <= -d.th.QPSwing {
+		sign = -1
+	}
+	var out []Finding
+	switch {
+	case sign == 0:
+		out = d.flushAt(d.prev.Frame)
+	case d.lastSign == 0 || sign == d.lastSign:
+		// First swing of a potential run, or same direction (a trend, not
+		// an oscillation) — restart counting from the previous frame.
+		if d.lastSign == sign {
+			out = d.flushAt(d.prev.Frame)
+		}
+		d.runStartFrame, d.alternations, d.lastSign = d.prev.Frame, 1, sign
+	default:
+		// Direction flipped: one more alternation.
+		d.alternations++
+		d.lastSign = sign
+	}
+	d.prev = rec
+	return out
+}
+
+func (d *qpOscillationDetector) Flush() []Finding {
+	if !d.started {
+		return nil
+	}
+	out := d.flushAt(d.prev.Frame)
+	d.started = false
+	return out
+}
+
+// bandwidthBiasDetector compares the estimate rate control consumed against
+// the bandwidth the link realized for the same frames. A systematic ratio
+// away from 1 means the estimator is mis-calibrated — over-estimation shows
+// up as queue build-ups and outages, under-estimation as wasted uplink. The
+// statistic is a whole-stream geometric mean, so the finding only lands at
+// Flush.
+type bandwidthBiasDetector struct {
+	th     Thresholds
+	logSum float64
+	n      int
+	first  int
+	last   int
+}
+
+func (d *bandwidthBiasDetector) Name() string { return "bandwidth-bias" }
+
+func (d *bandwidthBiasDetector) Observe(rec obs.JournalRecord) []Finding {
+	if rec.EstBWBps <= 0 || rec.RealizedBWBps <= 0 {
+		return nil
+	}
+	d.logSum += math.Log(rec.EstBWBps / rec.RealizedBWBps)
+	d.n++
+	if d.first < 0 {
+		d.first = rec.Frame
+	}
+	d.last = rec.Frame
+	return nil
+}
+
+func (d *bandwidthBiasDetector) Flush() []Finding {
+	defer func() { d.logSum, d.n, d.first, d.last = 0, 0, -1, -1 }()
+	if d.n < d.th.BWMinAcked {
+		return nil
+	}
+	ratio := math.Exp(d.logSum / float64(d.n))
+	if ratio > d.th.BWBiasRatio {
+		return []Finding{{
+			Check: d.Name(), Severity: Fail,
+			FirstFrame: d.first, LastFrame: d.last,
+			Value: ratio, Threshold: d.th.BWBiasRatio,
+			Message: fmt.Sprintf(
+				"bandwidth estimator systematically over-estimates: estimate/realized geometric mean %.2f over %d acked frames (limit %.2f)",
+				ratio, d.n, d.th.BWBiasRatio),
+		}}
+	}
+	if ratio < 1/d.th.BWBiasRatio {
+		return []Finding{{
+			Check: d.Name(), Severity: Fail,
+			FirstFrame: d.first, LastFrame: d.last,
+			Value: ratio, Threshold: 1 / d.th.BWBiasRatio,
+			Message: fmt.Sprintf(
+				"bandwidth estimator systematically under-estimates: estimate/realized geometric mean %.2f over %d acked frames (limit %.2f)",
+				ratio, d.n, 1/d.th.BWBiasRatio),
+		}}
+	}
+	return nil
+}
+
+// fgCollapseDetector finds stretches where the agent is moving (and rotation
+// removal succeeded, so the flow field was usable) yet foreground extraction
+// kept coming back empty and the encoder fell back to a stale mask — the
+// failure mode of §III-C when the ground prior or cluster growing collapses
+// during sustained turns.
+type fgCollapseDetector struct {
+	th            Thresholds
+	started       bool
+	prevFrame     int
+	runStartFrame int
+	runLen        int
+}
+
+func (d *fgCollapseDetector) Name() string { return "fg-collapse" }
+
+func (d *fgCollapseDetector) flushAt(endFrame int) []Finding {
+	var out []Finding
+	if d.runLen >= d.th.FGCollapseRun {
+		out = append(out, Finding{
+			Check: d.Name(), Severity: Fail,
+			FirstFrame: d.runStartFrame, LastFrame: endFrame,
+			Value: float64(d.runLen), Threshold: float64(d.th.FGCollapseRun),
+			Message: fmt.Sprintf(
+				"foreground segmentation produced nothing fresh for %d consecutive moving frames (%d–%d): encoder is protecting a stale mask",
+				d.runLen, d.runStartFrame, endFrame),
+		})
+	}
+	d.runStartFrame, d.runLen = -1, 0
+	return out
+}
+
+func (d *fgCollapseDetector) Observe(rec obs.JournalRecord) []Finding {
+	var out []Finding
+	collapsed := rec.Moving && rec.RotOK && (rec.FGReused || rec.FGMBs == 0)
+	if collapsed {
+		if d.runStartFrame < 0 {
+			d.runStartFrame = rec.Frame
+		}
+		d.runLen++
+	} else if d.started {
+		out = d.flushAt(d.prevFrame)
+	}
+	d.started, d.prevFrame = true, rec.Frame
+	return out
+}
+
+func (d *fgCollapseDetector) Flush() []Finding {
+	if !d.started {
+		return nil
+	}
+	out := d.flushAt(d.prevFrame)
+	d.started = false
+	return out
+}
+
+// outageDriftDetector finds long consecutive outage stretches during which
+// detections were only advanced by local motion-vector tracking. MV tracking
+// is accurate over a handful of frames but drifts beyond that (the paper's
+// Figure 13), so a long run means the agent served stale boxes.
+type outageDriftDetector struct {
+	th            Thresholds
+	started       bool
+	prevFrame     int
+	runStartFrame int
+	runLen        int
+	boxes         int
+}
+
+func (d *outageDriftDetector) Name() string { return "outage-drift" }
+
+func (d *outageDriftDetector) flushAt(endFrame int) []Finding {
+	var out []Finding
+	if d.runLen >= d.th.OutageRun {
+		out = append(out, Finding{
+			Check: d.Name(), Severity: Fail,
+			FirstFrame: d.runStartFrame, LastFrame: endFrame,
+			Value: float64(d.runLen), Threshold: float64(d.th.OutageRun),
+			Message: fmt.Sprintf(
+				"link outage spanned %d consecutive frames (%d–%d); %d locally tracked boxes had no server correction and have likely drifted",
+				d.runLen, d.runStartFrame, endFrame, d.boxes),
+		})
+	}
+	d.runStartFrame, d.runLen, d.boxes = -1, 0, 0
+	return out
+}
+
+func (d *outageDriftDetector) Observe(rec obs.JournalRecord) []Finding {
+	var out []Finding
+	if rec.Outage {
+		if d.runStartFrame < 0 {
+			d.runStartFrame = rec.Frame
+		}
+		d.runLen++
+		d.boxes = rec.TrackedBoxes
+	} else if d.started {
+		out = d.flushAt(d.prevFrame)
+	}
+	d.started, d.prevFrame = true, rec.Frame
+	return out
+}
+
+func (d *outageDriftDetector) Flush() []Finding {
+	if !d.started {
+		return nil
+	}
+	out := d.flushAt(d.prevFrame)
+	d.started = false
+	return out
+}
+
+// stormEvent is one pending reconnect-bearing journal record.
+type stormEvent struct {
+	frame    int
+	attempts int
+	backoff  float64
+}
+
+// reconnectStormDetector finds windows where the client hammered the server
+// with reconnect attempts. A storm with healthy per-attempt backoff is Warn
+// (a long blackout legitimately accumulates attempts); a storm whose mean
+// backoff collapsed below MinMeanBackoffSec is Fail — the backoff schedule
+// is not damping the retry rate and the client is DoSing its own edge.
+//
+// The incremental form keeps the reconnect-bearing records whose window is
+// not yet provably complete; a window headed at frame f is decided once a
+// record at frame ≥ f+StormWindowFrames arrives (frames are journaled in
+// increasing order, so no later record can still fall inside it).
+type reconnectStormDetector struct {
+	th       Thresholds
+	pending  []stormEvent
+	maxFrame int
+	started  bool
+}
+
+func (d *reconnectStormDetector) Name() string { return "reconnect-storm" }
+
+// decideHead evaluates the window headed by pending[0] against the events
+// currently known to fall inside it. final marks end-of-stream, where a
+// window is decided even though later frames could still have extended it.
+func (d *reconnectStormDetector) decideHead(final bool) (Finding, bool, bool) {
+	head := d.pending[0]
+	if !final && d.maxFrame-head.frame < d.th.StormWindowFrames {
+		return Finding{}, false, false // window still open
+	}
+	attempts, backoff, end := 0, 0.0, head
+	for _, ev := range d.pending {
+		if ev.frame-head.frame >= d.th.StormWindowFrames {
+			break
+		}
+		attempts += ev.attempts
+		backoff += ev.backoff
+		end = ev
+	}
+	if attempts < d.th.StormAttempts {
+		// Not a storm from this head; slide to the next candidate.
+		d.pending = d.pending[1:]
+		return Finding{}, false, true
+	}
+	mean := backoff / float64(attempts)
+	sev := Warn
+	msg := fmt.Sprintf(
+		"reconnect storm: %d reconnect attempts within %d frames (%d–%d)",
+		attempts, d.th.StormWindowFrames, head.frame, end.frame)
+	if mean < d.th.MinMeanBackoffSec {
+		sev = Fail
+		msg += fmt.Sprintf(
+			"; mean backoff %.0f ms/attempt (floor %.0f ms) — the backoff schedule is not damping the retry rate",
+			mean*1000, d.th.MinMeanBackoffSec*1000)
+	}
+	f := Finding{
+		Check: d.Name(), Severity: sev,
+		FirstFrame: head.frame, LastFrame: end.frame,
+		Value: float64(attempts), Threshold: float64(d.th.StormAttempts),
+		Message: msg,
+	}
+	// Everything up to the storm's end is consumed so overlapping windows
+	// don't re-report the same storm.
+	keep := d.pending[:0]
+	for _, ev := range d.pending {
+		if ev.frame > end.frame {
+			keep = append(keep, ev)
+		}
+	}
+	d.pending = keep
+	return f, true, true
+}
+
+func (d *reconnectStormDetector) Observe(rec obs.JournalRecord) []Finding {
+	if !d.started || rec.Frame > d.maxFrame {
+		d.maxFrame = rec.Frame
+	}
+	d.started = true
+	if rec.ReconnectAttempts > 0 {
+		d.pending = append(d.pending, stormEvent{rec.Frame, rec.ReconnectAttempts, rec.BackoffSec})
+	}
+	var out []Finding
+	for len(d.pending) > 0 {
+		f, emitted, decided := d.decideHead(false)
+		if !decided {
+			break
+		}
+		if emitted {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (d *reconnectStormDetector) Flush() []Finding {
+	var out []Finding
+	for len(d.pending) > 0 {
+		f, emitted, _ := d.decideHead(true)
+		if emitted {
+			out = append(out, f)
+		}
+	}
+	d.pending, d.maxFrame, d.started = nil, 0, false
+	return out
+}
+
+// slowRecoveryDetector grades time-to-recover: once the last failure event
+// of an episode (outage, reconnect, NACK) has passed, the degradation ladder
+// must climb back to the healthy rung within LadderRecoverFrames frames.
+// Staying degraded longer means the hysteresis/dwell tuning is too sticky —
+// the agent keeps paying the quality penalty on a link that has healed.
+type slowRecoveryDetector struct {
+	th            Thresholds
+	lastFailFrame int
+	reported      bool
+}
+
+func (d *slowRecoveryDetector) Name() string { return "slow-recovery" }
+
+func (d *slowRecoveryDetector) Observe(rec obs.JournalRecord) []Finding {
+	if rec.Outage || rec.ReconnectAttempts > 0 || rec.NackKeyframe {
+		d.lastFailFrame = rec.Frame
+		d.reported = false
+		return nil
+	}
+	if d.lastFailFrame < 0 || d.reported {
+		return nil
+	}
+	tail := rec.Frame - d.lastFailFrame
+	if rec.DegradeLevel == 0 {
+		var out []Finding
+		if tail > d.th.LadderRecoverFrames {
+			out = append(out, Finding{
+				Check: d.Name(), Severity: Fail,
+				FirstFrame: d.lastFailFrame, LastFrame: rec.Frame,
+				Value: float64(tail), Threshold: float64(d.th.LadderRecoverFrames),
+				Message: fmt.Sprintf(
+					"degradation ladder took %d frames after the last failure event (frame %d) to return to healthy (limit %d)",
+					tail, d.lastFailFrame, d.th.LadderRecoverFrames),
+			})
+		}
+		d.lastFailFrame = -1
+		return out
+	}
+	if tail > d.th.LadderRecoverFrames {
+		d.reported = true
+		return []Finding{{
+			Check: d.Name(), Severity: Fail,
+			FirstFrame: d.lastFailFrame, LastFrame: rec.Frame,
+			Value: float64(tail), Threshold: float64(d.th.LadderRecoverFrames),
+			Message: fmt.Sprintf(
+				"degradation ladder stuck at level %d for %d frames after the last failure event (frame %d, limit %d)",
+				rec.DegradeLevel, tail, d.lastFailFrame, d.th.LadderRecoverFrames),
+		}}
+	}
+	return nil
+}
+
+func (d *slowRecoveryDetector) Flush() []Finding {
+	d.lastFailFrame, d.reported = -1, false
+	return nil
+}

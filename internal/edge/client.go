@@ -113,11 +113,12 @@ type ClientStats struct {
 // session-resume handshake, server NACKs force keyframes, and a link-health
 // ladder degrades encode quality before the link collapses entirely.
 type Client struct {
-	cfg    ClientConfig
-	agent  *core.Agent
-	health *core.LinkHealth
-	rng    *rand.Rand
-	stats  ClientStats
+	cfg     ClientConfig
+	agent   *core.Agent
+	health  *core.LinkHealth
+	rng     *rand.Rand
+	stats   ClientStats
+	session string
 
 	conn net.Conn
 	acks chan ackEvent
@@ -161,6 +162,9 @@ func NewClient(cfg ClientConfig, agent *core.Agent) *Client {
 		agent:  agent,
 		health: core.NewLinkHealth(cfg.Health),
 		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		// The same profile-seed identity the server labels this stream
+		// with, so both ends' series and SLO windows join on it.
+		session: fmt.Sprintf("%s-%d", cfg.Profile, cfg.Seed),
 	}
 }
 
@@ -303,6 +307,18 @@ func (c *Client) noteFrameOutage(inf inflightFrame, dets [][]detect.Detection) {
 	}
 	c.agent.NoteOutageAt(inf.idx, time.Since(inf.sentAt).Seconds(), len(tracked))
 	c.agent.ForceNextIFrame()
+	c.cfg.Obs.ObserveSLO(c.session, obs.SLOSample{
+		LatencySec: time.Since(inf.sentAt).Seconds(), FGShare: frameFGShare(inf.fr), Outage: true,
+	})
+}
+
+// frameFGShare is the SLO accuracy proxy for one frame: the foreground
+// fraction the encoder protected (0 when none was ever extracted).
+func frameFGShare(fr *core.FrameResult) float64 {
+	if fr == nil || fr.Foreground == nil {
+		return 0
+	}
+	return fr.Foreground.Fraction()
 }
 
 // popInflight removes and returns the in-flight entry with the given index.
@@ -355,6 +371,9 @@ func (c *Client) handleAck(ev ackEvent, dets [][]detect.Detection) error {
 	if !res.NeedKeyframe {
 		c.health.ObserveAck()
 	}
+	c.cfg.Obs.ObserveSLO(c.session, obs.SLOSample{
+		LatencySec: time.Since(inf.sentAt).Seconds(), FGShare: frameFGShare(inf.fr),
+	})
 	got := FromWire(res.Detections)
 	c.agent.OnDetections(got)
 	if res.Index < len(dets) {

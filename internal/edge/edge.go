@@ -387,6 +387,17 @@ func (s *Server) handle(conn net.Conn) error {
 		return fmt.Errorf("edge: handshake: %w", err)
 	}
 	s.Obs.Counter(obs.MetricEdgeSessions).Inc()
+	// Per-session labeled series on top of the process-wide globals. The
+	// session identity is profile-seed — the same clip identity the agent
+	// uses — so a resumed session continues its own series and the agent's
+	// and server's views of one stream join on the label. All handles are
+	// nil (hence no-op) when telemetry is disabled.
+	session := fmt.Sprintf("%s-%d", hello.Profile, hello.Seed)
+	sessFrames := s.Obs.LabeledCounter(obs.MetricEdgeSessionFrames, obs.SessionLabel).With(session)
+	sessBytes := s.Obs.LabeledCounter(obs.MetricEdgeSessionBytes, obs.SessionLabel).With(session)
+	sessNacks := s.Obs.LabeledCounter(obs.MetricEdgeSessionNacks, obs.SessionLabel).With(session)
+	sessDecode := s.Obs.LabeledHistogram(obs.StageEdgeSessionDecode, obs.SessionLabel).With(session)
+	sessDetect := s.Obs.LabeledHistogram(obs.StageEdgeSessionDetect, obs.SessionLabel).With(session)
 	profile, err := profileByName(hello.Profile)
 	if err != nil {
 		writeResult(&ResultMsg{Index: -1, Err: err.Error()})
@@ -438,6 +449,7 @@ func (s *Server) handle(conn net.Conn) error {
 				// a frame may have been lost inside the garbage.
 				s.Obs.Counter(obs.MetricEdgeCorrupt).Inc()
 				s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+				sessNacks.Inc()
 				needKey = true
 				if werr := writeResult(&ResultMsg{Index: -1, Err: "corrupt message: " + err.Error(), NeedKeyframe: true}); werr != nil {
 					return fmt.Errorf("edge: write nack: %w", werr)
@@ -454,6 +466,7 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		if typ != MsgFrame {
 			s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+			sessNacks.Inc()
 			if werr := writeResult(&ResultMsg{Index: -1, Err: fmt.Sprintf("unexpected message type %d", typ)}); werr != nil {
 				return fmt.Errorf("edge: write nack: %w", werr)
 			}
@@ -463,6 +476,7 @@ func (s *Server) handle(conn net.Conn) error {
 		if err != nil {
 			s.Obs.Counter(obs.MetricEdgeCorrupt).Inc()
 			s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+			sessNacks.Inc()
 			needKey = true
 			if werr := writeResult(&ResultMsg{Index: -1, Err: "malformed frame: " + err.Error(), NeedKeyframe: true}); werr != nil {
 				return fmt.Errorf("edge: write nack: %w", werr)
@@ -477,6 +491,8 @@ func (s *Server) handle(conn net.Conn) error {
 		ctx := obs.TraceContext{TraceID: fm.TraceID, Frame: fm.Index, SpanID: fm.SpanID}
 		s.Obs.Counter(obs.MetricEdgeFrames).Inc()
 		s.Obs.Counter(obs.MetricEdgeBytes).Add(int64(len(fm.Bitstream)))
+		sessFrames.Inc()
+		sessBytes.Add(int64(len(fm.Bitstream)))
 		switch {
 		case fm.Index < 0 || fm.Index >= clip.NumFrames():
 			res.Err = fmt.Sprintf("frame index %d out of range", fm.Index)
@@ -493,6 +509,7 @@ func (s *Server) handle(conn net.Conn) error {
 				res.NeedKeyframe = true
 				needKey = true
 				s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+				sessNacks.Inc()
 			case needKey && ftype != codec.IFrame:
 				// Desynced and the frame is predicted: decoding it against
 				// the stale reference would silently corrupt every frame
@@ -500,26 +517,35 @@ func (s *Server) handle(conn net.Conn) error {
 				res.Err = "decoder desynchronized"
 				res.NeedKeyframe = true
 				s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+				sessNacks.Inc()
 			default:
 				decodeSpan := s.Obs.StartStageSpan(ctx, "decode", "edge", obs.StageEdgeDecode)
+				decT0 := time.Now()
 				df, derr := vdec.Decode(fm.Bitstream)
+				sessDecode.Observe(time.Since(decT0).Seconds())
 				decodeSpan.End()
 				if derr != nil {
 					res.Err = derr.Error()
 					res.NeedKeyframe = true
 					needKey = true
 					s.Obs.Counter(obs.MetricEdgeNacks).Inc()
+					sessNacks.Inc()
 				} else {
 					needKey = false
 					expect = fm.Index + 1
 					detectSpan := s.Obs.StartStageSpan(ctx, "detect", "edge", obs.StageEdgeDetect)
+					detT0 := time.Now()
 					dets := s.Detector.Detect(df.Image, clip.Frames[fm.Index], clip.GT[fm.Index], hello.Seed^int64(fm.Index*7919))
+					sessDetect.Observe(time.Since(detT0).Seconds())
 					detectSpan.End()
 					res.Detections = ToWire(dets)
 				}
 			}
 		}
 		res.ServerMs = time.Since(t0).Seconds() * 1000
+		// Server-side SLO view of this session: per-frame processing time
+		// (decode + detect + framing); foreground share is agent-side only.
+		s.Obs.ObserveSLO(session, obs.SLOSample{LatencySec: time.Since(t0).Seconds(), FGShare: -1})
 		ackSpan := s.Obs.StartSpan(ctx, "ack", "edge")
 		err = writeResult(&res)
 		ackSpan.End()

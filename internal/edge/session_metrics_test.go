@@ -1,0 +1,128 @@
+package edge
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dive/internal/codec"
+	"dive/internal/obs"
+	"dive/internal/world"
+)
+
+// TestServerPerSessionMetrics serves three concurrent-profile sessions and
+// asserts the telemetry recorder exposes per-session labeled series on
+// /metrics and per-session SLO windows on /debug/slo — the fleet view a
+// multi-agent deployment scrapes.
+func TestServerPerSessionMetrics(t *testing.T) {
+	rec := obs.NewRecorder(256)
+	srv := NewServer()
+	srv.Obs = rec
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	const duration = 1.0
+	seeds := []int64{101, 102, 103}
+	const framesPerSession = 3
+	for _, seed := range seeds {
+		p := world.NuScenesLike()
+		p.ClipDuration = duration
+		clip := world.GenerateClip(p, seed)
+		enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: seed, Duration: duration})
+		for i := 0; i < framesPerSession; i++ {
+			ef, err := enc.Encode(clip.Frames[i], codec.EncodeOptions{BaseQP: 14})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFrame(conn, &FrameMsg{Index: i, Bitstream: ef.Data, SentNanos: time.Now().UnixNano()}); err != nil {
+				t.Fatal(err)
+			}
+			if res := readResult(t, conn, mr); res.Err != "" {
+				t.Fatalf("seed %d frame %d: %s", seed, i, res.Err)
+			}
+		}
+		conn.Close()
+	}
+
+	ts := httptest.NewServer(rec.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, seed := range seeds {
+		session := fmt.Sprintf("nuScenes-%d", seed)
+		for _, series := range []string{
+			fmt.Sprintf("edge_session_frames_total{session=%q} %d", session, framesPerSession),
+			fmt.Sprintf("edge_session_bytes_total{session=%q}", session),
+			fmt.Sprintf("edge_session_decode_seconds_count{session=%q} %d", session, framesPerSession),
+			fmt.Sprintf("edge_session_detect_seconds_count{session=%q} %d", session, framesPerSession),
+			fmt.Sprintf("slo_burn_rate{session=%q}", session),
+		} {
+			if !strings.Contains(metrics, series) {
+				t.Errorf("/metrics missing %s", series)
+			}
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", metrics)
+	}
+
+	sresp, err := ts.Client().Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var doc struct {
+		Sessions []obs.SLOStatus `json:"sessions"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sessions) != len(seeds) {
+		t.Fatalf("/debug/slo tracks %d sessions, want %d: %+v", len(doc.Sessions), len(seeds), doc.Sessions)
+	}
+	for _, st := range doc.Sessions {
+		if st.Frames != framesPerSession {
+			t.Errorf("session %s window has %d frames, want %d", st.Session, st.Frames, framesPerSession)
+		}
+	}
+}
+
+// TestServerSessionNackCounter corrupts one frame and asserts the NACK is
+// attributed to the offending session's labeled counter.
+func TestServerSessionNackCounter(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	srv := NewServer()
+	srv.Obs = rec
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: 7, Duration: 1.0})
+	defer conn.Close()
+	if err := WriteFrame(conn, &FrameMsg{Index: 0, Bitstream: []byte{0xde, 0xad}}); err != nil {
+		t.Fatal(err)
+	}
+	res := readResult(t, conn, mr)
+	if !res.NeedKeyframe {
+		t.Fatalf("garbage bitstream not NACKed: %+v", res)
+	}
+	got := rec.LabeledCounter(obs.MetricEdgeSessionNacks, obs.SessionLabel).With("nuScenes-7").Value()
+	if got != 1 {
+		t.Fatalf("session NACK counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "testing"
+
+func TestJournalAmendFrameFastPath(t *testing.T) {
+	r := NewJournalRing(8)
+	for f := 0; f < 6; f++ {
+		r.Append(JournalRecord{Frame: f})
+	}
+	// Amend a frame several slots behind the newest (the pipelined case).
+	r.AmendFrame(2, func(rec *JournalRecord) { rec.Outage = true })
+	r.AmendFrame(5, func(rec *JournalRecord) { rec.ReconnectAttempts = 3 })
+	snap := r.Snapshot()
+	if !snap[2].Outage {
+		t.Fatal("frame 2 not amended")
+	}
+	if snap[5].ReconnectAttempts != 3 {
+		t.Fatal("newest frame not amended")
+	}
+	for _, rec := range snap {
+		if rec.Frame != 2 && rec.Outage {
+			t.Fatalf("amendment leaked onto frame %d", rec.Frame)
+		}
+	}
+}
+
+func TestJournalAmendFrameAfterWraparound(t *testing.T) {
+	r := NewJournalRing(4)
+	for f := 0; f < 10; f++ {
+		r.Append(JournalRecord{Frame: f})
+	}
+	// Retained: frames 6..9. An evicted frame must be a no-op.
+	r.AmendFrame(3, func(rec *JournalRecord) { t.Fatalf("amended evicted frame %d", rec.Frame) })
+	r.AmendFrame(7, func(rec *JournalRecord) { rec.DegradeLevel = 2 })
+	for _, rec := range r.Snapshot() {
+		if (rec.Frame == 7) != (rec.DegradeLevel == 2) {
+			t.Fatalf("frame %d degrade=%d", rec.Frame, rec.DegradeLevel)
+		}
+	}
+}
+
+func TestJournalAmendFrameSparseFallback(t *testing.T) {
+	// Skipped frames break the dense newest-minus-delta indexing; the
+	// linear fallback must still find the record.
+	r := NewJournalRing(8)
+	for _, f := range []int{0, 2, 5, 9} {
+		r.Append(JournalRecord{Frame: f})
+	}
+	r.AmendFrame(2, func(rec *JournalRecord) { rec.NackKeyframe = true })
+	r.AmendFrame(4, func(rec *JournalRecord) { t.Fatalf("amended never-journaled frame %d", rec.Frame) })
+	snap := r.Snapshot()
+	if !snap[1].NackKeyframe {
+		t.Fatal("sparse frame 2 not amended")
+	}
+}
+
+func BenchmarkJournalAmendFrameDense(b *testing.B) {
+	r := NewJournalRing(1024)
+	for f := 0; f < 1024; f++ {
+		r.Append(JournalRecord{Frame: f})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Amend a few frames behind the newest, as the pipelined transport
+		// feedback does — O(1) regardless of ring size.
+		r.AmendFrame(1023-(i%8), func(rec *JournalRecord) { rec.Outage = false })
+	}
+}

@@ -5,14 +5,42 @@ import (
 	"net/http/pprof"
 )
 
+// RegisterDebug mounts an additional handler on the telemetry surface at
+// path (e.g. "/debug/doctor"). Handlers registered after Handler() was
+// called still take effect: the mux resolves extras per request. A nil
+// recorder ignores the registration.
+func (r *Recorder) RegisterDebug(path string, h http.Handler) {
+	if r == nil || path == "" || h == nil {
+		return
+	}
+	r.debugMu.Lock()
+	if r.debugExtra == nil {
+		r.debugExtra = make(map[string]http.Handler)
+	}
+	r.debugExtra[path] = h
+	r.debugMu.Unlock()
+}
+
+// debugHandler returns the extra handler registered at path, if any.
+func (r *Recorder) debugHandler(path string) http.Handler {
+	r.debugMu.Lock()
+	defer r.debugMu.Unlock()
+	return r.debugExtra[path]
+}
+
 // Handler returns the telemetry HTTP surface:
 //
-//	/metrics       Prometheus text exposition of every metric
+//	/metrics       Prometheus text exposition of every metric (including
+//	               per-session labeled series)
 //	/debug/vars    JSON snapshot (counters, gauges, histogram quantiles)
 //	/debug/frames  recent frame-lifecycle records as JSONL
 //	/debug/journal recent per-frame decision-journal records as JSONL
 //	/debug/spans   recent frame-trace spans as JSONL
+//	/debug/slo     per-session SLO status with error-budget burn rates
 //	/debug/pprof/  the standard Go profiler endpoints
+//
+// plus anything mounted via RegisterDebug (diveserver and divetrace mount
+// the streaming doctor at /debug/doctor).
 //
 // A nil recorder returns a handler that answers every request with 503
 // Service Unavailable, so callers can mount the surface unconditionally
@@ -26,13 +54,20 @@ func (r *Recorder) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
+			if h := r.debugHandler(req.URL.Path); h != nil {
+				h.ServeHTTP(w, req)
+				return
+			}
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("DiVE telemetry\n\n/metrics\n/debug/vars\n/debug/frames\n/debug/journal\n/debug/spans\n/debug/pprof/\n"))
+		w.Write([]byte("DiVE telemetry\n\n/metrics\n/debug/vars\n/debug/frames\n/debug/journal\n/debug/spans\n/debug/slo\n/debug/doctor\n/debug/pprof/\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		// Refresh SLO gauges so scraped burn rates reflect the window at
+		// scrape time, not the last /debug/slo hit.
+		r.slo.Status()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.reg.WritePrometheus(w)
 	})
@@ -57,6 +92,7 @@ func (r *Recorder) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		r.spans.WriteJSONL(w)
 	})
+	mux.Handle("/debug/slo", r.slo.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

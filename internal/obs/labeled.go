@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Labeled metrics: families of counters/gauges/histograms sharing one metric
+// name and exactly one label key (e.g. session or stage). They exist for the
+// fleet dimension — a multi-session edge server needs per-stream series on
+// top of the process-wide globals — while keeping the registry's two core
+// contracts:
+//
+//   - nil safety: every method on a nil family or a nil child is a no-op, so
+//     instrumentation sites never guard;
+//   - bounded cardinality: each family admits at most its maxValues distinct
+//     label values (default DefaultMaxLabelValues); further values share one
+//     child under the OverflowLabel value, so a misbehaving client cannot
+//     grow the registry without bound.
+//
+// A child is an ordinary *Counter/*Gauge/*Histogram, so the per-label hot
+// path is exactly the unlabeled hot path after a single map lookup, and
+// callers that observe repeatedly should hold the child (With is the lookup).
+
+// OverflowLabel is the label value that absorbs observations once a family's
+// cardinality bound is reached.
+const OverflowLabel = "_overflow"
+
+// DefaultMaxLabelValues bounds the distinct label values per family.
+const DefaultMaxLabelValues = 64
+
+// LabeledCounter is a counter family keyed by one label.
+type LabeledCounter struct {
+	labeled[*Counter]
+}
+
+// LabeledGauge is a gauge family keyed by one label.
+type LabeledGauge struct {
+	labeled[*Gauge]
+}
+
+// LabeledHistogram is a histogram family keyed by one label. All children
+// share the family's bucket bounds.
+type LabeledHistogram struct {
+	labeled[*Histogram]
+}
+
+// labeled is the shared family machinery: a bounded label→child map.
+type labeled[T any] struct {
+	key       string
+	maxValues int
+	newChild  func() T
+
+	mu       sync.RWMutex
+	children map[string]T
+}
+
+func newLabeled[T any](key string, maxValues int, newChild func() T) labeled[T] {
+	if maxValues <= 0 {
+		maxValues = DefaultMaxLabelValues
+	}
+	return labeled[T]{
+		key:       key,
+		maxValues: maxValues,
+		newChild:  newChild,
+		children:  make(map[string]T),
+	}
+}
+
+// with returns the child for value, creating it on first use and folding
+// into OverflowLabel once the cardinality bound is hit.
+func (l *labeled[T]) with(value string) T {
+	l.mu.RLock()
+	c, ok := l.children[value]
+	l.mu.RUnlock()
+	if ok {
+		return c
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c, ok := l.children[value]; ok {
+		return c
+	}
+	if len(l.children) >= l.maxValues && value != OverflowLabel {
+		if c, ok := l.children[OverflowLabel]; ok {
+			return c
+		}
+		value = OverflowLabel
+	}
+	c = l.newChild()
+	l.children[value] = c
+	return c
+}
+
+// snapshot returns the children under a sorted copy of their label values.
+func (l *labeled[T]) snapshot() (values []string, children map[string]T) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	children = make(map[string]T, len(l.children))
+	for v, c := range l.children {
+		children[v] = c
+	}
+	return sortedKeys(children), children
+}
+
+// Key returns the family's label key ("" for a nil family).
+func (c *LabeledCounter) Key() string {
+	if c == nil {
+		return ""
+	}
+	return c.key
+}
+
+// With returns the counter for the given label value (nil, hence no-op, on a
+// nil family).
+func (c *LabeledCounter) With(value string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.with(value)
+}
+
+// Add increments the labeled counter by n.
+func (c *LabeledCounter) Add(value string, n int64) { c.With(value).Add(n) }
+
+// Inc increments the labeled counter by one.
+func (c *LabeledCounter) Inc(value string) { c.With(value).Add(1) }
+
+// Each calls fn for every label value in sorted order.
+func (c *LabeledCounter) Each(fn func(value string, v int64)) {
+	if c == nil {
+		return
+	}
+	values, children := c.snapshot()
+	for _, v := range values {
+		fn(v, children[v].Value())
+	}
+}
+
+// Key returns the family's label key ("" for a nil family).
+func (g *LabeledGauge) Key() string {
+	if g == nil {
+		return ""
+	}
+	return g.key
+}
+
+// With returns the gauge for the given label value (nil on a nil family).
+func (g *LabeledGauge) With(value string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	return g.with(value)
+}
+
+// Set stores v under the label value.
+func (g *LabeledGauge) Set(value string, v float64) { g.With(value).Set(v) }
+
+// Each calls fn for every label value in sorted order.
+func (g *LabeledGauge) Each(fn func(value string, v float64)) {
+	if g == nil {
+		return
+	}
+	values, children := g.snapshot()
+	for _, v := range values {
+		fn(v, children[v].Value())
+	}
+}
+
+// Key returns the family's label key ("" for a nil family).
+func (h *LabeledHistogram) Key() string {
+	if h == nil {
+		return ""
+	}
+	return h.key
+}
+
+// With returns the histogram for the given label value (nil on a nil
+// family).
+func (h *LabeledHistogram) With(value string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.with(value)
+}
+
+// Observe records one sample under the label value.
+func (h *LabeledHistogram) Observe(value string, v float64) { h.With(value).Observe(v) }
+
+// Each calls fn for every label value in sorted order.
+func (h *LabeledHistogram) Each(fn func(value string, h *Histogram)) {
+	if h == nil {
+		return
+	}
+	values, children := h.snapshot()
+	for _, v := range values {
+		fn(v, children[v])
+	}
+}
+
+// LabeledCounter returns the named counter family with the given label key,
+// creating it on first use (later calls ignore the key).
+func (r *Registry) LabeledCounter(name, key string) *LabeledCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.labeledCounters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.labeledCounters[name]; c != nil {
+		return c
+	}
+	c = &LabeledCounter{newLabeled(key, r.maxLabelValues, func() *Counter { return &Counter{} })}
+	r.labeledCounters[name] = c
+	return c
+}
+
+// LabeledGauge returns the named gauge family with the given label key,
+// creating it on first use (later calls ignore the key).
+func (r *Registry) LabeledGauge(name, key string) *LabeledGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.labeledGauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.labeledGauges[name]; g != nil {
+		return g
+	}
+	g = &LabeledGauge{newLabeled(key, r.maxLabelValues, func() *Gauge { return &Gauge{} })}
+	r.labeledGauges[name] = g
+	return g
+}
+
+// LabeledHistogram returns the named histogram family with the given label
+// key and bucket bounds, creating it on first use (later calls ignore key
+// and bounds).
+func (r *Registry) LabeledHistogram(name, key string, bounds []float64) *LabeledHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.labeledHists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.labeledHists[name]; h != nil {
+		return h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h = &LabeledHistogram{newLabeled(key, r.maxLabelValues, func() *Histogram { return NewHistogram(b) })}
+	r.labeledHists[name] = h
+	return h
+}
+
+// writeLabeledPrometheus appends the labeled families to the exposition.
+func (r *Registry) writeLabeledPrometheus(w io.Writer,
+	counters map[string]*LabeledCounter, gauges map[string]*LabeledGauge, hists map[string]*LabeledHistogram) error {
+	for _, name := range sortedKeys(counters) {
+		fam := counters[name]
+		values, children := fam.snapshot()
+		if len(values) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+			return err
+		}
+		for _, v := range values {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, fam.key, v, children[v].Value()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		fam := gauges[name]
+		values, children := fam.snapshot()
+		if len(values) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		for _, v := range values {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %g\n", name, fam.key, v, children[v].Value()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		fam := hists[name]
+		values, children := fam.snapshot()
+		if len(values) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, v := range values {
+			h := children[v]
+			cum := h.cumulative()
+			for i, bound := range h.bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, fam.key, v, bound, cum[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n%s_sum{%s=%q} %g\n%s_count{%s=%q} %d\n",
+				name, fam.key, v, cum[len(cum)-1],
+				name, fam.key, v, h.Sum(),
+				name, fam.key, v, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

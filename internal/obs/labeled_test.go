@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeledCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	fam := reg.LabeledCounter("rpc_total", "session")
+	if fam.Key() != "session" {
+		t.Fatalf("Key = %q, want session", fam.Key())
+	}
+	fam.With("a").Add(3)
+	fam.Inc("b")
+	fam.Inc("b")
+	if got := fam.With("a").Value(); got != 3 {
+		t.Fatalf("a = %d, want 3", got)
+	}
+	// With returns the same child for the same value.
+	if fam.With("a") != fam.With("a") {
+		t.Fatal("With(a) returned distinct children")
+	}
+	// The same name returns the same family.
+	if reg.LabeledCounter("rpc_total", "ignored") != fam {
+		t.Fatal("second LabeledCounter call returned a new family")
+	}
+	var order []string
+	fam.Each(func(v string, n int64) { order = append(order, v) })
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("Each order = %v, want [a b]", order)
+	}
+}
+
+func TestLabeledNilSafety(t *testing.T) {
+	// Every path on a nil family, nil child, and nil recorder must be a
+	// no-op — the contract that lets instrumentation sites skip guards.
+	var c *LabeledCounter
+	var g *LabeledGauge
+	var h *LabeledHistogram
+	c.With("x").Add(1)
+	c.Inc("x")
+	c.Each(func(string, int64) { t.Fatal("Each on nil family invoked fn") })
+	if c.Key() != "" {
+		t.Fatal("nil family Key != \"\"")
+	}
+	g.With("x").Set(2)
+	g.Set("x", 2)
+	g.Each(func(string, float64) { t.Fatal("Each on nil family invoked fn") })
+	h.With("x").Observe(0.5)
+	h.Observe("x", 0.5)
+	h.Each(func(string, *Histogram) { t.Fatal("Each on nil family invoked fn") })
+
+	var rec *Recorder
+	rec.LabeledCounter("a", "k").With("x").Inc()
+	rec.LabeledGauge("b", "k").With("x").Set(1)
+	rec.LabeledHistogram("c", "k").With("x").Observe(1)
+	rec.ObserveSLO("s", SLOSample{LatencySec: 0.1})
+}
+
+func TestLabeledOverflowFold(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMaxLabelValues(2)
+	fam := reg.LabeledCounter("sess_total", "session")
+	fam.Inc("a")
+	fam.Inc("b")
+	fam.Inc("c") // over the bound: folds into _overflow
+	fam.Inc("d")
+	if got := fam.With("a").Value(); got != 1 {
+		t.Fatalf("a = %d, want 1", got)
+	}
+	if got := fam.With(OverflowLabel).Value(); got != 2 {
+		t.Fatalf("overflow = %d, want 2 (c and d folded)", got)
+	}
+	// Established values keep their own children after the fold.
+	fam.Inc("b")
+	if got := fam.With("b").Value(); got != 2 {
+		t.Fatalf("b = %d, want 2", got)
+	}
+	var values []string
+	fam.Each(func(v string, _ int64) { values = append(values, v) })
+	if len(values) != 3 {
+		t.Fatalf("families = %v, want exactly a, b, %s", values, OverflowLabel)
+	}
+}
+
+func TestLabeledPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.LabeledCounter("edge_session_frames_total", "session").Add("nuScenes-1", 7)
+	reg.LabeledGauge("slo_burn_rate", "session").Set("nuScenes-1", 1.5)
+	reg.LabeledHistogram("edge_session_decode_seconds", "session", []float64{0.01, 0.1}).
+		Observe("nuScenes-1", 0.05)
+	// An empty family must not emit even a TYPE line.
+	reg.LabeledCounter("never_used_total", "session")
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE edge_session_frames_total counter",
+		`edge_session_frames_total{session="nuScenes-1"} 7`,
+		`slo_burn_rate{session="nuScenes-1"} 1.5`,
+		`edge_session_decode_seconds_bucket{session="nuScenes-1",le="0.1"} 1`,
+		`edge_session_decode_seconds_count{session="nuScenes-1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "never_used_total") {
+		t.Errorf("empty family leaked into exposition:\n%s", out)
+	}
+}
+
+func TestSnapshotIncludesLabeledFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.LabeledCounter("sess_frames", "session").Add("a", 4)
+	reg.LabeledGauge("sess_burn", "session").Set("a", 0.5)
+	reg.LabeledHistogram("sess_lat", "session", DefaultDurationBuckets).Observe("a", 0.2)
+	reg.LabeledCounter("empty", "session")
+
+	s := reg.Snapshot()
+	if got := s.LabeledCounters["sess_frames"]["a"]; got != 4 {
+		t.Fatalf("snapshot counter = %d, want 4", got)
+	}
+	if got := s.LabeledGauges["sess_burn"]["a"]; got != 0.5 {
+		t.Fatalf("snapshot gauge = %g, want 0.5", got)
+	}
+	if got := s.LabeledHistograms["sess_lat"]["a"].Count; got != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", got)
+	}
+	if _, ok := s.LabeledCounters["empty"]; ok {
+		t.Fatal("empty family appeared in snapshot")
+	}
+}

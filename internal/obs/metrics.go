@@ -182,15 +182,38 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Labeled families (labeled.go): one label key per family, bounded
+	// cardinality. maxLabelValues applies to families created after it is
+	// set (0 selects DefaultMaxLabelValues).
+	labeledCounters map[string]*LabeledCounter
+	labeledGauges   map[string]*LabeledGauge
+	labeledHists    map[string]*LabeledHistogram
+	maxLabelValues  int
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:        make(map[string]*Counter),
+		gauges:          make(map[string]*Gauge),
+		hists:           make(map[string]*Histogram),
+		labeledCounters: make(map[string]*LabeledCounter),
+		labeledGauges:   make(map[string]*LabeledGauge),
+		labeledHists:    make(map[string]*LabeledHistogram),
 	}
+}
+
+// SetMaxLabelValues bounds the distinct label values of labeled families
+// created after the call (0 restores DefaultMaxLabelValues). Existing
+// families keep their bound.
+func (r *Registry) SetMaxLabelValues(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.maxLabelValues = n
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -276,6 +299,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	lcounters := make(map[string]*LabeledCounter, len(r.labeledCounters))
+	for k, v := range r.labeledCounters {
+		lcounters[k] = v
+	}
+	lgauges := make(map[string]*LabeledGauge, len(r.labeledGauges))
+	for k, v := range r.labeledGauges {
+		lgauges[k] = v
+	}
+	lhists := make(map[string]*LabeledHistogram, len(r.labeledHists))
+	for k, v := range r.labeledHists {
+		lhists[k] = v
+	}
 	r.mu.RUnlock()
 
 	for _, name := range sortedKeys(counters) {
@@ -304,7 +339,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return r.writeLabeledPrometheus(w, lcounters, lgauges, lhists)
 }
 
 func sortedKeys[M ~map[string]V, V any](m M) []string {
@@ -325,12 +360,18 @@ type HistogramSnapshot struct {
 	P99   float64 `json:"p99"`
 }
 
-// Snapshot is a point-in-time copy of every metric in a registry.
+// Snapshot is a point-in-time copy of every metric in a registry. The
+// labeled maps are keyed metric name → label value; they are omitted when no
+// labeled family exists, so pre-labeled consumers of the schema are
+// unaffected.
 type Snapshot struct {
-	UptimeSec  float64                      `json:"uptime_sec"`
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]float64           `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	UptimeSec         float64                                 `json:"uptime_sec"`
+	Counters          map[string]int64                        `json:"counters"`
+	Gauges            map[string]float64                      `json:"gauges"`
+	Histograms        map[string]HistogramSnapshot            `json:"histograms"`
+	LabeledCounters   map[string]map[string]int64             `json:"labeled_counters,omitempty"`
+	LabeledGauges     map[string]map[string]float64           `json:"labeled_gauges,omitempty"`
+	LabeledHistograms map[string]map[string]HistogramSnapshot `json:"labeled_histograms,omitempty"`
 }
 
 // Snapshot copies the current value of every metric.
@@ -355,6 +396,41 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Histograms[name] = HistogramSnapshot{
 			Count: h.Count(), Sum: h.Sum(),
 			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		}
+	}
+	for name, fam := range r.labeledCounters {
+		m := make(map[string]int64)
+		fam.Each(func(value string, v int64) { m[value] = v })
+		if len(m) > 0 {
+			if s.LabeledCounters == nil {
+				s.LabeledCounters = make(map[string]map[string]int64)
+			}
+			s.LabeledCounters[name] = m
+		}
+	}
+	for name, fam := range r.labeledGauges {
+		m := make(map[string]float64)
+		fam.Each(func(value string, v float64) { m[value] = v })
+		if len(m) > 0 {
+			if s.LabeledGauges == nil {
+				s.LabeledGauges = make(map[string]map[string]float64)
+			}
+			s.LabeledGauges[name] = m
+		}
+	}
+	for name, fam := range r.labeledHists {
+		m := make(map[string]HistogramSnapshot)
+		fam.Each(func(value string, h *Histogram) {
+			m[value] = HistogramSnapshot{
+				Count: h.Count(), Sum: h.Sum(),
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			}
+		})
+		if len(m) > 0 {
+			if s.LabeledHistograms == nil {
+				s.LabeledHistograms = make(map[string]map[string]HistogramSnapshot)
+			}
+			s.LabeledHistograms[name] = m
 		}
 	}
 	return s

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -77,6 +79,37 @@ const (
 	// and the live number of frames concurrently in flight across stages.
 	GaugePipelineDepth    = "pipeline_depth"
 	GaugePipelineInFlight = "pipeline_frames_in_flight"
+
+	// Per-session edge serving (internal/edge.Server), labeled by session on
+	// top of the global MetricEdge* counters: frame/byte/NACK counts and
+	// decode/detect latency per stream, the inputs of fleet-level routing
+	// and shedding decisions.
+	MetricEdgeSessionFrames = "edge_session_frames_total"
+	MetricEdgeSessionBytes  = "edge_session_bytes_total"
+	MetricEdgeSessionNacks  = "edge_session_nacks_total"
+	StageEdgeSessionDecode  = "edge_session_decode_seconds"
+	StageEdgeSessionDetect  = "edge_session_detect_seconds"
+
+	// Agent-side per-session series (internal/core.Agent with a configured
+	// Session): encoded frames and bits per stream, matching the edge
+	// labels so both ends of one stream join on the session value.
+	MetricAgentSessionFrames = "dive_session_frames_total"
+	MetricAgentSessionBits   = "dive_session_bits_total"
+
+	// SessionLabel is the label key of every per-session family.
+	SessionLabel = "session"
+
+	// SLO tracker gauges (slo.go), labeled by session: worst-objective burn
+	// rate, window latency p99 and outage-tracked fraction.
+	GaugeSLOBurnRate   = "slo_burn_rate"
+	GaugeSLOLatencyP99 = "slo_latency_p99_seconds"
+	GaugeSLOOutageFrac = "slo_outage_fraction"
+
+	// Go runtime gauges (runtime.go): live heap bytes, GC pause p99 and
+	// goroutine count, refreshed by UpdateRuntimeGauges.
+	GaugeGoHeapLiveBytes = "go_heap_live_bytes"
+	GaugeGoGCPauseP99    = "go_gc_pause_p99_seconds"
+	GaugeGoGoroutines    = "go_goroutines"
 )
 
 // Recorder bundles a metrics registry, a frame-lifecycle ring, a decision
@@ -88,10 +121,15 @@ type Recorder struct {
 	ring    *FrameRing
 	journal *JournalRing
 	spans   *SpanRing
+	slo     *SLOTracker
 	start   time.Time
 
 	traceSeq atomic.Uint64 // trace IDs minted by StartTrace
 	spanSeq  atomic.Uint64 // span IDs minted by StartSpan/RecordSpan
+
+	// debugMu guards extra /debug handlers registered before Handler().
+	debugMu    sync.Mutex
+	debugExtra map[string]http.Handler
 }
 
 // NewRecorder creates a recorder whose frame ring and decision journal keep
@@ -101,11 +139,13 @@ func NewRecorder(ringCap int) *Recorder {
 	if ringCap <= 0 {
 		ringCap = 1024
 	}
+	reg := NewRegistry()
 	return &Recorder{
-		reg:     NewRegistry(),
+		reg:     reg,
 		ring:    NewFrameRing(ringCap),
 		journal: NewJournalRing(ringCap),
 		spans:   NewSpanRing(ringCap * spansPerFrame),
+		slo:     NewSLOTracker(SLOConfig{}, reg),
 		start:   time.Now(),
 	}
 }
@@ -152,6 +192,32 @@ func (r *Recorder) Histogram(name string) *Histogram {
 		return nil
 	}
 	return r.reg.Histogram(name, DefaultDurationBuckets)
+}
+
+// LabeledCounter returns the named counter family keyed by the label key
+// (nil, hence no-op, on a nil recorder).
+func (r *Recorder) LabeledCounter(name, key string) *LabeledCounter {
+	if r == nil {
+		return nil
+	}
+	return r.reg.LabeledCounter(name, key)
+}
+
+// LabeledGauge returns the named gauge family (nil on a nil recorder).
+func (r *Recorder) LabeledGauge(name, key string) *LabeledGauge {
+	if r == nil {
+		return nil
+	}
+	return r.reg.LabeledGauge(name, key)
+}
+
+// LabeledHistogram returns the named duration-histogram family (nil on a
+// nil recorder).
+func (r *Recorder) LabeledHistogram(name, key string) *LabeledHistogram {
+	if r == nil {
+		return nil
+	}
+	return r.reg.LabeledHistogram(name, key, DefaultDurationBuckets)
 }
 
 // StageTimer times one pipeline stage. The zero value (returned by a nil

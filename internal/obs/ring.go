@@ -100,6 +100,23 @@ func (r *FrameRing) AmendFrame(frame int, fn func(*FrameRecord)) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.total == 0 {
+		return
+	}
+	// Frames are recorded in increasing order, one record per frame, so
+	// frame f normally sits exactly (newestFrame - f) slots behind the
+	// newest record — an O(1) index instead of a back-scan, which matters on
+	// the pipelined path where every frame's emit completion amends.
+	newest := &r.buf[(r.total-1)%cap(r.buf)]
+	if delta := newest.Frame - frame; delta >= 0 && delta < len(r.buf) {
+		k := r.total - 1 - delta
+		if rec := &r.buf[k%cap(r.buf)]; rec.Frame == frame {
+			fn(rec)
+			return
+		}
+	}
+	// Sparse ring (frames skipped or out of order): fall back to the linear
+	// back-scan over the retained records.
 	for k := r.total - 1; k >= 0 && k >= r.total-len(r.buf); k-- {
 		rec := &r.buf[k%cap(r.buf)]
 		if rec.Frame == frame {

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// SLO tracking: per-session service-level objectives evaluated over sliding
+// frame windows, with error-budget burn rates.
+//
+// The three objectives proxy the paper's evaluation axes on a live stream:
+//
+//   - latency: the fraction of frames whose end-to-end response time exceeds
+//     TargetLatencySec must stay within LatencyBudget (so the configured
+//     target behaves as the window's p(1-LatencyBudget), p99 by default) —
+//     the response-time axis of the paper's Table I / Fig 16;
+//   - foreground-bit share: the fraction of frames whose foreground share
+//     falls below MinFGShare must stay within FGShareBudget — the accuracy
+//     proxy, since foreground AP tracks the bits DiVE protects;
+//   - outage: the fraction of frames covered only by local MOT tracking must
+//     stay below MaxOutageFraction — the staleness axis of Fig 13.
+//
+// A burn rate is the observed violation fraction divided by the budget: 1.0
+// means the session is consuming its error budget exactly as fast as the SLO
+// allows, >1 means it will exhaust the budget before the window turns over.
+// Fleet controllers (admission, shedding, migration) key off burn rates
+// rather than raw violation counts because they are comparable across
+// objectives and sessions.
+
+// SLOConfig tunes the tracker. The zero value is replaced field-wise by
+// DefaultSLOConfig.
+type SLOConfig struct {
+	// TargetLatencySec is the per-frame end-to-end latency objective.
+	TargetLatencySec float64
+	// LatencyBudget is the allowed fraction of frames over the target
+	// (0.01 makes TargetLatencySec the window's p99 objective).
+	LatencyBudget float64
+	// MinFGShare is the foreground-share floor (the accuracy proxy).
+	MinFGShare float64
+	// FGShareBudget is the allowed fraction of frames under the floor.
+	FGShareBudget float64
+	// MaxOutageFraction is the allowed fraction of outage-tracked frames.
+	MaxOutageFraction float64
+	// WindowFrames is the sliding-window length in samples.
+	WindowFrames int
+	// MaxSessions bounds tracked-session cardinality; further sessions fold
+	// into OverflowLabel.
+	MaxSessions int
+}
+
+// DefaultSLOConfig returns the standard tuning.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		TargetLatencySec:  0.25,
+		LatencyBudget:     0.01,
+		MinFGShare:        0.02,
+		FGShareBudget:     0.10,
+		MaxOutageFraction: 0.05,
+		WindowFrames:      240,
+		MaxSessions:       DefaultMaxLabelValues,
+	}
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	d := DefaultSLOConfig()
+	if c.TargetLatencySec <= 0 {
+		c.TargetLatencySec = d.TargetLatencySec
+	}
+	if c.LatencyBudget <= 0 {
+		c.LatencyBudget = d.LatencyBudget
+	}
+	if c.MinFGShare <= 0 {
+		c.MinFGShare = d.MinFGShare
+	}
+	if c.FGShareBudget <= 0 {
+		c.FGShareBudget = d.FGShareBudget
+	}
+	if c.MaxOutageFraction <= 0 {
+		c.MaxOutageFraction = d.MaxOutageFraction
+	}
+	if c.WindowFrames <= 0 {
+		c.WindowFrames = d.WindowFrames
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = d.MaxSessions
+	}
+	return c
+}
+
+// SLOSample is one frame's SLO-relevant outcome. Negative LatencySec or
+// FGShare marks the dimension unobserved for this frame (a server-side
+// sample has no foreground share; an agent-side sample journaled before the
+// ack has no latency yet).
+type SLOSample struct {
+	LatencySec float64
+	FGShare    float64
+	Outage     bool
+}
+
+// SLOStatus is the evaluated state of one session's objectives over the
+// current window — the /debug/slo row.
+type SLOStatus struct {
+	Session string `json:"session"`
+	// Frames is the number of samples in the window.
+	Frames int `json:"frames"`
+
+	LatencyP99Sec   float64 `json:"latency_p99_sec"`
+	LatencyOverFrac float64 `json:"latency_over_frac"`
+	LatencyBurn     float64 `json:"latency_burn"`
+
+	FGShareMean float64 `json:"fg_share_mean"`
+	FGUnderFrac float64 `json:"fg_under_frac"`
+	FGShareBurn float64 `json:"fg_share_burn"`
+	OutageFrac  float64 `json:"outage_frac"`
+	OutageBurn  float64 `json:"outage_burn"`
+
+	// BurnRate is the worst objective's burn rate; Healthy means every
+	// objective is burning within budget (BurnRate <= 1).
+	BurnRate float64 `json:"burn_rate"`
+	Healthy  bool    `json:"healthy"`
+}
+
+// sloWindow is one session's sliding sample window (a bounded ring).
+type sloWindow struct {
+	buf   []SLOSample
+	total int
+}
+
+func (w *sloWindow) push(s SLOSample, capacity int) {
+	if len(w.buf) < capacity {
+		w.buf = append(w.buf, s)
+	} else {
+		w.buf[w.total%capacity] = s
+	}
+	w.total++
+}
+
+// SLOTracker evaluates per-session objectives over sliding windows. A nil
+// tracker is a valid no-op. When constructed with a registry, evaluation
+// also publishes per-session burn-rate and p99 gauges as labeled metrics.
+type SLOTracker struct {
+	cfg SLOConfig
+	reg *Registry
+
+	mu       sync.Mutex
+	sessions map[string]*sloWindow
+}
+
+// NewSLOTracker builds a tracker. reg may be nil (no gauge export).
+func NewSLOTracker(cfg SLOConfig, reg *Registry) *SLOTracker {
+	return &SLOTracker{cfg: cfg.withDefaults(), reg: reg, sessions: make(map[string]*sloWindow)}
+}
+
+// Config returns the effective configuration.
+func (t *SLOTracker) Config() SLOConfig {
+	if t == nil {
+		return SLOConfig{}
+	}
+	return t.cfg
+}
+
+// Observe folds one frame outcome into the session's window.
+func (t *SLOTracker) Observe(session string, s SLOSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	w := t.sessions[session]
+	if w == nil {
+		if len(t.sessions) >= t.cfg.MaxSessions {
+			session = OverflowLabel
+			w = t.sessions[session]
+		}
+		if w == nil {
+			w = &sloWindow{}
+			t.sessions[session] = w
+		}
+	}
+	w.push(s, t.cfg.WindowFrames)
+	t.mu.Unlock()
+}
+
+// Status evaluates every session's objectives over its current window,
+// sorted by session name, and refreshes the exported gauges.
+func (t *SLOTracker) Status() []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SLOStatus, 0, len(t.sessions))
+	for name, w := range t.sessions {
+		out = append(out, t.evaluate(name, w))
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	if t.reg != nil && len(out) > 0 {
+		burn := t.reg.LabeledGauge(GaugeSLOBurnRate, SessionLabel)
+		p99 := t.reg.LabeledGauge(GaugeSLOLatencyP99, SessionLabel)
+		outage := t.reg.LabeledGauge(GaugeSLOOutageFrac, SessionLabel)
+		for _, s := range out {
+			burn.Set(s.Session, s.BurnRate)
+			p99.Set(s.Session, s.LatencyP99Sec)
+			outage.Set(s.Session, s.OutageFrac)
+		}
+	}
+	return out
+}
+
+// SessionStatus evaluates a single session ("" selects the only session if
+// exactly one is tracked). ok is false when the session is unknown.
+func (t *SLOTracker) SessionStatus(session string) (SLOStatus, bool) {
+	if t == nil {
+		return SLOStatus{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if session == "" && len(t.sessions) == 1 {
+		for name, w := range t.sessions {
+			return t.evaluate(name, w), true
+		}
+	}
+	w := t.sessions[session]
+	if w == nil {
+		return SLOStatus{}, false
+	}
+	return t.evaluate(session, w), true
+}
+
+// evaluate computes one window's status. Caller holds t.mu.
+func (t *SLOTracker) evaluate(name string, w *sloWindow) SLOStatus {
+	st := SLOStatus{Session: name, Frames: len(w.buf)}
+	var lats []float64
+	latOver, fgN, fgUnder, fgSum, outages := 0, 0, 0, 0.0, 0
+	for _, s := range w.buf {
+		if s.LatencySec > 0 {
+			lats = append(lats, s.LatencySec)
+			if s.LatencySec > t.cfg.TargetLatencySec {
+				latOver++
+			}
+		}
+		if s.FGShare >= 0 {
+			fgN++
+			fgSum += s.FGShare
+			if s.FGShare < t.cfg.MinFGShare {
+				fgUnder++
+			}
+		}
+		if s.Outage {
+			outages++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		st.LatencyP99Sec = lats[int(math.Ceil(0.99*float64(len(lats))))-1]
+		st.LatencyOverFrac = float64(latOver) / float64(len(lats))
+		st.LatencyBurn = st.LatencyOverFrac / t.cfg.LatencyBudget
+	}
+	if fgN > 0 {
+		st.FGShareMean = fgSum / float64(fgN)
+		st.FGUnderFrac = float64(fgUnder) / float64(fgN)
+		st.FGShareBurn = st.FGUnderFrac / t.cfg.FGShareBudget
+	}
+	if len(w.buf) > 0 {
+		st.OutageFrac = float64(outages) / float64(len(w.buf))
+		st.OutageBurn = st.OutageFrac / t.cfg.MaxOutageFraction
+	}
+	st.BurnRate = math.Max(st.LatencyBurn, math.Max(st.FGShareBurn, st.OutageBurn))
+	st.Healthy = st.BurnRate <= 1
+	return st
+}
+
+// sloReport is the /debug/slo JSON document.
+type sloReport struct {
+	Config   SLOConfig   `json:"config"`
+	Sessions []SLOStatus `json:"sessions"`
+}
+
+// Handler serves the tracker state as JSON — the /debug/slo endpoint.
+func (t *SLOTracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "slo tracking disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sloReport{Config: t.cfg, Sessions: t.Status()})
+	})
+}
+
+// SLO returns the recorder's SLO tracker (nil for a nil recorder).
+func (r *Recorder) SLO() *SLOTracker {
+	if r == nil {
+		return nil
+	}
+	return r.slo
+}
+
+// ConfigureSLO replaces the recorder's SLO tracker with one using cfg.
+// Existing windows are discarded; call before observations begin.
+func (r *Recorder) ConfigureSLO(cfg SLOConfig) {
+	if r == nil {
+		return
+	}
+	r.slo = NewSLOTracker(cfg, r.reg)
+}
+
+// ObserveSLO folds one frame outcome into the session's SLO window.
+func (r *Recorder) ObserveSLO(session string, s SLOSample) {
+	if r == nil {
+		return
+	}
+	r.slo.Observe(session, s)
+}

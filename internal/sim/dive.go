@@ -28,6 +28,14 @@ type DiVE struct {
 	PipelineDepth int
 	// KeepPayloads retains every frame's bitstream in Result.Payloads.
 	KeepPayloads bool
+	// Session names the stream for per-session observability (SLO windows,
+	// labeled metrics); empty uses Name(). Only meaningful with telemetry
+	// enabled on the agent configuration.
+	Session string
+	// FrameHook, when set, is called after each frame's delivery completes
+	// (in frame order). Live servers use it to pace the simulated run on
+	// the wall clock so followers see the journal grow in real time.
+	FrameHook func(i int)
 }
 
 // Name implements Scheme.
@@ -45,6 +53,11 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 	}
 	cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
 	cfg.Seed = env.Seed
+	session := d.Session
+	if session == "" {
+		session = d.Name()
+	}
+	cfg.Session = session
 	if d.ConfigFn != nil {
 		d.ConfigFn(&cfg)
 	}
@@ -73,7 +86,7 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 		res.Payloads = make([][]byte, n)
 	}
 	if d.PipelineDepth >= 2 {
-		if err := d.runPipelined(clip, link, env, agent, dec, rec, res); err != nil {
+		if err := d.runPipelined(clip, link, env, agent, dec, rec, res, session); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -105,6 +118,12 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 			res.Detections[i] = agent.LastDetections()
 			res.ResponseTimes[i] = env.Lat.Encode + env.Lat.Track
 			agent.NoteOutage(link.QueueDelay(ready), len(res.Detections[i]))
+			rec.ObserveSLO(session, obs.SLOSample{
+				LatencySec: res.ResponseTimes[i], FGShare: fgShare(fr), Outage: true,
+			})
+			if d.FrameHook != nil {
+				d.FrameHook(i)
+			}
 			continue
 		}
 
@@ -131,8 +150,23 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 		}
 		res.Detections[i] = dets
 		res.ResponseTimes[i] = resultAt - capture
+		rec.ObserveSLO(session, obs.SLOSample{
+			LatencySec: res.ResponseTimes[i], FGShare: fgShare(fr),
+		})
+		if d.FrameHook != nil {
+			d.FrameHook(i)
+		}
 	}
 	return res, nil
+}
+
+// fgShare is the SLO accuracy proxy for one frame: the foreground fraction
+// the encoder protected (0 when no foreground was ever extracted).
+func fgShare(fr *core.FrameResult) float64 {
+	if fr.Foreground == nil {
+		return 0
+	}
+	return fr.Foreground.Fraction()
 }
 
 // runPipelined is the serial Run loop re-sliced onto ProcessStream's three
@@ -154,7 +188,7 @@ func (d *DiVE) Run(clip *world.Clip, link *netsim.Link, env *Env) (*Result, erro
 // the simulated clock and serially-ordered state, which is why detections
 // and response times are identical too.
 func (d *DiVE) runPipelined(clip *world.Clip, link *netsim.Link, env *Env,
-	agent *core.Agent, dec *codec.Decoder, rec *obs.Recorder, res *Result) error {
+	agent *core.Agent, dec *codec.Decoder, rec *obs.Recorder, res *Result, session string) error {
 	n := clip.NumFrames()
 	type frameState struct {
 		outage     bool
@@ -206,6 +240,12 @@ func (d *DiVE) runPipelined(clip *world.Clip, link *netsim.Link, env *Env,
 					j.QueueDelaySec = st.queueDelay
 					j.TrackedBoxes = boxes
 				})
+				rec.ObserveSLO(session, obs.SLOSample{
+					LatencySec: res.ResponseTimes[i], FGShare: fgShare(fr), Outage: true,
+				})
+				if d.FrameHook != nil {
+					d.FrameHook(i)
+				}
 				return nil
 			}
 			decodeSpan := rec.StartStageSpan(fr.Trace, "decode", "edge", obs.StageEdgeDecode)
@@ -223,6 +263,12 @@ func (d *DiVE) runPipelined(clip *world.Clip, link *netsim.Link, env *Env,
 			}
 			res.Detections[i] = dets
 			res.ResponseTimes[i] = resultAt - capture
+			rec.ObserveSLO(session, obs.SLOSample{
+				LatencySec: res.ResponseTimes[i], FGShare: fgShare(fr),
+			})
+			if d.FrameHook != nil {
+				d.FrameHook(i)
+			}
 			return nil
 		})
 	return err
