@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline chaos-smoke doctor-live fuzz-smoke clean
+.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline bench-alloc alloc-baseline chaos-smoke doctor-live fuzz-smoke clean
 
 all: build vet test
 
@@ -45,6 +45,21 @@ bench-smoke:
 	$(GO) run ./cmd/divetrace -format journal -duration 2 -pipeline-depth 3 -o smoke.journal.jsonl
 	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl -bench bench_smoke.json -baseline ci/bench_baseline.json -json
 
+# Allocation gate (the CI bench-alloc job): run the steady-state encode
+# benchmarks with -benchmem and fail if allocs/op or B/op regressed past the
+# committed ci/alloc_baseline.json. The pooled path is pinned at 0 allocs/op;
+# allocation counts are deterministic after warm-up, so this gate is
+# machine-independent (unlike wall-clock latency baselines).
+bench-alloc:
+	$(GO) test -run xxx -bench 'EncodeSteadyState' -benchtime 20x -benchmem ./internal/codec/ | tee bench_alloc.txt
+	$(GO) run ./cmd/divedoctor -alloc bench_alloc.txt -alloc-baseline ci/alloc_baseline.json -json
+
+# Regenerate the committed allocation baseline after an intentional change to
+# the steady-state encode path, then commit ci/alloc_baseline.json.
+alloc-baseline:
+	$(GO) test -run xxx -bench 'EncodeSteadyState' -benchtime 20x -benchmem ./internal/codec/ | tee bench_alloc.txt
+	$(GO) run ./cmd/divedoctor -alloc bench_alloc.txt -write-alloc-baseline ci/alloc_baseline.json
+
 # Regenerate the committed latency baseline from a fresh smoke run. Run on
 # the reference machine after intentional performance changes, then commit
 # ci/bench_baseline.json.
@@ -81,4 +96,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_results.json bench_smoke.json smoke.journal.jsonl
+	rm -f bench_results.json bench_smoke.json smoke.journal.jsonl bench_alloc.txt

@@ -6,6 +6,7 @@
 //	divebench [-scale smoke|default|full] [-seed N] [-only t1,f6,...]
 //	          [-json bench_results.json] [-telemetry] [-workers N]
 //	          [-speedup=false] [-pipeline-depth N]
+//	          [-throughput] [-throughput-secs S]
 //
 // -workers bounds the experiment fan-out and encoder/renderer pool width
 // (0 = GOMAXPROCS, 1 = serial). Every table is identical at any width; the
@@ -13,6 +14,11 @@
 // serial-vs-parallel encoder throughput ratio and records it in -json,
 // along with the frame-pipeline throughput ratio (capture ∥ analyze ∥ emit
 // at -pipeline-depth frames in flight; 0 disables the measurement).
+// -throughput runs the sustained streaming-encode mode: a serial encoder kept
+// hot for -throughput-secs wall seconds, default allocation behavior vs the
+// pooled steady-state path, reporting frames/sec/core and per-frame heap
+// allocation rates in -json alongside the go_heap_live_bytes / GC-pause
+// telemetry.
 //
 // Experiment ids: t1 (Table I), f6, f7, f9, f10, f11, f12, f13, f14,
 // f16, f17. By default every experiment runs at the default scale.
@@ -68,6 +74,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "experiment fan-out and encoder pool width (0 = GOMAXPROCS, 1 = serial); tables are identical at any width")
 	speedup := fs.Bool("speedup", true, "measure serial-vs-parallel encoder speedup and record it in -json")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "frame-pipeline depth for the pipeline-speedup measurement (0 disables)")
+	throughput := fs.Bool("throughput", false, "measure sustained streaming-encode throughput (fresh vs pooled) and record it in -json")
+	throughputSecs := fs.Float64("throughput-secs", 3, "wall-clock seconds per sustained-throughput run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,6 +270,19 @@ func run(args []string) error {
 			pp.Speedup, pp.Depth, pp.SerialMs, pp.PipelinedMs, pp.MeanInFlight, pp.MaxInFlight)
 	}
 
+	if *throughput {
+		t0 := time.Now()
+		tp, err := experiments.SustainedThroughput(scale, *seed, *throughputSecs)
+		if err != nil {
+			return fmt.Errorf("throughput: %w", err)
+		}
+		results.Throughput = &tp
+		results.ExperimentSecs["throughput"] = time.Since(t0).Seconds()
+		fmt.Printf("sustained throughput %dx%d: fresh %.1f fps (%.2f allocs/frame), pooled %.1f fps (%.2f allocs/frame), %.2fx\n\n",
+			tp.Width, tp.Height, tp.Fresh.FPS, tp.Fresh.AllocsPerFrame,
+			tp.Pooled.FPS, tp.Pooled.AllocsPerFrame, tp.PooledSpeedup)
+	}
+
 	if *jsonPath != "" {
 		if rec != nil {
 			results.Telemetry = rec.Snapshot()
@@ -302,8 +323,11 @@ type benchResults struct {
 	// Pipeline is the frame-level pipeline throughput ratio (capture ∥
 	// analyze ∥ emit, byte-exact identical bitstreams both ways) with the
 	// achieved frames-in-flight occupancy.
-	Pipeline  *experiments.PipelineResult `json:"pipeline_speedup,omitempty"`
-	Telemetry *obs.Snapshot               `json:"telemetry,omitempty"`
+	Pipeline *experiments.PipelineResult `json:"pipeline_speedup,omitempty"`
+	// Throughput is the sustained streaming-encode measurement (-throughput):
+	// frames/sec/core and per-frame heap allocation rates, fresh vs pooled.
+	Throughput *experiments.ThroughputResult `json:"throughput,omitempty"`
+	Telemetry  *obs.Snapshot                 `json:"telemetry,omitempty"`
 	// Runtime captures the Go runtime at the end of the run — live heap,
 	// GC pause p99, goroutine count — sampled via runtime/metrics.
 	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`

@@ -12,7 +12,10 @@
 //	divedoctor [-journal run.journal.jsonl] [-spans run.spans.jsonl]
 //	           [-url http://localhost:7061] [-bench bench_results.json]
 //	           [-baseline ci/bench_baseline.json]
-//	           [-write-baseline ci/bench_baseline.json] [-json]
+//	           [-write-baseline ci/bench_baseline.json]
+//	           [-runtime runtime.jsonl] [-alloc bench_alloc.txt]
+//	           [-alloc-baseline ci/alloc_baseline.json]
+//	           [-write-alloc-baseline ci/alloc_baseline.json] [-json]
 //	divedoctor -follow -url http://localhost:7061 [-interval 500ms]
 //	           [-settle 8] [-for 15s]
 //
@@ -24,10 +27,19 @@
 //   - -bench reads a divebench -json -telemetry results file; with
 //     -baseline its stage histograms are checked for latency regressions,
 //     with -write-baseline they become the new committed baseline.
+//   - -runtime reads a JSONL series of /debug/runtime snapshots and
+//     diagnoses GC pressure: sustained live-heap growth and GC pause p99
+//     over the ceiling.
+//   - -alloc reads `go test -bench -benchmem` text output; with
+//     -alloc-baseline each benchmark's allocs/op and B/op are gated against
+//     the committed reference (make bench-alloc), with -write-alloc-baseline
+//     the measurements become the new committed baseline.
 //
 // Watch mode: -follow tails -url's /debug/journal while the run is still
 // going, feeding new records through the streaming detectors and printing
-// each finding as one JSON line the moment it becomes final. -interval is
+// each finding as one JSON line the moment it becomes final. Each poll also
+// samples /debug/runtime (when the endpoint serves it), and the final report
+// includes the GC-pressure diagnosis over the collected series. -interval is
 // the poll period; -settle holds back the newest N frames so late journal
 // amendments (acks, outage verdicts) land before analysis; -for bounds the
 // watch (0 follows until the endpoint disappears or the process is
@@ -83,6 +95,10 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 	settle := fs.Int("settle", doctor.DefaultSettleFrames, "journal frames held back from analysis in -follow mode (late amendments need time to land)")
 	followFor := fs.Duration("for", 0, "stop following after this long (0 = until the endpoint disappears)")
 	outageRun := fs.Int("outage-run", 0, "override the outage-drift run-length threshold (0 = default; scenarios with short outage windows need a lower bar)")
+	runtimePath := fs.String("runtime", "", "runtime-stats JSONL file (series of /debug/runtime snapshots) for the GC-pressure checks (- = stdin)")
+	allocPath := fs.String("alloc", "", "go test -bench -benchmem output for the allocation gate (- = stdin)")
+	allocBaselinePath := fs.String("alloc-baseline", "", "committed allocation baseline to compare -alloc against")
+	writeAllocBaseline := fs.String("write-alloc-baseline", "", "write the -alloc measurements as a new allocation baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -94,9 +110,9 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 		}
 		return followLive(*url, *interval, *followFor, *settle, th, w)
 	}
-	if *journalPath == "" && *url == "" && *benchPath == "" {
+	if *journalPath == "" && *url == "" && *benchPath == "" && *runtimePath == "" && *allocPath == "" {
 		fs.Usage()
-		return nil, fmt.Errorf("nothing to analyze: pass -journal, -url or -bench")
+		return nil, fmt.Errorf("nothing to analyze: pass -journal, -url, -bench, -runtime or -alloc")
 	}
 
 	var journal []obs.JournalRecord
@@ -124,6 +140,51 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 	}
 
 	rep := doctor.Analyze(journal, spans, th)
+
+	if *runtimePath != "" {
+		samples, err := readRuntimeFile(*runtimePath)
+		if err != nil {
+			return nil, err
+		}
+		rep.Checks = append(rep.Checks, "gc-pressure")
+		rep.Findings = append(rep.Findings, doctor.AnalyzeRuntime(samples, th)...)
+	}
+
+	if *allocPath != "" {
+		cur, err := readAllocFile(*allocPath)
+		if err != nil {
+			return nil, err
+		}
+		if *writeAllocBaseline != "" {
+			b := doctor.NewAllocBaseline(cur, "")
+			if len(b.Benchmarks) == 0 {
+				return nil, fmt.Errorf("%s has no -benchmem benchmark lines", *allocPath)
+			}
+			f, err := os.Create(*writeAllocBaseline)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			if err := b.WriteAllocBaseline(f); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "wrote alloc baseline %s (%d benchmarks)\n", *writeAllocBaseline, len(b.Benchmarks))
+			return rep, nil
+		}
+		if *allocBaselinePath != "" {
+			f, err := os.Open(*allocBaselinePath)
+			if err != nil {
+				return nil, err
+			}
+			base, err := doctor.ReadAllocBaseline(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			rep.Checks = append(rep.Checks, "alloc-regression")
+			rep.Findings = append(rep.Findings, doctor.CompareAlloc(cur, base, th)...)
+		}
+	}
 
 	if *benchPath != "" {
 		bf, err := readBench(*benchPath)
@@ -223,6 +284,32 @@ func openArg(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
+func readRuntimeFile(path string) ([]obs.RuntimeStats, error) {
+	r, err := openArg(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	samples, err := doctor.ReadRuntimeSamples(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse runtime samples %s: %w", path, err)
+	}
+	return samples, nil
+}
+
+func readAllocFile(path string) (map[string]doctor.BenchAlloc, error) {
+	r, err := openArg(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	cur, err := doctor.ParseBenchOutput(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse bench output %s: %w", path, err)
+	}
+	return cur, nil
+}
+
 func readBench(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -260,6 +347,7 @@ func followLive(base string, interval, dur time.Duration, settle int, th doctor.
 		deadline = time.Now().Add(dur)
 	}
 	var last []obs.JournalRecord
+	var rtSamples []obs.RuntimeStats
 	connected, failures := false, 0
 	for {
 		recs, err := fetchJournal(client, base)
@@ -269,6 +357,11 @@ func followLive(base string, interval, dur time.Duration, settle int, th doctor.
 			last = recs
 			if err := emit(follower.Ingest(recs)); err != nil {
 				return nil, err
+			}
+			// Sample the runtime alongside the journal; older servers
+			// without /debug/runtime just skip the GC-pressure series.
+			if st, err := fetchRuntime(client, base); err == nil {
+				rtSamples = append(rtSamples, st)
 			}
 		case connected:
 			// The endpoint answered before and stopped: the run is over.
@@ -292,7 +385,14 @@ done:
 	if err := emit(follower.Close(last)); err != nil {
 		return nil, err
 	}
-	rep := &doctor.Report{Frames: follower.Frames(), Checks: follower.Checks(), Findings: findings}
+	checks := follower.Checks()
+	if len(rtSamples) > 0 {
+		checks = append(checks, "gc-pressure")
+		if err := emit(doctor.AnalyzeRuntime(rtSamples, th)); err != nil {
+			return nil, err
+		}
+	}
+	rep := &doctor.Report{Frames: follower.Frames(), Checks: checks, Findings: findings}
 	fmt.Fprintf(os.Stderr, "divedoctor: followed %d journal frames, %d finding(s)\n",
 		rep.Frames, len(rep.Findings))
 	return rep, nil
@@ -309,6 +409,19 @@ func fetchJournal(client *http.Client, base string) ([]obs.JournalRecord, error)
 		return nil, fmt.Errorf("parse %s/debug/journal: %w", base, err)
 	}
 	return recs, nil
+}
+
+func fetchRuntime(client *http.Client, base string) (obs.RuntimeStats, error) {
+	rr, err := fetch(client, base+"/debug/runtime")
+	if err != nil {
+		return obs.RuntimeStats{}, err
+	}
+	defer rr.Close()
+	var st obs.RuntimeStats
+	if err := json.NewDecoder(rr).Decode(&st); err != nil {
+		return obs.RuntimeStats{}, fmt.Errorf("parse %s/debug/runtime: %w", base, err)
+	}
+	return st, nil
 }
 
 // fetchLive pulls the journal and spans from a running agent's telemetry

@@ -143,3 +143,58 @@ func TestRunRejectsEmptyInvocation(t *testing.T) {
 		t.Fatal("no-input invocation did not error")
 	}
 }
+
+// TestRunAllocGate drives the -alloc/-alloc-baseline path end to end: write
+// a baseline from one bench output, then gate a regressed output against it.
+func TestRunAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	bad := filepath.Join(dir, "bad.txt")
+	baseline := filepath.Join(dir, "alloc_baseline.json")
+	os.WriteFile(good, []byte(
+		"BenchmarkEncodeSteadyState-8 100 6000000 ns/op 0 B/op 0 allocs/op\n"), 0o644)
+	os.WriteFile(bad, []byte(
+		"BenchmarkEncodeSteadyState-8 100 6000000 ns/op 4096 B/op 7 allocs/op\n"), 0o644)
+
+	var out bytes.Buffer
+	if _, err := run([]string{"-alloc", good, "-write-alloc-baseline", baseline}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	rep, err := run([]string{"-alloc", good, "-alloc-baseline", baseline}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("clean bench output flagged: %s", out.String())
+	}
+	out.Reset()
+	rep, err = run([]string{"-alloc", bad, "-alloc-baseline", baseline}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() || !strings.Contains(out.String(), "alloc-regression") {
+		t.Fatalf("regressed bench output diagnosed healthy:\n%s", out.String())
+	}
+}
+
+// TestRunRuntimeFile diagnoses GC pressure from a runtime-snapshot JSONL.
+func TestRunRuntimeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runtime.jsonl")
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		st := obs.RuntimeStats{HeapLiveBytes: uint64(10e6 + float64(i)*4e6), GCPauseP99Sec: 0.0003}
+		data, _ := json.Marshal(st)
+		buf.Write(append(data, '\n'))
+	}
+	os.WriteFile(path, buf.Bytes(), 0o644)
+	var out bytes.Buffer
+	rep, err := run([]string{"-runtime", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() || !strings.Contains(out.String(), "gc-heap-growth") {
+		t.Fatalf("heap ramp diagnosed healthy:\n%s", out.String())
+	}
+}

@@ -152,3 +152,35 @@ func BenchmarkDeblockFrame(b *testing.B) {
 		deblockFrame(p, qps, 320/MBSize)
 	}
 }
+
+// steadyStateBench drives a serial streaming encode loop for -benchmem
+// inspection; reuse selects the pooled (ReuseFrames) configuration. The
+// pooled variant's allocs/op is pinned at 0 by TestEncodeSteadyStateZeroAlloc
+// and gated in CI via make bench-alloc.
+func steadyStateBench(b *testing.B, reuse bool) {
+	cfg := DefaultConfig(320, 192)
+	cfg.Workers = 1
+	cfg.GoPSize = 48
+	cfg.ReuseFrames = reuse
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f0, f1 := benchFrames()
+	frames := []*imgx.Plane{f0, f1}
+	for i := 0; i < 8; i++ {
+		if _, err := enc.Encode(frames[i%2], EncodeOptions{TargetBits: 150_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(frames[i%2], EncodeOptions{TargetBits: 150_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSteadyState(b *testing.B)      { steadyStateBench(b, true) }
+func BenchmarkEncodeSteadyStateFresh(b *testing.B) { steadyStateBench(b, false) }

@@ -16,40 +16,80 @@ import (
 	"fmt"
 )
 
-// BitWriter accumulates a bitstream MSB-first.
+// BitWriter accumulates a bitstream MSB-first. Bits are gathered in a
+// 64-bit accumulator and spilled to the byte buffer eight at a time, so
+// multi-bit symbols (the Exp-Golomb codes that dominate the bitstream) cost
+// a couple of shifts instead of one call per bit. The produced bytes are
+// identical to the historical bit-at-a-time writer.
 type BitWriter struct {
-	buf  []byte
-	cur  uint8
-	nCur int
+	buf []byte
+	// acc holds the nAcc most recently written bits in its low bits, oldest
+	// bit highest. flushAcc keeps nAcc < 8 between Write calls, so any
+	// n <= 56 fits in one accumulate step.
+	acc  uint64
+	nAcc int
+}
+
+// Reset truncates the writer to an empty stream, keeping the backing buffer
+// so a recycled writer reaches a grow-once steady state.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.acc, w.nAcc = 0, 0
+}
+
+// flushAcc spills whole bytes from the accumulator, restoring nAcc < 8.
+// Bits above position nAcc are garbage from earlier spills; byte() masks
+// them off because a spilled byte sits exactly at positions nAcc-8..nAcc-1.
+func (w *BitWriter) flushAcc() {
+	for w.nAcc >= 8 {
+		w.nAcc -= 8
+		w.buf = append(w.buf, byte(w.acc>>uint(w.nAcc)))
+	}
 }
 
 // WriteBit appends one bit.
 func (w *BitWriter) WriteBit(b int) {
-	w.cur = w.cur<<1 | uint8(b&1)
-	w.nCur++
-	if w.nCur == 8 {
-		w.buf = append(w.buf, w.cur)
-		w.cur, w.nCur = 0, 0
+	w.acc = w.acc<<1 | uint64(b&1)
+	w.nAcc++
+	if w.nAcc >= 8 {
+		w.flushAcc()
 	}
 }
 
-// WriteBits appends the low n bits of v, most significant first. n may be 0.
+// WriteBits appends the low n bits of v, most significant first. n may be
+// 0; n up to 64 is supported.
 func (w *BitWriter) WriteBits(v uint64, n int) {
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(int(v >> uint(i) & 1))
+	if n <= 0 {
+		return
+	}
+	if n > 56 {
+		// Split off the high n-32 bits so each chunk fits the accumulator
+		// headroom (nAcc < 8 after every call, so 56 more bits always fit).
+		w.WriteBits(v>>32, n-32)
+		n = 32
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	w.acc = w.acc<<uint(n) | v
+	w.nAcc += n
+	if w.nAcc >= 8 {
+		w.flushAcc()
 	}
 }
 
 // Len returns the number of bits written so far.
-func (w *BitWriter) Len() int { return len(w.buf)*8 + w.nCur }
+func (w *BitWriter) Len() int { return len(w.buf)*8 + w.nAcc }
 
 // Bytes flushes the writer (zero-padding the final partial byte) and
 // returns the bitstream. The writer remains usable; further writes append
-// after the padding, so call Bytes only once per stream.
+// after the padding, so call Bytes only once per stream. The returned slice
+// aliases the writer's backing buffer: it stays valid until the writer is
+// Reset and rewritten.
 func (w *BitWriter) Bytes() []byte {
-	if w.nCur > 0 {
-		w.buf = append(w.buf, w.cur<<uint(8-w.nCur))
-		w.cur, w.nCur = 0, 0
+	if w.nAcc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<uint(8-w.nAcc)))
+		w.acc, w.nAcc = 0, 0
 	}
 	return w.buf
 }

@@ -1,7 +1,9 @@
 package codec
 
 import (
+	"bytes"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -139,5 +141,132 @@ func TestZigzagIsPermutation(t *testing.T) {
 	}
 	if zigzag8[1] != 1 || zigzag8[2] != 8 {
 		t.Errorf("zigzag start = %v", zigzag8[:4])
+	}
+}
+
+// refBitWriter is the historical bit-at-a-time writer, kept as the oracle
+// for the accumulator-based fast path.
+type refBitWriter struct {
+	buf  []byte
+	cur  uint8
+	nCur int
+}
+
+func (w *refBitWriter) writeBit(b int) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+func (w *refBitWriter) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(int(v >> uint(i) & 1))
+	}
+}
+
+func (w *refBitWriter) lenBits() int { return len(w.buf)*8 + w.nCur }
+
+func (w *refBitWriter) bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<uint(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// TestBitWriterMatchesReference drives the buffered multi-bit writer and the
+// bit-at-a-time reference through the same randomized operation stream —
+// single bits, fields of every width up to 64, and Exp-Golomb codes up to
+// the 65-bit maximum — and requires identical lengths and bytes.
+func TestBitWriterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var got BitWriter
+		var want refBitWriter
+		for op := 0; op < 100; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				b := rng.Intn(2)
+				got.WriteBit(b)
+				want.writeBit(b)
+			case 1:
+				n := rng.Intn(65) // 0..64
+				v := rng.Uint64()
+				got.WriteBits(v, n)
+				want.writeBits(v, n)
+			case 2:
+				v := uint32(rng.Uint64()) // includes MaxUint32 region
+				got.WriteUE(v)
+				x := uint64(v) + 1
+				n := bitLen64(x)
+				want.writeBits(0, n-1)
+				want.writeBits(x, n)
+			case 3:
+				v := int32(rng.Uint64())
+				got.WriteSE(v)
+				x := uint64(seToUE(v)) + 1
+				n := bitLen64(x)
+				want.writeBits(0, n-1)
+				want.writeBits(x, n)
+			}
+			if got.Len() != want.lenBits() {
+				t.Fatalf("trial %d op %d: Len = %d, reference %d", trial, op, got.Len(), want.lenBits())
+			}
+		}
+		if !bytes.Equal(got.Bytes(), want.bytes()) {
+			t.Fatalf("trial %d: bytes differ from reference", trial)
+		}
+	}
+}
+
+// TestBitWriterUEMax covers the widest code path: WriteUE(MaxUint32) is a
+// 65-bit symbol, exercising the accumulator split.
+func TestBitWriterUEMax(t *testing.T) {
+	var w BitWriter
+	w.WriteUE(math.MaxUint32)
+	if w.Len() != 65 {
+		t.Fatalf("WriteUE(MaxUint32) wrote %d bits, want 65", w.Len())
+	}
+	r := NewBitReader(w.Bytes())
+	v, err := r.ReadUE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != math.MaxUint32 {
+		t.Fatalf("round trip = %d, want MaxUint32", v)
+	}
+}
+
+// TestBitWriterReset pins the grow-once contract: a Reset writer keeps its
+// backing capacity and produces byte-identical output without reallocating.
+func TestBitWriterReset(t *testing.T) {
+	var w BitWriter
+	write := func() []byte {
+		for i := 0; i < 300; i++ {
+			w.WriteUE(uint32(i * 7))
+			w.WriteBit(i & 1)
+		}
+		return append([]byte(nil), w.Bytes()...)
+	}
+	first := write()
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		w.Reset()
+		write()
+	})
+	// write() itself copies the output for comparison (1 alloc) but the
+	// writer must not grow again.
+	if allocs > 1 {
+		t.Errorf("rewrite after Reset: %.1f allocs, want <= 1 (grow-once)", allocs)
+	}
+	w.Reset()
+	if second := write(); !bytes.Equal(first, second) {
+		t.Error("Reset writer produced different bytes")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"dive/internal/imgx"
 	"dive/internal/obs"
 	"dive/internal/parallel"
+	"dive/internal/pool"
 )
 
 // FrameType distinguishes intra-coded from predicted frames.
@@ -60,6 +61,17 @@ type Config struct {
 	// probes. 0 sizes to GOMAXPROCS, 1 forces the serial path. The output
 	// bitstream is bit-exact identical for every value.
 	Workers int
+	// ReuseFrames recycles each frame's hand-out storage — the EncodedFrame
+	// struct and its QPs and Data slices — through the encoder's job free
+	// list instead of allocating fresh copies per frame. With it set the
+	// steady-state encode loop allocates nothing, but a returned frame (and
+	// its QPs/Data) is only valid until the job cycles back: callers must
+	// finish with (or copy) a frame before the encoder has analyzed
+	// jobFreeCap further frames — in practice, consume each frame before the
+	// next pipeline batch. Off by default because callers that retain frames
+	// across encodes (tests, offline collectors) would observe overwrites.
+	// The emitted bits are byte-identical either way.
+	ReuseFrames bool
 }
 
 // DefaultConfig returns sensible defaults for a frame size.
@@ -169,7 +181,22 @@ type Encoder struct {
 	mbw, mbh int
 	pool     *parallel.Pool
 	ref      *imgx.Plane // reconstructed previous frame
-	refQPs   []int       // per-MB QP the reference was coded with
+	// prevRef lags one frame behind ref before a retired reference plane is
+	// released to recons, so Reconstructed() callers keep a stable plane
+	// through the whole next analyze (see Reconstructed).
+	prevRef *imgx.Plane
+	// recons recycles reconstruction planes: each AnalyzeAndQuantize takes
+	// one and retires one, so the steady state circulates three planes
+	// (ref, prevRef, in-build) with no allocation.
+	recons *pool.Planes
+	// trials recycles rate-control trial scratch (countPass); sized to the
+	// pool width because speculative probes run concurrently.
+	trials *pool.Freelist[trialScratch]
+	// refQPs is the per-MB QP the reference was coded with — an
+	// encoder-owned copy (the authoritative array lives in the frame's job,
+	// whose storage recycles on a pipeline goroutine; the copy keeps the
+	// skip-threshold reads of the next analyze off that storage).
+	refQPs   []int
 	frameIdx int
 	// analyzed/analyzedSeq identify the frame for which `motion` is valid:
 	// pointer identity plus the plane's content generation counter, so a
@@ -191,6 +218,20 @@ type Encoder struct {
 	// (which may run on a pipeline goroutine) and the next
 	// AnalyzeAndQuantize; the channel provides the happens-before edge.
 	jobFree chan *FrameJob
+	// searchFn/dctFn are the per-frame parallel-region bodies, built once at
+	// construction over encoder fields (searchFrame/searchMF, dctFrame/
+	// dctMF) instead of closing over loop-local values: a closure handed to
+	// Pool.ForEach/Wavefront escapes (the pool may run it on spawned
+	// goroutines), so a fresh closure per frame would be a steady-state heap
+	// allocation. The fields are written only by the analyze goroutine
+	// before the region runs and the region's completion is a barrier, so
+	// reuse is race-free.
+	searchFn    func(bx, by int)
+	searchFrame *imgx.Plane
+	searchMF    *MotionField
+	dctFn       func(i int)
+	dctFrame    *imgx.Plane
+	dctMF       *MotionField
 }
 
 // NewEncoder validates cfg and creates an encoder.
@@ -204,34 +245,47 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	if cfg.Method < MEDia || cfg.Method > MEEsa {
 		return nil, fmt.Errorf("codec: unknown motion estimation method %d", cfg.Method)
 	}
-	return &Encoder{
+	p := parallel.New(cfg.Workers)
+	e := &Encoder{
 		cfg: cfg, mbw: cfg.Width / MBSize, mbh: cfg.Height / MBSize,
-		pool:    parallel.New(cfg.Workers),
+		pool:    p,
+		recons:  pool.NewPlanes(cfg.Width, cfg.Height, 2),
+		trials:  pool.NewFreelist[trialScratch](p.Workers()),
 		jobFree: make(chan *FrameJob, jobFreeCap),
-	}, nil
+	}
+	e.searchFn = func(bx, by int) { e.searchMB(e.searchFrame, e.searchMF, bx, by) }
+	e.dctFn = func(i int) { e.dctMB(i) }
+	return e, nil
 }
 
 // MBDims returns the macroblock grid size.
 func (e *Encoder) MBDims() (int, int) { return e.mbw, e.mbh }
 
 // Reconstructed returns the encoder's reconstruction of the last encoded
-// frame — bit-exact with what the decoder produces.
+// frame — bit-exact with what the decoder produces. The plane's backing
+// storage is recycled: it stays intact through the whole next
+// AnalyzeAndQuantize/Encode but may be overwritten by the second one;
+// consumers that need it longer must copy it.
 func (e *Encoder) Reconstructed() *imgx.Plane { return e.ref }
 
 // predictMV returns the median-of-neighbors MV predictor for macroblock
 // (bx, by), identical in encoder and decoder.
 func predictMV(mvs []MV, mbw, bx, by int) MV {
-	var cands []MV
+	var cands [3]MV
+	n := 0
 	if bx > 0 {
-		cands = append(cands, mvs[by*mbw+bx-1])
+		cands[n] = mvs[by*mbw+bx-1]
+		n++
 	}
 	if by > 0 {
-		cands = append(cands, mvs[(by-1)*mbw+bx])
+		cands[n] = mvs[(by-1)*mbw+bx]
+		n++
 		if bx < mbw-1 {
-			cands = append(cands, mvs[(by-1)*mbw+bx+1])
+			cands[n] = mvs[(by-1)*mbw+bx+1]
+			n++
 		}
 	}
-	switch len(cands) {
+	switch n {
 	case 0:
 		return MV{}
 	case 1:
@@ -300,9 +354,9 @@ func (e *Encoder) AnalyzeMotion(frame *imgx.Plane) *MotionField {
 		scale = 2
 	}
 	mf := e.nextMotionField(scale)
-	e.pool.Wavefront(e.mbw, e.mbh, func(bx, by int) {
-		e.searchMB(frame, mf, bx, by)
-	})
+	e.searchFrame, e.searchMF = frame, mf
+	e.pool.Wavefront(e.mbw, e.mbh, e.searchFn)
+	e.searchFrame, e.searchMF = nil, nil
 	e.analyzed = frame
 	e.analyzedSeq = frame.Seq()
 	e.motion = mf
@@ -426,9 +480,16 @@ func (e *Encoder) prefetchRCProbes(frame *imgx.Plane, ftype FrameType, mf *Motio
 		}
 		level = next
 	}
+	// The region body writes a separate results slice, never memo: a
+	// closure capturing memo would force it onto the heap at every call,
+	// including the serial early-return above that probes nothing.
+	results := make([]int, len(qps))
 	e.pool.ForEach(len(qps), func(k int) {
-		memo[qps[k]] = e.encodePass(frame, ftype, mf, dctCache, qps[k], offsets, false).bits
+		results[k] = e.countPass(frame, ftype, mf, dctCache, qps[k], offsets)
 	})
+	for k, qp := range qps {
+		memo[qp] = results[k]
+	}
 	return memo, len(qps)
 }
 
@@ -448,6 +509,11 @@ type passResult struct {
 // but skips inter-macroblock reconstruction and loop filtering (intra
 // macroblocks still reconstruct, because intra prediction is causal in the
 // reconstruction).
+//
+// Production no longer calls this: phase one quantizes via quantizePass and
+// rate-control trials count bits via countPass. It survives as the
+// single-pass reference implementation the equivalence tests compare
+// against (legacyEncode), so the pooled paths stay pinned to it.
 func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, final bool) *passResult {
 	w := &BitWriter{}
 	// A P-frame trial pass never reconstructs (skip MBs compensate only
@@ -551,29 +617,36 @@ func (e *Encoder) buildInterDCTCache(frame *imgx.Plane, mf *MotionField) [][bloc
 		e.dctScratch = make([][blockSize * blockSize]float64, n)
 	}
 	cache := e.dctScratch[:n]
-	e.pool.ForEach(e.mbw*e.mbh, func(i int) {
-		if mf.Modes[i] != ModeInter {
-			return
-		}
-		var res [blockSize * blockSize]float64
-		bx, by := i%e.mbw, i/e.mbw
-		px, py := bx*MBSize, by*MBSize
-		mv := mf.MVs[i]
-		blk := 0
-		for oy := 0; oy < MBSize; oy += blockSize {
-			for ox := 0; ox < MBSize; ox += blockSize {
-				for y := 0; y < blockSize; y++ {
-					for x := 0; x < blockSize; x++ {
-						cx, cy := px+ox+x, py+oy+y
-						res[y*blockSize+x] = float64(frame.At(cx, cy)) - refSample(e.ref, cx, cy, mv, e.cfg.SubPel)
-					}
-				}
-				fdct8(&res, &cache[i*4+blk])
-				blk++
-			}
-		}
-	})
+	e.dctFrame, e.dctMF = frame, mf
+	e.pool.ForEach(e.mbw*e.mbh, e.dctFn)
+	e.dctFrame, e.dctMF = nil, nil
 	return cache
+}
+
+// dctMB is the buildInterDCTCache region body for macroblock i, reading its
+// inputs from the encoder's dctFrame/dctMF fields (see searchFn).
+func (e *Encoder) dctMB(i int) {
+	frame, mf := e.dctFrame, e.dctMF
+	if mf.Modes[i] != ModeInter {
+		return
+	}
+	var res [blockSize * blockSize]float64
+	bx, by := i%e.mbw, i/e.mbw
+	px, py := bx*MBSize, by*MBSize
+	mv := mf.MVs[i]
+	blk := 0
+	for oy := 0; oy < MBSize; oy += blockSize {
+		for ox := 0; ox < MBSize; ox += blockSize {
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					cx, cy := px+ox+x, py+oy+y
+					res[y*blockSize+x] = float64(frame.At(cx, cy)) - refSample(e.ref, cx, cy, mv, e.cfg.SubPel)
+				}
+			}
+			fdct8(&res, &e.dctScratch[i*4+blk])
+			blk++
+		}
+	}
 }
 
 // encodeInterMB quantizes and entropy-codes one inter macroblock from its

@@ -1,15 +1,18 @@
 package codec
 
+import "math/bits"
+
 // Exp-Golomb codes, the universal integer codes H.264 uses for syntax
 // elements. ue codes non-negative integers; se maps signed integers onto ue
 // with the standard zigzag (0, 1, -1, 2, -2, ...).
 
-// WriteUE appends the unsigned Exp-Golomb code of v.
+// WriteUE appends the unsigned Exp-Golomb code of v. The code is n-1 zeros
+// followed by the n bits of v+1 (whose top bit is 1), which is exactly v+1
+// written in a 2n-1 bit field — one WriteBits call.
 func (w *BitWriter) WriteUE(v uint32) {
 	x := uint64(v) + 1
 	n := bitLen64(x)
-	w.WriteBits(0, n-1) // n-1 leading zeros
-	w.WriteBits(x, n)
+	w.WriteBits(x, 2*n-1)
 }
 
 // WriteSE appends the signed Exp-Golomb code of v.
@@ -63,11 +66,4 @@ func ueToSE(u uint32) int32 {
 	return -int32(u) / 2
 }
 
-func bitLen64(x uint64) int {
-	n := 0
-	for x > 0 {
-		n++
-		x >>= 1
-	}
-	return n
-}
+func bitLen64(x uint64) int { return bits.Len64(x) }

@@ -49,6 +49,19 @@ type FrameJob struct {
 	mvs        []MV
 	intraModes []uint8
 	levels     []int32
+	// qps is the per-MB QP array the job's frame hands out. It lives in the
+	// job — not the encoder — because EmitBitstream reads it on the
+	// pipeline's emit goroutine while the encoder is quantizing later
+	// frames; the job free list's channel is the happens-before edge that
+	// makes the recycling safe. The encoder keeps its own copy (refQPs) for
+	// next-frame skip thresholds.
+	qps []int
+	// frame and bw are the hand-out storage recycled in ReuseFrames mode:
+	// the EncodedFrame the caller receives and the bitstream writer whose
+	// backing buffer becomes Data. bw reaches a grow-once steady state via
+	// Reset. Without ReuseFrames, EmitBitstream copies out of them instead.
+	frame EncodedFrame
+	bw    BitWriter
 }
 
 // block returns the levels of transform block blk (0..3) of macroblock i.
@@ -77,6 +90,7 @@ func (e *Encoder) getJob() *FrameJob {
 		mvs:        make([]MV, n),
 		intraModes: make([]uint8, n*4),
 		levels:     make([]int32, n*4*blockSize*blockSize),
+		qps:        make([]int, n),
 	}
 }
 
@@ -149,7 +163,7 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 			bits := memo[mid]
 			speculative := bits >= 0
 			if bits < 0 {
-				bits = e.encodePass(frame, ftype, mf, dctCache, mid, opts.QPOffsets, false).bits
+				bits = e.countPass(frame, ftype, mf, dctCache, mid, opts.QPOffsets)
 				trials++
 			}
 			if e.cfg.Obs != nil {
@@ -166,16 +180,37 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 	}
 	job := e.getJob()
 	job.enc = e
-	qps, nbits := e.quantizePass(frame, ftype, mf, dctCache, baseQP, opts.QPOffsets, job)
+	nbits := e.quantizePass(frame, ftype, mf, dctCache, baseQP, opts.QPOffsets, job)
 	entropyTimer.Stop()
 
+	// Advance the reference with a one-frame release lag: the retired plane
+	// parks in prevRef through the next analyze (Reconstructed contract)
+	// before recycling into the plane pool.
+	old := e.ref
 	e.ref = job.recon
-	e.refQPs = qps
+	e.recons.Put(e.prevRef)
+	e.prevRef = old
+	// refQPs is a copy, not an alias: job.qps storage is read by the emit
+	// goroutine and recycled with the job, while refQPs feeds the next
+	// frame's skip thresholds on the analyze goroutine.
+	if e.refQPs == nil {
+		e.refQPs = make([]int, e.mbw*e.mbh)
+	}
+	copy(e.refQPs, job.qps)
 	e.analyzed, e.motion = nil, nil
 	idx := e.frameIdx
 	e.frameIdx++
 
-	job.Frame = &EncodedFrame{
+	// Hand-out storage: recycled through the job in ReuseFrames mode,
+	// freshly copied otherwise (so callers may retain frames indefinitely).
+	qps := job.qps
+	if e.cfg.ReuseFrames {
+		job.Frame = &job.frame
+	} else {
+		job.Frame = &EncodedFrame{}
+		qps = append([]int(nil), job.qps...)
+	}
+	*job.Frame = EncodedFrame{
 		Type: ftype, Index: idx, BaseQP: baseQP,
 		MBW: e.mbw, MBH: e.mbh,
 		Motion: mf, QPs: qps,
@@ -189,12 +224,15 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 // makes the identical mode decisions and produces the identical
 // reconstruction and per-MB QPs, but records quantized levels (and intra
 // modes) into the job instead of entropy-coding them, counting the exact
-// bits each write would produce. It returns the per-MB QPs and the total bit
-// count, which EmitBitstream later verifies against the real writer.
-func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, job *FrameJob) ([]int, int) {
-	recon := imgx.NewPlane(e.cfg.Width, e.cfg.Height)
+// bits each write would produce. It fills job.qps and returns the total bit
+// count, which EmitBitstream later verifies against the real writer. The
+// recon plane comes recycled from the plane pool: every pixel is written in
+// raster order before any read (skip/inter compensation and causal intra
+// prediction both are), so stale content is never observed.
+func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, job *FrameJob) int {
+	recon := e.recons.Get()
 	job.recon = recon
-	qps := make([]int, e.mbw*e.mbh)
+	qps := job.qps
 
 	bits := ueBits(uint32(ftype)) + ueBits(uint32(baseQP)) +
 		ueBits(uint32(e.mbw)) + ueBits(uint32(e.mbh)) + 2 // subpel + deblock flags
@@ -242,7 +280,7 @@ func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionFie
 	if e.cfg.Deblock {
 		deblockFrame(recon, qps, e.mbw)
 	}
-	return qps, bits
+	return bits
 }
 
 // quantizeInterMB quantizes one inter macroblock from its cached DCT blocks
@@ -328,7 +366,11 @@ func (e *Encoder) EmitBitstream(job *FrameJob) (*EncodedFrame, error) {
 	defer emitTimer.Stop()
 
 	ef := job.Frame
-	w := &BitWriter{}
+	// The writer (and its grow-once backing buffer) is job-owned: the job
+	// free list's channel hand-off orders this goroutine's writes before the
+	// next analyze reuses the storage.
+	w := &job.bw
+	w.Reset()
 	w.WriteUE(uint32(ef.Type))
 	w.WriteUE(uint32(ef.BaseQP))
 	w.WriteUE(uint32(e.mbw))
@@ -374,7 +416,11 @@ func (e *Encoder) EmitBitstream(job *FrameJob) (*EncodedFrame, error) {
 	if w.Len() != ef.NumBits {
 		return nil, fmt.Errorf("codec: emitted %d bits for frame %d, phase one counted %d", w.Len(), ef.Index, ef.NumBits)
 	}
-	ef.Data = w.Bytes()
+	if e.cfg.ReuseFrames {
+		ef.Data = w.Bytes() // aliases job.bw's buffer until the job cycles back
+	} else {
+		ef.Data = append([]byte(nil), w.Bytes()...)
+	}
 	e.putJob(job)
 	return ef, nil
 }

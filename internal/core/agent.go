@@ -141,6 +141,10 @@ type Agent struct {
 	// under; both are read at encode time on the analysis stage.
 	degrade Degradation
 	health  float64
+	// qpOffsets is the recycled per-frame QP offset map handed to the
+	// encoder. Owned by the analysis stage; the codec never retains it past
+	// AnalyzeAndQuantize, so one buffer serves every frame.
+	qpOffsets []int
 
 	// Per-session labeled counter children, resolved once at construction
 	// (nil — hence no-op — without a recorder or a configured Session).

@@ -81,7 +81,19 @@ func (c AVEConfig) Delta(foregroundFrac float64) int {
 // flat map of delta/2 (no foreground knowledge: encode uniformly but do
 // not spend foreground-grade bits everywhere).
 func BuildQPOffsets(mask []bool, numMBs, delta int) []int {
-	offsets := make([]int, numMBs)
+	return BuildQPOffsetsInto(nil, mask, numMBs, delta)
+}
+
+// BuildQPOffsetsInto is BuildQPOffsets writing into a caller-recycled slice:
+// dst's backing array is reused when large enough, so the agent's per-frame
+// encode prep allocates nothing in steady state. Safe because the codec
+// never retains the offsets map past AnalyzeAndQuantize. Returns the map.
+func BuildQPOffsetsInto(dst []int, mask []bool, numMBs, delta int) []int {
+	offsets := dst
+	if cap(offsets) < numMBs {
+		offsets = make([]int, numMBs)
+	}
+	offsets = offsets[:numMBs]
 	if mask == nil {
 		for i := range offsets {
 			offsets[i] = delta / 2
@@ -91,6 +103,8 @@ func BuildQPOffsets(mask []bool, numMBs, delta int) []int {
 	for i := range offsets {
 		if !mask[i] {
 			offsets[i] = delta
+		} else {
+			offsets[i] = 0
 		}
 	}
 	return offsets

@@ -135,7 +135,8 @@ func (a *Agent) analyzeFrame(frame *imgx.Plane, now float64, ctx obs.TraceContex
 	p.frac = frac
 	res.Delta = a.cfg.AVE.Delta(frac)
 	mbw, mbh := a.enc.MBDims()
-	offsets := BuildQPOffsets(mask, mbw*mbh, res.Delta)
+	a.qpOffsets = BuildQPOffsetsInto(a.qpOffsets, mask, mbw*mbh, res.Delta)
+	offsets := a.qpOffsets
 
 	opts := codec.EncodeOptions{QPOffsets: offsets, ForceIFrame: a.forceI, MinQP: a.degrade.QPFloor}
 	if a.cfg.CRF {

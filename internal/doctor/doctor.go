@@ -86,23 +86,42 @@ type Thresholds struct {
 	// the degradation ladder may take to return to the healthy rung before
 	// recovery is diagnosed as slow (or stuck).
 	LadderRecoverFrames int
+	// HeapGrowthRatio flags GC pressure when the live heap grew by more than
+	// this factor across a runtime-snapshot series of at least
+	// HeapGrowthMinSamples samples with at least HeapGrowthFrac of the steps
+	// increasing (sustained ramp, not a single burst).
+	HeapGrowthRatio      float64
+	HeapGrowthMinSamples int
+	HeapGrowthFrac       float64
+	// GCPauseP99CeilSec flags any runtime snapshot whose GC pause p99
+	// exceeds it.
+	GCPauseP99CeilSec float64
+	// AllocBytesSlack is the multiplicative headroom CompareAlloc grants
+	// B/op over the committed baseline before failing (allocs/op gets none:
+	// it is deterministic after warm-up).
+	AllocBytesSlack float64
 }
 
 // DefaultThresholds returns the tuned defaults.
 func DefaultThresholds() Thresholds {
 	return Thresholds{
-		QPSwing:             6,
-		QPAlternations:      4,
-		BWBiasRatio:         1.5,
-		BWMinAcked:          16,
-		FGCollapseRun:       5,
-		OutageRun:           6,
-		LatencyP95Ratio:     1.5,
-		StageShareGrowth:    1.6,
-		StormAttempts:       6,
-		StormWindowFrames:   12,
-		MinMeanBackoffSec:   0.02,
-		LadderRecoverFrames: 24,
+		QPSwing:              6,
+		QPAlternations:       4,
+		BWBiasRatio:          1.5,
+		BWMinAcked:           16,
+		FGCollapseRun:        5,
+		OutageRun:            6,
+		LatencyP95Ratio:      1.5,
+		StageShareGrowth:     1.6,
+		StormAttempts:        6,
+		StormWindowFrames:    12,
+		MinMeanBackoffSec:    0.02,
+		LadderRecoverFrames:  24,
+		HeapGrowthRatio:      2.0,
+		HeapGrowthMinSamples: 6,
+		HeapGrowthFrac:       0.7,
+		GCPauseP99CeilSec:    0.05,
+		AllocBytesSlack:      1.25,
 	}
 }
 
@@ -143,6 +162,21 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.LadderRecoverFrames <= 0 {
 		t.LadderRecoverFrames = d.LadderRecoverFrames
+	}
+	if t.HeapGrowthRatio <= 0 {
+		t.HeapGrowthRatio = d.HeapGrowthRatio
+	}
+	if t.HeapGrowthMinSamples <= 0 {
+		t.HeapGrowthMinSamples = d.HeapGrowthMinSamples
+	}
+	if t.HeapGrowthFrac <= 0 {
+		t.HeapGrowthFrac = d.HeapGrowthFrac
+	}
+	if t.GCPauseP99CeilSec <= 0 {
+		t.GCPauseP99CeilSec = d.GCPauseP99CeilSec
+	}
+	if t.AllocBytesSlack <= 0 {
+		t.AllocBytesSlack = d.AllocBytesSlack
 	}
 	return t
 }

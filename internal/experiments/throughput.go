@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"dive/internal/codec"
+	"dive/internal/obs"
+	"dive/internal/world"
+)
+
+// ThroughputRun is one timed streaming-encode run: an encoder kept hot for a
+// wall-clock budget, fed the clip's frames in a cycle, with the Go heap
+// observed through runtime/metrics deltas. AllocsPerFrame is the number the
+// allocation-free steady-state work is graded against: the pooled encoder
+// should hold it at (or within rounding of) zero.
+type ThroughputRun struct {
+	Frames     int     `json:"frames"`
+	Secs       float64 `json:"secs"`
+	FPS        float64 `json:"fps"`
+	FPSPerCore float64 `json:"fps_per_core"`
+	// AllocsPerFrame / AllocBytesPerFrame are heap allocation deltas over
+	// the run divided by frames encoded (cumulative /gc/heap/allocs deltas,
+	// so they include everything the loop touched, not just the encoder).
+	AllocsPerFrame     float64 `json:"allocs_per_frame"`
+	AllocBytesPerFrame float64 `json:"alloc_bytes_per_frame"`
+	// GCCycles is how many collections ran during the window.
+	GCCycles uint32 `json:"gc_cycles"`
+	// Runtime is the runtime snapshot at the end of the run (live heap,
+	// GC pause p99, goroutines).
+	Runtime obs.RuntimeStats `json:"runtime"`
+}
+
+// ThroughputResult compares sustained streaming-encode throughput of the
+// default (fresh-allocating) encoder against the pooled steady-state path
+// (Config.ReuseFrames), both serial, on identical input. Bitstreams are
+// bit-exact between the two modes, so the FPS ratio isolates what buffer
+// reuse buys: fewer allocations, less GC co-tenancy, steadier frame times.
+type ThroughputResult struct {
+	Width, Height int           `json:"-"`
+	Fresh         ThroughputRun `json:"fresh"`
+	Pooled        ThroughputRun `json:"pooled"`
+	// PooledSpeedup is Pooled.FPS / Fresh.FPS.
+	PooledSpeedup float64 `json:"pooled_speedup"`
+}
+
+// streamEncode runs a streaming encode loop over the clip for at least the
+// given wall-clock duration (always completing whole frames) and reports the
+// measured run. reuse selects the pooled steady-state path. A handful of
+// warm-up frames run before the clock starts so pool fills and one-time
+// sizing do not count against the steady state.
+func streamEncode(clip *world.Clip, dur time.Duration, reuse bool) (ThroughputRun, error) {
+	cfg := codec.DefaultConfig(clip.W, clip.H)
+	cfg.Workers = 1
+	cfg.ReuseFrames = reuse
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		return ThroughputRun{}, err
+	}
+	opts := codec.EncodeOptions{TargetBits: 150_000}
+	n := len(clip.Frames)
+	// Warm-up: one full cycle (at least 8 frames) fills the pools and grows
+	// every buffer to its steady-state size.
+	warm := n
+	if warm < 8 {
+		warm = 8
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := enc.Encode(clip.Frames[i%n], opts); err != nil {
+			return ThroughputRun{}, err
+		}
+	}
+
+	before := obs.CollectRuntimeStats()
+	t0 := time.Now()
+	frames := 0
+	for time.Since(t0) < dur {
+		if _, err := enc.Encode(clip.Frames[frames%n], opts); err != nil {
+			return ThroughputRun{}, err
+		}
+		frames++
+	}
+	elapsed := time.Since(t0).Seconds()
+	after := obs.CollectRuntimeStats()
+
+	run := ThroughputRun{
+		Frames:   frames,
+		Secs:     elapsed,
+		GCCycles: after.NumGC - before.NumGC,
+		Runtime:  after,
+	}
+	if elapsed > 0 {
+		run.FPS = float64(frames) / elapsed
+		run.FPSPerCore = run.FPS / float64(runtime.GOMAXPROCS(0))
+	}
+	if frames > 0 {
+		run.AllocsPerFrame = float64(after.Mallocs-before.Mallocs) / float64(frames)
+		run.AllocBytesPerFrame = float64(after.TotalAllocBytes-before.TotalAllocBytes) / float64(frames)
+	}
+	return run, nil
+}
+
+// SustainedThroughput renders one RobotCar-flavored clip and streams it
+// through a serial encoder for secs wall-clock seconds twice — default
+// allocation behavior, then the pooled steady-state path — and reports
+// sustained frames/sec/core plus per-frame heap allocation rates for both.
+// divebench -throughput embeds the result in its -json output.
+func SustainedThroughput(scale Scale, seed int64, secs float64) (ThroughputResult, error) {
+	if secs <= 0 {
+		secs = 3
+	}
+	p := world.RobotCarLike()
+	_, dur := scale.params()
+	p.ClipDuration = dur
+	clip := world.GenerateClip(p, seed)
+	res := ThroughputResult{Width: clip.W, Height: clip.H}
+	budget := time.Duration(secs * float64(time.Second))
+	var err error
+	if res.Fresh, err = streamEncode(clip, budget, false); err != nil {
+		return res, err
+	}
+	if res.Pooled, err = streamEncode(clip, budget, true); err != nil {
+		return res, err
+	}
+	if res.Fresh.FPS > 0 {
+		res.PooledSpeedup = res.Pooled.FPS / res.Fresh.FPS
+	}
+	return res, nil
+}

@@ -42,13 +42,25 @@ const MaxTrustedSAD = 24 * codec.MBSize * codec.MBSize
 // the principal point in pixel coordinates; focal is in pixels. maxSAD <= 0
 // selects MaxTrustedSAD.
 func FromMotion(mf *codec.MotionField, focal, cx, cy float64, maxSAD int) *Field {
+	return FromMotionInto(nil, mf, focal, cx, cy, maxSAD)
+}
+
+// FromMotionInto is FromMotion writing into a caller-recycled field: dst's
+// Vectors backing array is reused when it is large enough, so a steady-state
+// analysis loop that cycles two fields allocates nothing. A nil dst (or one
+// with too-small capacity) allocates exactly like FromMotion. Returns dst.
+func FromMotionInto(dst *Field, mf *codec.MotionField, focal, cx, cy float64, maxSAD int) *Field {
 	if maxSAD <= 0 {
 		maxSAD = MaxTrustedSAD
 	}
-	f := &Field{
-		MBW: mf.MBW, MBH: mf.MBH, Focal: focal,
-		Vectors: make([]Vector, len(mf.MVs)),
+	if dst == nil {
+		dst = &Field{}
 	}
+	if cap(dst.Vectors) < len(mf.MVs) {
+		dst.Vectors = make([]Vector, len(mf.MVs))
+	}
+	dst.MBW, dst.MBH, dst.Focal = mf.MBW, mf.MBH, focal
+	dst.Vectors = dst.Vectors[:len(mf.MVs)]
 	scale := float64(mf.Scale)
 	if scale <= 0 {
 		scale = 1
@@ -64,9 +76,9 @@ func FromMotion(mf *codec.MotionField, focal, cx, cy float64, maxSAD int) *Field
 		}
 		v.Zero = mv.IsZero()
 		v.Valid = mf.SADs[i] <= maxSAD
-		f.Vectors[i] = v
+		dst.Vectors[i] = v
 	}
-	return f
+	return dst
 }
 
 // At returns the vector of macroblock (bx, by).
@@ -99,7 +111,23 @@ func (f *Field) Clone() *Field {
 // paper's Eq. (5) for the estimated per-frame rotations (radians) and
 // returns a corrected copy. phiX is pitch, phiY is yaw.
 func (f *Field) RemoveRotation(phiX, phiY float64) *Field {
-	g := f.Clone()
+	return f.RemoveRotationInto(nil, phiX, phiY)
+}
+
+// RemoveRotationInto is RemoveRotation writing the corrected copy into a
+// caller-recycled destination field (see FromMotionInto). dst must not alias
+// f. Returns dst.
+func (f *Field) RemoveRotationInto(dst *Field, phiX, phiY float64) *Field {
+	g := dst
+	if g == nil {
+		g = &Field{}
+	}
+	if cap(g.Vectors) < len(f.Vectors) {
+		g.Vectors = make([]Vector, len(f.Vectors))
+	}
+	g.MBW, g.MBH, g.Focal = f.MBW, f.MBH, f.Focal
+	g.Vectors = g.Vectors[:len(f.Vectors)]
+	copy(g.Vectors, f.Vectors)
 	fl := f.Focal
 	for i := range g.Vectors {
 		v := &g.Vectors[i]

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 )
@@ -37,6 +38,9 @@ func (r *Recorder) debugHandler(path string) http.Handler {
 //	/debug/journal recent per-frame decision-journal records as JSONL
 //	/debug/spans   recent frame-trace spans as JSONL
 //	/debug/slo     per-session SLO status with error-budget burn rates
+//	/debug/runtime point-in-time RuntimeStats JSON (live heap, GC pause p99,
+//	               cumulative allocation counters) — what divedoctor's
+//	               gc-pressure follower polls
 //	/debug/pprof/  the standard Go profiler endpoints
 //
 // plus anything mounted via RegisterDebug (diveserver and divetrace mount
@@ -62,7 +66,7 @@ func (r *Recorder) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("DiVE telemetry\n\n/metrics\n/debug/vars\n/debug/frames\n/debug/journal\n/debug/spans\n/debug/slo\n/debug/doctor\n/debug/pprof/\n"))
+		w.Write([]byte("DiVE telemetry\n\n/metrics\n/debug/vars\n/debug/frames\n/debug/journal\n/debug/spans\n/debug/slo\n/debug/runtime\n/debug/doctor\n/debug/pprof/\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		// Refresh SLO gauges so scraped burn rates reflect the window at
@@ -93,6 +97,16 @@ func (r *Recorder) Handler() http.Handler {
 		r.spans.WriteJSONL(w)
 	})
 	mux.Handle("/debug/slo", r.slo.Handler())
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, req *http.Request) {
+		st := r.UpdateRuntimeGauges()
+		data, err := json.Marshal(st)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

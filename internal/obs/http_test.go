@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"encoding/json"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -165,5 +166,33 @@ func TestDebugJournalEndpoint(t *testing.T) {
 	}
 	if len(got) != 1 || got[0].TraceID != 1 || len(got[0].RCTrials) != 1 {
 		t.Fatalf("journal round-trip mangled: %+v", got)
+	}
+}
+
+// TestDebugRuntimeEndpoint serves /debug/runtime and decodes the body as a
+// RuntimeStats snapshot — the path divedoctor's gc-pressure follower polls.
+func TestDebugRuntimeEndpoint(t *testing.T) {
+	rec := NewRecorder(8)
+	w := httptest.NewRecorder()
+	rec.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/runtime", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var st RuntimeStats
+	if err := json.NewDecoder(w.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.HeapLiveBytes == 0 || st.Goroutines == 0 || st.GOMAXPROCS == 0 {
+		t.Errorf("implausible runtime snapshot: %+v", st)
+	}
+	if st.TotalAllocBytes == 0 || st.Mallocs == 0 {
+		t.Errorf("cumulative allocation counters missing: %+v", st)
+	}
+	// Serving the endpoint also refreshes the runtime gauges.
+	if g := rec.Gauge(GaugeGoHeapLiveBytes).Value(); g <= 0 {
+		t.Errorf("heap gauge not refreshed: %v", g)
 	}
 }

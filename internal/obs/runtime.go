@@ -20,6 +20,8 @@ var runtimeSamples = []string{
 	"/sched/goroutines:goroutines",
 	"/sched/pauses/total/gc:seconds",
 	"/gc/pauses:seconds",
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
 }
 
 // RuntimeStats is a point-in-time snapshot of the Go runtime health signals.
@@ -32,6 +34,12 @@ type RuntimeStats struct {
 	Goroutines    int     `json:"goroutines"`
 	NumGC         uint32  `json:"num_gc"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
+	// TotalAllocBytes/Mallocs are the cumulative heap allocation totals
+	// since process start; deltas between two snapshots give the allocation
+	// rate of the interval — what the throughput benchmark and the doctor's
+	// gc-pressure detector reason about.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
 }
 
 // CollectRuntimeStats reads the runtime counters.
@@ -50,6 +58,10 @@ func CollectRuntimeStats() RuntimeStats {
 				st.HeapLiveBytes = s.Value.Uint64()
 			case "/sched/goroutines:goroutines":
 				st.Goroutines = int(s.Value.Uint64())
+			case "/gc/heap/allocs:bytes":
+				st.TotalAllocBytes = s.Value.Uint64()
+			case "/gc/heap/allocs:objects":
+				st.Mallocs = s.Value.Uint64()
 			}
 		case metrics.KindFloat64Histogram:
 			if st.GCPauseP99Sec == 0 {

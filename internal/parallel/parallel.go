@@ -181,8 +181,12 @@ func (p *Pool) WavefrontBatch(w, h, batch int, fn func(x, y int)) {
 		}
 		return
 	}
-	if batch < 1 {
-		batch = 1
+	// bsz is a read-only copy: reassigning the captured batch parameter
+	// would make the task closure capture it by reference, heap-boxing it at
+	// every call — including serial calls that return above.
+	bsz := batch
+	if bsz < 1 {
+		bsz = 1
 	}
 	maxD := (w - 1) + 2*(h-1)
 	for d := 0; d <= maxD; d++ {
@@ -198,10 +202,10 @@ func (p *Pool) WavefrontBatch(w, h, batch int, fn func(x, y int)) {
 			continue
 		}
 		cells := yHi - yLo + 1
-		tasks := (cells + batch - 1) / batch
+		tasks := (cells + bsz - 1) / bsz
 		p.ForEach(tasks, func(t int) {
-			lo := t * batch
-			hi := lo + batch
+			lo := t * bsz
+			hi := lo + bsz
 			if hi > cells {
 				hi = cells
 			}

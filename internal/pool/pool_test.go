@@ -1,0 +1,101 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+
+	"dive/internal/imgx"
+)
+
+func TestFreelistRoundTrip(t *testing.T) {
+	f := NewFreelist[int](2)
+	if got := f.Get(); got != nil {
+		t.Fatalf("empty list Get = %v, want nil", got)
+	}
+	a, b, c := new(int), new(int), new(int)
+	*a, *b, *c = 1, 2, 3
+	f.Put(a)
+	f.Put(b)
+	f.Put(c) // over capacity: dropped
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (capacity bound)", f.Len())
+	}
+	got1, got2 := f.Get(), f.Get()
+	if got1 != a || got2 != b {
+		t.Fatalf("FIFO recycle order violated: got %v,%v want %v,%v", got1, got2, a, b)
+	}
+	if f.Get() != nil {
+		t.Fatal("drained list should return nil")
+	}
+	f.Put(nil) // must not panic or count
+	if f.Len() != 0 {
+		t.Fatalf("nil Put retained: Len = %d", f.Len())
+	}
+}
+
+func TestFreelistMinimumCapacity(t *testing.T) {
+	f := NewFreelist[int](0)
+	v := new(int)
+	f.Put(v)
+	if got := f.Get(); got != v {
+		t.Fatalf("capacity-0 list should clamp to 1: got %v", got)
+	}
+}
+
+func TestPlanesRecycleAndBump(t *testing.T) {
+	p := NewPlanes(32, 16, 2)
+	a := p.Get()
+	if a.W != 32 || a.H != 16 {
+		t.Fatalf("Get plane size %dx%d, want 32x16", a.W, a.H)
+	}
+	a.Set(1, 1, 200)
+	seq := a.Seq()
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("plane was not recycled")
+	}
+	if b.Seq() <= seq {
+		t.Fatalf("recycled plane Seq = %d, want > %d (Get must bump)", b.Seq(), seq)
+	}
+}
+
+func TestPlanesRejectsForeignGeometry(t *testing.T) {
+	p := NewPlanes(32, 16, 2)
+	p.Put(imgx.NewPlane(16, 16))
+	p.Put(nil)
+	if p.Len() != 0 {
+		t.Fatalf("foreign/nil planes retained: Len = %d", p.Len())
+	}
+}
+
+// TestFreelistConcurrent exercises the happens-before edge: values written
+// before Put must be visible after Get on another goroutine. Run under
+// -race this is a real synchronization test, not just a smoke test.
+func TestFreelistConcurrent(t *testing.T) {
+	f := NewFreelist[[16]int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				buf := f.Get()
+				if buf == nil {
+					buf = new([16]int)
+				}
+				for k := range buf {
+					buf[k] = w
+				}
+				for k := range buf {
+					if buf[k] != w {
+						t.Errorf("torn buffer: got %d want %d", buf[k], w)
+						return
+					}
+				}
+				f.Put(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
