@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline bench-alloc alloc-baseline chaos-smoke doctor-live fuzz-smoke clean
+.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline bench-alloc alloc-baseline chaos-smoke doctor-live fleet-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -85,6 +85,15 @@ chaos-smoke: doctor-live
 # run is still going (see ci/doctor_live.sh).
 doctor-live:
 	ci/doctor_live.sh
+
+# Fleet smoke (the CI fleet-smoke job): the fleet simulator and aggregation
+# plane under -race, then the end-to-end gates in ci/fleet_smoke.sh — seeded
+# model runs must be byte-identical, a scripted slow link must stream a
+# straggler-session finding out of a live /debug/fleet endpoint, and the
+# healthy fleet must diagnose clean.
+fleet-smoke:
+	$(GO) test -race ./internal/fleet/ ./internal/obs/ ./internal/doctor/
+	ci/fleet_smoke.sh
 
 # Native fuzzing smoke over the edge wire decoders. Go allows exactly one
 # -fuzz pattern per invocation, so each target gets its own short run.

@@ -13,7 +13,8 @@
 //	           [-url http://localhost:7061] [-bench bench_results.json]
 //	           [-baseline ci/bench_baseline.json]
 //	           [-write-baseline ci/bench_baseline.json]
-//	           [-runtime runtime.jsonl] [-alloc bench_alloc.txt]
+//	           [-fleet fleet.jsonl] [-runtime runtime.jsonl]
+//	           [-alloc bench_alloc.txt]
 //	           [-alloc-baseline ci/alloc_baseline.json]
 //	           [-write-alloc-baseline ci/alloc_baseline.json] [-json]
 //	divedoctor -follow -url http://localhost:7061 [-interval 500ms]
@@ -27,6 +28,12 @@
 //   - -bench reads a divebench -json -telemetry results file; with
 //     -baseline its stage histograms are checked for latency regressions,
 //     with -write-baseline they become the new committed baseline.
+//   - -fleet reads a fleet rollup series (/debug/fleet JSONL or a divefleet
+//     -json report) and runs the fleet detectors: straggler-session
+//     (sustained straggler-table residency), noisy-neighbor (per-session
+//     heap or GC pause growing superlinearly with fleet size) and
+//     fleet-burn (aggregate SLO burn with no straggler standing out —
+//     diffuse overload).
 //   - -runtime reads a JSONL series of /debug/runtime snapshots and
 //     diagnoses GC pressure: sustained live-heap growth and GC pause p99
 //     over the ceiling.
@@ -38,13 +45,20 @@
 // Watch mode: -follow tails -url's /debug/journal while the run is still
 // going, feeding new records through the streaming detectors and printing
 // each finding as one JSON line the moment it becomes final. Each poll also
-// samples /debug/runtime (when the endpoint serves it), and the final report
-// includes the GC-pressure diagnosis over the collected series. -interval is
-// the poll period; -settle holds back the newest N frames so late journal
-// amendments (acks, outage verdicts) land before analysis; -for bounds the
-// watch (0 follows until the endpoint disappears or the process is
-// interrupted). The stream ends with a final flush over the tail and a
-// summary on stderr; stdout carries only finding JSONL.
+// samples /debug/runtime and /debug/fleet when the endpoint serves them
+// (404s disable the respective series): runtime snapshots feed the final
+// GC-pressure diagnosis, fleet rollups stream through the fleet detectors
+// live — following a divefleet -serve run surfaces straggler-session the
+// moment a session's streak crosses the bar. Transient scrape failures are
+// retried with capped exponential backoff (a chaos blackout between doctor
+// and target must not abort the watch) and counted in the exit summary; the
+// watch only ends once the endpoint stays unreachable for several
+// consecutive polls. -interval is the poll period; -settle holds back the
+// newest N frames so late journal amendments (acks, outage verdicts) land
+// before analysis; -for bounds the watch (0 follows until the endpoint
+// disappears or the process is interrupted). The stream ends with a final
+// flush over the tail and a summary on stderr; stdout carries only finding
+// JSONL.
 //
 // Exit status: 0 when the run diagnoses clean, 1 when any finding fired
 // (machine-gateable), 2 on usage or I/O errors. -json prints the full
@@ -52,7 +66,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -95,6 +111,7 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 	settle := fs.Int("settle", doctor.DefaultSettleFrames, "journal frames held back from analysis in -follow mode (late amendments need time to land)")
 	followFor := fs.Duration("for", 0, "stop following after this long (0 = until the endpoint disappears)")
 	outageRun := fs.Int("outage-run", 0, "override the outage-drift run-length threshold (0 = default; scenarios with short outage windows need a lower bar)")
+	fleetPath := fs.String("fleet", "", "fleet rollup file for the fleet detectors: /debug/fleet JSONL or a divefleet -json report (- = stdin)")
 	runtimePath := fs.String("runtime", "", "runtime-stats JSONL file (series of /debug/runtime snapshots) for the GC-pressure checks (- = stdin)")
 	allocPath := fs.String("alloc", "", "go test -bench -benchmem output for the allocation gate (- = stdin)")
 	allocBaselinePath := fs.String("alloc-baseline", "", "committed allocation baseline to compare -alloc against")
@@ -110,9 +127,9 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 		}
 		return followLive(*url, *interval, *followFor, *settle, th, w)
 	}
-	if *journalPath == "" && *url == "" && *benchPath == "" && *runtimePath == "" && *allocPath == "" {
+	if *journalPath == "" && *url == "" && *benchPath == "" && *runtimePath == "" && *allocPath == "" && *fleetPath == "" {
 		fs.Usage()
-		return nil, fmt.Errorf("nothing to analyze: pass -journal, -url, -bench, -runtime or -alloc")
+		return nil, fmt.Errorf("nothing to analyze: pass -journal, -url, -bench, -fleet, -runtime or -alloc")
 	}
 
 	var journal []obs.JournalRecord
@@ -140,6 +157,16 @@ func run(args []string, w io.Writer) (*doctor.Report, error) {
 	}
 
 	rep := doctor.Analyze(journal, spans, th)
+
+	if *fleetPath != "" {
+		rollups, err := readFleetFile(*fleetPath)
+		if err != nil {
+			return nil, err
+		}
+		frep := doctor.AnalyzeFleet(rollups, th)
+		rep.Checks = append(rep.Checks, frep.Checks...)
+		rep.Findings = append(rep.Findings, frep.Findings...)
+	}
 
 	if *runtimePath != "" {
 		samples, err := readRuntimeFile(*runtimePath)
@@ -284,6 +311,19 @@ func openArg(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
+func readFleetFile(path string) ([]obs.FleetRollup, error) {
+	r, err := openArg(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	rollups, err := readRollups(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse fleet rollups %s: %w", path, err)
+	}
+	return rollups, nil
+}
+
 func readRuntimeFile(path string) ([]obs.RuntimeStats, error) {
 	r, err := openArg(path)
 	if err != nil {
@@ -322,14 +362,24 @@ func readBench(path string) (*benchFile, error) {
 	return &bf, nil
 }
 
-// followLive tails a live /debug/journal, streaming each finding to w as
-// one JSON line the moment the incremental detectors finalize it. The loop
-// ends when the deadline passes or the endpoint stops answering (the run's
-// process exited); either way the held-back tail is flushed through the
-// detectors so end-of-stream findings are not lost.
+// followMaxConsecFails is how many consecutive failed scrapes of a
+// previously healthy endpoint end the watch: a run shutting down stops
+// answering for good, while chaos-induced blips (a proxy blackout, a
+// saturated accept queue) recover within a few polls and must not abort the
+// watch mid-stream.
+const followMaxConsecFails = 6
+
+// followLive tails a live /debug/journal (and /debug/fleet when the
+// endpoint serves it), streaming each finding to w as one JSON line the
+// moment the incremental detectors finalize it. Transient scrape failures
+// are retried with capped exponential backoff and counted; the loop ends
+// when the deadline passes or the endpoint stays unreachable for
+// followMaxConsecFails polls. Either way the held-back tail is flushed
+// through the detectors so end-of-stream findings are not lost.
 func followLive(base string, interval, dur time.Duration, settle int, th doctor.Thresholds, w io.Writer) (*doctor.Report, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	follower := doctor.NewFollower(th, settle)
+	fleetFollower := doctor.NewFleetFollower(th)
 	enc := json.NewEncoder(w)
 	var findings []doctor.Finding
 	emit := func(fs []doctor.Finding) error {
@@ -348,44 +398,96 @@ func followLive(base string, interval, dur time.Duration, settle int, th doctor.
 	}
 	var last []obs.JournalRecord
 	var rtSamples []obs.RuntimeStats
-	connected, failures := false, 0
+	// hasJournal/hasFleet track which endpoints this server serves; a 404
+	// answers the question for good (the mux is static), while connection
+	// errors leave it open.
+	connected, failures, retries := false, 0, 0
+	hasJournal, hasFleet := true, true
+	fleetRollups := 0
+	sleep := interval
 	for {
-		recs, err := fetchJournal(client, base)
+		var scrapeErr error
+		polled := false
+		if hasJournal {
+			recs, err := fetchJournal(client, base)
+			switch {
+			case err == nil:
+				polled = true
+				last = recs
+				if err := emit(follower.Ingest(recs)); err != nil {
+					return nil, err
+				}
+				// Sample the runtime alongside the journal; servers without
+				// /debug/runtime just skip the GC-pressure series.
+				if st, err := fetchRuntime(client, base); err == nil {
+					rtSamples = append(rtSamples, st)
+				}
+			case errors.Is(err, errNotFound):
+				hasJournal = false
+			default:
+				scrapeErr = err
+			}
+		}
+		if hasFleet && scrapeErr == nil {
+			rollups, err := fetchFleet(client, base)
+			switch {
+			case err == nil:
+				polled = true
+				if err := emit(fleetFollower.Ingest(rollups)); err != nil {
+					return nil, err
+				}
+				fleetRollups = fleetFollower.Rollups()
+			case errors.Is(err, errNotFound):
+				hasFleet = false
+			default:
+				scrapeErr = err
+			}
+		}
+		if !hasJournal && !hasFleet {
+			return nil, fmt.Errorf("follow %s: serves neither /debug/journal nor /debug/fleet", base)
+		}
 		switch {
-		case err == nil:
-			connected, failures = true, 0
-			last = recs
-			if err := emit(follower.Ingest(recs)); err != nil {
-				return nil, err
-			}
-			// Sample the runtime alongside the journal; older servers
-			// without /debug/runtime just skip the GC-pressure series.
-			if st, err := fetchRuntime(client, base); err == nil {
-				rtSamples = append(rtSamples, st)
-			}
+		case polled:
+			connected, failures, sleep = true, 0, interval
 		case connected:
-			// The endpoint answered before and stopped: the run is over.
+			// The endpoint answered before and stopped. A shut-down run
+			// stays down; a chaos blip recovers — retry with capped backoff
+			// before declaring the stream over.
 			failures++
-			if failures >= 2 {
+			retries++
+			if failures >= followMaxConsecFails {
 				goto done
+			}
+			sleep *= 2
+			if max := 4 * time.Second; sleep > max {
+				sleep = max
 			}
 		default:
 			// Never connected; give a just-starting server a grace window.
 			failures++
 			if failures >= 10 {
-				return nil, fmt.Errorf("follow %s: %w", base, err)
+				return nil, fmt.Errorf("follow %s: %w", base, scrapeErr)
 			}
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
-		time.Sleep(interval)
+		time.Sleep(sleep)
 	}
 done:
 	if err := emit(follower.Close(last)); err != nil {
 		return nil, err
 	}
-	checks := follower.Checks()
+	if err := emit(fleetFollower.Close()); err != nil {
+		return nil, err
+	}
+	var checks []string
+	if hasJournal {
+		checks = append(checks, follower.Checks()...)
+	}
+	if hasFleet {
+		checks = append(checks, fleetFollower.Checks()...)
+	}
 	if len(rtSamples) > 0 {
 		checks = append(checks, "gc-pressure")
 		if err := emit(doctor.AnalyzeRuntime(rtSamples, th)); err != nil {
@@ -393,8 +495,8 @@ done:
 		}
 	}
 	rep := &doctor.Report{Frames: follower.Frames(), Checks: checks, Findings: findings}
-	fmt.Fprintf(os.Stderr, "divedoctor: followed %d journal frames, %d finding(s)\n",
-		rep.Frames, len(rep.Findings))
+	fmt.Fprintf(os.Stderr, "divedoctor: followed %d journal frames, %d fleet rollup(s), %d finding(s), %d scrape retries\n",
+		rep.Frames, fleetRollups, len(rep.Findings), retries)
 	return rep, nil
 }
 
@@ -449,14 +551,66 @@ func fetchLive(base string) ([]obs.JournalRecord, []obs.SpanRecord, error) {
 	return journal, spans, nil
 }
 
+// errNotFound marks a 404: the server is alive but does not serve that
+// endpoint, which is a permanent answer (the debug mux is static), unlike a
+// connection error.
+var errNotFound = errors.New("endpoint not found")
+
 func fetch(client *http.Client, url string) (io.ReadCloser, error) {
 	resp, err := client.Get(url)
 	if err != nil {
 		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %w", url, errNotFound)
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
 		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	return resp.Body, nil
+}
+
+// fetchFleet pulls the fleet rollup ring (JSONL, oldest first) from
+// /debug/fleet.
+func fetchFleet(client *http.Client, base string) ([]obs.FleetRollup, error) {
+	fr, err := fetch(client, base+"/debug/fleet")
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close()
+	rollups, err := readRollups(fr)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s/debug/fleet: %w", base, err)
+	}
+	return rollups, nil
+}
+
+// readRollups parses a fleet rollup stream: JSONL as /debug/fleet serves it,
+// or a divefleet -json report (its "rollups" array) — the decoder accepts
+// any concatenation of JSON values whose rollup-bearing shape it recognizes.
+func readRollups(r io.Reader) ([]obs.FleetRollup, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var report struct {
+		Rollups []obs.FleetRollup `json:"rollups"`
+	}
+	if err := json.Unmarshal(data, &report); err == nil && len(report.Rollups) > 0 {
+		return report.Rollups, nil
+	}
+	var out []obs.FleetRollup
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var ru obs.FleetRollup
+		if err := dec.Decode(&ru); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, ru)
+	}
+	return out, nil
 }

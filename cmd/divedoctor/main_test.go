@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"dive/internal/doctor"
@@ -196,5 +198,110 @@ func TestRunRuntimeFile(t *testing.T) {
 	}
 	if rep.Healthy() || !strings.Contains(out.String(), "gc-heap-growth") {
 		t.Fatalf("heap ramp diagnosed healthy:\n%s", out.String())
+	}
+}
+
+// fleetRollupJSONL renders n rollups, straggling from tick `from`, as
+// /debug/fleet-style JSONL.
+func fleetRollupJSONL(t *testing.T, n, from int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		ru := obs.FleetRollup{Tick: i, Sessions: 10, FramesTotal: int64(100 * (i + 1))}
+		if i >= from {
+			ru.Stragglers = []obs.Straggler{{
+				Session: "nuScenes-003", Profile: "nuScenes", Factor: 9,
+				LatencyP99Sec: 0.6, BurnRate: 40, Reason: "latency",
+			}}
+		}
+		data, err := json.Marshal(ru)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(append(data, '\n'))
+	}
+	return buf.Bytes()
+}
+
+// TestRunFleetFile drives -fleet offline over a rollup JSONL with a
+// sustained straggler.
+func TestRunFleetFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	os.WriteFile(path, fleetRollupJSONL(t, 8, 2), 0o644)
+	var out bytes.Buffer
+	rep, err := run([]string{"-fleet", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() || !strings.Contains(out.String(), "straggler-session") {
+		t.Fatalf("sustained straggler diagnosed healthy:\n%s", out.String())
+	}
+}
+
+// TestFollowRetriesTransientScrapeFailures: the watch must survive a burst
+// of failed scrapes mid-stream (a chaos blackout between doctor and target)
+// and keep consuming the journal once the endpoint recovers, instead of
+// aborting at the first error.
+func TestFollowRetriesTransientScrapeFailures(t *testing.T) {
+	journal := oscillatingJournal()
+	var mu sync.Mutex
+	polls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		polls++
+		n := polls
+		mu.Unlock()
+		if n >= 3 && n <= 5 {
+			// Transient outage: three consecutive scrapes fail.
+			http.Error(w, "blackout", http.StatusBadGateway)
+			return
+		}
+		recs := journal
+		if n < 3 {
+			recs = journal[:4] // only a prefix exists before the blip
+		}
+		for _, rec := range recs {
+			data, _ := json.Marshal(rec)
+			w.Write(append(data, '\n'))
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	rep, err := run([]string{"-follow", "-url", srv.URL, "-interval", "30ms", "-settle", "0", "-for", "3s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != len(journal) {
+		t.Fatalf("watch consumed %d frames, want all %d (did the blip abort it?)", rep.Frames, len(journal))
+	}
+	if !strings.Contains(out.String(), "qp-oscillation") {
+		t.Errorf("post-recovery pathology not diagnosed:\n%s", out.String())
+	}
+}
+
+// TestFollowFleetOnlyEndpoint follows a target that serves /debug/fleet but
+// no journal (a divefleet -serve process) and streams fleet findings.
+func TestFollowFleetOnlyEndpoint(t *testing.T) {
+	rollups := fleetRollupJSONL(t, 8, 2)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(rollups)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	rep, err := run([]string{"-follow", "-url", srv.URL, "-interval", "30ms", "-for", "500ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 0 {
+		t.Errorf("journal-less target reported %d frames", rep.Frames)
+	}
+	if !strings.Contains(out.String(), "straggler-session") {
+		t.Fatalf("fleet findings not streamed:\n%s", out.String())
 	}
 }

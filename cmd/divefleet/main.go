@@ -1,0 +1,228 @@
+// Command divefleet runs the deterministic fleet simulator: N synthetic
+// agents streaming against M simulated edge servers, every session with its
+// own telemetry recorder and SLO window, folded each virtual second into
+// fleet rollups — aggregate throughput, merged latency quantiles,
+// per-profile breakdowns, fleet error-budget burn and a straggler table.
+//
+// Usage:
+//
+//	divefleet [-agents 50] [-servers 1] [-duration 30] [-seed 1]
+//	          [-chaos outage-burst] [-slow 3,17] [-rollup-every 1]
+//	          [-cores 8] [-straggler-factor 3] [-json] [-o report.json]
+//	divefleet -serve 127.0.0.1:7062 [-pace 100ms] [-linger 5s] [...]
+//	divefleet -live [-agents 3] [-duration 1] [-seed 1] [-cut] [-json]
+//
+// The default (model) mode runs on a virtual clock with seeded link, frame
+// and contention models: the same flags and seed produce a byte-identical
+// report, so CI can diff fleet behaviour run against run. -slow scripts the
+// listed agent indices onto crippled links (5% bandwidth, +300ms service) —
+// the straggler pathology the rollup table must surface. -chaos runs every
+// agent under a per-agent-seeded variant of the named standard chaos
+// scenario.
+//
+// -serve paces the simulation to wall clock (-pace per rollup) while
+// serving the rollup ring at /debug/fleet as JSONL — the live target for
+// divedoctor -follow's fleet detectors (straggler-session, noisy-neighbor,
+// fleet-burn). -linger keeps the endpoint up after the run so followers
+// drain the tail.
+//
+// -live swaps the model for a small fleet of real edge.Client sessions over
+// loopback TCP against real edge.Server instances (wall-clock,
+// non-deterministic); -cut routes them through the chaos proxy and severs
+// every connection mid-run, exercising the reconnect path fleet-wide.
+//
+// Without -json a human summary is printed: the final rollup, per-profile
+// table and straggler table. Exit status: 0 on a clean run, 1 when the
+// final rollup has stragglers or the fleet burn rate exceeds 1
+// (machine-gateable), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dive/internal/fleet"
+	"dive/internal/obs"
+)
+
+func main() {
+	rep, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divefleet:", err)
+		os.Exit(2)
+	}
+	if len(rep.Final.Stragglers) > 0 || rep.Final.FleetBurn > 1 {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) (*fleet.Report, error) {
+	fs := flag.NewFlagSet("divefleet", flag.ContinueOnError)
+	agents := fs.Int("agents", 50, "fleet size")
+	servers := fs.Int("servers", 1, "edge server instances (sessions assigned round-robin)")
+	duration := fs.Float64("duration", 30, "run length in virtual seconds (wall-clock seconds with -live)")
+	seed := fs.Int64("seed", 1, "master seed; same flags + same seed = byte-identical report")
+	chaosName := fs.String("chaos", "", "standard chaos scenario every agent runs a seeded variant of (outage-burst, bandwidth-cliff, estimator-poison)")
+	slow := fs.String("slow", "", "comma-separated agent indices scripted onto crippled links (straggler pathology)")
+	rollupEvery := fs.Float64("rollup-every", 1, "aggregation period in virtual seconds")
+	cores := fs.Float64("cores", 8, "per-server service capacity; overload inflates co-tenant latency")
+	stragglerFactor := fs.Float64("straggler-factor", 0, "straggler threshold vs the fleet median (0 = default 3)")
+	asJSON := fs.Bool("json", false, "print the full report as JSON")
+	out := fs.String("o", "", "write the report to this file instead of stdout (implies -json)")
+	serve := fs.String("serve", "", "pace the run to wall clock and serve /debug/fleet on this address")
+	pace := fs.Duration("pace", 100*time.Millisecond, "wall-clock delay per rollup in -serve mode")
+	linger := fs.Duration("linger", 5*time.Second, "keep the -serve endpoint up this long after the run")
+	live := fs.Bool("live", false, "run real edge clients/servers over loopback instead of the model")
+	cut := fs.Bool("cut", false, "with -live: route through the chaos proxy and sever all connections mid-run")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	slowIdx, err := parseIndexList(*slow)
+	if err != nil {
+		return nil, fmt.Errorf("-slow: %w", err)
+	}
+
+	var rep *fleet.Report
+	switch {
+	case *live:
+		var errs []error
+		rep, errs, err = fleet.RunLive(fleet.LiveSpec{
+			Agents: *agents, Servers: *servers, Duration: *duration,
+			Seed: *seed, Proxy: *cut, Cut: *cut,
+			Logf: func(format string, a ...interface{}) {
+				fmt.Fprintf(os.Stderr, "divefleet: "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range errs {
+			if e != nil {
+				fmt.Fprintf(os.Stderr, "divefleet: session %d: %v\n", i, e)
+			}
+		}
+	default:
+		spec := fleet.Spec{
+			Agents: *agents, Servers: *servers, Duration: *duration,
+			Seed: *seed, Chaos: *chaosName, SlowAgents: slowIdx,
+			RollupEverySec: *rollupEvery, ServerCores: *cores,
+			StragglerFactor: *stragglerFactor,
+		}
+		if *serve != "" {
+			rep, err = serveFleet(spec, *serve, *pace, *linger)
+		} else {
+			rep, err = fleet.Run(spec)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asJSON || *out != "" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	printReport(w, rep)
+	return rep, nil
+}
+
+// serveFleet paces the model run to wall clock while /debug/fleet serves
+// the growing rollup ring.
+func serveFleet(spec fleet.Spec, addr string, pace, linger time.Duration) (*fleet.Report, error) {
+	agg := fleet.NewAggregator(spec)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/fleet", agg.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go http.Serve(ln, mux)
+	fmt.Fprintf(os.Stderr, "divefleet: serving /debug/fleet on http://%s\n", ln.Addr())
+
+	rep, err := fleet.RunStream(spec, agg, func(obs.FleetRollup) { time.Sleep(pace) })
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "divefleet: run complete (%d rollups), lingering %s\n",
+		len(rep.Rollups), linger)
+	time.Sleep(linger)
+	return rep, nil
+}
+
+func printReport(w io.Writer, rep *fleet.Report) {
+	f := rep.Final
+	fmt.Fprintf(w, "fleet: %d sessions on %d server(s), %.0fs, seed %d",
+		rep.Spec.Agents, rep.Spec.Servers, rep.Spec.Duration, rep.Spec.Seed)
+	if rep.Spec.Chaos != "" {
+		fmt.Fprintf(w, ", chaos %s", rep.Spec.Chaos)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "throughput: %d frames (%.1f frames/s), %d bytes\n",
+		f.FramesTotal, f.FramesPerSec, f.BytesTotal)
+	fmt.Fprintf(w, "latency:    p50 %.0f ms, p95 %.0f ms, p99 %.0f ms (session median p99 %.0f ms)\n",
+		f.LatencyP50Sec*1000, f.LatencyP95Sec*1000, f.LatencyP99Sec*1000, f.MedianP99Sec*1000)
+	fmt.Fprintf(w, "slo:        fleet burn %.2fx, %d/%d sessions unhealthy, outage %.1f%%\n",
+		f.FleetBurn, f.Unhealthy, f.Sessions, f.OutageFrac*100)
+	if len(f.PerProfile) > 0 {
+		fmt.Fprintln(w, "per-profile:")
+		for _, p := range f.PerProfile {
+			fmt.Fprintf(w, "  %-10s %3d sessions  %8d frames  p99 %6.0f ms  burn %.2fx  unhealthy %d\n",
+				p.Profile, p.Sessions, p.FramesTotal, p.LatencyP99Sec*1000, p.MeanBurn, p.Unhealthy)
+		}
+	}
+	if len(f.Stragglers) == 0 {
+		fmt.Fprintln(w, "stragglers: none")
+		return
+	}
+	fmt.Fprintf(w, "stragglers (> %.0fx the fleet median):\n", stragglerFactorOf(rep))
+	for _, s := range f.Stragglers {
+		fmt.Fprintf(w, "  %-16s %-10s %6.1fx  %-8s p99 %6.0f ms  burn %6.1fx  %d frames\n",
+			s.Session, s.Profile, s.Factor, s.Reason, s.LatencyP99Sec*1000, s.BurnRate, s.Frames)
+	}
+}
+
+func stragglerFactorOf(rep *fleet.Report) float64 {
+	if rep.Spec.StragglerFactor > 0 {
+		return rep.Spec.StragglerFactor
+	}
+	return 3
+}
+
+// parseIndexList parses "3,17" into []int{3, 17}.
+func parseIndexList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad index %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -100,6 +100,23 @@ type Thresholds struct {
 	// B/op over the committed baseline before failing (allocs/op gets none:
 	// it is deterministic after warm-up).
 	AllocBytesSlack float64
+	// StragglerTicks is how many consecutive fleet rollups a session must
+	// spend in the straggler table before straggler-session fires (one bad
+	// tick is noise; a streak is a pathology).
+	StragglerTicks int
+	// FleetBurnTicks is how many consecutive rollups the aggregate burn rate
+	// must exceed FleetBurnRate — with no straggler standing out — before
+	// fleet-burn diagnoses diffuse overload. The rate bar sits above 1 so a
+	// transient budget blip (one chaos outage window clustering across the
+	// fleet) doesn't read as overload.
+	FleetBurnTicks int
+	FleetBurnRate  float64
+	// NoisySessionGrowth is the session-count growth factor over the baseline
+	// rollup after which noisy-neighbor starts judging; NoisyGrowthRatio is
+	// the per-session heap (or GC pause p99) growth factor that then counts
+	// as superlinear pressure.
+	NoisySessionGrowth float64
+	NoisyGrowthRatio   float64
 }
 
 // DefaultThresholds returns the tuned defaults.
@@ -122,6 +139,11 @@ func DefaultThresholds() Thresholds {
 		HeapGrowthFrac:       0.7,
 		GCPauseP99CeilSec:    0.05,
 		AllocBytesSlack:      1.25,
+		StragglerTicks:       3,
+		FleetBurnTicks:       3,
+		FleetBurnRate:        2.0,
+		NoisySessionGrowth:   1.5,
+		NoisyGrowthRatio:     2.0,
 	}
 }
 
@@ -177,6 +199,21 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.AllocBytesSlack <= 0 {
 		t.AllocBytesSlack = d.AllocBytesSlack
+	}
+	if t.StragglerTicks <= 0 {
+		t.StragglerTicks = d.StragglerTicks
+	}
+	if t.FleetBurnTicks <= 0 {
+		t.FleetBurnTicks = d.FleetBurnTicks
+	}
+	if t.FleetBurnRate <= 0 {
+		t.FleetBurnRate = d.FleetBurnRate
+	}
+	if t.NoisySessionGrowth <= 0 {
+		t.NoisySessionGrowth = d.NoisySessionGrowth
+	}
+	if t.NoisyGrowthRatio <= 0 {
+		t.NoisyGrowthRatio = d.NoisyGrowthRatio
 	}
 	return t
 }

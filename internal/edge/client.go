@@ -371,8 +371,12 @@ func (c *Client) handleAck(ev ackEvent, dets [][]detect.Detection) error {
 	if !res.NeedKeyframe {
 		c.health.ObserveAck()
 	}
+	// End-to-end response latency (send → ack) feeds both the SLO window
+	// and the e2e histogram the fleet aggregator merges across sessions.
+	rtt := time.Since(inf.sentAt).Seconds()
+	c.cfg.Obs.Histogram(obs.StageResponse).Observe(rtt)
 	c.cfg.Obs.ObserveSLO(c.session, obs.SLOSample{
-		LatencySec: time.Since(inf.sentAt).Seconds(), FGShare: frameFGShare(inf.fr),
+		LatencySec: rtt, FGShare: frameFGShare(inf.fr),
 	})
 	got := FromWire(res.Detections)
 	c.agent.OnDetections(got)

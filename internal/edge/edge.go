@@ -152,12 +152,24 @@ type Server struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each result write (default 10s).
 	WriteTimeout time.Duration
+	// SessionLabelCap bounds the distinct per-session label values this
+	// server mints (0 selects obs.DefaultMaxLabelValues). Sessions beyond
+	// the cap have their series folded by profile (not profile-seed), so a
+	// fleet of hundreds of agents keeps per-profile attribution instead of
+	// collapsing into one _overflow series; every folded session increments
+	// obs.MetricLabelOverflow. When raising this above the default, raise
+	// the registry's per-family bound too (Registry.SetMaxLabelValues)
+	// before the first session, or the families fold at their own cap.
+	SessionLabelCap int
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	draining bool
 	wg       sync.WaitGroup
+
+	labelMu       sync.Mutex
+	sessionLabels map[string]struct{}
 
 	clipMu    sync.Mutex
 	clips     map[clipKey]*world.Clip
@@ -362,6 +374,34 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// sessionLabelFor returns the metric label for a session: profile-seed
+// while the server has label budget, the bare profile once SessionLabelCap
+// distinct sessions exist (folded profile labels live outside the budget,
+// so cardinality stays at cap + number of profiles). A session that already
+// holds a label keeps it across reconnects. Folds are counted on
+// obs.MetricLabelOverflow so the collapse is visible on /metrics.
+func (s *Server) sessionLabelFor(profile string, seed int64) string {
+	full := fmt.Sprintf("%s-%d", profile, seed)
+	limit := s.SessionLabelCap
+	if limit <= 0 {
+		limit = obs.DefaultMaxLabelValues
+	}
+	s.labelMu.Lock()
+	defer s.labelMu.Unlock()
+	if s.sessionLabels == nil {
+		s.sessionLabels = make(map[string]struct{})
+	}
+	if _, ok := s.sessionLabels[full]; ok {
+		return full
+	}
+	if len(s.sessionLabels) < limit {
+		s.sessionLabels[full] = struct{}{}
+		return full
+	}
+	s.Obs.Counter(obs.MetricLabelOverflow).Inc()
+	return profile
+}
+
 // handle runs one session.
 func (s *Server) handle(conn net.Conn) error {
 	defer conn.Close()
@@ -390,9 +430,11 @@ func (s *Server) handle(conn net.Conn) error {
 	// Per-session labeled series on top of the process-wide globals. The
 	// session identity is profile-seed — the same clip identity the agent
 	// uses — so a resumed session continues its own series and the agent's
-	// and server's views of one stream join on the label. All handles are
-	// nil (hence no-op) when telemetry is disabled.
-	session := fmt.Sprintf("%s-%d", hello.Profile, hello.Seed)
+	// and server's views of one stream join on the label. Beyond
+	// SessionLabelCap distinct sessions the label folds to the profile name
+	// (see sessionLabelFor). All handles are nil (hence no-op) when
+	// telemetry is disabled.
+	session := s.sessionLabelFor(hello.Profile, hello.Seed)
 	sessFrames := s.Obs.LabeledCounter(obs.MetricEdgeSessionFrames, obs.SessionLabel).With(session)
 	sessBytes := s.Obs.LabeledCounter(obs.MetricEdgeSessionBytes, obs.SessionLabel).With(session)
 	sessNacks := s.Obs.LabeledCounter(obs.MetricEdgeSessionNacks, obs.SessionLabel).With(session)

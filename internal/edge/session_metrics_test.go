@@ -126,3 +126,71 @@ func TestServerSessionNackCounter(t *testing.T) {
 		t.Fatalf("session NACK counter = %d, want 1", got)
 	}
 }
+
+// TestServerSessionLabelCap opens more sessions than SessionLabelCap allows
+// and asserts the overflow sessions fold by profile (keeping per-profile
+// attribution instead of one _overflow bucket) while every fold is counted
+// on obs_label_overflow_total. Returning sessions keep their original label.
+func TestServerSessionLabelCap(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	srv := NewServer()
+	srv.Obs = rec
+	srv.SessionLabelCap = 2
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	const duration = 1.0
+	sendOne := func(seed int64) {
+		t.Helper()
+		p := world.NuScenesLike()
+		p.ClipDuration = duration
+		clip := world.GenerateClip(p, seed)
+		enc, err := codec.NewEncoder(codec.DefaultConfig(clip.W, clip.H))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, mr := testSession(t, addr, Hello{Profile: "nuScenes", Seed: seed, Duration: duration})
+		defer conn.Close()
+		ef, err := enc.Encode(clip.Frames[0], codec.EncodeOptions{BaseQP: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(conn, &FrameMsg{Index: 0, Bitstream: ef.Data, SentNanos: time.Now().UnixNano()}); err != nil {
+			t.Fatal(err)
+		}
+		if res := readResult(t, conn, mr); res.Err != "" {
+			t.Fatalf("seed %d: %s", seed, res.Err)
+		}
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		sendOne(seed)
+	}
+	fam := rec.LabeledCounter(obs.MetricEdgeSessionFrames, obs.SessionLabel)
+	for label, want := range map[string]int64{"nuScenes-1": 1, "nuScenes-2": 1, "nuScenes": 1} {
+		if got := fam.With(label).Value(); got != want {
+			t.Errorf("frames{session=%q} = %d, want %d", label, got, want)
+		}
+	}
+	if got := rec.Counter(obs.MetricLabelOverflow).Value(); got != 1 {
+		t.Fatalf("overflow counter = %d after 1 folded session, want 1", got)
+	}
+
+	// A returning session keeps its full label without another fold.
+	sendOne(1)
+	if got := fam.With("nuScenes-1").Value(); got != 2 {
+		t.Errorf("returning session frames = %d, want 2", got)
+	}
+	if got := rec.Counter(obs.MetricLabelOverflow).Value(); got != 1 {
+		t.Fatalf("overflow counter = %d after returning session, want still 1", got)
+	}
+
+	// Another fresh session folds into the profile label again.
+	sendOne(4)
+	if got := fam.With("nuScenes").Value(); got != 2 {
+		t.Errorf("profile-folded frames = %d, want 2", got)
+	}
+	if got := rec.Counter(obs.MetricLabelOverflow).Value(); got != 2 {
+		t.Fatalf("overflow counter = %d after second fold, want 2", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package fleet is the deterministic fleet simulator and its report layer:
+// N synthetic agents streaming against M edge servers, every session owning
+// its own obs.Recorder and SLO window, folded each virtual second by an
+// obs.FleetAggregator into fleet rollups (aggregate throughput, merged
+// latency quantiles, per-profile breakdowns, fleet burn, straggler table).
+//
+// Two execution modes share the Spec and Report types:
+//
+//   - Run (model.go): the default. Agents advance on a virtual clock with
+//     seeded per-frame bit, bandwidth and service-time models and a
+//     per-server contention feedback loop. No wall clock, no sockets — the
+//     same spec and seed produce a byte-identical report, which is what
+//     lets CI diff fleet behaviour run against run.
+//   - RunLive (live.go): a small fleet of real edge.Client sessions over
+//     loopback TCP against real edge.Server instances, optionally through
+//     the chaos proxy. End-to-end fidelity (wire protocol, reconnects,
+//     degradation ladder) at the cost of wall-clock time and
+//     non-determinism; used to validate that the model's telemetry shape
+//     matches the real stack's.
+//
+// The link model mirrors the chaos scenario suite: each agent gets its own
+// seeded variant of the named chaos.StandardScenarios trace, so scripted
+// outage windows hit different agents at different times, like a fleet
+// spread across cell coverage.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"dive/internal/obs"
+)
+
+// Spec configures a fleet run. The zero value is not useful; call
+// (Spec).withDefaults via Run, which fills the documented defaults.
+type Spec struct {
+	// Agents is the fleet size (default 50). Servers is the number of edge
+	// instances sessions are assigned to round-robin (default 1).
+	Agents  int `json:"agents"`
+	Servers int `json:"servers"`
+	// Duration is the simulated run length in virtual seconds (default 30).
+	Duration float64 `json:"duration_sec"`
+	// Seed drives every random stream in the run; identical specs with
+	// identical seeds produce identical reports.
+	Seed int64 `json:"seed"`
+	// Chaos optionally names a chaos.StandardScenarios scenario
+	// ("outage-burst", "bandwidth-cliff", "estimator-poison"); each agent
+	// runs a per-agent seeded variant of it. Empty runs clean fading links.
+	Chaos string `json:"chaos,omitempty"`
+	// SlowAgents lists agent indices scripted onto a crippled link (5%
+	// bandwidth, +300ms service) — the straggler pathology the rollup table
+	// and the straggler-session detector must surface.
+	SlowAgents []int `json:"slow_agents,omitempty"`
+	// RollupEverySec is the aggregation period in virtual seconds (default
+	// 1).
+	RollupEverySec float64 `json:"rollup_every_sec"`
+	// ServerCores scales each server's service capacity; utilization beyond
+	// it inflates next-tick service times (default 8).
+	ServerCores float64 `json:"server_cores"`
+	// StragglerFactor overrides the aggregator's k (default 3).
+	StragglerFactor float64 `json:"straggler_factor,omitempty"`
+	// CollectRuntime attaches wall-clock process runtime stats to rollups.
+	// Leave off for deterministic reports.
+	CollectRuntime bool `json:"collect_runtime,omitempty"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Agents <= 0 {
+		s.Agents = 50
+	}
+	if s.Servers <= 0 {
+		s.Servers = 1
+	}
+	if s.Duration <= 0 {
+		s.Duration = 30
+	}
+	if s.RollupEverySec <= 0 {
+		s.RollupEverySec = 1
+	}
+	if s.ServerCores <= 0 {
+		s.ServerCores = 8
+	}
+	return s
+}
+
+// validate rejects specs the simulator cannot honor.
+func (s Spec) validate() error {
+	for _, idx := range s.SlowAgents {
+		if idx < 0 || idx >= s.Agents {
+			return fmt.Errorf("fleet: slow agent index %d outside fleet of %d", idx, s.Agents)
+		}
+	}
+	switch s.Chaos {
+	case "", "outage-burst", "bandwidth-cliff", "estimator-poison":
+	default:
+		return fmt.Errorf("fleet: unknown chaos scenario %q", s.Chaos)
+	}
+	return nil
+}
+
+// Report is the machine-readable outcome of a fleet run: the effective spec,
+// every rollup in order, and the final rollup repeated for direct access.
+// With Spec.CollectRuntime off the report contains no wall-clock-derived
+// fields, so identical specs serialize byte-identically.
+type Report struct {
+	Spec    Spec              `json:"spec"`
+	Rollups []obs.FleetRollup `json:"rollups"`
+	Final   obs.FleetRollup   `json:"final"`
+}
+
+// NewAggregator builds the aggregator Run would use for spec — exposed so
+// serve mode can mount its /debug/fleet handler before the run starts.
+func NewAggregator(spec Spec) *obs.FleetAggregator {
+	spec = spec.withDefaults()
+	return obs.NewFleetAggregator(obs.FleetConfig{
+		StragglerFactor: spec.StragglerFactor,
+		CollectRuntime:  spec.CollectRuntime,
+		RollupCap:       rollupCapFor(spec),
+	})
+}
+
+// Run executes the deterministic virtual-time fleet simulation.
+func Run(spec Spec) (*Report, error) {
+	return RunStream(spec, nil, nil)
+}
+
+// RunStream is Run with the aggregation plane exposed: rollups land in agg
+// (nil builds a private one) so its /debug/fleet handler can serve the ring
+// while the simulation advances, and hook — when non-nil — is called after
+// every rollup, which serve mode uses to pace virtual ticks to wall clock.
+func RunStream(spec Spec, agg *obs.FleetAggregator, hook func(obs.FleetRollup)) (*Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	if agg == nil {
+		agg = NewAggregator(spec)
+	}
+	servers := make([]*modelServer, spec.Servers)
+	for i := range servers {
+		servers[i] = newModelServer(spec, i)
+	}
+	slow := make(map[int]bool, len(spec.SlowAgents))
+	for _, idx := range spec.SlowAgents {
+		slow[idx] = true
+	}
+	agents := make([]*modelAgent, spec.Agents)
+	for i := range agents {
+		agents[i] = newModelAgent(spec, i, servers[i%spec.Servers], slow[i])
+		agg.Register(agents[i].name, agents[i].profile.Name, agents[i].rec)
+	}
+
+	report := &Report{Spec: spec}
+	steps := int(math.Ceil(spec.Duration / spec.RollupEverySec))
+	for step := 1; step <= steps; step++ {
+		tEnd := math.Min(float64(step)*spec.RollupEverySec, spec.Duration)
+		for _, srv := range servers {
+			srv.beginTick()
+		}
+		// Agent order is fixed, so per-tick server contention accounting is
+		// deterministic.
+		for _, ag := range agents {
+			ag.advance(tEnd)
+		}
+		for _, srv := range servers {
+			srv.endTick(spec.RollupEverySec)
+		}
+		ru := agg.Rollup(tEnd)
+		report.Rollups = append(report.Rollups, ru)
+		if hook != nil {
+			hook(ru)
+		}
+	}
+	if n := len(report.Rollups); n > 0 {
+		report.Final = report.Rollups[n-1]
+	}
+	return report, nil
+}
+
+// rollupCapFor sizes the aggregator ring to hold every rollup of the run.
+func rollupCapFor(spec Spec) int {
+	n := int(math.Ceil(spec.Duration/spec.RollupEverySec)) + 1
+	if n < 64 {
+		n = 64
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunDeterministic runs the same spec twice and requires byte-identical
+// report JSON — the property CI leans on to diff fleet behaviour run to run.
+func TestRunDeterministic(t *testing.T) {
+	spec := Spec{
+		Agents: 40, Servers: 2, Duration: 10, Seed: 7,
+		Chaos: "outage-burst", SlowAgents: []int{3, 17},
+	}
+	r1, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("identical specs produced different reports:\n%s\n---\n%s", j1, j2)
+	}
+
+	// A different seed must not reproduce the same fleet.
+	spec.Seed = 8
+	r3, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, _ := json.Marshal(r3)
+	if string(j1) == string(j3) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestRunStragglerPathology scripts two slow links into a healthy fleet and
+// asserts the final rollup's straggler table names exactly those sessions.
+func TestRunStragglerPathology(t *testing.T) {
+	report, err := Run(Spec{
+		Agents: 30, Servers: 2, Duration: 15, Seed: 11,
+		SlowAgents: []int{3, 17},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := report.Final
+	if final.Sessions != 30 {
+		t.Fatalf("final rollup sessions = %d, want 30", final.Sessions)
+	}
+	if final.FramesTotal == 0 || final.FramesPerSec <= 0 {
+		t.Fatalf("no throughput in final rollup: %+v", final)
+	}
+	want := map[string]bool{"nuScenes-003": true, "KITTI-017": true}
+	if len(final.Stragglers) != len(want) {
+		t.Fatalf("straggler table %+v, want exactly sessions %v", final.Stragglers, want)
+	}
+	for _, s := range final.Stragglers {
+		if !want[s.Session] {
+			t.Errorf("unexpected straggler %q (factor %.1f)", s.Session, s.Factor)
+		}
+		if s.Factor <= 3 {
+			t.Errorf("straggler %s factor = %.2f, want > 3", s.Session, s.Factor)
+		}
+	}
+	if final.Unhealthy < 2 {
+		t.Errorf("unhealthy sessions = %d, want >= 2 (the scripted stragglers)", final.Unhealthy)
+	}
+	// The fleet median must reflect the healthy majority, not the stragglers.
+	if final.MedianP99Sec >= 0.25 {
+		t.Errorf("fleet median p99 = %.3fs, want < 0.25s with 28/30 healthy", final.MedianP99Sec)
+	}
+}
+
+// TestRunServerContention piles the same fleet onto one server vs. many and
+// asserts the single-server run's latency tail is strictly worse — the
+// cross-session contention signal the noisy-neighbor detector keys on.
+func TestRunServerContention(t *testing.T) {
+	packed, err := Run(Spec{Agents: 200, Servers: 1, Duration: 10, Seed: 5, ServerCores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Run(Spec{Agents: 200, Servers: 8, Duration: 10, Seed: 5, ServerCores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Final.LatencyP99Sec <= spread.Final.LatencyP99Sec {
+		t.Fatalf("packed fleet p99 %.3fs not worse than spread fleet p99 %.3fs",
+			packed.Final.LatencyP99Sec, spread.Final.LatencyP99Sec)
+	}
+}
+
+// TestRunValidation rejects out-of-range slow indices and unknown scenarios.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Spec{Agents: 5, SlowAgents: []int{5}}); err == nil {
+		t.Error("slow index == fleet size accepted")
+	}
+	if _, err := Run(Spec{Agents: 5, Chaos: "full-moon"}); err == nil {
+		t.Error("unknown chaos scenario accepted")
+	}
+}
+
+// TestRunLiveSmoke streams a three-session live fleet over loopback and
+// checks the aggregation plane sees real telemetry end to end.
+func TestRunLiveSmoke(t *testing.T) {
+	report, errs, err := RunLive(LiveSpec{Agents: 3, Duration: 1, Seed: 42, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Errorf("session %d: %v", i, e)
+		}
+	}
+	final := report.Final
+	if final.Sessions != 3 {
+		t.Fatalf("final rollup sessions = %d, want 3", final.Sessions)
+	}
+	if final.FramesTotal == 0 {
+		t.Fatal("live fleet recorded no frames")
+	}
+	if final.LatencyP99Sec <= 0 {
+		t.Fatalf("live fleet p99 = %v, want > 0", final.LatencyP99Sec)
+	}
+	if len(final.PerProfile) != 3 {
+		t.Fatalf("per-profile rollups = %+v, want 3 profiles", final.PerProfile)
+	}
+	if final.Runtime == nil || final.Runtime.Goroutines == 0 {
+		t.Fatalf("runtime rollup missing: %+v", final.Runtime)
+	}
+}

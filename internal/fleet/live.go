@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dive/internal/chaos"
+	"dive/internal/core"
+	"dive/internal/edge"
+	"dive/internal/obs"
+	"dive/internal/world"
+)
+
+// Live mode: a small fleet of real edge.Client sessions over loopback TCP
+// against real edge.Server instances — the full wire protocol, reconnect
+// machinery and degradation ladder, with the same aggregation plane as the
+// model. Wall-clock timing makes this mode non-deterministic; it exists to
+// validate end-to-end that the model's telemetry shape (per-session series,
+// SLO windows, rollup fields) matches what the real stack emits, and to
+// exercise SessionLabelCap folding against real servers. Keep fleets small:
+// every session renders its reference clip on both ends.
+
+// LiveSpec configures a live fleet run.
+type LiveSpec struct {
+	// Agents (default 3) and Servers (default 1); sessions are assigned
+	// round-robin.
+	Agents  int
+	Servers int
+	// Duration is the clip length in seconds (default 1).
+	Duration float64
+	Seed     int64
+	// Proxy routes every session through a chaos.Proxy; Cut additionally
+	// severs all proxied connections ~a third into the run, forcing the
+	// reconnect+resume path fleet-wide.
+	Proxy bool
+	Cut   bool
+	// SessionLabelCap is applied to each server (0 keeps the default).
+	SessionLabelCap int
+	// RollupEvery is the wall-clock aggregation period (default 500ms).
+	RollupEvery time.Duration
+	// Logf receives progress lines; nil silences the run.
+	Logf func(format string, args ...interface{})
+}
+
+// liveProfiles maps the wire profile names the edge handshake accepts to
+// their world constructors.
+var liveProfiles = []struct {
+	name string
+	make func() world.Profile
+}{
+	{"nuScenes", world.NuScenesLike},
+	{"RobotCar", world.RobotCarLike},
+	{"KITTI", world.KITTILike},
+}
+
+// RunLive executes a live fleet run and returns its report plus the
+// per-session run errors (nil entries for clean sessions).
+func RunLive(spec LiveSpec) (*Report, []error, error) {
+	if spec.Agents <= 0 {
+		spec.Agents = 3
+	}
+	if spec.Servers <= 0 {
+		spec.Servers = 1
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = 1
+	}
+	if spec.RollupEvery <= 0 {
+		spec.RollupEvery = 500 * time.Millisecond
+	}
+	logf := spec.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+
+	agg := obs.NewFleetAggregator(obs.FleetConfig{CollectRuntime: true})
+
+	// Servers (and optionally one chaos proxy per server).
+	addrs := make([]string, spec.Servers)
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	var proxies []*chaos.Proxy
+	for i := 0; i < spec.Servers; i++ {
+		srv := edge.NewServer()
+		srv.Obs = obs.NewRecorder(256)
+		srv.SessionLabelCap = spec.SessionLabelCap
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: server %d listen: %w", i, err)
+		}
+		go srv.Serve()
+		srvRef := srv
+		cleanup = append(cleanup, func() { srvRef.Shutdown(2 * time.Second) })
+		target := addr.String()
+		if spec.Proxy {
+			proxy, err := chaos.NewProxy(target, chaos.ProxyConfig{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("fleet: proxy %d: %w", i, err)
+			}
+			proxies = append(proxies, proxy)
+			proxyRef := proxy
+			cleanup = append(cleanup, func() { proxyRef.Close() })
+			target = proxy.Addr()
+		}
+		addrs[i] = target
+	}
+
+	// Agents: render clips up front (the slow part), then stream
+	// concurrently.
+	type session struct {
+		name   string
+		client *edge.Client
+		clip   *world.Clip
+	}
+	sessions := make([]session, spec.Agents)
+	for i := 0; i < spec.Agents; i++ {
+		lp := liveProfiles[i%len(liveProfiles)]
+		p := lp.make()
+		p.ClipDuration = spec.Duration
+		seed := spec.Seed + int64(i)
+		clip := world.GenerateClip(p, seed)
+		rec := obs.NewRecorder(256)
+		cfg := core.DefaultAgentConfig(clip.W, clip.H, clip.FPS, clip.Focal)
+		cfg.Obs = rec
+		cfg.Seed = seed
+		cfg.Session = fmt.Sprintf("%s-%d", lp.name, seed)
+		agent, err := core.NewAgent(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: agent %d: %w", i, err)
+		}
+		client := edge.NewClient(edge.ClientConfig{
+			Addr: addrs[i%spec.Servers], Profile: lp.name, Seed: seed,
+			Duration: spec.Duration, AckTimeout: 2 * time.Second, Obs: rec,
+		}, agent)
+		sessions[i] = session{name: cfg.Session, client: client, clip: clip}
+		agg.Register(cfg.Session, lp.name, rec)
+	}
+
+	start := time.Now()
+	errs := make([]error, spec.Agents)
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := sessions[i].client.Run(sessions[i].clip)
+			errs[i] = err
+		}(i)
+	}
+	if spec.Cut && len(proxies) > 0 {
+		// One fleet-wide link cut a beat into the run: every session takes
+		// the reconnect+resume path at once.
+		time.AfterFunc(300*time.Millisecond, func() {
+			logf("fleet: cutting %d proxied links", len(proxies))
+			for _, p := range proxies {
+				p.CutConnections()
+			}
+		})
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	report := &Report{Spec: Spec{
+		Agents: spec.Agents, Servers: spec.Servers,
+		Duration: spec.Duration, Seed: spec.Seed, CollectRuntime: true,
+	}}
+	ticker := time.NewTicker(spec.RollupEvery)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-done:
+			break loop
+		case <-ticker.C:
+			report.Rollups = append(report.Rollups, agg.Rollup(time.Since(start).Seconds()))
+		}
+	}
+	report.Final = agg.Rollup(time.Since(start).Seconds())
+	report.Rollups = append(report.Rollups, report.Final)
+	return report, errs, nil
+}

@@ -1,0 +1,481 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Fleet aggregation: the layer that turns N per-session telemetry streams
+// into one fleet picture. Each session (one agent↔server stream) owns a
+// Recorder; the FleetAggregator periodically folds every registered
+// recorder's registry and SLO window into a FleetRollup — aggregate
+// frames/sec, exactly-merged latency quantiles (Histogram.Merge over
+// identical bounds), per-profile breakdowns, fleet error-budget burn, and a
+// straggler table of sessions whose p99 or burn rate stands k× above the
+// fleet median. Rollups are kept in a bounded ring served as JSONL at
+// /debug/fleet, the stream the fleet doctor detectors (straggler-session,
+// noisy-neighbor, fleet-burn) follow.
+
+// FleetConfig tunes the aggregator. The zero value is usable: every field
+// falls back to the documented default.
+type FleetConfig struct {
+	// FramesMetric/BytesMetric name the per-session counters folded into the
+	// fleet totals (defaults MetricFrames/MetricBytes).
+	FramesMetric string
+	BytesMetric  string
+	// LatencyMetric names the per-session end-to-end latency histogram
+	// merged into the fleet distribution (default StageResponse).
+	LatencyMetric string
+	// RollupCap bounds the retained rollup ring (default 512).
+	RollupCap int
+	// StragglerFactor is k: a session is a straggler when its p99 exceeds
+	// k× the fleet median p99, or its burn rate exceeds k× max(median burn,
+	// 1). Default 3.
+	StragglerFactor float64
+	// MinSessionFrames excludes sessions with fewer SLO window samples from
+	// both the medians and the straggler table (warm-up noise). Default 16.
+	MinSessionFrames int
+	// MaxStragglers caps the straggler table per rollup (default 16; the
+	// worst offenders by factor are kept).
+	MaxStragglers int
+	// Registry, when set, receives the fleet gauges (GaugeFleet*) on every
+	// rollup.
+	Registry *Registry
+	// CollectRuntime attaches process runtime stats (heap, GC pause,
+	// goroutines) to each rollup — wall-clock-dependent, so deterministic
+	// report modes leave it off.
+	CollectRuntime bool
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.FramesMetric == "" {
+		c.FramesMetric = MetricFrames
+	}
+	if c.BytesMetric == "" {
+		c.BytesMetric = MetricBytes
+	}
+	if c.LatencyMetric == "" {
+		c.LatencyMetric = StageResponse
+	}
+	if c.RollupCap <= 0 {
+		c.RollupCap = 512
+	}
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 3
+	}
+	if c.MinSessionFrames <= 0 {
+		c.MinSessionFrames = 16
+	}
+	if c.MaxStragglers <= 0 {
+		c.MaxStragglers = 16
+	}
+	return c
+}
+
+// Straggler is one row of the rollup's straggler table: a session whose
+// latency tail or burn rate stands out against the fleet median.
+type Straggler struct {
+	Session string `json:"session"`
+	Profile string `json:"profile,omitempty"`
+	Frames  int    `json:"frames"`
+	// LatencyP99Sec/BurnRate are the session's own window values.
+	LatencyP99Sec float64 `json:"latency_p99_sec"`
+	BurnRate      float64 `json:"burn_rate"`
+	// Factor is how many multiples of the fleet median the worst dimension
+	// sits at; Reason names that dimension ("latency-p99" or "burn-rate").
+	Factor float64 `json:"factor"`
+	Reason string  `json:"reason"`
+}
+
+// ProfileRollup is the fleet picture restricted to one world profile.
+type ProfileRollup struct {
+	Profile       string  `json:"profile"`
+	Sessions      int     `json:"sessions"`
+	FramesTotal   int64   `json:"frames_total"`
+	BytesTotal    int64   `json:"bytes_total"`
+	LatencyP50Sec float64 `json:"latency_p50_sec"`
+	LatencyP95Sec float64 `json:"latency_p95_sec"`
+	LatencyP99Sec float64 `json:"latency_p99_sec"`
+	MeanBurn      float64 `json:"mean_burn"`
+	Unhealthy     int     `json:"unhealthy"`
+}
+
+// RuntimeRollup is the process runtime slice attached to rollups when
+// FleetConfig.CollectRuntime is set (wall-clock-dependent; omitted from
+// deterministic reports).
+type RuntimeRollup struct {
+	HeapLiveBytes uint64  `json:"heap_live_bytes"`
+	GCPauseP99Sec float64 `json:"gc_pause_p99_sec"`
+	Goroutines    int     `json:"goroutines"`
+}
+
+// FleetRollup is one periodic fold of every session's telemetry into the
+// fleet picture — the /debug/fleet JSONL record and the input of the fleet
+// doctor detectors.
+type FleetRollup struct {
+	// Tick is the rollup sequence number (0-based); SimTimeSec is the
+	// caller-supplied clock (virtual time in the simulator, seconds since
+	// start on a live server).
+	Tick       int     `json:"tick"`
+	SimTimeSec float64 `json:"sim_time_sec"`
+
+	Sessions    int   `json:"sessions"`
+	FramesTotal int64 `json:"frames_total"`
+	BytesTotal  int64 `json:"bytes_total"`
+	// FramesPerSec is the fleet throughput over the interval since the
+	// previous rollup (whole-run average on the first).
+	FramesPerSec float64 `json:"frames_per_sec"`
+
+	// Latency quantiles of the exactly-merged per-session distributions.
+	LatencyP50Sec float64 `json:"latency_p50_sec"`
+	LatencyP95Sec float64 `json:"latency_p95_sec"`
+	LatencyP99Sec float64 `json:"latency_p99_sec"`
+
+	// FleetBurn is the frame-weighted aggregate burn rate: for each SLO
+	// objective, the fleet-wide violation fraction over its budget, worst
+	// objective kept. Unhealthy counts sessions whose own burn exceeds 1;
+	// OutageFrac is the frame-weighted outage-tracked fraction.
+	FleetBurn  float64 `json:"fleet_burn"`
+	Unhealthy  int     `json:"unhealthy_sessions"`
+	OutageFrac float64 `json:"outage_frac"`
+
+	// MedianP99Sec/MedianBurn are the per-session medians the straggler
+	// factors are measured against.
+	MedianP99Sec float64 `json:"median_p99_sec"`
+	MedianBurn   float64 `json:"median_burn"`
+
+	PerProfile []ProfileRollup `json:"per_profile,omitempty"`
+	Stragglers []Straggler     `json:"stragglers,omitempty"`
+
+	Runtime *RuntimeRollup `json:"runtime,omitempty"`
+}
+
+// sessionSource is one registered per-session telemetry stream.
+type sessionSource struct {
+	name    string
+	profile string
+	rec     *Recorder
+}
+
+// FleetAggregator folds per-session recorders into FleetRollups. All methods
+// are safe for concurrent use; Register/Unregister may race with Rollup (a
+// rollup sees a point-in-time membership). A nil aggregator is a no-op.
+type FleetAggregator struct {
+	cfg FleetConfig
+
+	mu       sync.Mutex
+	sessions map[string]*sessionSource
+	ring     []FleetRollup // bounded rollup history
+	ringPos  int           // next write index once the ring is full
+	tick     int
+	lastT    float64
+	lastN    int64
+}
+
+// NewFleetAggregator builds an aggregator with cfg (zero value for
+// defaults).
+func NewFleetAggregator(cfg FleetConfig) *FleetAggregator {
+	return &FleetAggregator{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*sessionSource),
+	}
+}
+
+// Register adds (or replaces) a session's telemetry source. profile groups
+// the session in per-profile rollups; rec must outlive the registration.
+func (a *FleetAggregator) Register(name, profile string, rec *Recorder) {
+	if a == nil || rec == nil {
+		return
+	}
+	a.mu.Lock()
+	a.sessions[name] = &sessionSource{name: name, profile: profile, rec: rec}
+	a.mu.Unlock()
+}
+
+// Unregister removes a session's source; its history stays in past rollups.
+func (a *FleetAggregator) Unregister(name string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	delete(a.sessions, name)
+	a.mu.Unlock()
+}
+
+// SessionCount returns the number of registered sources.
+func (a *FleetAggregator) SessionCount() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sessions)
+}
+
+// Rollup folds every registered session into one FleetRollup stamped with
+// the caller's clock, appends it to the ring, and publishes the fleet
+// gauges.
+func (a *FleetAggregator) Rollup(simTimeSec float64) FleetRollup {
+	if a == nil {
+		return FleetRollup{}
+	}
+	a.mu.Lock()
+	sources := make([]*sessionSource, 0, len(a.sessions))
+	for _, s := range a.sessions {
+		sources = append(sources, s)
+	}
+	tick := a.tick
+	a.tick++
+	lastT, lastN := a.lastT, a.lastN
+	a.mu.Unlock()
+	sort.Slice(sources, func(i, j int) bool { return sources[i].name < sources[j].name })
+
+	ru := a.fold(tick, simTimeSec, lastT, lastN, sources)
+
+	a.mu.Lock()
+	a.lastT, a.lastN = simTimeSec, ru.FramesTotal
+	if len(a.ring) < a.cfg.RollupCap {
+		a.ring = append(a.ring, ru)
+	} else {
+		a.ring[a.ringPos] = ru
+		a.ringPos = (a.ringPos + 1) % a.cfg.RollupCap
+	}
+	a.mu.Unlock()
+
+	if reg := a.cfg.Registry; reg != nil {
+		reg.Gauge(GaugeFleetSessions).Set(float64(ru.Sessions))
+		reg.Gauge(GaugeFleetFPS).Set(ru.FramesPerSec)
+		reg.Gauge(GaugeFleetLatencyP99).Set(ru.LatencyP99Sec)
+		reg.Gauge(GaugeFleetBurnRate).Set(ru.FleetBurn)
+		reg.Gauge(GaugeFleetStragglers).Set(float64(len(ru.Stragglers)))
+		reg.Counter(MetricFleetRollups).Inc()
+	}
+	return ru
+}
+
+// profileAcc accumulates one profile's slice of the fold.
+type profileAcc struct {
+	sessions  int
+	frames    int64
+	bytes     int64
+	lat       *Histogram
+	burnSum   float64
+	burnN     int
+	unhealthy int
+}
+
+// fold computes the rollup over a fixed source list (no aggregator locks
+// held — sources' own registries do their internal locking).
+func (a *FleetAggregator) fold(tick int, simTime, lastT float64, lastN int64, sources []*sessionSource) FleetRollup {
+	ru := FleetRollup{Tick: tick, SimTimeSec: simTime, Sessions: len(sources)}
+	fleetLat := NewHistogram(DefaultDurationBuckets)
+	profiles := make(map[string]*profileAcc)
+	sloCfg := DefaultSLOConfig()
+	if len(sources) > 0 {
+		if t := sources[0].rec.SLO(); t != nil {
+			sloCfg = t.Config()
+		}
+	}
+
+	type sessionStat struct {
+		src *sessionSource
+		st  SLOStatus
+	}
+	var stats []sessionStat
+	var wFrames, wLatOver, wFGUnder, wOutage float64
+
+	for _, src := range sources {
+		reg := src.rec.Registry()
+		frames := reg.Counter(a.cfg.FramesMetric).Value()
+		bytes := reg.Counter(a.cfg.BytesMetric).Value()
+		lat := reg.Histogram(a.cfg.LatencyMetric, DefaultDurationBuckets)
+		ru.FramesTotal += frames
+		ru.BytesTotal += bytes
+		_ = fleetLat.Merge(lat)
+
+		pa := profiles[src.profile]
+		if pa == nil {
+			pa = &profileAcc{lat: NewHistogram(DefaultDurationBuckets)}
+			profiles[src.profile] = pa
+		}
+		pa.sessions++
+		pa.frames += frames
+		pa.bytes += bytes
+		_ = pa.lat.Merge(lat)
+
+		st, ok := src.rec.SLO().SessionStatus(src.name)
+		if !ok {
+			st, ok = src.rec.SLO().SessionStatus("")
+		}
+		if !ok || st.Frames == 0 {
+			continue
+		}
+		stats = append(stats, sessionStat{src: src, st: st})
+		pa.burnSum += st.BurnRate
+		pa.burnN++
+		if !st.Healthy {
+			pa.unhealthy++
+			ru.Unhealthy++
+		}
+		w := float64(st.Frames)
+		wFrames += w
+		wLatOver += w * st.LatencyOverFrac
+		wFGUnder += w * st.FGUnderFrac
+		wOutage += w * st.OutageFrac
+	}
+
+	ru.LatencyP50Sec = fleetLat.Quantile(0.50)
+	ru.LatencyP95Sec = fleetLat.Quantile(0.95)
+	ru.LatencyP99Sec = fleetLat.Quantile(0.99)
+	if dt := simTime - lastT; dt > 0 && tick > 0 {
+		ru.FramesPerSec = float64(ru.FramesTotal-lastN) / dt
+	} else if simTime > 0 {
+		ru.FramesPerSec = float64(ru.FramesTotal) / simTime
+	}
+	if wFrames > 0 {
+		ru.OutageFrac = wOutage / wFrames
+		latBurn := (wLatOver / wFrames) / sloCfg.LatencyBudget
+		fgBurn := (wFGUnder / wFrames) / sloCfg.FGShareBudget
+		outBurn := (wOutage / wFrames) / sloCfg.MaxOutageFraction
+		ru.FleetBurn = math.Max(latBurn, math.Max(fgBurn, outBurn))
+	}
+
+	// Per-session medians over warm sessions, then the straggler table.
+	var p99s, burns []float64
+	for _, s := range stats {
+		if s.st.Frames < a.cfg.MinSessionFrames {
+			continue
+		}
+		p99s = append(p99s, s.st.LatencyP99Sec)
+		burns = append(burns, s.st.BurnRate)
+	}
+	ru.MedianP99Sec = median(p99s)
+	ru.MedianBurn = median(burns)
+	for _, s := range stats {
+		if s.st.Frames < a.cfg.MinSessionFrames {
+			continue
+		}
+		factor, reason := 0.0, ""
+		if ru.MedianP99Sec > 0 {
+			if f := s.st.LatencyP99Sec / ru.MedianP99Sec; f > factor {
+				factor, reason = f, "latency-p99"
+			}
+		}
+		// Burn factors are measured against max(median, 1): a fleet burning
+		// near zero should not mark a session at burn 0.1 a straggler.
+		if f := s.st.BurnRate / math.Max(ru.MedianBurn, 1); f > factor {
+			factor, reason = f, "burn-rate"
+		}
+		if factor > a.cfg.StragglerFactor {
+			ru.Stragglers = append(ru.Stragglers, Straggler{
+				Session:       s.src.name,
+				Profile:       s.src.profile,
+				Frames:        s.st.Frames,
+				LatencyP99Sec: s.st.LatencyP99Sec,
+				BurnRate:      s.st.BurnRate,
+				Factor:        factor,
+				Reason:        reason,
+			})
+		}
+	}
+	sort.Slice(ru.Stragglers, func(i, j int) bool {
+		if ru.Stragglers[i].Factor != ru.Stragglers[j].Factor {
+			return ru.Stragglers[i].Factor > ru.Stragglers[j].Factor
+		}
+		return ru.Stragglers[i].Session < ru.Stragglers[j].Session
+	})
+	if len(ru.Stragglers) > a.cfg.MaxStragglers {
+		ru.Stragglers = ru.Stragglers[:a.cfg.MaxStragglers]
+	}
+
+	for _, name := range sortedKeys(profiles) {
+		pa := profiles[name]
+		pr := ProfileRollup{
+			Profile:       name,
+			Sessions:      pa.sessions,
+			FramesTotal:   pa.frames,
+			BytesTotal:    pa.bytes,
+			LatencyP50Sec: pa.lat.Quantile(0.50),
+			LatencyP95Sec: pa.lat.Quantile(0.95),
+			LatencyP99Sec: pa.lat.Quantile(0.99),
+			Unhealthy:     pa.unhealthy,
+		}
+		if pa.burnN > 0 {
+			pr.MeanBurn = pa.burnSum / float64(pa.burnN)
+		}
+		ru.PerProfile = append(ru.PerProfile, pr)
+	}
+
+	if a.cfg.CollectRuntime {
+		st := CollectRuntimeStats()
+		ru.Runtime = &RuntimeRollup{
+			HeapLiveBytes: st.HeapLiveBytes,
+			GCPauseP99Sec: st.GCPauseP99Sec,
+			Goroutines:    st.Goroutines,
+		}
+	}
+	return ru
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Recent returns up to n rollups, oldest first (all when n <= 0).
+func (a *FleetAggregator) Recent(n int) []FleetRollup {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]FleetRollup, 0, len(a.ring))
+	if len(a.ring) < a.cfg.RollupCap {
+		out = append(out, a.ring...)
+	} else {
+		out = append(out, a.ring[a.ringPos:]...)
+		out = append(out, a.ring[:a.ringPos]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Last returns the most recent rollup (ok false before the first).
+func (a *FleetAggregator) Last() (FleetRollup, bool) {
+	r := a.Recent(1)
+	if len(r) == 0 {
+		return FleetRollup{}, false
+	}
+	return r[0], true
+}
+
+// Handler serves the rollup ring as JSONL, oldest first — the /debug/fleet
+// endpoint the fleet doctor follows (cursor on the tick field).
+func (a *FleetAggregator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if a == nil {
+			http.Error(w, "fleet aggregation disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ru := range a.Recent(0) {
+			if err := enc.Encode(ru); err != nil {
+				return
+			}
+		}
+	})
+}

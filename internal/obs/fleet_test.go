@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramMergeQuantileProperty is the merged-quantile accuracy
+// property: splitting one observation stream across k histograms at random
+// and merging them back must reproduce the unsplit histogram's p50/p95/p99
+// exactly (bucket counts add, so the estimator sees identical input).
+func TestHistogramMergeQuantileProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		k := 2 + rng.Intn(6)
+		n := 100 + rng.Intn(4000)
+
+		whole := NewHistogram(DefaultDurationBuckets)
+		parts := make([]*Histogram, k)
+		for i := range parts {
+			parts[i] = NewHistogram(DefaultDurationBuckets)
+		}
+		for i := 0; i < n; i++ {
+			// Spread samples over the full bucket range, including overflow.
+			v := math_exp(rng)
+			whole.Observe(v)
+			parts[rng.Intn(k)].Observe(v)
+		}
+
+		merged := NewHistogram(DefaultDurationBuckets)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatalf("trial %d: merge: %v", trial, err)
+			}
+		}
+		if merged.Count() != whole.Count() {
+			t.Fatalf("trial %d: merged count %d != %d", trial, merged.Count(), whole.Count())
+		}
+		for _, q := range []float64{0.50, 0.95, 0.99} {
+			if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+				t.Fatalf("trial %d: p%g merged %v != unsplit %v", trial, q*100, got, want)
+			}
+		}
+	}
+}
+
+// math_exp draws a duration-like sample spanning the default buckets,
+// including the overflow bucket.
+func math_exp(rng *rand.Rand) float64 {
+	return 25e-6 * math.Pow(10, rng.Float64()*6) // 25µs .. 25s
+}
+
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2, 4})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with different bounds should fail")
+	}
+	c := NewHistogram([]float64{1, 2})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with different bound count should fail")
+	}
+}
+
+// TestSnapshotMerge checks the snapshot-level fold: counters add, gauges
+// sum, histograms with bucket detail merge exactly, labeled families merge
+// per value.
+func TestSnapshotMerge(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	whole := NewRegistry()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		v := math_exp(rng)
+		whole.Histogram("lat", DefaultDurationBuckets).Observe(v)
+		if rng.Intn(2) == 0 {
+			r1.Histogram("lat", DefaultDurationBuckets).Observe(v)
+		} else {
+			r2.Histogram("lat", DefaultDurationBuckets).Observe(v)
+		}
+	}
+	r1.Counter("frames").Add(10)
+	r2.Counter("frames").Add(32)
+	r1.Gauge("inflight").Set(3)
+	r2.Gauge("inflight").Set(4)
+	r1.LabeledCounter("by_session", "session").Add("a", 5)
+	r2.LabeledCounter("by_session", "session").Add("a", 7)
+	r2.LabeledCounter("by_session", "session").Add("b", 1)
+
+	s := r1.Snapshot()
+	s.Merge(r2.Snapshot())
+
+	if got := s.Counters["frames"]; got != 42 {
+		t.Fatalf("merged counter = %d, want 42", got)
+	}
+	if got := s.Gauges["inflight"]; got != 7 {
+		t.Fatalf("merged gauge = %v, want 7", got)
+	}
+	ws := whole.Snapshot().Histograms["lat"]
+	ms := s.Histograms["lat"]
+	if ms.Count != ws.Count || ms.P50 != ws.P50 || ms.P95 != ws.P95 || ms.P99 != ws.P99 {
+		t.Fatalf("merged hist %+v != unsplit %+v", ms, ws)
+	}
+	if got := s.LabeledCounters["by_session"]["a"]; got != 12 {
+		t.Fatalf("merged labeled counter a = %d, want 12", got)
+	}
+	if got := s.LabeledCounters["by_session"]["b"]; got != 1 {
+		t.Fatalf("merged labeled counter b = %d, want 1", got)
+	}
+}
+
+// TestLabeledFold checks LabeledHistogram.Fold and LabeledCounter.Total
+// roll a family up to one series.
+func TestLabeledFold(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("frames", "session")
+	lc.Add("a", 3)
+	lc.Add("b", 4)
+	if got := lc.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	lh := r.LabeledHistogram("lat", "session", []float64{1, 2, 3})
+	lh.Observe("a", 0.5)
+	lh.Observe("b", 2.5)
+	lh.Observe("b", 2.5)
+	f := lh.Fold()
+	if f.Count() != 3 {
+		t.Fatalf("folded count = %d, want 3", f.Count())
+	}
+	var nilH *LabeledHistogram
+	if nilH.Fold() != nil {
+		t.Fatal("nil family Fold should be nil")
+	}
+	var nilC *LabeledCounter
+	if nilC.Total() != 0 {
+		t.Fatal("nil family Total should be 0")
+	}
+}
+
+// TestLabelOverflowCounter checks that folding into OverflowLabel is
+// surfaced on obs_label_overflow_total instead of happening silently.
+func TestLabelOverflowCounter(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxLabelValues(4)
+	lc := r.LabeledCounter("frames", "session")
+	for i := 0; i < 4; i++ {
+		lc.Inc(fmt.Sprintf("s%d", i))
+	}
+	if got := r.Counter(MetricLabelOverflow).Value(); got != 0 {
+		t.Fatalf("overflow counter = %d before cap hit, want 0", got)
+	}
+	lc.Inc("s4")
+	lc.Inc("s5")
+	if got := r.Counter(MetricLabelOverflow).Value(); got != 2 {
+		t.Fatalf("overflow counter = %d after 2 folds, want 2", got)
+	}
+	// Cached overflow child lookups still count: each With on a folded value
+	// re-resolves, so repeated folded traffic stays visible.
+	lc.Inc("s4")
+	if got := r.Counter(MetricLabelOverflow).Value(); got != 3 {
+		t.Fatalf("overflow counter = %d after repeat fold, want 3", got)
+	}
+}
+
+// fleetFixture registers n sessions on an aggregator, each with its own
+// recorder, frames counter, latency histogram and SLO window.
+func fleetFixture(t *testing.T, agg *FleetAggregator, n int, slow map[int]bool) []*Recorder {
+	t.Helper()
+	recs := make([]*Recorder, n)
+	profiles := []string{"nuScenes", "robotcar", "kitti"}
+	for i := 0; i < n; i++ {
+		rec := NewRecorder(64)
+		recs[i] = rec
+		name := fmt.Sprintf("agent-%03d", i)
+		profile := profiles[i%len(profiles)]
+		lat := 0.05
+		if slow[i] {
+			lat = 0.8
+		}
+		for f := 0; f < 60; f++ {
+			rec.Counter(MetricFrames).Inc()
+			rec.Counter(MetricBytes).Add(1000)
+			rec.Registry().Histogram(StageResponse, DefaultDurationBuckets).Observe(lat)
+			rec.ObserveSLO(name, SLOSample{LatencySec: lat, FGShare: 0.2})
+		}
+		agg.Register(name, profile, rec)
+	}
+	return recs
+}
+
+// TestFleetAggregatorRollup checks totals, per-profile breakdowns and the
+// straggler table against a fleet with two scripted slow sessions.
+func TestFleetAggregatorRollup(t *testing.T) {
+	reg := NewRegistry()
+	agg := NewFleetAggregator(FleetConfig{Registry: reg})
+	fleetFixture(t, agg, 12, map[int]bool{3: true, 7: true})
+
+	ru := agg.Rollup(5.0)
+	if ru.Sessions != 12 {
+		t.Fatalf("sessions = %d, want 12", ru.Sessions)
+	}
+	if ru.FramesTotal != 12*60 {
+		t.Fatalf("frames = %d, want %d", ru.FramesTotal, 12*60)
+	}
+	if ru.FramesPerSec != float64(12*60)/5.0 {
+		t.Fatalf("fps = %v, want %v", ru.FramesPerSec, float64(12*60)/5.0)
+	}
+	if len(ru.PerProfile) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(ru.PerProfile))
+	}
+	var profFrames int64
+	for _, p := range ru.PerProfile {
+		profFrames += p.FramesTotal
+	}
+	if profFrames != ru.FramesTotal {
+		t.Fatalf("per-profile frames %d != fleet %d", profFrames, ru.FramesTotal)
+	}
+	if len(ru.Stragglers) != 2 {
+		t.Fatalf("stragglers = %+v, want agent-003 and agent-007", ru.Stragglers)
+	}
+	got := map[string]bool{}
+	for _, s := range ru.Stragglers {
+		got[s.Session] = true
+		if s.Factor <= 3 {
+			t.Fatalf("straggler factor %v should exceed 3", s.Factor)
+		}
+	}
+	if !got["agent-003"] || !got["agent-007"] {
+		t.Fatalf("stragglers = %+v", ru.Stragglers)
+	}
+	// The slow sessions' 0.8s latency blows the 0.25s/1% objective, so the
+	// fleet-level aggregate burn must be visible too.
+	if ru.FleetBurn <= 1 {
+		t.Fatalf("fleet burn = %v, want > 1 with 2/12 sessions at 0.8s", ru.FleetBurn)
+	}
+	if ru.Unhealthy != 2 {
+		t.Fatalf("unhealthy = %d, want 2", ru.Unhealthy)
+	}
+	if reg.Gauge(GaugeFleetSessions).Value() != 12 {
+		t.Fatalf("fleet sessions gauge = %v", reg.Gauge(GaugeFleetSessions).Value())
+	}
+	if reg.Gauge(GaugeFleetStragglers).Value() != 2 {
+		t.Fatalf("fleet stragglers gauge = %v", reg.Gauge(GaugeFleetStragglers).Value())
+	}
+
+	// Second rollup: interval throughput, not whole-run average.
+	ru2 := agg.Rollup(6.0)
+	if ru2.Tick != 1 {
+		t.Fatalf("tick = %d, want 1", ru2.Tick)
+	}
+	if ru2.FramesPerSec != 0 {
+		t.Fatalf("interval fps = %v, want 0 (no new frames)", ru2.FramesPerSec)
+	}
+}
+
+// TestFleetHandlerJSONL checks /debug/fleet serves the rollup ring as
+// JSONL, oldest first, with parseable records.
+func TestFleetHandlerJSONL(t *testing.T) {
+	agg := NewFleetAggregator(FleetConfig{RollupCap: 4})
+	fleetFixture(t, agg, 3, nil)
+	for i := 0; i < 6; i++ {
+		agg.Rollup(float64(i + 1))
+	}
+	rr := httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet", nil))
+	lines := strings.Split(strings.TrimSpace(rr.Body.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want ring cap 4", len(lines))
+	}
+	prev := -1
+	for _, line := range lines {
+		var ru FleetRollup
+		if err := json.Unmarshal([]byte(line), &ru); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if ru.Tick <= prev {
+			t.Fatalf("ticks not ascending: %d after %d", ru.Tick, prev)
+		}
+		prev = ru.Tick
+	}
+	if prev != 5 {
+		t.Fatalf("last tick = %d, want 5", prev)
+	}
+}
+
+// TestFleetAggregatorConcurrent is the registration-vs-aggregation race
+// test: sessions register, observe and unregister from four goroutines while
+// the test goroutine folds rollups the whole time, under -race.
+func TestFleetAggregatorConcurrent(t *testing.T) {
+	agg := NewFleetAggregator(FleetConfig{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				rec := NewRecorder(16)
+				name := fmt.Sprintf("g%d-s%d", g, i)
+				agg.Register(name, "nuScenes", rec)
+				for f := 0; f < 20; f++ {
+					rec.Counter(MetricFrames).Inc()
+					rec.Registry().Histogram(StageResponse, DefaultDurationBuckets).Observe(0.05)
+					rec.ObserveSLO(name, SLOSample{LatencySec: 0.05, FGShare: 0.2})
+				}
+				if i%3 == 0 {
+					agg.Unregister(name)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { writers.Wait(); close(done) }()
+
+	tick := 0
+	for {
+		tick++
+		agg.Rollup(float64(tick))
+		select {
+		case <-done:
+			ru := agg.Rollup(float64(tick + 1))
+			if ru.Sessions == 0 {
+				t.Fatal("expected surviving sessions after concurrent churn")
+			}
+			return
+		default:
+		}
+	}
+}

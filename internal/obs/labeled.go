@@ -47,17 +47,22 @@ type LabeledHistogram struct {
 	labeled[*Histogram]
 }
 
-// labeled is the shared family machinery: a bounded label→child map.
+// labeled is the shared family machinery: a bounded label→child map. reg
+// points back at the owning registry so cardinality folds can surface on the
+// MetricLabelOverflow counter; the increment happens strictly after l.mu is
+// released, because registry readers (Snapshot, WritePrometheus) take r.mu
+// before l.mu and the reverse order would deadlock.
 type labeled[T any] struct {
 	key       string
 	maxValues int
 	newChild  func() T
+	reg       *Registry
 
 	mu       sync.RWMutex
 	children map[string]T
 }
 
-func newLabeled[T any](key string, maxValues int, newChild func() T) labeled[T] {
+func newLabeled[T any](reg *Registry, key string, maxValues int, newChild func() T) labeled[T] {
 	if maxValues <= 0 {
 		maxValues = DefaultMaxLabelValues
 	}
@@ -65,12 +70,15 @@ func newLabeled[T any](key string, maxValues int, newChild func() T) labeled[T] 
 		key:       key,
 		maxValues: maxValues,
 		newChild:  newChild,
+		reg:       reg,
 		children:  make(map[string]T),
 	}
 }
 
 // with returns the child for value, creating it on first use and folding
-// into OverflowLabel once the cardinality bound is hit.
+// into OverflowLabel once the cardinality bound is hit. Every folded lookup
+// increments obs_label_overflow_total, so silent cardinality loss is visible
+// on /metrics.
 func (l *labeled[T]) with(value string) T {
 	l.mu.RLock()
 	c, ok := l.children[value]
@@ -78,20 +86,32 @@ func (l *labeled[T]) with(value string) T {
 	if ok {
 		return c
 	}
+	c, folded := l.resolve(value)
+	if folded && l.reg != nil {
+		l.reg.Counter(MetricLabelOverflow).Inc()
+	}
+	return c
+}
+
+// resolve is the slow path of with: create-or-fold under the write lock,
+// reporting whether the lookup was folded into OverflowLabel.
+func (l *labeled[T]) resolve(value string) (T, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if c, ok := l.children[value]; ok {
-		return c
+		return c, false
 	}
+	folded := false
 	if len(l.children) >= l.maxValues && value != OverflowLabel {
+		folded = true
 		if c, ok := l.children[OverflowLabel]; ok {
-			return c
+			return c, true
 		}
 		value = OverflowLabel
 	}
-	c = l.newChild()
+	c := l.newChild()
 	l.children[value] = c
-	return c
+	return c, folded
 }
 
 // snapshot returns the children under a sorted copy of their label values.
@@ -137,6 +157,14 @@ func (c *LabeledCounter) Each(fn func(value string, v int64)) {
 	for _, v := range values {
 		fn(v, children[v].Value())
 	}
+}
+
+// Total returns the sum across every label value — the family rolled up to
+// one number, as a fleet aggregate would report it.
+func (c *LabeledCounter) Total() int64 {
+	var t int64
+	c.Each(func(_ string, v int64) { t += v })
+	return t
 }
 
 // Key returns the family's label key ("" for a nil family).
@@ -200,6 +228,26 @@ func (h *LabeledHistogram) Each(fn func(value string, h *Histogram)) {
 	}
 }
 
+// Fold merges every child into one histogram over the family's shared
+// bounds — the family rolled up to a single distribution. Returns nil when
+// the family is nil or empty. Children observed concurrently contribute a
+// point-in-time prefix; the merge itself is exact (children of one family
+// always share bounds).
+func (h *LabeledHistogram) Fold() *Histogram {
+	if h == nil {
+		return nil
+	}
+	values, children := h.snapshot()
+	if len(values) == 0 {
+		return nil
+	}
+	out := NewHistogram(children[values[0]].bounds)
+	for _, v := range values {
+		_ = out.Merge(children[v])
+	}
+	return out
+}
+
 // LabeledCounter returns the named counter family with the given label key,
 // creating it on first use (later calls ignore the key).
 func (r *Registry) LabeledCounter(name, key string) *LabeledCounter {
@@ -217,7 +265,7 @@ func (r *Registry) LabeledCounter(name, key string) *LabeledCounter {
 	if c := r.labeledCounters[name]; c != nil {
 		return c
 	}
-	c = &LabeledCounter{newLabeled(key, r.maxLabelValues, func() *Counter { return &Counter{} })}
+	c = &LabeledCounter{newLabeled(r, key, r.maxLabelValues, func() *Counter { return &Counter{} })}
 	r.labeledCounters[name] = c
 	return c
 }
@@ -239,7 +287,7 @@ func (r *Registry) LabeledGauge(name, key string) *LabeledGauge {
 	if g := r.labeledGauges[name]; g != nil {
 		return g
 	}
-	g = &LabeledGauge{newLabeled(key, r.maxLabelValues, func() *Gauge { return &Gauge{} })}
+	g = &LabeledGauge{newLabeled(r, key, r.maxLabelValues, func() *Gauge { return &Gauge{} })}
 	r.labeledGauges[name] = g
 	return g
 }
@@ -265,7 +313,7 @@ func (r *Registry) LabeledHistogram(name, key string, bounds []float64) *Labeled
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	h = &LabeledHistogram{newLabeled(key, r.maxLabelValues, func() *Histogram { return NewHistogram(b) })}
+	h = &LabeledHistogram{newLabeled(r, key, r.maxLabelValues, func() *Histogram { return NewHistogram(b) })}
 	r.labeledHists[name] = h
 	return h
 }

@@ -125,37 +125,101 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	return quantileFromBuckets(h.bounds, h.bucketCounts(), q)
+}
+
+// quantileFromBuckets is the quantile estimator over raw (non-cumulative)
+// bucket counts — shared by live histograms and merged snapshots so both
+// report identical quantiles for identical bucket contents.
+func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
 	if total == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	cum := 0.0
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
+	for i := range counts {
+		n := float64(counts[i])
 		if cum+n < rank || n == 0 {
 			cum += n
 			continue
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		if i == len(h.bounds) {
+		if i == len(bounds) {
 			// Overflow bucket: no finite upper bound to interpolate to.
 			return lo
 		}
-		hi := h.bounds[i]
+		hi := bounds[i]
 		frac := (rank - cum) / n
 		return lo + frac*(hi-lo)
 	}
-	if len(h.bounds) > 0 {
-		return h.bounds[len(h.bounds)-1]
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
 	}
 	return 0
 }
 
-// bucketCounts returns a snapshot of cumulative counts per bound (for the
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// bucketCounts returns the raw (non-cumulative) per-bucket counts.
+func (h *Histogram) bucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Merge folds every observation recorded in src into h. Both histograms
+// must share identical bucket bounds; bucket counts then add exactly, so
+// the merged quantiles equal those of a single histogram that had observed
+// both streams — the property the fleet aggregator depends on when it
+// collapses per-session latency histograms into one fleet distribution.
+// Merging from a histogram that is being observed concurrently is safe;
+// the merge sees some point-in-time prefix of its observations.
+func (h *Histogram) Merge(src *Histogram) error {
+	if h == nil || src == nil {
+		return nil
+	}
+	if len(h.bounds) != len(src.bounds) {
+		return fmt.Errorf("obs: merge histogram with %d bounds into %d", len(src.bounds), len(h.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != src.bounds[i] {
+			return fmt.Errorf("obs: merge histograms with different bounds (index %d: %g vs %g)", i, h.bounds[i], src.bounds[i])
+		}
+	}
+	for i := range src.counts {
+		if n := src.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + src.Sum())
+		if h.sum.CompareAndSwap(old, nv) {
+			return nil
+		}
+	}
+}
+
+// cumulative returns a snapshot of cumulative counts per bound (for the
 // Prometheus exposition, which is cumulative).
 func (h *Histogram) cumulative() []int64 {
 	out := make([]int64, len(h.counts))
@@ -351,13 +415,83 @@ func sortedKeys[M ~map[string]V, V any](m M) []string {
 	return keys
 }
 
-// HistogramSnapshot is the point-in-time summary of one histogram.
+// HistogramSnapshot is the point-in-time summary of one histogram. Bounds
+// and Buckets carry the raw (non-cumulative) bucket detail so snapshots
+// from different sessions can be merged without losing quantile accuracy;
+// both are omitted from JSON when absent (hand-built summaries).
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// snapshotHistogram summarizes h including its bucket detail. The quantiles
+// are computed from the same bucket copy that is exported, so a merged
+// snapshot re-deriving quantiles from Buckets reproduces them exactly.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	buckets := h.bucketCounts()
+	var count int64
+	for _, c := range buckets {
+		count += c
+	}
+	return HistogramSnapshot{
+		Count: count, Sum: h.Sum(),
+		P50:     quantileFromBuckets(h.bounds, buckets, 0.50),
+		P95:     quantileFromBuckets(h.bounds, buckets, 0.95),
+		P99:     quantileFromBuckets(h.bounds, buckets, 0.99),
+		Bounds:  h.Bounds(),
+		Buckets: buckets,
+	}
+}
+
+// mergeHistogramSnapshots folds b into a. When both carry identical bucket
+// detail the merge is exact: buckets add and quantiles are re-derived from
+// the merged buckets. Without matching detail it falls back to count-weighted
+// quantile interpolation — approximate, but monotone and bounded by the
+// inputs.
+func mergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 && a.Sum == 0 && len(a.Buckets) == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	if len(a.Bounds) > 0 && len(a.Bounds) == len(b.Bounds) &&
+		len(a.Buckets) == len(b.Buckets) && boundsEqual(a.Bounds, b.Bounds) {
+		buckets := make([]int64, len(a.Buckets))
+		for i := range buckets {
+			buckets[i] = a.Buckets[i] + b.Buckets[i]
+		}
+		return HistogramSnapshot{
+			Count: a.Count + b.Count, Sum: a.Sum + b.Sum,
+			P50:     quantileFromBuckets(a.Bounds, buckets, 0.50),
+			P95:     quantileFromBuckets(a.Bounds, buckets, 0.95),
+			P99:     quantileFromBuckets(a.Bounds, buckets, 0.99),
+			Bounds:  a.Bounds,
+			Buckets: buckets,
+		}
+	}
+	wa, wb := float64(a.Count), float64(b.Count)
+	tot := wa + wb
+	return HistogramSnapshot{
+		Count: a.Count + b.Count, Sum: a.Sum + b.Sum,
+		P50: (a.P50*wa + b.P50*wb) / tot,
+		P95: (a.P95*wa + b.P95*wb) / tot,
+		P99: (a.P99*wa + b.P99*wb) / tot,
+	}
+}
+
+func boundsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry. The
@@ -393,10 +527,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = HistogramSnapshot{
-			Count: h.Count(), Sum: h.Sum(),
-			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
-		}
+		s.Histograms[name] = snapshotHistogram(h)
 	}
 	for name, fam := range r.labeledCounters {
 		m := make(map[string]int64)
@@ -421,10 +552,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	for name, fam := range r.labeledHists {
 		m := make(map[string]HistogramSnapshot)
 		fam.Each(func(value string, h *Histogram) {
-			m[value] = HistogramSnapshot{
-				Count: h.Count(), Sum: h.Sum(),
-				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
-			}
+			m[value] = snapshotHistogram(h)
 		})
 		if len(m) > 0 {
 			if s.LabeledHistograms == nil {
@@ -434,4 +562,77 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 	}
 	return s
+}
+
+// Merge folds src into s: counters and gauges add, histograms merge exactly
+// when both sides carry matching bucket detail (count-weighted quantile
+// blend otherwise), and labeled families merge per label value. Gauges add
+// rather than overwrite because fleet consumers want totals (frames in
+// flight, burn contributions); callers needing a different gauge fold should
+// post-process. UptimeSec keeps the maximum — the fleet has been up as long
+// as its oldest member.
+func (s *Snapshot) Merge(src *Snapshot) {
+	if s == nil || src == nil {
+		return
+	}
+	if src.UptimeSec > s.UptimeSec {
+		s.UptimeSec = src.UptimeSec
+	}
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	for k, v := range src.Counters {
+		s.Counters[k] += v
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	for k, v := range src.Gauges {
+		s.Gauges[k] += v
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for k, v := range src.Histograms {
+		s.Histograms[k] = mergeHistogramSnapshots(s.Histograms[k], v)
+	}
+	for name, vals := range src.LabeledCounters {
+		if s.LabeledCounters == nil {
+			s.LabeledCounters = make(map[string]map[string]int64)
+		}
+		m := s.LabeledCounters[name]
+		if m == nil {
+			m = make(map[string]int64)
+			s.LabeledCounters[name] = m
+		}
+		for value, v := range vals {
+			m[value] += v
+		}
+	}
+	for name, vals := range src.LabeledGauges {
+		if s.LabeledGauges == nil {
+			s.LabeledGauges = make(map[string]map[string]float64)
+		}
+		m := s.LabeledGauges[name]
+		if m == nil {
+			m = make(map[string]float64)
+			s.LabeledGauges[name] = m
+		}
+		for value, v := range vals {
+			m[value] += v
+		}
+	}
+	for name, vals := range src.LabeledHistograms {
+		if s.LabeledHistograms == nil {
+			s.LabeledHistograms = make(map[string]map[string]HistogramSnapshot)
+		}
+		m := s.LabeledHistograms[name]
+		if m == nil {
+			m = make(map[string]HistogramSnapshot)
+			s.LabeledHistograms[name] = m
+		}
+		for value, v := range vals {
+			m[value] = mergeHistogramSnapshots(m[value], v)
+		}
+	}
 }

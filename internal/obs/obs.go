@@ -110,6 +110,20 @@ const (
 	GaugeGoHeapLiveBytes = "go_heap_live_bytes"
 	GaugeGoGCPauseP99    = "go_gc_pause_p99_seconds"
 	GaugeGoGoroutines    = "go_goroutines"
+
+	// MetricLabelOverflow counts lookups folded into OverflowLabel because a
+	// labeled family hit its cardinality bound — the signal that per-session
+	// series are silently collapsing and the cap needs raising (labeled.go).
+	MetricLabelOverflow = "obs_label_overflow_total"
+
+	// Fleet aggregation plane (fleet.go): fleet-wide gauges published by the
+	// FleetAggregator each rollup tick.
+	GaugeFleetSessions   = "fleet_sessions"
+	GaugeFleetFPS        = "fleet_frames_per_sec"
+	GaugeFleetLatencyP99 = "fleet_latency_p99_seconds"
+	GaugeFleetBurnRate   = "fleet_burn_rate"
+	GaugeFleetStragglers = "fleet_stragglers"
+	MetricFleetRollups   = "fleet_rollups_total"
 )
 
 // Recorder bundles a metrics registry, a frame-lifecycle ring, a decision
