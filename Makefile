@@ -44,6 +44,8 @@ bench-smoke:
 	$(GO) run ./cmd/divebench -scale smoke -only f16 -speedup=false -telemetry -json bench_smoke.json
 	$(GO) run ./cmd/divetrace -format journal -duration 2 -pipeline-depth 3 -o smoke.journal.jsonl
 	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl -bench bench_smoke.json -baseline ci/bench_baseline.json -json
+	$(GO) run ./cmd/divebench -scale smoke -only none -speedup=false -pipeline-depth 0 -streams 4 -streams-secs 2 -runtime-log streams_runtime.jsonl -json streams_smoke.json
+	$(GO) run ./cmd/divedoctor -runtime streams_runtime.jsonl -json
 
 # Allocation gate (the CI bench-alloc job): run the steady-state encode
 # benchmarks with -benchmem and fail if allocs/op or B/op regressed past the
@@ -105,4 +107,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_results.json bench_smoke.json smoke.journal.jsonl bench_alloc.txt
+	rm -f bench_results.json bench_smoke.json smoke.journal.jsonl bench_alloc.txt streams_smoke.json streams_runtime.jsonl

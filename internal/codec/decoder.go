@@ -133,7 +133,12 @@ func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
 				mvs[i] = mv
 				qp := clampQP(int(baseQP) + int(dqp))
 				qps[i] = qp
-				if err := decodeInterMB(r, d.ref, recon, px, py, mv, qp, subpel); err != nil {
+				if d.cfg.RefTransform {
+					err = refDecodeInterMB(r, d.ref, recon, px, py, mv, qp, subpel)
+				} else {
+					err = decodeInterMB(r, d.ref, recon, px, py, mv, qp, subpel)
+				}
+				if err != nil {
 					return nil, err
 				}
 			case ModeIntra:
@@ -143,7 +148,12 @@ func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
 				}
 				qp := clampQP(int(baseQP) + int(dqp))
 				qps[i] = qp
-				if err := decodeIntraMB(r, recon, px, py, qp); err != nil {
+				if d.cfg.RefTransform {
+					err = refDecodeIntraMB(r, recon, px, py, qp)
+				} else {
+					err = decodeIntraMB(r, recon, px, py, qp)
+				}
+				if err != nil {
 					return nil, err
 				}
 			default:
@@ -161,23 +171,29 @@ func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
 	}, nil
 }
 
-// decodeInterMB reads residual coefficients and reconstructs one inter MB.
+// errBadIntraMode is shared by the fixed and reference intra decoders.
+func errBadIntraMode(m uint32) error {
+	return fmt.Errorf("%w: bad intra mode %d", ErrBitstream, m)
+}
+
+// decodeInterMB reads residual coefficients and reconstructs one inter MB
+// with the same fixed-point kernels the encoder reconstructed with, so the
+// decode stays bit-exact with the encoder's reference.
 func decodeInterMB(r *BitReader, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel bool) error {
-	qstep := QStep(qp)
-	var dct, res [blockSize * blockSize]float64
+	var dct, res [blockSize * blockSize]int32
 	var levels [blockSize * blockSize]int32
 	for by := 0; by < MBSize; by += blockSize {
 		for bx := 0; bx < MBSize; bx += blockSize {
 			if err := readCoeffs(r, &levels); err != nil {
 				return err
 			}
-			dequantizeBlock(&levels, qstep, &dct)
-			idct8(&dct, &res)
+			dequantizeBlockFixed(&levels, qp, &dct)
+			idct8Fixed(&dct, &res)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
 					cx, cy := px+bx+x, py+by+y
-					v := refSample(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
-					recon.Set(cx, cy, clampPix(v))
+					v := refSampleI(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
+					recon.Set(cx, cy, clampPixI(v))
 				}
 			}
 		}
@@ -188,8 +204,7 @@ func decodeInterMB(r *BitReader, ref, recon *imgx.Plane, px, py int, mv MV, qp i
 // decodeIntraMB reads per-block prediction modes and coefficients and
 // reconstructs one intra MB, mirroring encodeIntraMB.
 func decodeIntraMB(r *BitReader, recon *imgx.Plane, px, py int, qp int) error {
-	qstep := QStep(qp)
-	var pred, dct, res [blockSize * blockSize]float64
+	var pred, dct, res [blockSize * blockSize]int32
 	var levels [blockSize * blockSize]int32
 	for by := 0; by < MBSize; by += blockSize {
 		for bx := 0; bx < MBSize; bx += blockSize {
@@ -198,17 +213,17 @@ func decodeIntraMB(r *BitReader, recon *imgx.Plane, px, py int, qp int) error {
 				return err
 			}
 			if m >= numIntraModes {
-				return fmt.Errorf("%w: bad intra mode %d", ErrBitstream, m)
+				return errBadIntraMode(m)
 			}
 			if err := readCoeffs(r, &levels); err != nil {
 				return err
 			}
 			intraPredict(recon, px+bx, py+by, int(m), &pred)
-			dequantizeBlock(&levels, qstep, &dct)
-			idct8(&dct, &res)
+			dequantizeBlockFixed(&levels, qp, &dct)
+			idct8Fixed(&dct, &res)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
-					recon.Set(px+bx+x, py+by+y, clampPix(pred[y*blockSize+x]+res[y*blockSize+x]))
+					recon.Set(px+bx+x, py+by+y, clampPixI(pred[y*blockSize+x]+res[y*blockSize+x]))
 				}
 			}
 		}

@@ -72,6 +72,12 @@ type Config struct {
 	// across encodes (tests, offline collectors) would observe overwrites.
 	// The emitted bits are byte-identical either way.
 	ReuseFrames bool
+	// RefTransform selects the float64 reference transform/quantize/intra
+	// kernels (dct_ref.go) instead of the fixed-point production kernels,
+	// reproducing the pre-fixed-point bitstreams exactly. Encoder and
+	// decoder must agree on it. It exists for the transform-parity
+	// experiment and the cross-check tests; production leaves it off.
+	RefTransform bool
 }
 
 // DefaultConfig returns sensible defaults for a frame size.
@@ -212,8 +218,15 @@ type Encoder struct {
 	mfBuf  [2]*MotionField
 	mfNext int
 	// dctScratch is the recycled backing array of the per-frame inter-DCT
-	// cache (QP-independent, rebuilt each P-frame, never escapes Encode).
-	dctScratch [][blockSize * blockSize]float64
+	// cache (QP-independent, rebuilt each P-frame, never escapes Encode):
+	// fixed-point coefficients on the production path. refDctScratch is its
+	// float64 twin, allocated lazily and only in RefTransform mode.
+	dctScratch    [][blockSize * blockSize]int32
+	refDctScratch [][blockSize * blockSize]float64
+	// batches recycles the structure-of-arrays row-batch transform scratch;
+	// sized to the pool width because buildInterDCTCache shards macroblock
+	// rows across the pool.
+	batches *pool.Freelist[dctBatch]
 	// jobFree recycles FrameJob backing storage between EmitBitstream
 	// (which may run on a pipeline goroutine) and the next
 	// AnalyzeAndQuantize; the channel provides the happens-before edge.
@@ -229,7 +242,7 @@ type Encoder struct {
 	searchFn    func(bx, by int)
 	searchFrame *imgx.Plane
 	searchMF    *MotionField
-	dctFn       func(i int)
+	dctFn       func(by int)
 	dctFrame    *imgx.Plane
 	dctMF       *MotionField
 }
@@ -251,10 +264,11 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 		pool:    p,
 		recons:  pool.NewPlanes(cfg.Width, cfg.Height, 2),
 		trials:  pool.NewFreelist[trialScratch](p.Workers()),
+		batches: pool.NewFreelist[dctBatch](p.Workers()),
 		jobFree: make(chan *FrameJob, jobFreeCap),
 	}
 	e.searchFn = func(bx, by int) { e.searchMB(e.searchFrame, e.searchMF, bx, by) }
-	e.dctFn = func(i int) { e.dctMB(i) }
+	e.dctFn = func(by int) { e.dctRow(by) }
 	return e, nil
 }
 
@@ -452,7 +466,7 @@ func (e *Encoder) Encode(frame *imgx.Plane, opts EncodeOptions) (*EncodedFrame, 
 // QPs not probed) and the number of passes executed. A serial pool probes
 // nothing — the bisection loop then runs exactly the pre-existing serial
 // sequence of passes.
-func (e *Encoder) prefetchRCProbes(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, offsets []int) (memo [52]int, probes int) {
+func (e *Encoder) prefetchRCProbes(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache interCache, offsets []int) (memo [52]int, probes int) {
 	for i := range memo {
 		memo[i] = -1
 	}
@@ -514,7 +528,7 @@ type passResult struct {
 // rate-control trials count bits via countPass. It survives as the
 // single-pass reference implementation the equivalence tests compare
 // against (legacyEncode), so the pooled paths stay pinned to it.
-func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, final bool) *passResult {
+func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache interCache, baseQP int, offsets []int, final bool) *passResult {
 	w := &BitWriter{}
 	// A P-frame trial pass never reconstructs (skip MBs compensate only
 	// when final, inter MBs only quantize and count bits), so it needs no
@@ -556,7 +570,11 @@ func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField
 			if ftype == IFrame {
 				w.WriteUE(uint32(ModeIntra))
 				w.WriteSE(int32(qp - baseQP))
-				encodeIntraMB(w, frame, recon, px, py, qp)
+				if e.cfg.RefTransform {
+					refEncodeIntraMB(w, frame, recon, px, py, qp)
+				} else {
+					encodeIntraMB(w, frame, recon, px, py, qp)
+				}
 				continue
 			}
 
@@ -576,7 +594,11 @@ func (e *Encoder) encodePass(frame *imgx.Plane, ftype FrameType, mf *MotionField
 			w.WriteSE(int32(mv.Y) - int32(pred.Y))
 			w.WriteSE(int32(qp - baseQP))
 			codedMVs[i] = mv
-			encodeInterMB(w, dctCache[i*4:i*4+4], e.ref, recon, px, py, mv, qp, e.cfg.SubPel, final)
+			if e.cfg.RefTransform {
+				refEncodeInterMB(w, dctCache.refMB(i), e.ref, recon, px, py, mv, qp, e.cfg.SubPel, final)
+			} else {
+				encodeInterMB(w, dctCache.fixMB(i), e.ref, recon, px, py, mv, qp, e.cfg.SubPel, final)
+			}
 		}
 	}
 	if final && e.cfg.Deblock {
@@ -596,81 +618,158 @@ func motionCompensate(recon, ref *imgx.Plane, px, py int, mv MV, subpel bool) {
 	imgx.CopyBlock(recon, px, py, ref, px+int(mv.X), py+int(mv.Y), MBSize, MBSize)
 }
 
-// refSample reads the reference pixel at (cx, cy) displaced by mv, which is
-// in half-pel units when subpel is set.
-func refSample(ref *imgx.Plane, cx, cy int, mv MV, subpel bool) float64 {
+// refSampleI reads the reference pixel at (cx, cy) displaced by mv, which
+// is in half-pel units when subpel is set. Integer throughout: sampleHalf
+// rounds its bilinear taps internally.
+func refSampleI(ref *imgx.Plane, cx, cy int, mv MV, subpel bool) int32 {
 	if subpel {
-		return float64(sampleHalf(ref, cx*2+int(mv.X), cy*2+int(mv.Y)))
+		return int32(sampleHalf(ref, cx*2+int(mv.X), cy*2+int(mv.Y)))
 	}
-	return float64(ref.At(cx+int(mv.X), cy+int(mv.Y)))
+	return int32(ref.At(cx+int(mv.X), cy+int(mv.Y)))
 }
+
+// interCache is the per-frame inter-residual transform cache built by
+// buildInterDCTCache: fixed-point coefficients on the production path,
+// float64 coefficients in RefTransform mode. Exactly one slice is non-nil.
+type interCache struct {
+	fix [][blockSize * blockSize]int32
+	ref [][blockSize * blockSize]float64
+}
+
+// fixMB returns macroblock i's 4 fixed-point coefficient blocks.
+func (c interCache) fixMB(i int) [][blockSize * blockSize]int32 { return c.fix[i*4 : i*4+4] }
+
+// refMB returns macroblock i's 4 float coefficient blocks.
+func (c interCache) refMB(i int) [][blockSize * blockSize]float64 { return c.ref[i*4 : i*4+4] }
 
 // buildInterDCTCache computes the forward DCT of every inter macroblock's
 // motion-compensated residual (4 blocks per MB, in raster order). The cache
-// is QP-independent and shared by all passes. Macroblocks are independent,
-// so the grid is sharded flat across the pool. The backing array is recycled
-// across frames without zeroing: non-inter slots are never read (only
-// ModeInter macroblocks index into the cache).
-func (e *Encoder) buildInterDCTCache(frame *imgx.Plane, mf *MotionField) [][blockSize * blockSize]float64 {
+// is QP-independent and shared by all passes. Macroblock rows are
+// independent, so they are sharded across the pool; within a row the
+// transform runs as one structure-of-arrays batch (dctRow). The backing
+// array is recycled across frames without zeroing: non-inter slots are
+// never read (only ModeInter macroblocks index into the cache).
+func (e *Encoder) buildInterDCTCache(frame *imgx.Plane, mf *MotionField) interCache {
 	n := e.mbw * e.mbh * 4
-	if cap(e.dctScratch) < n {
-		e.dctScratch = make([][blockSize * blockSize]float64, n)
+	var cache interCache
+	if e.cfg.RefTransform {
+		if cap(e.refDctScratch) < n {
+			e.refDctScratch = make([][blockSize * blockSize]float64, n)
+		}
+		cache.ref = e.refDctScratch[:n]
+	} else {
+		if cap(e.dctScratch) < n {
+			e.dctScratch = make([][blockSize * blockSize]int32, n)
+		}
+		cache.fix = e.dctScratch[:n]
 	}
-	cache := e.dctScratch[:n]
 	e.dctFrame, e.dctMF = frame, mf
-	e.pool.ForEach(e.mbw*e.mbh, e.dctFn)
+	e.pool.ForEach(e.mbh, e.dctFn)
 	e.dctFrame, e.dctMF = nil, nil
 	return cache
 }
 
-// dctMB is the buildInterDCTCache region body for macroblock i, reading its
-// inputs from the encoder's dctFrame/dctMF fields (see searchFn).
-func (e *Encoder) dctMB(i int) {
+// dctRow is the buildInterDCTCache region body for macroblock row by,
+// reading its inputs from the encoder's dctFrame/dctMF fields (see
+// searchFn). It gathers every inter MB's motion-compensated residual into
+// the row batch's structure-of-arrays lanes, transforms all lanes at once
+// and scatters the coefficients into the cache. Each block's result is a
+// pure function of its own residual, so the batched output is bit-identical
+// to per-block transforms at any worker count or row composition.
+func (e *Encoder) dctRow(by int) {
 	frame, mf := e.dctFrame, e.dctMF
-	if mf.Modes[i] != ModeInter {
+	if e.cfg.RefTransform {
+		e.refDctRow(frame, mf, by)
 		return
 	}
-	var res [blockSize * blockSize]float64
-	bx, by := i%e.mbw, i/e.mbw
-	px, py := bx*MBSize, by*MBSize
-	mv := mf.MVs[i]
-	blk := 0
-	for oy := 0; oy < MBSize; oy += blockSize {
-		for ox := 0; ox < MBSize; ox += blockSize {
-			for y := 0; y < blockSize; y++ {
-				for x := 0; x < blockSize; x++ {
-					cx, cy := px+ox+x, py+oy+y
-					res[y*blockSize+x] = float64(frame.At(cx, cy)) - refSample(e.ref, cx, cy, mv, e.cfg.SubPel)
+	b := e.getBatch()
+	n := b.lanes
+	subpel := e.cfg.SubPel
+	nb := 0
+	for bx := 0; bx < e.mbw; bx++ {
+		i := by*e.mbw + bx
+		if mf.Modes[i] != ModeInter {
+			continue
+		}
+		px, py := bx*MBSize, by*MBSize
+		mv := mf.MVs[i]
+		blk := 0
+		for oy := 0; oy < MBSize; oy += blockSize {
+			for ox := 0; ox < MBSize; ox += blockSize {
+				lane := nb + blk
+				b.slot[lane] = i*4 + blk
+				for y := 0; y < blockSize; y++ {
+					row := b.soa[y*blockSize*n:]
+					for x := 0; x < blockSize; x++ {
+						cx, cy := px+ox+x, py+oy+y
+						row[x*n+lane] = int32(frame.At(cx, cy)) - refSampleI(e.ref, cx, cy, mv, subpel)
+					}
 				}
+				blk++
 			}
-			fdct8(&res, &e.dctScratch[i*4+blk])
-			blk++
+		}
+		nb += 4
+	}
+	if nb > 0 {
+		b.forward(nb)
+		for c := 0; c < blockSize*blockSize; c++ {
+			row := b.soa[c*n:]
+			for lane := 0; lane < nb; lane++ {
+				e.dctScratch[b.slot[lane]][c] = row[lane]
+			}
+		}
+	}
+	e.batches.Put(b)
+}
+
+// refDctRow is dctRow's RefTransform twin: per-block float DCT into the
+// float cache, exactly the pre-fixed-point arithmetic.
+func (e *Encoder) refDctRow(frame *imgx.Plane, mf *MotionField, by int) {
+	var res [blockSize * blockSize]float64
+	for bx := 0; bx < e.mbw; bx++ {
+		i := by*e.mbw + bx
+		if mf.Modes[i] != ModeInter {
+			continue
+		}
+		px, py := bx*MBSize, by*MBSize
+		mv := mf.MVs[i]
+		blk := 0
+		for oy := 0; oy < MBSize; oy += blockSize {
+			for ox := 0; ox < MBSize; ox += blockSize {
+				for y := 0; y < blockSize; y++ {
+					for x := 0; x < blockSize; x++ {
+						cx, cy := px+ox+x, py+oy+y
+						res[y*blockSize+x] = float64(frame.At(cx, cy)) - refSample(e.ref, cx, cy, mv, e.cfg.SubPel)
+					}
+				}
+				refFdct8(&res, &e.refDctScratch[i*4+blk])
+				blk++
+			}
 		}
 	}
 }
 
 // encodeInterMB quantizes and entropy-codes one inter macroblock from its
-// cached DCT blocks and, on the final pass, reconstructs it.
-func encodeInterMB(w *BitWriter, dctBlocks [][blockSize * blockSize]float64, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel, final bool) {
-	qstep := QStep(qp)
-	var dct, res [blockSize * blockSize]float64
+// cached fixed-point DCT blocks and, on the final pass, reconstructs it.
+func encodeInterMB(w *BitWriter, dctBlocks [][blockSize * blockSize]int32, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel, final bool) {
+	var dct, res [blockSize * blockSize]int32
 	var levels [blockSize * blockSize]int32
 	blk := 0
 	for by := 0; by < MBSize; by += blockSize {
 		for bx := 0; bx < MBSize; bx += blockSize {
-			quantizeBlock(&dctBlocks[blk], qstep, &levels)
+			nz := quantizeBlockFixed(&dctBlocks[blk], qp, &levels)
 			blk++
-			writeCoeffs(w, &levels)
+			writeCoeffs(w, &levels, nz)
 			if !final {
 				continue
 			}
-			dequantizeBlock(&levels, qstep, &dct)
-			idct8(&dct, &res)
+			dequantizeBlockFixed(&levels, qp, &dct)
+			idct8Fixed(&dct, &res)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
 					cx, cy := px+bx+x, py+by+y
-					v := refSample(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
-					recon.Set(cx, cy, clampPix(v))
+					v := refSampleI(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
+					recon.Set(cx, cy, clampPixI(v))
 				}
 			}
 		}
@@ -691,19 +790,21 @@ const (
 
 // intraPredict fills pred with the prediction for the 8×8 block at
 // (px, py) under the given mode, reading reconstructed causal neighbors.
-// Modes that lack their neighbor degrade to DC.
-func intraPredict(recon *imgx.Plane, px, py, mode int, pred *[blockSize * blockSize]float64) {
+// Modes that lack their neighbor degrade to DC. Integer throughout — the DC
+// mean rounds to nearest (the float reference kept the fraction; one of the
+// documented output changes of the fixed-point switch).
+func intraPredict(recon *imgx.Plane, px, py, mode int, pred *[blockSize * blockSize]int32) {
 	switch {
 	case mode == intraModeVertical && py > 0:
 		for x := 0; x < blockSize; x++ {
-			v := float64(recon.At(px+x, py-1))
+			v := int32(recon.At(px+x, py-1))
 			for y := 0; y < blockSize; y++ {
 				pred[y*blockSize+x] = v
 			}
 		}
 	case mode == intraModeHorizontal && px > 0:
 		for y := 0; y < blockSize; y++ {
-			v := float64(recon.At(px-1, py+y))
+			v := int32(recon.At(px-1, py+y))
 			for x := 0; x < blockSize; x++ {
 				pred[y*blockSize+x] = v
 			}
@@ -720,13 +821,13 @@ func intraPredict(recon *imgx.Plane, px, py, mode int, pred *[blockSize * blockS
 // residual for the block at (px, py).
 func chooseIntraMode(cur, recon *imgx.Plane, px, py int) int {
 	bestMode, bestSAD := intraModeDC, 1<<30
-	var pred [blockSize * blockSize]float64
+	var pred [blockSize * blockSize]int32
 	for mode := 0; mode < numIntraModes; mode++ {
 		intraPredict(recon, px, py, mode, &pred)
 		sad := 0
 		for y := 0; y < blockSize && sad < bestSAD; y++ {
 			for x := 0; x < blockSize; x++ {
-				d := int(float64(cur.At(px+x, py+y)) - pred[y*blockSize+x])
+				d := int(int32(cur.At(px+x, py+y)) - pred[y*blockSize+x])
 				if d < 0 {
 					d = -d
 				}
@@ -742,10 +843,11 @@ func chooseIntraMode(cur, recon *imgx.Plane, px, py int) int {
 }
 
 // encodeIntraMB codes one macroblock with per-block directional prediction
-// from reconstructed neighbors.
+// from reconstructed neighbors. Intra blocks transform one at a time (never
+// batched): prediction is causal in the reconstruction, so block k+1's
+// input depends on block k's output.
 func encodeIntraMB(w *BitWriter, cur, recon *imgx.Plane, px, py int, qp int) {
-	qstep := QStep(qp)
-	var pred, res, dct [blockSize * blockSize]float64
+	var pred, res, dct [blockSize * blockSize]int32
 	var levels [blockSize * blockSize]int32
 	for by := 0; by < MBSize; by += blockSize {
 		for bx := 0; bx < MBSize; bx += blockSize {
@@ -754,17 +856,17 @@ func encodeIntraMB(w *BitWriter, cur, recon *imgx.Plane, px, py int, qp int) {
 			intraPredict(recon, px+bx, py+by, mode, &pred)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
-					res[y*blockSize+x] = float64(cur.At(px+bx+x, py+by+y)) - pred[y*blockSize+x]
+					res[y*blockSize+x] = int32(cur.At(px+bx+x, py+by+y)) - pred[y*blockSize+x]
 				}
 			}
-			fdct8(&res, &dct)
-			quantizeBlock(&dct, qstep, &levels)
-			writeCoeffs(w, &levels)
-			dequantizeBlock(&levels, qstep, &dct)
-			idct8(&dct, &res)
+			fdct8Fixed(&res, &dct)
+			nz := quantizeBlockFixed(&dct, qp, &levels)
+			writeCoeffs(w, &levels, nz)
+			dequantizeBlockFixed(&levels, qp, &dct)
+			idct8Fixed(&dct, &res)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
-					recon.Set(px+bx+x, py+by+y, clampPix(pred[y*blockSize+x]+res[y*blockSize+x]))
+					recon.Set(px+bx+x, py+by+y, clampPixI(pred[y*blockSize+x]+res[y*blockSize+x]))
 				}
 			}
 		}
@@ -773,8 +875,9 @@ func encodeIntraMB(w *BitWriter, cur, recon *imgx.Plane, px, py int, qp int) {
 
 // intraDC predicts a block's DC from the reconstructed pixels directly above
 // and to the left, falling back to mid-gray at frame borders. Both encoder
-// and decoder reconstruct in raster order, so the prediction is causal.
-func intraDC(recon *imgx.Plane, px, py int) float64 {
+// and decoder reconstruct in raster order, so the prediction is causal. The
+// mean rounds to the nearest integer.
+func intraDC(recon *imgx.Plane, px, py int) int32 {
 	sum, n := 0, 0
 	if py > 0 {
 		for x := 0; x < blockSize; x++ {
@@ -791,17 +894,17 @@ func intraDC(recon *imgx.Plane, px, py int) float64 {
 	if n == 0 {
 		return 128
 	}
-	return float64(sum) / float64(n)
+	return int32((sum + n/2) / n)
 }
 
-func clampPix(v float64) uint8 {
+func clampPixI(v int32) uint8 {
 	if v < 0 {
 		return 0
 	}
 	if v > 255 {
 		return 255
 	}
-	return uint8(v + 0.5)
+	return uint8(v)
 }
 
 func clampQP(qp int) int {

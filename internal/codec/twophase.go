@@ -49,6 +49,10 @@ type FrameJob struct {
 	mvs        []MV
 	intraModes []uint8
 	levels     []int32
+	// nz holds each transform block's nonzero-level count, recorded by the
+	// quantizers so EmitBitstream's writeCoeffs skips its emptiness
+	// pre-scan and stops the zigzag walk at the last coefficient.
+	nz []uint8
 	// qps is the per-MB QP array the job's frame hands out. It lives in the
 	// job — not the encoder — because EmitBitstream reads it on the
 	// pipeline's emit goroutine while the encoder is quantizing later
@@ -90,6 +94,7 @@ func (e *Encoder) getJob() *FrameJob {
 		mvs:        make([]MV, n),
 		intraModes: make([]uint8, n*4),
 		levels:     make([]int32, n*4*blockSize*blockSize),
+		nz:         make([]uint8, n*4),
 		qps:        make([]int, n),
 	}
 }
@@ -140,7 +145,7 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 	if ftype == IFrame && opts.IFrameBudgetScale > 1 && opts.TargetBits > 0 {
 		opts.TargetBits = int(float64(opts.TargetBits) * opts.IFrameBudgetScale)
 	}
-	var dctCache [][blockSize * blockSize]float64
+	var dctCache interCache
 	if ftype == PFrame {
 		dctTimer := e.cfg.Obs.StartStage(obs.StageCodecDCT)
 		dctCache = e.buildInterDCTCache(frame, mf)
@@ -229,7 +234,7 @@ func (e *Encoder) AnalyzeAndQuantize(frame *imgx.Plane, opts EncodeOptions) (*Fr
 // recon plane comes recycled from the plane pool: every pixel is written in
 // raster order before any read (skip/inter compensation and causal intra
 // prediction both are), so stale content is never observed.
-func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache [][blockSize * blockSize]float64, baseQP int, offsets []int, job *FrameJob) int {
+func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionField, dctCache interCache, baseQP int, offsets []int, job *FrameJob) int {
 	recon := e.recons.Get()
 	job.recon = recon
 	qps := job.qps
@@ -251,9 +256,14 @@ func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionFie
 			if ftype == IFrame {
 				job.modes[i] = ModeIntra
 				bits += ueBits(uint32(ModeIntra)) + seBits(int32(qp-baseQP))
-				bits += quantizeIntraMB(frame, recon, px, py, qp,
-					job.levels[i*4*blockSize*blockSize:(i+1)*4*blockSize*blockSize],
-					job.intraModes[i*4:i*4+4])
+				mbLevels := job.levels[i*4*blockSize*blockSize : (i+1)*4*blockSize*blockSize]
+				if e.cfg.RefTransform {
+					bits += refQuantizeIntraMB(frame, recon, px, py, qp,
+						mbLevels, job.intraModes[i*4:i*4+4], job.nz[i*4:i*4+4])
+				} else {
+					bits += quantizeIntraMB(frame, recon, px, py, qp,
+						mbLevels, job.intraModes[i*4:i*4+4], job.nz[i*4:i*4+4])
+				}
 				continue
 			}
 
@@ -273,8 +283,14 @@ func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionFie
 				seBits(int32(mv.Y)-int32(pred.Y)) +
 				seBits(int32(qp-baseQP))
 			codedMVs[i] = mv
-			bits += quantizeInterMB(dctCache[i*4:i*4+4], e.ref, recon, px, py, mv, qp, e.cfg.SubPel,
-				job.levels[i*4*blockSize*blockSize:(i+1)*4*blockSize*blockSize])
+			mbLevels := job.levels[i*4*blockSize*blockSize : (i+1)*4*blockSize*blockSize]
+			if e.cfg.RefTransform {
+				bits += refQuantizeInterMB(dctCache.refMB(i), e.ref, recon, px, py, mv, qp, e.cfg.SubPel,
+					mbLevels, job.nz[i*4:i*4+4])
+			} else {
+				bits += quantizeInterMB(dctCache.fixMB(i), e.ref, recon, px, py, mv, qp, e.cfg.SubPel,
+					mbLevels, job.nz[i*4:i*4+4])
+			}
 		}
 	}
 	if e.cfg.Deblock {
@@ -283,28 +299,29 @@ func (e *Encoder) quantizePass(frame *imgx.Plane, ftype FrameType, mf *MotionFie
 	return bits
 }
 
-// quantizeInterMB quantizes one inter macroblock from its cached DCT blocks
-// into out (4 × 64 levels), reconstructs it, and returns the exact bit cost
-// of entropy-coding the levels.
-func quantizeInterMB(dctBlocks [][blockSize * blockSize]float64, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel bool, out []int32) int {
-	qstep := QStep(qp)
-	var dct, res [blockSize * blockSize]float64
+// quantizeInterMB quantizes one inter macroblock from its cached
+// fixed-point DCT blocks into out (4 × 64 levels) and nzOut (4 nonzero
+// counts), reconstructs it, and returns the exact bit cost of
+// entropy-coding the levels.
+func quantizeInterMB(dctBlocks [][blockSize * blockSize]int32, ref, recon *imgx.Plane, px, py int, mv MV, qp int, subpel bool, out []int32, nzOut []uint8) int {
+	var dct, res [blockSize * blockSize]int32
 	bits := 0
 	blk := 0
 	for by := 0; by < MBSize; by += blockSize {
 		for bx := 0; bx < MBSize; bx += blockSize {
 			off := blk * blockSize * blockSize
 			levels := (*[blockSize * blockSize]int32)(out[off : off+blockSize*blockSize])
-			quantizeBlock(&dctBlocks[blk], qstep, levels)
-			bits += coeffsBits(levels)
+			nz := quantizeBlockFixed(&dctBlocks[blk], qp, levels)
+			nzOut[blk] = uint8(nz)
+			bits += coeffsBits(levels, nz)
 			blk++
-			dequantizeBlock(levels, qstep, &dct)
-			idct8(&dct, &res)
+			dequantizeBlockFixed(levels, qp, &dct)
+			idct8Fixed(&dct, &res)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
 					cx, cy := px+bx+x, py+by+y
-					v := refSample(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
-					recon.Set(cx, cy, clampPix(v))
+					v := refSampleI(ref, cx, cy, mv, subpel) + res[y*blockSize+x]
+					recon.Set(cx, cy, clampPixI(v))
 				}
 			}
 		}
@@ -313,11 +330,10 @@ func quantizeInterMB(dctBlocks [][blockSize * blockSize]float64, ref, recon *img
 }
 
 // quantizeIntraMB codes one intra macroblock's prediction, transform and
-// quantization into out/modesOut, reconstructs it, and returns the exact bit
-// cost of the per-block mode symbols and levels.
-func quantizeIntraMB(cur, recon *imgx.Plane, px, py int, qp int, out []int32, modesOut []uint8) int {
-	qstep := QStep(qp)
-	var pred, res, dct [blockSize * blockSize]float64
+// quantization into out/modesOut/nzOut, reconstructs it, and returns the
+// exact bit cost of the per-block mode symbols and levels.
+func quantizeIntraMB(cur, recon *imgx.Plane, px, py int, qp int, out []int32, modesOut, nzOut []uint8) int {
+	var pred, res, dct [blockSize * blockSize]int32
 	bits := 0
 	blk := 0
 	for by := 0; by < MBSize; by += blockSize {
@@ -328,20 +344,21 @@ func quantizeIntraMB(cur, recon *imgx.Plane, px, py int, qp int, out []int32, mo
 			intraPredict(recon, px+bx, py+by, mode, &pred)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
-					res[y*blockSize+x] = float64(cur.At(px+bx+x, py+by+y)) - pred[y*blockSize+x]
+					res[y*blockSize+x] = int32(cur.At(px+bx+x, py+by+y)) - pred[y*blockSize+x]
 				}
 			}
-			fdct8(&res, &dct)
+			fdct8Fixed(&res, &dct)
 			off := blk * blockSize * blockSize
 			levels := (*[blockSize * blockSize]int32)(out[off : off+blockSize*blockSize])
-			quantizeBlock(&dct, qstep, levels)
-			bits += coeffsBits(levels)
+			nz := quantizeBlockFixed(&dct, qp, levels)
+			nzOut[blk] = uint8(nz)
+			bits += coeffsBits(levels, nz)
 			blk++
-			dequantizeBlock(levels, qstep, &dct)
-			idct8(&dct, &res)
+			dequantizeBlockFixed(levels, qp, &dct)
+			idct8Fixed(&dct, &res)
 			for y := 0; y < blockSize; y++ {
 				for x := 0; x < blockSize; x++ {
-					recon.Set(px+bx+x, py+by+y, clampPix(pred[y*blockSize+x]+res[y*blockSize+x]))
+					recon.Set(px+bx+x, py+by+y, clampPixI(pred[y*blockSize+x]+res[y*blockSize+x]))
 				}
 			}
 		}
@@ -396,7 +413,7 @@ func (e *Encoder) EmitBitstream(job *FrameJob) (*EncodedFrame, error) {
 				w.WriteSE(int32(qp - ef.BaseQP))
 				for blk := 0; blk < 4; blk++ {
 					w.WriteUE(uint32(job.intraModes[i*4+blk]))
-					writeCoeffs(w, job.block(i, blk))
+					writeCoeffs(w, job.block(i, blk), int(job.nz[i*4+blk]))
 				}
 			case ModeSkip:
 				w.WriteUE(uint32(ModeSkip))
@@ -408,7 +425,7 @@ func (e *Encoder) EmitBitstream(job *FrameJob) (*EncodedFrame, error) {
 				w.WriteSE(int32(mv.Y) - int32(pred.Y))
 				w.WriteSE(int32(qp - ef.BaseQP))
 				for blk := 0; blk < 4; blk++ {
-					writeCoeffs(w, job.block(i, blk))
+					writeCoeffs(w, job.block(i, blk), int(job.nz[i*4+blk]))
 				}
 			}
 		}
@@ -426,34 +443,9 @@ func (e *Encoder) EmitBitstream(job *FrameJob) (*EncodedFrame, error) {
 }
 
 // Bit-length arithmetic mirroring the Exp-Golomb writers: ueBits(v) is the
-// exact length WriteUE(v) appends, seBits the WriteSE counterpart, and
-// coeffsBits the exact length of writeCoeffs for a block.
+// exact length WriteUE(v) appends, seBits the WriteSE counterpart
+// (coeffsBits, the writeCoeffs mirror, lives in dct.go next to the writer).
 
 func ueBits(v uint32) int { return 2*bitLen64(uint64(v)+1) - 1 }
 
 func seBits(v int32) int { return ueBits(seToUE(v)) }
-
-func coeffsBits(levels *[blockSize * blockSize]int32) int {
-	any := false
-	for _, l := range levels {
-		if l != 0 {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return 1 // coded-block flag: empty
-	}
-	bits := 1
-	run := uint32(0)
-	for _, pos := range zigzag8 {
-		l := levels[pos]
-		if l == 0 {
-			run++
-			continue
-		}
-		bits += ueBits(run) + seBits(l)
-		run = 0
-	}
-	return bits + ueBits(blockSize*blockSize)
-}

@@ -24,7 +24,7 @@ func legacyEncode(t *testing.T, e *Encoder, frame *imgx.Plane, opts EncodeOption
 	if ftype == IFrame && opts.IFrameBudgetScale > 1 && opts.TargetBits > 0 {
 		opts.TargetBits = int(float64(opts.TargetBits) * opts.IFrameBudgetScale)
 	}
-	var dctCache [][blockSize * blockSize]float64
+	var dctCache interCache
 	if ftype == PFrame {
 		dctCache = e.buildInterDCTCache(frame, mf)
 	}

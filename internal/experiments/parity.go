@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dive/internal/codec"
+	"dive/internal/core"
+	"dive/internal/imgx"
+	"dive/internal/sim"
+	"dive/internal/world"
+)
+
+// Transform parity: the gate for the fixed-point kernel switch. The encoder,
+// rate-control trials and decoder all moved from the float64 matrix DCT /
+// float-division quantizer to int32 fixed-point kernels (DESIGN.md §12) — a
+// documented output change, like the PR 2 integerizations before it. This
+// experiment runs the full DiVE agent end-to-end twice on identical
+// workloads — production fixed-point kernels vs Config.RefTransform float64
+// reference — and reports the AP and bitrate deltas. The acceptance bar is
+// ±1% relative on both.
+
+// ParityRow is one bandwidth point of the fixed-vs-float comparison.
+type ParityRow struct {
+	Bandwidth float64 `json:"bandwidth_mbps"`
+	FixedMAP  float64 `json:"fixed_map"`
+	RefMAP    float64 `json:"ref_map"`
+	// MAPDelta is fixed − ref, in absolute AP points.
+	MAPDelta    float64 `json:"map_delta"`
+	FixedBitate float64 `json:"fixed_bitrate_mbps"`
+	RefBitrate  float64 `json:"ref_bitrate_mbps"`
+	// BitrateRel is (fixed − ref) / ref.
+	BitrateRel float64 `json:"bitrate_rel"`
+}
+
+// ParityResult is the sweep plus the worst-case deltas the gate reads.
+type ParityResult struct {
+	Rows []ParityRow `json:"rows"`
+	// MaxAbsMAPDelta / MaxAbsBitrateRel are the largest magnitudes across
+	// the sweep.
+	MaxAbsMAPDelta   float64 `json:"max_abs_map_delta"`
+	MaxAbsBitrateRel float64 `json:"max_abs_bitrate_rel"`
+	// FixedPSNR / RefPSNR compare reconstruction fidelity directly, outside
+	// the simulated link: one clip rate-controlled encode per path, mean
+	// luma PSNR of the decoder output against the source.
+	FixedPSNR float64 `json:"fixed_psnr_db"`
+	RefPSNR   float64 `json:"ref_psnr_db"`
+}
+
+// clipPSNR encodes every frame of the clip with a serial rate-controlled
+// encoder and returns the mean PSNR of the decoded reconstructions against
+// the source frames.
+func clipPSNR(clip *world.Clip, refTransform bool) (float64, error) {
+	cfg := codec.DefaultConfig(clip.W, clip.H)
+	cfg.Workers = 1
+	cfg.RefTransform = refTransform
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		return 0, err
+	}
+	dec, err := codec.NewDecoder(cfg)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, frame := range clip.Frames {
+		ef, err := enc.Encode(frame, codec.EncodeOptions{TargetBits: 150_000})
+		if err != nil {
+			return 0, err
+		}
+		df, err := dec.Decode(ef.Data)
+		if err != nil {
+			return 0, err
+		}
+		sum += imgx.PSNR(imgx.MSE(frame, df.Image))
+	}
+	return sum / float64(len(clip.Frames)), nil
+}
+
+// TransformParity evaluates the fixed-point and float-reference transform
+// paths end-to-end on the RobotCar-flavored workload across the bandwidth
+// sweep. Both runs share clips, seeds and link traces; only the transform
+// kernels differ.
+func TransformParity(scale Scale, seed int64) (ParityResult, error) {
+	rc, _ := Datasets(scale, seed)
+	bws := bandwidthSweep(scale)
+	var res ParityResult
+	var err error
+	if res.FixedPSNR, err = clipPSNR(rc.Clips[0], false); err != nil {
+		return res, err
+	}
+	if res.RefPSNR, err = clipPSNR(rc.Clips[0], true); err != nil {
+		return res, err
+	}
+	for _, bw := range bws {
+		fixed, err := runScheme(rc, &sim.DiVE{Session: "parity-fixed"}, constTrace(bw), seed+int64(bw*131))
+		if err != nil {
+			return res, err
+		}
+		ref, err := runScheme(rc, &sim.DiVE{
+			Session: "parity-ref",
+			ConfigFn: func(cfg *core.AgentConfig) {
+				cfg.Codec.RefTransform = true
+			},
+		}, constTrace(bw), seed+int64(bw*131))
+		if err != nil {
+			return res, err
+		}
+		row := ParityRow{
+			Bandwidth: bw,
+			FixedMAP:  fixed.MAP, RefMAP: ref.MAP,
+			MAPDelta:    fixed.MAP - ref.MAP,
+			FixedBitate: fixed.BitrateMbps, RefBitrate: ref.BitrateMbps,
+		}
+		if ref.BitrateMbps > 0 {
+			row.BitrateRel = (fixed.BitrateMbps - ref.BitrateMbps) / ref.BitrateMbps
+		}
+		res.Rows = append(res.Rows, row)
+		if d := math.Abs(row.MAPDelta); d > res.MaxAbsMAPDelta {
+			res.MaxAbsMAPDelta = d
+		}
+		if d := math.Abs(row.BitrateRel); d > res.MaxAbsBitrateRel {
+			res.MaxAbsBitrateRel = d
+		}
+	}
+	return res, nil
+}
+
+// RenderParity formats the fixed-vs-float comparison.
+func RenderParity(r ParityResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Transform parity: fixed-point kernels vs float64 reference (PSNR %.2f vs %.2f dB)",
+			r.FixedPSNR, r.RefPSNR),
+		Columns: []string{"bandwidth (Mbps)", "mAP fixed", "mAP ref", "ΔmAP",
+			"bitrate fixed", "bitrate ref", "Δbitrate"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", row.Bandwidth),
+			f3(row.FixedMAP), f3(row.RefMAP), fmt.Sprintf("%+.4f", row.MAPDelta),
+			fmt.Sprintf("%.3f", row.FixedBitate), fmt.Sprintf("%.3f", row.RefBitrate),
+			fmt.Sprintf("%+.2f%%", row.BitrateRel*100),
+		})
+	}
+	return t
+}
