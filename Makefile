@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline bench-alloc alloc-baseline chaos-smoke doctor-live fleet-smoke fuzz-smoke clean
+.PHONY: all build test race vet bench bench-obs bench-compare bench-smoke bench-baseline bench-alloc alloc-baseline chaos-smoke cluster-smoke doctor-live fleet-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 # carry the frame-pipeline determinism tests (serial vs pipelined
 # byte-identity at depths 1-3), so this also proves the overlap is clean.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/chaos/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/... ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/obs/... ./internal/netsim/... ./internal/edge/... ./internal/chaos/... ./internal/cluster/... ./internal/baselines/... ./internal/parallel/... ./internal/codec/... ./internal/world/... ./internal/core/... ./internal/sim/...
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,16 @@ chaos-smoke: doctor-live
 	$(GO) run ./cmd/divetrace -format journal -duration 2 -o smoke.journal.jsonl
 	$(GO) run ./cmd/divedoctor -journal smoke.journal.jsonl
 
+# Cluster failover smoke (part of the CI chaos-smoke job): the balancer,
+# membership and kill-mid-clip tests under -race, then the end-to-end
+# kill-a-server drill in ci/cluster_smoke.sh — a seed-chosen member of a
+# 3-member cluster dies at half-clip and divedoctor must grade exactly one
+# bounded migration-gap (warn) and zero failover-storm findings from the
+# exported session journals.
+cluster-smoke:
+	$(GO) test -race ./internal/cluster/
+	ci/cluster_smoke.sh
+
 # Live-observability smoke: a paced chaos run served over HTTP, tailed by
 # divedoctor -follow, asserting outage findings stream as JSONL while the
 # run is still going (see ci/doctor_live.sh).
@@ -104,6 +114,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzFrameMsg -fuzztime=10s -run 'xxx' ./internal/edge/
 	$(GO) test -fuzz=FuzzResultMsg -fuzztime=10s -run 'xxx' ./internal/edge/
 	$(GO) test -fuzz=FuzzMsgReader -fuzztime=10s -run 'xxx' ./internal/edge/
+	$(GO) test -fuzz=FuzzRedirectMsg -fuzztime=10s -run 'xxx' ./internal/edge/
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,8 @@
 //	          [-cores 8] [-straggler-factor 3] [-json] [-o report.json]
 //	divefleet -serve 127.0.0.1:7062 [-pace 100ms] [-linger 5s] [...]
 //	divefleet -live [-agents 3] [-duration 1] [-seed 1] [-cut] [-json]
+//	divefleet -live -cluster 3 [-kill-frac 0.5 | -kill-after 2s]
+//	          [-journal-dir DIR] [...]
 //
 // The default (model) mode runs on a virtual clock with seeded link, frame
 // and contention models: the same flags and seed produce a byte-identical
@@ -30,6 +32,15 @@
 // loopback TCP against real edge.Server instances (wall-clock,
 // non-deterministic); -cut routes them through the chaos proxy and severs
 // every connection mid-run, exercising the reconnect path fleet-wide.
+//
+// -cluster (with -live) replaces the bare servers with N members behind the
+// health-routed balancer: sessions are placed round-robin with the remaining
+// members as failover candidates, and the report gains per-server rollup rows
+// plus a migration summary. -kill-frac kills a seed-chosen member once the
+// fleet has streamed that fraction of its frames (-kill-after is the
+// wall-clock variant); the affected sessions must fail over with a bounded
+// re-detection gap. -journal-dir exports each session's decision journal as
+// JSONL for divedoctor grading.
 //
 // Without -json a human summary is printed: the final rollup, per-profile
 // table and straggler table. Exit status: 0 on a clean run, 1 when the
@@ -82,6 +93,10 @@ func run(args []string, stdout io.Writer) (*fleet.Report, error) {
 	linger := fs.Duration("linger", 5*time.Second, "keep the -serve endpoint up this long after the run")
 	live := fs.Bool("live", false, "run real edge clients/servers over loopback instead of the model")
 	cut := fs.Bool("cut", false, "with -live: route through the chaos proxy and sever all connections mid-run")
+	clusterN := fs.Int("cluster", 0, "with -live: run this many members behind the health-routed balancer")
+	killFrac := fs.Float64("kill-frac", 0, "with -cluster: kill a seeded member once this fraction of the fleet's frames streamed")
+	killAfter := fs.Duration("kill-after", 0, "with -cluster: kill a seeded member after this wall-clock delay")
+	journalDir := fs.String("journal-dir", "", "with -live: export per-session decision journals (JSONL) to this directory")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -98,6 +113,8 @@ func run(args []string, stdout io.Writer) (*fleet.Report, error) {
 		rep, errs, err = fleet.RunLive(fleet.LiveSpec{
 			Agents: *agents, Servers: *servers, Duration: *duration,
 			Seed: *seed, Proxy: *cut, Cut: *cut,
+			Cluster: *clusterN, KillAtFrac: *killFrac, KillAfter: *killAfter,
+			JournalDir: *journalDir,
 			Logf: func(format string, a ...interface{}) {
 				fmt.Fprintf(os.Stderr, "divefleet: "+format+"\n", a...)
 			},
@@ -174,8 +191,13 @@ func serveFleet(spec fleet.Spec, addr string, pace, linger time.Duration) (*flee
 
 func printReport(w io.Writer, rep *fleet.Report) {
 	f := rep.Final
-	fmt.Fprintf(w, "fleet: %d sessions on %d server(s), %.0fs, seed %d",
-		rep.Spec.Agents, rep.Spec.Servers, rep.Spec.Duration, rep.Spec.Seed)
+	if rep.Spec.Cluster > 0 {
+		fmt.Fprintf(w, "fleet: %d sessions on a %d-member cluster, %.0fs, seed %d",
+			rep.Spec.Agents, rep.Spec.Cluster, rep.Spec.Duration, rep.Spec.Seed)
+	} else {
+		fmt.Fprintf(w, "fleet: %d sessions on %d server(s), %.0fs, seed %d",
+			rep.Spec.Agents, rep.Spec.Servers, rep.Spec.Duration, rep.Spec.Seed)
+	}
 	if rep.Spec.Chaos != "" {
 		fmt.Fprintf(w, ", chaos %s", rep.Spec.Chaos)
 	}
@@ -186,6 +208,22 @@ func printReport(w io.Writer, rep *fleet.Report) {
 		f.LatencyP50Sec*1000, f.LatencyP95Sec*1000, f.LatencyP99Sec*1000, f.MedianP99Sec*1000)
 	fmt.Fprintf(w, "slo:        fleet burn %.2fx, %d/%d sessions unhealthy, outage %.1f%%\n",
 		f.FleetBurn, f.Unhealthy, f.Sessions, f.OutageFrac*100)
+	if rep.Live != nil && (rep.Live.Migrations > 0 || rep.Spec.Cluster > 0) {
+		fmt.Fprintf(w, "migrations: %d (%d forced, %d redirects), worst re-detection gap %.0f ms\n",
+			rep.Live.Migrations, rep.Live.ForcedMigrations, rep.Live.Redirects,
+			rep.Live.MaxMigrationGapSec*1000)
+	}
+	if len(f.PerServer) > 0 {
+		fmt.Fprintln(w, "per-server:")
+		for _, s := range f.PerServer {
+			hb := "never"
+			if s.LastHeartbeatAgeSec >= 0 {
+				hb = fmt.Sprintf("%.0f ms ago", s.LastHeartbeatAgeSec*1000)
+			}
+			fmt.Fprintf(w, "  %-10s %-8s %3d sessions  mig in/out %d/%d  heartbeat %s\n",
+				s.Server, s.State, s.Sessions, s.MigrationsIn, s.MigrationsOut, hb)
+		}
+	}
 	if len(f.PerProfile) > 0 {
 		fmt.Fprintln(w, "per-profile:")
 		for _, p := range f.PerProfile {

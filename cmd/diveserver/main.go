@@ -6,6 +6,15 @@
 //
 //	diveserver [-addr :7060] [-telemetry :7070] [-read-timeout 60s]
 //	           [-write-timeout 10s] [-drain 5s]
+//	diveserver -cluster 3 [-kill-after 30s] [-seed 1] [-telemetry :7070]
+//
+// -cluster runs N edge servers on loopback behind the health-routed balancer
+// instead of one bare server: members are heartbeat-probed, their addresses
+// are printed at startup (clients take the whole list as their failover
+// candidates), and membership transitions are logged. -kill-after schedules
+// the kill-a-server chaos drill: a seed-chosen member dies abruptly that long
+// into the run, and its sessions must fail over to the survivors. With
+// -telemetry, /debug/cluster serves the live membership table as JSON.
 //
 // The wire protocol is CRC-framed: corrupt or malformed uplink messages are
 // rejected with a NACK demanding a keyframe instead of killing the session,
@@ -22,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +42,8 @@ import (
 	"syscall"
 	"time"
 
+	"dive/internal/chaos"
+	"dive/internal/cluster"
 	"dive/internal/doctor"
 	"dive/internal/edge"
 	"dive/internal/obs"
@@ -51,8 +63,14 @@ func run(args []string) error {
 	readTimeout := fs.Duration("read-timeout", 60*time.Second, "per-message read deadline; an idle session past it is dropped")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-result write deadline")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown grace for in-flight frames on SIGINT/SIGTERM")
+	members := fs.Int("cluster", 0, "run this many members behind the health-routed balancer instead of one server")
+	killAfter := fs.Duration("kill-after", 0, "with -cluster: kill a seed-chosen member after this long (chaos drill)")
+	seed := fs.Int64("seed", 1, "seed for the -kill-after victim choice")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *members > 0 {
+		return runCluster(*members, *killAfter, *seed, *telemetry, *readTimeout, *writeTimeout)
 	}
 	srv := edge.NewServer()
 	srv.Logf = log.Printf
@@ -93,4 +111,71 @@ func run(args []string) error {
 	}()
 
 	return srv.Serve()
+}
+
+// runCluster runs N members behind the balancer until SIGINT/SIGTERM,
+// optionally scheduling the seeded kill drill.
+func runCluster(members int, killAfter time.Duration, seed int64, telemetry string, readTimeout, writeTimeout time.Duration) error {
+	c, err := cluster.New(cluster.Config{
+		Members: members,
+		Configure: func(i int, srv *edge.Server) {
+			srv.Logf = log.Printf
+			srv.ReadTimeout = readTimeout
+			srv.WriteTimeout = writeTimeout
+			srv.Obs = obs.NewRecorder(0)
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, st := range c.Status() {
+		log.Printf("cluster member %s listening on %s", st.Name, st.Addr)
+	}
+
+	if telemetry != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			type row struct {
+				Name                string  `json:"name"`
+				Addr                string  `json:"addr"`
+				State               string  `json:"state"`
+				Sessions            int     `json:"sessions"`
+				Load                float64 `json:"load"`
+				LastHeartbeatAgeSec float64 `json:"last_heartbeat_age_sec"`
+			}
+			rows := make([]row, 0, members)
+			for _, st := range c.Status() {
+				rows = append(rows, row{
+					Name: st.Name, Addr: st.Addr, State: st.State.String(),
+					Sessions: st.Sessions, Load: st.Load,
+					LastHeartbeatAgeSec: st.LastHeartbeatAgeSec,
+				})
+			}
+			json.NewEncoder(w).Encode(rows)
+		})
+		ln, err := net.Listen("tcp", telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listen: %w", err)
+		}
+		defer ln.Close()
+		log.Printf("cluster telemetry on http://%s/debug/cluster", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+
+	var stopDrill func()
+	if killAfter > 0 {
+		sc := chaos.KillMember(seed, members, killAfter.Seconds(), 1, 0)
+		log.Printf("chaos drill armed: member %d dies in %s", sc.Faults[0].Member, killAfter)
+		stopDrill = sc.Apply(c)
+		defer stopDrill()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	log.Printf("%s: stopping cluster", sig)
+	return nil
 }

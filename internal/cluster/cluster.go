@@ -1,0 +1,497 @@
+// Package cluster runs N edge.Server members behind a health-routed
+// balancer. It owns the three control-plane concerns one server never has:
+//
+//   - membership: every member is heartbeat-probed (a full
+//     accept→handshake→ack round trip, so a partitioned or half-dead member
+//     fails the probe even when its TCP port still accepts); consecutive
+//     failures walk a member healthy→suspect→down with hysteresis on the way
+//     back, so one dropped probe never flaps routing.
+//   - routing: new sessions go to the healthiest, least-loaded member via an
+//     EWMA-smoothed session-count score; CandidateAddrs exposes the same
+//     ranking as an ordered dial list for edge.Client failover.
+//   - migration: Drain redirects a member's live sessions to the best
+//     surviving member over the Redirect wire message (planned migration);
+//     Kill models the member dying mid-clip, after which clients fail over
+//     through their candidate list (forced migration). Rebalance drains load
+//     from the hottest member when the spread exceeds a bound.
+//
+// The cluster is in-process (members listen on 127.0.0.1:0), matching the
+// repo's simulation-first approach: chaos scenarios and CI kill real
+// listeners and real sessions deterministically, without containers.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dive/internal/chaos"
+	"dive/internal/edge"
+)
+
+// State is a member's membership verdict.
+type State int
+
+const (
+	// Healthy members take new sessions and migration targets.
+	Healthy State = iota
+	// Suspect members failed their last probe but not enough to be written
+	// off; they keep their sessions and are routed to only when no healthy
+	// member exists.
+	Suspect
+	// Down members failed ProbeConfig.FailThreshold consecutive probes (or
+	// were killed); they are never routed to until they re-earn Healthy.
+	Down
+	// Draining members are being emptied on purpose; never routed to.
+	Draining
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Draining:
+		return "draining"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ProbeFunc checks one member's liveness within timeout.
+type ProbeFunc func(addr string, timeout time.Duration) error
+
+// HelloProbe is the default probe: dial, send a ProbeProfile handshake,
+// require the ack. A member whose listener accepts but whose handler is
+// wedged (or whose path is blacked out by a partition) fails it.
+func HelloProbe(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	conn.SetDeadline(deadline)
+	if err := edge.WriteHello(conn, edge.Hello{Profile: edge.ProbeProfile}); err != nil {
+		return err
+	}
+	mr := edge.NewMsgReader(conn)
+	typ, _, err := mr.Next()
+	if err != nil {
+		return err
+	}
+	if typ != edge.MsgResult {
+		return fmt.Errorf("cluster: probe got message type %d", typ)
+	}
+	return nil
+}
+
+// ProbeConfig shapes the health prober.
+type ProbeConfig struct {
+	// Interval between probes of one member (default 50ms).
+	Interval time.Duration
+	// Timeout bounds one probe round trip (default 500ms).
+	Timeout time.Duration
+	// FailThreshold is the consecutive-failure count that marks a member
+	// down (default 3); the first failure already marks it suspect.
+	FailThreshold int
+	// RecoverThreshold is the consecutive-success count a suspect or down
+	// member needs to re-earn healthy (default 2) — the hysteresis that
+	// keeps a flapping member from oscillating in and out of rotation.
+	RecoverThreshold int
+	// Func replaces the probe implementation (tests); default HelloProbe.
+	Func ProbeFunc
+}
+
+func (p ProbeConfig) withDefaults() ProbeConfig {
+	if p.Interval <= 0 {
+		p.Interval = 50 * time.Millisecond
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 500 * time.Millisecond
+	}
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = 3
+	}
+	if p.RecoverThreshold <= 0 {
+		p.RecoverThreshold = 2
+	}
+	if p.Func == nil {
+		p.Func = HelloProbe
+	}
+	return p
+}
+
+// Config configures a cluster.
+type Config struct {
+	// Members is the cluster size (default 3).
+	Members int
+	Probe   ProbeConfig
+	// EWMAAlpha smooths the per-member session-load score the picker ranks
+	// by (default 0.4; 1 = raw instantaneous count).
+	EWMAAlpha float64
+	// Proxied fronts every member with a chaos.Proxy so Partition can black
+	// out a member without killing its server process.
+	Proxied bool
+	// Configure, when set, is called with each member's server before it
+	// listens — the hook for wiring telemetry recorders, timeouts and label
+	// caps.
+	Configure func(i int, srv *edge.Server)
+	// Logf receives membership and migration events; nil silences.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Members <= 0 {
+		c.Members = 3
+	}
+	c.Probe = c.Probe.withDefaults()
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.4
+	}
+	return c
+}
+
+// MemberStatus is one member's point-in-time view.
+type MemberStatus struct {
+	Index    int
+	Name     string // "edge-<index>"
+	Addr     string // the address clients dial (the proxy when Proxied)
+	State    State
+	Sessions int
+	// Load is the EWMA-smoothed session count the picker ranks by.
+	Load float64
+	// LastHeartbeatAgeSec is the age of the last successful probe (-1 before
+	// the first success).
+	LastHeartbeatAgeSec float64
+}
+
+// member is one edge server plus its membership bookkeeping.
+type member struct {
+	index int
+	name  string
+	addr  string
+	srv   *edge.Server
+	proxy *chaos.Proxy // nil unless Config.Proxied
+
+	mu         sync.Mutex
+	state      State
+	consecFail int
+	consecOK   int
+	load       float64
+	lastBeat   time.Time
+	killed     bool
+}
+
+// Cluster is the control handle chaos cluster scenarios drive.
+var _ chaos.ClusterControl = (*Cluster)(nil)
+
+// Cluster is a running set of members plus the balancer state.
+type Cluster struct {
+	cfg     Config
+	members []*member
+
+	stopc     chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New starts cfg.Members edge servers on loopback and begins probing them.
+// Close releases everything.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, stopc: make(chan struct{})}
+	for i := 0; i < cfg.Members; i++ {
+		srv := edge.NewServer()
+		if cfg.Configure != nil {
+			cfg.Configure(i, srv)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: member %d listen: %w", i, err)
+		}
+		m := &member{
+			index: i, name: fmt.Sprintf("edge-%d", i),
+			addr: addr.String(), srv: srv, state: Healthy,
+		}
+		if cfg.Proxied {
+			p, err := chaos.NewProxy(addr.String(), chaos.ProxyConfig{})
+			if err != nil {
+				srv.Kill()
+				c.Close()
+				return nil, fmt.Errorf("cluster: member %d proxy: %w", i, err)
+			}
+			m.proxy = p
+			m.addr = p.Addr()
+		}
+		c.members = append(c.members, m)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			srv.Serve()
+		}()
+	}
+	for _, m := range c.members {
+		c.wg.Add(1)
+		go c.probeLoop(m)
+	}
+	return c, nil
+}
+
+func (c *Cluster) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// probeLoop drives one member's membership state machine.
+func (c *Cluster) probeLoop(m *member) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Probe.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-t.C:
+		}
+		err := c.cfg.Probe.Func(m.addr, c.cfg.Probe.Timeout)
+		c.observeProbe(m, err)
+	}
+}
+
+// observeProbe folds one probe result into the member's state machine.
+// Split out so tests can drive the machine without a ticker.
+func (c *Cluster) observeProbe(m *member, err error) {
+	sessions := m.srv.SessionCount()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.load = c.cfg.EWMAAlpha*float64(sessions) + (1-c.cfg.EWMAAlpha)*m.load
+	if err == nil {
+		m.lastBeat = time.Now()
+		m.consecFail = 0
+		m.consecOK++
+		// Draining is an operator verdict, not a health one: a draining
+		// member stays draining however well it probes.
+		if (m.state == Suspect || m.state == Down) && m.consecOK >= c.cfg.Probe.RecoverThreshold {
+			c.logf("member %s %s -> healthy (%d consecutive probe successes)", m.name, m.state, m.consecOK)
+			m.state = Healthy
+		}
+		return
+	}
+	m.consecOK = 0
+	m.consecFail++
+	switch {
+	case m.state == Healthy:
+		c.logf("member %s healthy -> suspect: %v", m.name, err)
+		m.state = Suspect
+	case m.state == Suspect && m.consecFail >= c.cfg.Probe.FailThreshold:
+		c.logf("member %s suspect -> down after %d consecutive probe failures", m.name, m.consecFail)
+		m.state = Down
+	}
+}
+
+// status snapshots one member.
+func (m *member) status() MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hbAge := -1.0
+	if !m.lastBeat.IsZero() {
+		hbAge = time.Since(m.lastBeat).Seconds()
+	}
+	return MemberStatus{
+		Index: m.index, Name: m.name, Addr: m.addr,
+		State: m.state, Sessions: m.srv.SessionCount(),
+		Load: m.load, LastHeartbeatAgeSec: hbAge,
+	}
+}
+
+// Status returns every member's snapshot, index order.
+func (c *Cluster) Status() []MemberStatus {
+	out := make([]MemberStatus, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, m.status())
+	}
+	return out
+}
+
+// Members returns the cluster size.
+func (c *Cluster) Members() int { return len(c.members) }
+
+// Addr returns member i's dial address.
+func (c *Cluster) Addr(i int) string { return c.members[i].addr }
+
+// Server returns member i's server (test and telemetry wiring).
+func (c *Cluster) Server(i int) *edge.Server { return c.members[i].srv }
+
+// stateRank orders states for routing: healthy first, suspect as a last
+// resort, down and draining never preferred.
+func stateRank(s State) int {
+	switch s {
+	case Healthy:
+		return 0
+	case Suspect:
+		return 1
+	case Draining:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// rank orders member snapshots by desirability for a new session.
+func rank(a, b MemberStatus) bool {
+	if ra, rb := stateRank(a.State), stateRank(b.State); ra != rb {
+		return ra < rb
+	}
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Index < b.Index
+}
+
+// Pick returns the member a new session should dial: the lowest-loaded
+// healthy member, or the best suspect when no member is healthy. Errors when
+// every member is down or draining.
+func (c *Cluster) Pick() (MemberStatus, error) {
+	return c.pick(-1)
+}
+
+func (c *Cluster) pick(exclude int) (MemberStatus, error) {
+	var best MemberStatus
+	found := false
+	for _, m := range c.members {
+		if m.index == exclude {
+			continue
+		}
+		st := m.status()
+		if st.State == Down || st.State == Draining {
+			continue
+		}
+		if !found || rank(st, best) {
+			best, found = st, true
+		}
+	}
+	if !found {
+		return MemberStatus{}, fmt.Errorf("cluster: no routable member (all down or draining)")
+	}
+	return best, nil
+}
+
+// CandidateAddrs returns every member's address ordered by routing
+// desirability — the ordered failover list for edge.ClientConfig.Addrs. Down
+// and draining members are included last: a client that exhausts the healthy
+// set should still try them, they may have recovered by then.
+func (c *Cluster) CandidateAddrs() []string {
+	sts := c.Status()
+	// Insertion sort: member counts are single digits.
+	for i := 1; i < len(sts); i++ {
+		for j := i; j > 0 && rank(sts[j], sts[j-1]); j-- {
+			sts[j], sts[j-1] = sts[j-1], sts[j]
+		}
+	}
+	out := make([]string, len(sts))
+	for i, st := range sts {
+		out[i] = st.Addr
+	}
+	return out
+}
+
+// Drain starts a planned migration off member i: it is marked Draining
+// (leaves the routing set) and its live sessions are redirected to the best
+// surviving member. Returns the target address and how many sessions were
+// redirected.
+func (c *Cluster) Drain(i int) (target string, redirected int, err error) {
+	if i < 0 || i >= len(c.members) {
+		return "", 0, fmt.Errorf("cluster: no member %d", i)
+	}
+	m := c.members[i]
+	m.mu.Lock()
+	m.state = Draining
+	m.mu.Unlock()
+	t, err := c.pick(i)
+	if err != nil {
+		return "", 0, fmt.Errorf("cluster: drain %s: %w", m.name, err)
+	}
+	n := m.srv.RedirectSessions(t.Addr, "drain")
+	c.logf("drained %s: %d session(s) redirected to %s", m.name, n, t.Name)
+	return t.Addr, n, nil
+}
+
+// Rebalance redirects the hottest member's sessions to the coldest when
+// their load spread exceeds maxImbalance sessions — the planned-migration
+// trigger that runs without an operator. Returns how many sessions moved.
+func (c *Cluster) Rebalance(maxImbalance float64) int {
+	var hot, cold *MemberStatus
+	for _, m := range c.members {
+		st := m.status()
+		if st.State != Healthy {
+			continue
+		}
+		s := st
+		if hot == nil || s.Load > hot.Load {
+			hot = &s
+		}
+		if cold == nil || rank(s, *cold) {
+			cold = &s
+		}
+	}
+	if hot == nil || cold == nil || hot.Index == cold.Index {
+		return 0
+	}
+	if hot.Load-cold.Load <= maxImbalance {
+		return 0
+	}
+	n := c.members[hot.Index].srv.RedirectSessions(cold.Addr, "rebalance")
+	c.logf("rebalanced %s -> %s: %d session(s)", hot.Name, cold.Name, n)
+	return n
+}
+
+// Kill stops member i abruptly — listener and live connections die with no
+// drain, the chaos "server died mid-clip" primitive. The member is marked
+// down immediately; the prober keeps it down until it actually recovers.
+func (c *Cluster) Kill(i int) {
+	if i < 0 || i >= len(c.members) {
+		return
+	}
+	m := c.members[i]
+	m.mu.Lock()
+	m.state = Down
+	m.killed = true
+	m.consecOK = 0
+	m.mu.Unlock()
+	m.srv.Kill()
+	c.logf("killed member %s", m.name)
+}
+
+// Partition blacks out member i's network path without touching its server —
+// distinguishable from Kill only from the inside. Requires Config.Proxied.
+func (c *Cluster) Partition(i int, on bool) error {
+	if i < 0 || i >= len(c.members) {
+		return fmt.Errorf("cluster: no member %d", i)
+	}
+	m := c.members[i]
+	if m.proxy == nil {
+		return fmt.Errorf("cluster: Partition requires Config.Proxied")
+	}
+	m.proxy.SetBlackout(on)
+	c.logf("partition member %s: %v", m.name, on)
+	return nil
+}
+
+// Close stops the prober and hard-stops every member.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() { close(c.stopc) })
+	for _, m := range c.members {
+		if m.proxy != nil {
+			m.proxy.Close()
+		}
+		m.srv.Kill()
+	}
+	c.wg.Wait()
+}

@@ -111,6 +111,20 @@ type Thresholds struct {
 	// fleet) doesn't read as overload.
 	FleetBurnTicks int
 	FleetBurnRate  float64
+	// MigrationGapBudgetSec bounds the re-detection gap a session migration
+	// may leave (last detection served by the old member to the first served
+	// by the new one). Every migration yields a migration-gap finding so the
+	// gap is always measured and visible: Warn within the budget, Fail
+	// beyond it. The default 2.0 covers one keyframe interval at the live
+	// cadence plus the reconnect backoff budget of the default schedule's
+	// early attempts.
+	MigrationGapBudgetSec float64
+	// FailoverMigrations is how many migrations within any
+	// FailoverWindowFrames-frame window constitute a failover storm — a
+	// session ping-ponging between members instead of settling, usually a
+	// balancer disagreement or a flapping prober.
+	FailoverMigrations   int
+	FailoverWindowFrames int
 	// NoisySessionGrowth is the session-count growth factor over the baseline
 	// rollup after which noisy-neighbor starts judging; NoisyGrowthRatio is
 	// the per-session heap (or GC pause p99) growth factor that then counts
@@ -122,28 +136,31 @@ type Thresholds struct {
 // DefaultThresholds returns the tuned defaults.
 func DefaultThresholds() Thresholds {
 	return Thresholds{
-		QPSwing:              6,
-		QPAlternations:       4,
-		BWBiasRatio:          1.5,
-		BWMinAcked:           16,
-		FGCollapseRun:        5,
-		OutageRun:            6,
-		LatencyP95Ratio:      1.5,
-		StageShareGrowth:     1.6,
-		StormAttempts:        6,
-		StormWindowFrames:    12,
-		MinMeanBackoffSec:    0.02,
-		LadderRecoverFrames:  24,
-		HeapGrowthRatio:      2.0,
-		HeapGrowthMinSamples: 6,
-		HeapGrowthFrac:       0.7,
-		GCPauseP99CeilSec:    0.05,
-		AllocBytesSlack:      1.25,
-		StragglerTicks:       3,
-		FleetBurnTicks:       3,
-		FleetBurnRate:        2.0,
-		NoisySessionGrowth:   1.5,
-		NoisyGrowthRatio:     2.0,
+		QPSwing:               6,
+		QPAlternations:        4,
+		BWBiasRatio:           1.5,
+		BWMinAcked:            16,
+		FGCollapseRun:         5,
+		OutageRun:             6,
+		LatencyP95Ratio:       1.5,
+		StageShareGrowth:      1.6,
+		StormAttempts:         6,
+		StormWindowFrames:     12,
+		MinMeanBackoffSec:     0.02,
+		LadderRecoverFrames:   24,
+		HeapGrowthRatio:       2.0,
+		HeapGrowthMinSamples:  6,
+		HeapGrowthFrac:        0.7,
+		GCPauseP99CeilSec:     0.05,
+		AllocBytesSlack:       1.25,
+		StragglerTicks:        3,
+		MigrationGapBudgetSec: 2.0,
+		FailoverMigrations:    3,
+		FailoverWindowFrames:  150,
+		FleetBurnTicks:        3,
+		FleetBurnRate:         2.0,
+		NoisySessionGrowth:    1.5,
+		NoisyGrowthRatio:      2.0,
 	}
 }
 
@@ -202,6 +219,15 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.StragglerTicks <= 0 {
 		t.StragglerTicks = d.StragglerTicks
+	}
+	if t.MigrationGapBudgetSec <= 0 {
+		t.MigrationGapBudgetSec = d.MigrationGapBudgetSec
+	}
+	if t.FailoverMigrations <= 0 {
+		t.FailoverMigrations = d.FailoverMigrations
+	}
+	if t.FailoverWindowFrames <= 0 {
+		t.FailoverWindowFrames = d.FailoverWindowFrames
 	}
 	if t.FleetBurnTicks <= 0 {
 		t.FleetBurnTicks = d.FleetBurnTicks

@@ -39,6 +39,8 @@ func NewDetectors(th Thresholds) []Detector {
 		&outageDriftDetector{th: th, runStartFrame: -1},
 		&reconnectStormDetector{th: th},
 		&slowRecoveryDetector{th: th, lastFailFrame: -1},
+		&migrationGapDetector{th: th},
+		&failoverStormDetector{th: th},
 	}
 }
 
@@ -393,6 +395,86 @@ func (d *reconnectStormDetector) Flush() []Finding {
 	}
 	d.pending, d.maxFrame, d.started = nil, 0, false
 	return out
+}
+
+// migrationGapDetector grades every session migration the client journaled
+// against the re-detection gap budget. A migration always yields a finding —
+// the gap is the headline guarantee of the cluster failure model, so CI wants
+// it measured and visible even when healthy: Warn when the gap stayed within
+// MigrationGapBudgetSec, Fail when the session was blind longer than the
+// bound promises.
+type migrationGapDetector struct {
+	th Thresholds
+}
+
+func (d *migrationGapDetector) Name() string { return "migration-gap" }
+
+func (d *migrationGapDetector) Observe(rec obs.JournalRecord) []Finding {
+	if !rec.Migrated {
+		return nil
+	}
+	kind := "planned"
+	if rec.MigrationForced {
+		kind = "forced"
+	}
+	sev := Warn
+	msg := fmt.Sprintf(
+		"%s migration to %s re-detected at frame %d after a %.0f ms gap (budget %.0f ms)",
+		kind, rec.MigratedTo, rec.Frame, rec.MigrationGapSec*1000, d.th.MigrationGapBudgetSec*1000)
+	if rec.MigrationGapSec > d.th.MigrationGapBudgetSec {
+		sev = Fail
+		msg += " — the session was blind longer than the failure model promises"
+	}
+	return []Finding{{
+		Check: d.Name(), Severity: sev,
+		FirstFrame: rec.Frame, LastFrame: rec.Frame,
+		Value: rec.MigrationGapSec, Threshold: d.th.MigrationGapBudgetSec,
+		Message: msg,
+	}}
+}
+
+func (d *migrationGapDetector) Flush() []Finding { return nil }
+
+// failoverStormDetector finds sessions ping-ponging between members: a kill
+// or drain legitimately migrates a session once, but several migrations
+// within a short frame window mean the balancer and the prober disagree about
+// who is healthy and the session is paying the re-detection gap over and
+// over. Emitted as soon as the count is reached (a window that crossed the
+// bar cannot un-cross it); the contributing migrations are consumed so an
+// ongoing storm reports once per burst, not once per extra migration.
+type failoverStormDetector struct {
+	th      Thresholds
+	pending []int // frames of recent migrations, increasing
+}
+
+func (d *failoverStormDetector) Name() string { return "failover-storm" }
+
+func (d *failoverStormDetector) Observe(rec obs.JournalRecord) []Finding {
+	if !rec.Migrated {
+		return nil
+	}
+	d.pending = append(d.pending, rec.Frame)
+	for len(d.pending) > 0 && rec.Frame-d.pending[0] >= d.th.FailoverWindowFrames {
+		d.pending = d.pending[1:]
+	}
+	if len(d.pending) < d.th.FailoverMigrations {
+		return nil
+	}
+	f := Finding{
+		Check: d.Name(), Severity: Fail,
+		FirstFrame: d.pending[0], LastFrame: rec.Frame,
+		Value: float64(len(d.pending)), Threshold: float64(d.th.FailoverMigrations),
+		Message: fmt.Sprintf(
+			"failover storm: session migrated %d times within %d frames (%d–%d) — members are trading the session instead of one of them keeping it",
+			len(d.pending), d.th.FailoverWindowFrames, d.pending[0], rec.Frame),
+	}
+	d.pending = d.pending[:0]
+	return []Finding{f}
+}
+
+func (d *failoverStormDetector) Flush() []Finding {
+	d.pending = nil
+	return nil
 }
 
 // slowRecoveryDetector grades time-to-recover: once the last failure event

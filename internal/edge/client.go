@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -67,6 +68,12 @@ func (b BackoffConfig) delay(attempt int, rng *rand.Rand) time.Duration {
 // ClientConfig configures a resilient live session.
 type ClientConfig struct {
 	Addr string
+	// Addrs is the ordered failover candidate list (cluster members). When
+	// set it supersedes Addr; when empty the client dials Addr only. Each
+	// candidate carries a dial-failure penalty so reconnects prefer servers
+	// that have not recently refused us — failover works even when no
+	// explicit Redirect ever arrives.
+	Addrs []string
 	// Profile/Seed/Duration are the clip identity sent in the handshake.
 	Profile  string
 	Seed     int64
@@ -86,6 +93,11 @@ type ClientConfig struct {
 	// Logf receives progress lines; nil silences the client.
 	Logf func(format string, args ...interface{})
 	Obs  *obs.Recorder
+	// OnMigrate is invoked after each completed handoff with the old and new
+	// addresses and whether the move was forced (old member died) — the hook
+	// fleet aggregation uses to attribute migrations to members. Called from
+	// the session goroutine; keep it fast. Nil disables.
+	OnMigrate func(from, to string, forced bool)
 }
 
 // ClientStats summarizes a session's robustness events.
@@ -102,6 +114,19 @@ type ClientStats struct {
 	// CorruptAcks counts downlink messages the client discarded on CRC or
 	// framing damage.
 	CorruptAcks int
+	// Migrations counts completed session handoffs to a different server;
+	// ForcedMigrations is the subset where the old member died (no Redirect).
+	Migrations       int
+	ForcedMigrations int
+	// Redirects counts Redirect messages received; BadRedirects the subset
+	// rejected without dialing (malformed, empty or self-referential).
+	Redirects    int
+	BadRedirects int
+	// MigrationGapsSec holds each handoff's measured re-detection gap (last
+	// server ack on the old member → first server ack on the new one);
+	// MaxMigrationGapSec is their maximum.
+	MigrationGapsSec   []float64
+	MaxMigrationGapSec float64
 	// FinalLevel and FinalHealth are the ladder state at session end.
 	FinalLevel  core.LadderLevel
 	FinalHealth float64
@@ -123,6 +148,14 @@ type Client struct {
 	conn net.Conn
 	acks chan ackEvent
 
+	// addrs is the resolved candidate list; curAddr the member currently
+	// serving the session; penalty the per-address dial-failure score that
+	// ranks candidates (reset to zero on a successful handshake, so a
+	// completed redirect never inherits the previous server's penalty).
+	addrs   []string
+	curAddr string
+	penalty map[string]int
+
 	// inflight holds sent-but-unacked frames in send order.
 	inflight []inflightFrame
 	// pendingReconnects/pendingBackoff accumulate reconnect accounting to
@@ -132,7 +165,29 @@ type Client struct {
 	// skippedSinceSend marks that uploads were suppressed, so the next
 	// sent frame must be intra-coded (the server's reference is stale).
 	skippedSinceSend bool
+
+	// pendingRedirect is a validated Redirect awaiting the dial; migration
+	// tracks a completed handoff until the new member's first ack closes the
+	// re-detection gap. lastServerAck/sessionStart anchor the gap measure.
+	pendingRedirect *Redirect
+	migration       *migrationInfo
+	lastServerAck   time.Time
+	sessionStart    time.Time
 }
+
+// migrationInfo is one in-progress handoff: where the session moved, why,
+// and when the old member last produced a detection (the gap clock's start).
+type migrationInfo struct {
+	from   string
+	to     string
+	reason string
+	forced bool
+	lostAt time.Time
+}
+
+// errFollowRedirect signals the session loop that a validated Redirect
+// arrived: tear down and re-dial at the target (no ladder penalty).
+var errFollowRedirect = errors.New("edge: following redirect")
 
 type inflightFrame struct {
 	idx    int
@@ -145,6 +200,10 @@ type ackEvent struct {
 	err error // transport-fatal error; res is invalid
 	// corrupt marks a discarded damaged downlink message (non-fatal).
 	corrupt bool
+	// redirect is a well-formed Redirect; badRedirect marks one that failed
+	// decode (empty addr, oversized strings) — counted, never dialed.
+	redirect    *Redirect
+	badRedirect bool
 }
 
 // NewClient builds a client around an existing agent. The agent's encoder
@@ -157,15 +216,36 @@ func NewClient(cfg ClientConfig, agent *core.Agent) *Client {
 		cfg.AckTimeout = time.Second
 	}
 	cfg.Backoff = cfg.Backoff.withDefaults()
+	addrs := cfg.Addrs
+	if len(addrs) == 0 {
+		addrs = []string{cfg.Addr}
+	} else if cfg.Addr == "" {
+		cfg.Addr = addrs[0]
+	}
 	return &Client{
-		cfg:    cfg,
-		agent:  agent,
-		health: core.NewLinkHealth(cfg.Health),
-		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		cfg:     cfg,
+		agent:   agent,
+		health:  core.NewLinkHealth(cfg.Health),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		addrs:   addrs,
+		penalty: make(map[string]int, len(addrs)),
 		// The same profile-seed identity the server labels this stream
 		// with, so both ends' series and SLO windows join on it.
 		session: fmt.Sprintf("%s-%d", cfg.Profile, cfg.Seed),
 	}
+}
+
+// pickAddr returns the best dial candidate: lowest dial-failure penalty,
+// list order breaking ties — so a healthy primary is always preferred and a
+// dead one is demoted only as long as its failures are fresher.
+func (c *Client) pickAddr() string {
+	best := c.addrs[0]
+	for _, a := range c.addrs[1:] {
+		if c.penalty[a] < c.penalty[best] {
+			best = a
+		}
+	}
+	return best
 }
 
 func (c *Client) logf(format string, args ...interface{}) {
@@ -174,11 +254,23 @@ func (c *Client) logf(format string, args ...interface{}) {
 	}
 }
 
-// connect dials and completes the handshake (plain or resume), installing
-// the connection and a fresh ack reader. firstFrame is the index the stream
-// will continue at.
-func (c *Client) connect(resume bool, firstFrame int) error {
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, 5*time.Second)
+// connectTo dials one address and completes the handshake (plain or
+// resume), installing the connection and a fresh ack reader. firstFrame is
+// the index the stream will continue at. A failed dial or handshake raises
+// the address's penalty; success clears it, so a server that comes back (or
+// one we were redirected onto) starts with a clean score.
+func (c *Client) connectTo(addr string, resume bool, firstFrame int) error {
+	if err := c.dialHandshake(addr, resume, firstFrame); err != nil {
+		c.penalty[addr]++
+		return err
+	}
+	c.curAddr = addr
+	c.penalty[addr] = 0
+	return nil
+}
+
+func (c *Client) dialHandshake(addr string, resume bool, firstFrame int) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -235,6 +327,15 @@ func readAcks(conn net.Conn, mr *MsgReader, out chan<- ackEvent) {
 			out <- ackEvent{err: err}
 			return
 		}
+		if typ == MsgRedirect {
+			rd, derr := DecodeRedirect(payload)
+			if derr != nil {
+				out <- ackEvent{badRedirect: true}
+				continue
+			}
+			out <- ackEvent{redirect: &rd}
+			continue
+		}
 		if typ != MsgResult {
 			out <- ackEvent{corrupt: true}
 			continue
@@ -248,11 +349,83 @@ func readAcks(conn net.Conn, mr *MsgReader, out chan<- ackEvent) {
 	}
 }
 
+// recover re-establishes the session after the transport failed or a
+// Redirect arrived. A pending redirect is tried first as a planned
+// migration — a direct dial at the target with no backoff sleep and no
+// ladder penalty, because a drain handoff is an orderly control-plane event,
+// not link failure. If the target refuses (or there was no redirect), the
+// ranked candidate scan with full backoff takes over.
+func (c *Client) recover(nextFrame int, dets [][]detect.Detection) error {
+	if rd := c.pendingRedirect; rd != nil {
+		c.pendingRedirect = nil
+		if err := c.migrate(rd, nextFrame, dets); err == nil {
+			return nil
+		} else {
+			c.logf("redirect target %s refused: %v; falling back to candidate scan", rd.Addr, err)
+		}
+	}
+	return c.reconnect(nextFrame, dets)
+}
+
+// migrate performs a planned handoff to the redirect target.
+func (c *Client) migrate(rd *Redirect, nextFrame int, dets [][]detect.Detection) error {
+	from := c.curAddr
+	lostAt := c.gapStart()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.drainInflight(dets)
+	if err := c.connectTo(rd.Addr, true, nextFrame); err != nil {
+		return err
+	}
+	c.noteMigration(&migrationInfo{from: from, to: rd.Addr, reason: rd.Reason, lostAt: lostAt}, nextFrame)
+	return nil
+}
+
+// noteMigration records a completed handoff; the re-detection gap closes at
+// the new member's first successful ack.
+func (c *Client) noteMigration(m *migrationInfo, nextFrame int) {
+	c.migration = m
+	c.stats.Migrations++
+	if m.forced {
+		c.stats.ForcedMigrations++
+	}
+	c.cfg.Obs.Counter(obs.MetricClientMigrations).Inc()
+	// The new member's decoder has no reference: first upload must be intra.
+	c.agent.ForceNextIFrame()
+	c.skippedSinceSend = false
+	kind := "planned"
+	if m.forced {
+		kind = "forced"
+	}
+	c.logf("migrated to %s (%s, reason %q, resume at frame %d)", m.to, kind, m.reason, nextFrame)
+	if c.cfg.OnMigrate != nil {
+		c.cfg.OnMigrate(m.from, m.to, m.forced)
+	}
+}
+
+// gapStart is the re-detection gap's opening edge: the last server ack, or
+// session start when the old member never acked anything.
+func (c *Client) gapStart() time.Time {
+	if !c.lastServerAck.IsZero() {
+		return c.lastServerAck
+	}
+	if !c.sessionStart.IsZero() {
+		return c.sessionStart
+	}
+	return time.Now()
+}
+
 // reconnect tears down the failed connection, journals every in-flight
 // frame as outage-tracked (their acks are gone), and re-dials with
 // exponential backoff and jitter until the handshake completes or attempts
-// run out. nextFrame is where the stream resumes.
+// run out, each attempt aimed at the best-ranked candidate. nextFrame is
+// where the stream resumes. Landing on a different member than the one that
+// failed is a forced migration.
 func (c *Client) reconnect(nextFrame int, dets [][]detect.Detection) error {
+	from := c.curAddr
+	lostAt := c.gapStart()
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
@@ -266,25 +439,31 @@ func (c *Client) reconnect(nextFrame int, dets [][]detect.Detection) error {
 		totalBackoff += d.Seconds()
 		c.stats.Reconnects++
 		c.cfg.Obs.Counter(obs.MetricClientReconnects).Inc()
-		err := c.connect(true, nextFrame)
+		addr := c.pickAddr()
+		err := c.connectTo(addr, true, nextFrame)
 		if err == nil {
 			c.pendingReconnects += attempt + 1
 			c.pendingBackoff += totalBackoff
-			// The server's decoder is fresh: the next upload must be intra.
-			c.agent.ForceNextIFrame()
-			c.skippedSinceSend = false
-			c.logf("reconnected to %s (attempt %d, resume at frame %d)", c.cfg.Addr, attempt+1, nextFrame)
+			if addr != from && from != "" {
+				// The session moved because the old member went away.
+				c.noteMigration(&migrationInfo{from: from, to: addr, reason: "failover", forced: true, lostAt: lostAt}, nextFrame)
+			} else {
+				// The server's decoder is fresh: the next upload must be intra.
+				c.agent.ForceNextIFrame()
+				c.skippedSinceSend = false
+			}
+			c.logf("reconnected to %s (attempt %d, resume at frame %d)", addr, attempt+1, nextFrame)
 			return nil
 		}
 		// Every failed dial is further link evidence: a long blackout digs
 		// the score deeper, so the ladder is already engaged when the
 		// session comes back instead of resuming at full quality.
 		c.health.ObserveReconnect()
-		c.logf("reconnect attempt %d failed: %v", attempt+1, err)
+		c.logf("reconnect attempt %d to %s failed: %v", attempt+1, addr, err)
 	}
 	c.pendingReconnects += c.cfg.Backoff.MaxAttempts
 	c.pendingBackoff += totalBackoff
-	return fmt.Errorf("edge: reconnect to %s failed after %d attempts", c.cfg.Addr, c.cfg.Backoff.MaxAttempts)
+	return fmt.Errorf("edge: reconnect failed after %d attempts (candidates %v)", c.cfg.Backoff.MaxAttempts, c.addrs)
 }
 
 // drainInflight converts every unacked frame into an outage: journal it,
@@ -342,6 +521,26 @@ func (c *Client) handleAck(ev ackEvent, dets [][]detect.Detection) error {
 		c.stats.CorruptAcks++
 		c.health.ObserveNack()
 		return nil
+	case ev.badRedirect:
+		// Malformed redirect (empty addr, oversized strings): message-local
+		// damage. Never dialed, session continues on the current member.
+		c.stats.BadRedirects++
+		c.cfg.Obs.Counter(obs.MetricClientBadRedirects).Inc()
+		return nil
+	case ev.redirect != nil:
+		rd := ev.redirect
+		c.stats.Redirects++
+		c.cfg.Obs.Counter(obs.MetricClientRedirects).Inc()
+		if rd.Addr == c.curAddr {
+			// Self-redirect: well-formed but nonsensical — following it
+			// would churn the session for nothing. Reject without dialing.
+			c.stats.BadRedirects++
+			c.cfg.Obs.Counter(obs.MetricClientBadRedirects).Inc()
+			c.logf("ignoring self-redirect to %s", rd.Addr)
+			return nil
+		}
+		c.pendingRedirect = rd
+		return errFollowRedirect
 	}
 	res := ev.res
 	if res.NeedKeyframe {
@@ -371,6 +570,26 @@ func (c *Client) handleAck(ev ackEvent, dets [][]detect.Detection) error {
 	if !res.NeedKeyframe {
 		c.health.ObserveAck()
 	}
+	// First successful ack on the new member closes the re-detection gap:
+	// the edge is producing detections for this session again.
+	if m := c.migration; m != nil {
+		gap := time.Since(m.lostAt).Seconds()
+		c.stats.MigrationGapsSec = append(c.stats.MigrationGapsSec, gap)
+		if gap > c.stats.MaxMigrationGapSec {
+			c.stats.MaxMigrationGapSec = gap
+		}
+		forced := m.forced
+		to := m.to
+		c.cfg.Obs.AmendJournalFrame(res.Index, func(j *obs.JournalRecord) {
+			j.Migrated = true
+			j.MigrationGapSec = gap
+			j.MigratedTo = to
+			j.MigrationForced = forced
+		})
+		c.logf("re-detection gap closed: %.3fs (migrated to %s)", gap, to)
+		c.migration = nil
+	}
+	c.lastServerAck = time.Now()
 	// End-to-end response latency (send → ack) feeds both the SLO window
 	// and the e2e histogram the fleet aggregator merges across sessions.
 	rtt := time.Since(inf.sentAt).Seconds()
@@ -439,14 +658,14 @@ func (c *Client) Run(clip *world.Clip) ([][]detect.Detection, ClientStats, error
 	// refused dial.
 	var cerr error
 	for attempt := 0; attempt < c.cfg.Backoff.MaxAttempts; attempt++ {
-		if cerr = c.connect(false, 0); cerr == nil {
+		if cerr = c.connectTo(c.pickAddr(), false, 0); cerr == nil {
 			break
 		}
 		c.logf("connect attempt %d failed: %v", attempt+1, cerr)
 		time.Sleep(c.cfg.Backoff.delay(attempt, c.rng))
 	}
 	if cerr != nil {
-		return nil, c.stats, fmt.Errorf("edge: connect to %s: %w", c.cfg.Addr, cerr)
+		return nil, c.stats, fmt.Errorf("edge: connect to %v: %w", c.addrs, cerr)
 	}
 	defer func() {
 		if c.conn != nil {
@@ -454,6 +673,7 @@ func (c *Client) Run(clip *world.Clip) ([][]detect.Detection, ClientStats, error
 		}
 	}()
 	start := time.Now()
+	c.sessionStart = start
 
 	for i := 0; i < n; i++ {
 		// Ladder first: the frame is encoded under the degradation the
@@ -472,7 +692,7 @@ func (c *Client) Run(clip *world.Clip) ([][]detect.Detection, ClientStats, error
 					err = c.handleAck(ev, dets)
 				}
 				if err != nil {
-					if rerr := c.reconnect(i, dets); rerr != nil {
+					if rerr := c.recover(i, dets); rerr != nil {
 						return dets, c.stats, rerr
 					}
 				}
@@ -533,7 +753,7 @@ func (c *Client) Run(clip *world.Clip) ([][]detect.Detection, ClientStats, error
 			// This frame never made it: treat it as in flight so the drain
 			// journals it, then reconnect and continue with the next frame.
 			c.inflight = append(c.inflight, inflightFrame{idx: fr.Encoded.Index, sentAt: time.Now(), fr: fr})
-			if rerr := c.reconnect(i+1, dets); rerr != nil {
+			if rerr := c.recover(i+1, dets); rerr != nil {
 				return dets, c.stats, rerr
 			}
 			continue
@@ -545,7 +765,7 @@ func (c *Client) Run(clip *world.Clip) ([][]detect.Detection, ClientStats, error
 		// Respect the in-flight window (Window=1 is lock-step).
 		for len(c.inflight) >= c.cfg.Window {
 			if err := c.awaitAck(dets); err != nil {
-				if rerr := c.reconnect(i+1, dets); rerr != nil {
+				if rerr := c.recover(i+1, dets); rerr != nil {
 					return dets, c.stats, rerr
 				}
 				break

@@ -114,6 +114,10 @@ func FromWire(ws []WireDetection) []detect.Detection {
 	return out
 }
 
+// ProbeProfile is the reserved Hello profile of cluster health probes: the
+// server acks the handshake and closes without creating session state.
+const ProbeProfile = "probe"
+
 // profileByName resolves a Hello profile.
 func profileByName(name string) (world.Profile, error) {
 	switch name {
@@ -164,7 +168,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	ln       net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	draining bool
 	wg       sync.WaitGroup
 
@@ -174,6 +178,13 @@ type Server struct {
 	clipMu    sync.Mutex
 	clips     map[clipKey]*world.Clip
 	clipOrder []clipKey
+}
+
+// connState is the per-connection state shared between the handler
+// goroutine and control-plane writers (RedirectSessions): the write mutex
+// keeps a Redirect from interleaving bytes with an in-flight result frame.
+type connState struct {
+	wmu sync.Mutex
 }
 
 // NewServer builds a server with the default detector calibration.
@@ -240,7 +251,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.ln = ln
 	s.draining = false
 	if s.conns == nil {
-		s.conns = make(map[net.Conn]struct{})
+		s.conns = make(map[net.Conn]*connState)
 	}
 	s.mu.Unlock()
 	return ln.Addr(), nil
@@ -271,7 +282,8 @@ func (s *Server) Serve() error {
 			conn.Close()
 			continue
 		}
-		s.conns[conn] = struct{}{}
+		st := &connState{}
+		s.conns[conn] = st
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
@@ -281,7 +293,7 @@ func (s *Server) Serve() error {
 				s.mu.Unlock()
 				s.wg.Done()
 			}()
-			if err := s.handle(conn); err != nil && err != io.EOF {
+			if err := s.handle(conn, st); err != nil && err != io.EOF {
 				s.logf("session error: %v", err)
 			}
 		}()
@@ -345,6 +357,67 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// SessionCount returns the number of active connections.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// RedirectSessions asks every active session to move to target — the
+// planned-migration drain hook a balancer calls before taking a member out
+// of rotation. Each connection gets one Redirect frame (serialized with the
+// handler's result writes by the per-connection write mutex); the client
+// closes the connection itself once it has re-established at the target.
+// Returns the number of redirects written.
+func (s *Server) RedirectSessions(target, reason string) int {
+	s.mu.Lock()
+	conns := make(map[net.Conn]*connState, len(s.conns))
+	for conn, st := range s.conns {
+		conns[conn] = st
+	}
+	s.mu.Unlock()
+	n := 0
+	for conn, st := range conns {
+		st.wmu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		err := WriteRedirect(conn, Redirect{Addr: target, Reason: reason})
+		st.wmu.Unlock()
+		if err != nil {
+			s.logf("redirect write failed: %v", err)
+			continue
+		}
+		n++
+		s.Obs.Counter(obs.MetricEdgeRedirectsSent).Inc()
+	}
+	if n > 0 {
+		s.logf("redirected %d session(s) to %s (%s)", n, target, reason)
+	}
+	return n
+}
+
+// Kill stops the server abruptly: the listener and every active connection
+// are closed with no drain and no redirect — the chaos "member died"
+// primitive. Safe to call more than once.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.draining = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	s.wg.Wait()
+}
+
 func isClosed(err error) bool {
 	var opErr *net.OpError
 	if ok := asOpError(err, &opErr); ok {
@@ -403,11 +476,13 @@ func (s *Server) sessionLabelFor(profile string, seed int64) string {
 }
 
 // handle runs one session.
-func (s *Server) handle(conn net.Conn) error {
+func (s *Server) handle(conn net.Conn, st *connState) error {
 	defer conn.Close()
 	mr := NewMsgReader(conn)
 
 	writeResult := func(res *ResultMsg) error {
+		st.wmu.Lock()
+		defer st.wmu.Unlock()
 		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		return WriteResult(conn, res)
 	}
@@ -425,6 +500,13 @@ func (s *Server) handle(conn net.Conn) error {
 	if err != nil {
 		writeResult(&ResultMsg{Index: -1, Err: err.Error()})
 		return fmt.Errorf("edge: handshake: %w", err)
+	}
+	if hello.Profile == ProbeProfile {
+		// Health probe: a full accept→handshake→write round trip proves the
+		// member is alive end to end, without touching session metrics or
+		// rendering a clip. Answer and hang up.
+		writeResult(&ResultMsg{Index: -1})
+		return nil
 	}
 	s.Obs.Counter(obs.MetricEdgeSessions).Inc()
 	// Per-session labeled series on top of the process-wide globals. The

@@ -88,6 +88,42 @@ func FuzzResultMsg(f *testing.F) {
 	})
 }
 
+func FuzzRedirectMsg(f *testing.F) {
+	f.Add(EncodeRedirect(Redirect{Addr: "127.0.0.1:7061", Reason: "drain"}))
+	f.Add(EncodeRedirect(Redirect{Addr: "edge-2:9000", Reason: ""}))
+	// Malformed shapes the client must reject, never dial: empty addr,
+	// truncated strings, oversized length claims, wrong version.
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 0, 0}) // version + empty addr
+	f.Add([]byte{1, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{2, 0, 1, 'a', 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := DecodeRedirect(data)
+		if err != nil {
+			if !IsRecoverable(err) {
+				t.Fatalf("decode error is not a typed wire error: %v", err)
+			}
+			return
+		}
+		// Decoded OK: the documented invariants hold and the message is
+		// stable under re-encode.
+		if rd.Addr == "" {
+			t.Fatalf("decoder accepted a redirect with empty address")
+		}
+		if len(rd.Addr) > maxStringLen || len(rd.Reason) > maxStringLen {
+			t.Fatalf("decoded redirect exceeds string cap: %+v", rd)
+		}
+		rd2, err := DecodeRedirect(EncodeRedirect(rd))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded redirect failed: %v", err)
+		}
+		if rd2 != rd {
+			t.Fatalf("redirect not stable under re-encode: %+v vs %+v", rd, rd2)
+		}
+	})
+}
+
 // FuzzMsgReader feeds arbitrary byte streams through the framing loop the
 // server runs on every connection: it must terminate (EOF or error) without
 // panicking, and any payload it yields must be safe to hand to the decoders.
@@ -95,6 +131,7 @@ func FuzzMsgReader(f *testing.F) {
 	var seed bytes.Buffer
 	WriteHello(&seed, Hello{Profile: "nuScenes", Seed: 1, Duration: 1})
 	WriteFrame(&seed, &FrameMsg{Index: 0, Bitstream: []byte{5, 6}})
+	WriteRedirect(&seed, Redirect{Addr: "127.0.0.1:1", Reason: "drain"})
 	f.Add(seed.Bytes())
 	f.Add([]byte("Dv"))
 	f.Add([]byte{'D', 'v', MsgFrame, 0, 0, 0, 2, 1, 2, 0, 0, 0, 0})
@@ -119,6 +156,8 @@ func FuzzMsgReader(f *testing.F) {
 				DecodeFrameMsg(payload)
 			case MsgResult:
 				DecodeResultMsg(payload)
+			case MsgRedirect:
+				DecodeRedirect(payload)
 			default:
 				t.Fatalf("reader yielded unknown type %d", typ)
 			}

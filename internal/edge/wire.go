@@ -26,10 +26,12 @@ const (
 	wireMagic1 = 'v'
 
 	// MsgHello opens a session, MsgFrame carries one encoded frame uplink,
-	// MsgResult carries detections (or a NACK) downlink.
-	MsgHello  byte = 1
-	MsgFrame  byte = 2
-	MsgResult byte = 3
+	// MsgResult carries detections (or a NACK) downlink, MsgRedirect tells
+	// the agent to move its session to another cluster member.
+	MsgHello    byte = 1
+	MsgFrame    byte = 2
+	MsgResult   byte = 3
+	MsgRedirect byte = 4
 
 	// MaxPayload caps any message payload; larger lengths are treated as
 	// corruption. Far above any real frame at these resolutions.
@@ -120,7 +122,7 @@ func (mr *MsgReader) Next() (typ byte, payload []byte, err error) {
 	}
 	typ = hdr[0]
 	n := binary.BigEndian.Uint32(hdr[1:])
-	if typ < MsgHello || typ > MsgResult {
+	if typ < MsgHello || typ > MsgRedirect {
 		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrMalformed, typ)
 	}
 	if n > MaxPayload {
@@ -418,6 +420,47 @@ func DecodeResultMsg(p []byte) (ResultMsg, error) {
 	return m, nil
 }
 
+// Redirect tells the agent to move its live session to another cluster
+// member: the balancer sends it when draining a server (planned migration)
+// or when rebalancing load. Addr is the dial target ("host:port"); Reason
+// is a short human-readable tag ("drain", "rebalance") surfaced in the
+// decision journal. The client validates Addr before dialing — an empty or
+// self-referential target is message-local damage, not a command.
+type Redirect struct {
+	Addr   string
+	Reason string
+}
+
+// EncodeRedirect serializes a Redirect payload.
+func EncodeRedirect(rd Redirect) []byte {
+	b := make([]byte, 0, 8+len(rd.Addr)+len(rd.Reason))
+	b = append(b, 1) // version
+	b = appendString(b, rd.Addr)
+	b = appendString(b, rd.Reason)
+	return b
+}
+
+// DecodeRedirect parses a Redirect payload. An empty address is malformed:
+// there is nothing safe to do with a redirect to nowhere.
+func DecodeRedirect(p []byte) (Redirect, error) {
+	r := &rbuf{b: p}
+	v := r.u8("version")
+	if r.err == nil && v != 1 {
+		return Redirect{}, fmt.Errorf("%w: unsupported redirect version %d", ErrMalformed, v)
+	}
+	rd := Redirect{
+		Addr:   r.str("addr"),
+		Reason: r.str("reason"),
+	}
+	if r.err == nil && rd.Addr == "" {
+		return Redirect{}, fmt.Errorf("%w: redirect with empty address", ErrMalformed)
+	}
+	if err := r.done(); err != nil {
+		return Redirect{}, err
+	}
+	return rd, nil
+}
+
 // WriteHello frames and writes a Hello.
 func WriteHello(w io.Writer, h Hello) error { return WriteMsg(w, MsgHello, EncodeHello(h)) }
 
@@ -426,3 +469,8 @@ func WriteFrame(w io.Writer, m *FrameMsg) error { return WriteMsg(w, MsgFrame, E
 
 // WriteResult frames and writes a ResultMsg.
 func WriteResult(w io.Writer, m *ResultMsg) error { return WriteMsg(w, MsgResult, EncodeResultMsg(m)) }
+
+// WriteRedirect frames and writes a Redirect.
+func WriteRedirect(w io.Writer, rd Redirect) error {
+	return WriteMsg(w, MsgRedirect, EncodeRedirect(rd))
+}

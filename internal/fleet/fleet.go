@@ -38,6 +38,9 @@ type Spec struct {
 	// instances sessions are assigned to round-robin (default 1).
 	Agents  int `json:"agents"`
 	Servers int `json:"servers"`
+	// Cluster records the cluster size of a live cluster-mode run (0 for
+	// model runs and bare-server live runs).
+	Cluster int `json:"cluster,omitempty"`
 	// Duration is the simulated run length in virtual seconds (default 30).
 	Duration float64 `json:"duration_sec"`
 	// Seed drives every random stream in the run; identical specs with
@@ -106,6 +109,9 @@ type Report struct {
 	Spec    Spec              `json:"spec"`
 	Rollups []obs.FleetRollup `json:"rollups"`
 	Final   obs.FleetRollup   `json:"final"`
+	// Live carries live-mode extras (migration accounting); nil on model
+	// reports.
+	Live *LiveSummary `json:"live,omitempty"`
 }
 
 // NewAggregator builds the aggregator Run would use for spec — exposed so

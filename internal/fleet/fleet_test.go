@@ -1,8 +1,13 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"dive/internal/obs"
 )
 
 // TestRunDeterministic runs the same spec twice and requires byte-identical
@@ -137,5 +142,84 @@ func TestRunLiveSmoke(t *testing.T) {
 	}
 	if final.Runtime == nil || final.Runtime.Goroutines == 0 {
 		t.Fatalf("runtime rollup missing: %+v", final.Runtime)
+	}
+}
+
+// TestRunLiveClusterKill runs the kill-a-server drill end to end: three
+// sessions spread round-robin over a three-member cluster, the seeded victim
+// killed at half the fleet's frames. Its session must fail over (forced
+// migration, bounded gap), the per-server rollup rows must carry the
+// migration, and the exported journals must let the doctor see it.
+func TestRunLiveClusterKill(t *testing.T) {
+	dir := t.TempDir()
+	report, errs, err := RunLive(LiveSpec{
+		Agents: 3, Cluster: 3, Duration: 2, Seed: 42,
+		KillAtFrac: 0.5, JournalDir: dir, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Errorf("session %d: %v", i, e)
+		}
+	}
+	if report.Live == nil {
+		t.Fatal("live report has no live summary")
+	}
+	if report.Live.ForcedMigrations < 1 {
+		t.Fatalf("kill produced no forced migration: %+v", report.Live)
+	}
+	if report.Live.MaxMigrationGapSec <= 0 || report.Live.MaxMigrationGapSec > 2.0 {
+		t.Errorf("max migration gap %.3fs outside (0, 2.0]", report.Live.MaxMigrationGapSec)
+	}
+
+	final := report.Final
+	if len(final.PerServer) != 3 {
+		t.Fatalf("per-server rollups = %+v, want 3 members", final.PerServer)
+	}
+	var in, out int64
+	down := 0
+	for _, sr := range final.PerServer {
+		in += sr.MigrationsIn
+		out += sr.MigrationsOut
+		if sr.State == "down" {
+			down++
+		}
+	}
+	if in < 1 || in != out {
+		t.Errorf("per-server migration accounting in=%d out=%d, want equal and >= 1", in, out)
+	}
+	if down != 1 {
+		t.Errorf("%d members down in the final rollup, want the 1 killed", down)
+	}
+
+	// Exported journals: one per session, and exactly one records the
+	// migration.
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("journal export produced %d files (%v), want 3", len(files), err)
+	}
+	migrated := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := obs.ReadJournal(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, j := range js {
+			if j.Migrated {
+				migrated++
+				if !j.MigrationForced {
+					t.Errorf("%s: kill journaled a planned migration: %+v", path, j)
+				}
+			}
+		}
+	}
+	if migrated != 1 {
+		t.Errorf("exported journals record %d migrations for one kill, want 1", migrated)
 	}
 }

@@ -2,10 +2,13 @@ package fleet
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"dive/internal/chaos"
+	"dive/internal/cluster"
 	"dive/internal/core"
 	"dive/internal/edge"
 	"dive/internal/obs"
@@ -32,9 +35,25 @@ type LiveSpec struct {
 	Seed     int64
 	// Proxy routes every session through a chaos.Proxy; Cut additionally
 	// severs all proxied connections ~a third into the run, forcing the
-	// reconnect+resume path fleet-wide.
+	// reconnect+resume path fleet-wide. Both apply to bare-server mode only.
 	Proxy bool
 	Cut   bool
+	// Cluster, when > 0, replaces the bare servers with an internal/cluster
+	// balancer of that many members: sessions get rotated candidate dial
+	// lists (round-robin placement with built-in failover), migrations are
+	// folded into the aggregator, and every rollup carries per-server rows.
+	// Servers and Proxy/Cut are ignored in cluster mode.
+	Cluster int
+	// KillAfter, with Cluster > 0, kills a seeded member that long into the
+	// run (wall clock). KillAtFrac instead kills it once the fleet has
+	// streamed that fraction of its total frames — the reliable way to land
+	// the kill mid-clip, since unpaced loopback sessions outrun wall time.
+	// KillAtFrac wins when both are set.
+	KillAfter  time.Duration
+	KillAtFrac float64
+	// JournalDir, when set, exports each session's decision journal as
+	// <dir>/<session>.jsonl after the run, ready for divedoctor grading.
+	JournalDir string
 	// SessionLabelCap is applied to each server (0 keeps the default).
 	SessionLabelCap int
 	// RollupEvery is the wall-clock aggregation period (default 500ms).
@@ -76,38 +95,65 @@ func RunLive(spec LiveSpec) (*Report, []error, error) {
 
 	agg := obs.NewFleetAggregator(obs.FleetConfig{CollectRuntime: true})
 
-	// Servers (and optionally one chaos proxy per server).
-	addrs := make([]string, spec.Servers)
+	// Servers: either a health-routed cluster or bare servers (with an
+	// optional chaos proxy each).
 	var cleanup []func()
 	defer func() {
 		for i := len(cleanup) - 1; i >= 0; i-- {
 			cleanup[i]()
 		}
 	}()
-	var proxies []*chaos.Proxy
-	for i := 0; i < spec.Servers; i++ {
-		srv := edge.NewServer()
-		srv.Obs = obs.NewRecorder(256)
-		srv.SessionLabelCap = spec.SessionLabelCap
-		addr, err := srv.Listen("127.0.0.1:0")
+	var (
+		cl         *cluster.Cluster
+		addrs      []string
+		addrToName map[string]string
+		proxies    []*chaos.Proxy
+	)
+	if spec.Cluster > 0 {
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Members: spec.Cluster,
+			Configure: func(i int, srv *edge.Server) {
+				srv.Obs = obs.NewRecorder(256)
+				srv.SessionLabelCap = spec.SessionLabelCap
+			},
+			Logf: logf,
+		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("fleet: server %d listen: %w", i, err)
+			return nil, nil, fmt.Errorf("fleet: cluster: %w", err)
 		}
-		go srv.Serve()
-		srvRef := srv
-		cleanup = append(cleanup, func() { srvRef.Shutdown(2 * time.Second) })
-		target := addr.String()
-		if spec.Proxy {
-			proxy, err := chaos.NewProxy(target, chaos.ProxyConfig{})
+		cleanup = append(cleanup, cl.Close)
+		addrToName = make(map[string]string, cl.Members())
+		for _, st := range cl.Status() {
+			addrs = append(addrs, st.Addr)
+			addrToName[st.Addr] = st.Name
+		}
+	} else {
+		addrs = make([]string, spec.Servers)
+		for i := 0; i < spec.Servers; i++ {
+			srv := edge.NewServer()
+			srv.Obs = obs.NewRecorder(256)
+			srv.SessionLabelCap = spec.SessionLabelCap
+			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
-				return nil, nil, fmt.Errorf("fleet: proxy %d: %w", i, err)
+				return nil, nil, fmt.Errorf("fleet: server %d listen: %w", i, err)
 			}
-			proxies = append(proxies, proxy)
-			proxyRef := proxy
-			cleanup = append(cleanup, func() { proxyRef.Close() })
-			target = proxy.Addr()
+			go srv.Serve()
+			srvRef := srv
+			cleanup = append(cleanup, func() { srvRef.Shutdown(2 * time.Second) })
+			target := addr.String()
+			if spec.Proxy {
+				proxy, err := chaos.NewProxy(target, chaos.ProxyConfig{})
+				if err != nil {
+					return nil, nil, fmt.Errorf("fleet: proxy %d: %w", i, err)
+				}
+				proxies = append(proxies, proxy)
+				proxyRef := proxy
+				cleanup = append(cleanup, func() { proxyRef.Close() })
+				target = proxy.Addr()
+			}
+			addrs[i] = target
 		}
-		addrs[i] = target
 	}
 
 	// Agents: render clips up front (the slow part), then stream
@@ -116,8 +162,11 @@ func RunLive(spec LiveSpec) (*Report, []error, error) {
 		name   string
 		client *edge.Client
 		clip   *world.Clip
+		rec    *obs.Recorder
+		stats  edge.ClientStats
 	}
 	sessions := make([]session, spec.Agents)
+	totalFrames := 0
 	for i := 0; i < spec.Agents; i++ {
 		lp := liveProfiles[i%len(liveProfiles)]
 		p := lp.make()
@@ -133,11 +182,32 @@ func RunLive(spec LiveSpec) (*Report, []error, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("fleet: agent %d: %w", i, err)
 		}
-		client := edge.NewClient(edge.ClientConfig{
-			Addr: addrs[i%spec.Servers], Profile: lp.name, Seed: seed,
-			Duration: spec.Duration, AckTimeout: 2 * time.Second, Obs: rec,
-		}, agent)
-		sessions[i] = session{name: cfg.Session, client: client, clip: clip}
+		ccfg := edge.ClientConfig{
+			Profile: lp.name, Seed: seed, Duration: spec.Duration,
+			AckTimeout: 2 * time.Second, Obs: rec,
+		}
+		if cl != nil {
+			// Rotated candidate list: round-robin initial placement, with
+			// every other member as a failover target behind it.
+			rot := make([]string, len(addrs))
+			for j := range addrs {
+				rot[j] = addrs[(i+j)%len(addrs)]
+			}
+			ccfg.Addrs = rot
+			sess := cfg.Session
+			ccfg.OnMigrate = func(from, to string, forced bool) {
+				agg.NoteMigration(addrToName[from], addrToName[to])
+				agg.SetSessionServer(sess, addrToName[to])
+				logf("fleet: session %s migrated %s -> %s (forced=%v)",
+					sess, addrToName[from], addrToName[to], forced)
+			}
+			agg.SetSessionServer(sess, addrToName[rot[0]])
+		} else {
+			ccfg.Addr = addrs[i%len(addrs)]
+		}
+		client := edge.NewClient(ccfg, agent)
+		sessions[i] = session{name: cfg.Session, client: client, clip: clip, rec: rec}
+		totalFrames += clip.NumFrames()
 		agg.Register(cfg.Session, lp.name, rec)
 	}
 
@@ -148,7 +218,8 @@ func RunLive(spec LiveSpec) (*Report, []error, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := sessions[i].client.Run(sessions[i].clip)
+			_, stats, err := sessions[i].client.Run(sessions[i].clip)
+			sessions[i].stats = stats
 			errs[i] = err
 		}(i)
 	}
@@ -165,10 +236,54 @@ func RunLive(spec LiveSpec) (*Report, []error, error) {
 
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
+
+	// The kill drill: a seeded member dies mid-run. The victim comes from
+	// the chaos scenario so the same seed always kills the same member;
+	// KillAtFrac triggers on fleet frame progress (unpaced loopback sessions
+	// outrun wall time, so a fraction is how "mid-clip" is actually hit).
+	if cl != nil && (spec.KillAtFrac > 0 || spec.KillAfter > 0) {
+		victim := chaos.KillMember(spec.Seed, spec.Cluster, 1, 1, 0).Faults[0].Member
+		go func() {
+			if spec.KillAtFrac > 0 {
+				target := int(spec.KillAtFrac * float64(totalFrames))
+				for {
+					select {
+					case <-done:
+						return
+					case <-time.After(5 * time.Millisecond):
+					}
+					n := 0
+					for i := range sessions {
+						n += len(sessions[i].rec.Journal().Snapshot())
+					}
+					if n >= target {
+						logf("fleet: killing member %d at %d/%d frames", victim, n, totalFrames)
+						cl.Kill(victim)
+						return
+					}
+				}
+			}
+			select {
+			case <-done:
+			case <-time.After(spec.KillAfter):
+				logf("fleet: killing member %d after %s", victim, spec.KillAfter)
+				cl.Kill(victim)
+			}
+		}()
+	}
+
 	report := &Report{Spec: Spec{
-		Agents: spec.Agents, Servers: spec.Servers,
+		Agents: spec.Agents, Servers: spec.Servers, Cluster: spec.Cluster,
 		Duration: spec.Duration, Seed: spec.Seed, CollectRuntime: true,
 	}}
+	pollServers := func() {
+		if cl == nil {
+			return
+		}
+		for _, st := range cl.Status() {
+			agg.ObserveServer(st.Name, st.State.String(), st.Sessions, st.LastHeartbeatAgeSec)
+		}
+	}
 	ticker := time.NewTicker(spec.RollupEvery)
 	defer ticker.Stop()
 loop:
@@ -177,10 +292,64 @@ loop:
 		case <-done:
 			break loop
 		case <-ticker.C:
+			pollServers()
 			report.Rollups = append(report.Rollups, agg.Rollup(time.Since(start).Seconds()))
 		}
 	}
+	pollServers()
 	report.Final = agg.Rollup(time.Since(start).Seconds())
 	report.Rollups = append(report.Rollups, report.Final)
+
+	live := &LiveSummary{}
+	for i := range sessions {
+		st := sessions[i].stats
+		live.Migrations += st.Migrations
+		live.ForcedMigrations += st.ForcedMigrations
+		live.Redirects += st.Redirects
+		if st.MaxMigrationGapSec > live.MaxMigrationGapSec {
+			live.MaxMigrationGapSec = st.MaxMigrationGapSec
+		}
+		if errs[i] != nil {
+			live.SessionErrors++
+		}
+	}
+	report.Live = live
+
+	if spec.JournalDir != "" {
+		if err := os.MkdirAll(spec.JournalDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("fleet: journal dir: %w", err)
+		}
+		for i := range sessions {
+			path := filepath.Join(spec.JournalDir, sessions[i].name+".jsonl")
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fleet: journal export: %w", err)
+			}
+			werr := sessions[i].rec.Journal().WriteJSONL(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, nil, fmt.Errorf("fleet: journal export %s: %w", path, werr)
+			}
+		}
+		logf("fleet: exported %d session journals to %s", len(sessions), spec.JournalDir)
+	}
 	return report, errs, nil
+}
+
+// LiveSummary is the client-side accounting only live mode can produce
+// (the model has no real migrations); nil on model reports so they
+// serialize unchanged.
+type LiveSummary struct {
+	// Migrations counts completed session handoffs fleet-wide;
+	// ForcedMigrations the subset caused by losing the server (vs a planned
+	// Redirect); Redirects the Redirect messages honored.
+	Migrations       int `json:"migrations"`
+	ForcedMigrations int `json:"forced_migrations"`
+	Redirects        int `json:"redirects"`
+	// MaxMigrationGapSec is the worst re-detection gap any session paid.
+	MaxMigrationGapSec float64 `json:"max_migration_gap_sec"`
+	// SessionErrors counts sessions whose run returned an error.
+	SessionErrors int `json:"session_errors"`
 }

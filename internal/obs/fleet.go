@@ -48,6 +48,10 @@ type FleetConfig struct {
 	// goroutines) to each rollup — wall-clock-dependent, so deterministic
 	// report modes leave it off.
 	CollectRuntime bool
+	// MaxServers bounds the distinct per-server rollup rows (default
+	// DefaultMaxLabelValues); further members fold into one OverflowLabel
+	// row, mirroring the labeled-metric cardinality cap.
+	MaxServers int
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -72,6 +76,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if c.MaxStragglers <= 0 {
 		c.MaxStragglers = 16
 	}
+	if c.MaxServers <= 0 {
+		c.MaxServers = DefaultMaxLabelValues
+	}
 	return c
 }
 
@@ -80,7 +87,10 @@ func (c FleetConfig) withDefaults() FleetConfig {
 type Straggler struct {
 	Session string `json:"session"`
 	Profile string `json:"profile,omitempty"`
-	Frames  int    `json:"frames"`
+	// Server is the cluster member currently serving the session (set via
+	// SetSessionServer), so a straggler is attributable to a member.
+	Server string `json:"server,omitempty"`
+	Frames int    `json:"frames"`
 	// LatencyP99Sec/BurnRate are the session's own window values.
 	LatencyP99Sec float64 `json:"latency_p99_sec"`
 	BurnRate      float64 `json:"burn_rate"`
@@ -148,15 +158,37 @@ type FleetRollup struct {
 	MedianBurn   float64 `json:"median_burn"`
 
 	PerProfile []ProfileRollup `json:"per_profile,omitempty"`
+	PerServer  []ServerRollup  `json:"per_server,omitempty"`
 	Stragglers []Straggler     `json:"stragglers,omitempty"`
 
 	Runtime *RuntimeRollup `json:"runtime,omitempty"`
+}
+
+// ServerRollup is one cluster member's row in a rollup: how many sessions it
+// carries, the migration flow through it, and how stale its last heartbeat
+// is. Fed by ObserveServer/NoteMigration; row count is capped at
+// FleetConfig.MaxServers with the overflow folded into one OverflowLabel
+// row.
+type ServerRollup struct {
+	Server string `json:"server"`
+	// State is the balancer's membership verdict ("healthy", "suspect",
+	// "down", "draining") when a cluster feeds it; empty otherwise.
+	State    string `json:"state,omitempty"`
+	Sessions int    `json:"sessions"`
+	// MigrationsIn/Out count completed session handoffs onto/off this member
+	// since aggregator start.
+	MigrationsIn  int64 `json:"migrations_in"`
+	MigrationsOut int64 `json:"migrations_out"`
+	// LastHeartbeatAgeSec is the age of the member's last successful health
+	// probe at rollup time (-1 when never probed).
+	LastHeartbeatAgeSec float64 `json:"last_heartbeat_age_sec"`
 }
 
 // sessionSource is one registered per-session telemetry stream.
 type sessionSource struct {
 	name    string
 	profile string
+	server  string
 	rec     *Recorder
 }
 
@@ -173,6 +205,21 @@ type FleetAggregator struct {
 	tick     int
 	lastT    float64
 	lastN    int64
+
+	// Per-server dimension (cluster mode): member status snapshots and
+	// migration counters, bounded at cfg.MaxServers distinct names.
+	serverMu sync.Mutex
+	servers  map[string]*serverStat
+}
+
+// serverStat accumulates one member's row between rollups.
+type serverStat struct {
+	state    string
+	sessions int
+	hbAge    float64
+	migIn    int64
+	migOut   int64
+	observed bool // ObserveServer ever called (vs. migration-only rows)
 }
 
 // NewFleetAggregator builds an aggregator with cfg (zero value for
@@ -205,6 +252,96 @@ func (a *FleetAggregator) Unregister(name string) {
 	a.mu.Unlock()
 }
 
+// SetSessionServer labels a registered session with the cluster member
+// currently serving it, so straggler rows carry member attribution. Safe to
+// call on every migration; unknown sessions are ignored.
+func (a *FleetAggregator) SetSessionServer(session, server string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if src := a.sessions[session]; src != nil {
+		src.server = server
+	}
+	a.mu.Unlock()
+}
+
+// serverStatFor returns (creating) the row for name. Past MaxServers
+// distinct names the row folds into OverflowLabel — the same cardinality
+// discipline as labeled metric families — counting each fold on
+// MetricLabelOverflow when a registry is attached. Callers hold serverMu.
+func (a *FleetAggregator) serverStatFor(name string) *serverStat {
+	if a.servers == nil {
+		a.servers = make(map[string]*serverStat)
+	}
+	if st, ok := a.servers[name]; ok {
+		return st
+	}
+	if len(a.servers) >= a.cfg.MaxServers && name != OverflowLabel {
+		if reg := a.cfg.Registry; reg != nil {
+			reg.Counter(MetricLabelOverflow).Inc()
+		}
+		return a.serverStatFor(OverflowLabel)
+	}
+	st := &serverStat{hbAge: -1}
+	a.servers[name] = st
+	return st
+}
+
+// ObserveServer upserts one cluster member's status snapshot: its membership
+// state, current session count and the age of its last successful heartbeat.
+// Call once per member per rollup period.
+func (a *FleetAggregator) ObserveServer(name, state string, sessions int, hbAgeSec float64) {
+	if a == nil || name == "" {
+		return
+	}
+	a.serverMu.Lock()
+	st := a.serverStatFor(name)
+	st.state, st.sessions, st.hbAge = state, sessions, hbAgeSec
+	a.serverMu.Unlock()
+}
+
+// NoteMigration attributes one completed session handoff: out of from, into
+// to. Either side may be empty (unknown member).
+func (a *FleetAggregator) NoteMigration(from, to string) {
+	if a == nil {
+		return
+	}
+	a.serverMu.Lock()
+	if from != "" {
+		a.serverStatFor(from).migOut++
+	}
+	if to != "" {
+		a.serverStatFor(to).migIn++
+	}
+	a.serverMu.Unlock()
+}
+
+// serverRollups snapshots the per-server rows, name-sorted with the
+// overflow row last.
+func (a *FleetAggregator) serverRollups() []ServerRollup {
+	a.serverMu.Lock()
+	defer a.serverMu.Unlock()
+	if len(a.servers) == 0 {
+		return nil
+	}
+	out := make([]ServerRollup, 0, len(a.servers))
+	for name, st := range a.servers {
+		out = append(out, ServerRollup{
+			Server: name, State: st.state, Sessions: st.sessions,
+			MigrationsIn: st.migIn, MigrationsOut: st.migOut,
+			LastHeartbeatAgeSec: st.hbAge,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].Server == OverflowLabel) != (out[j].Server == OverflowLabel) {
+			return out[j].Server == OverflowLabel
+		}
+		return out[i].Server < out[j].Server
+	})
+	return out
+}
+
 // SessionCount returns the number of registered sources.
 func (a *FleetAggregator) SessionCount() int {
 	if a == nil {
@@ -224,8 +361,12 @@ func (a *FleetAggregator) Rollup(simTimeSec float64) FleetRollup {
 	}
 	a.mu.Lock()
 	sources := make([]*sessionSource, 0, len(a.sessions))
+	sessServer := make(map[string]string, len(a.sessions))
 	for _, s := range a.sessions {
 		sources = append(sources, s)
+		if s.server != "" {
+			sessServer[s.name] = s.server
+		}
 	}
 	tick := a.tick
 	a.tick++
@@ -233,7 +374,8 @@ func (a *FleetAggregator) Rollup(simTimeSec float64) FleetRollup {
 	a.mu.Unlock()
 	sort.Slice(sources, func(i, j int) bool { return sources[i].name < sources[j].name })
 
-	ru := a.fold(tick, simTimeSec, lastT, lastN, sources)
+	ru := a.fold(tick, simTimeSec, lastT, lastN, sources, sessServer)
+	ru.PerServer = a.serverRollups()
 
 	a.mu.Lock()
 	a.lastT, a.lastN = simTimeSec, ru.FramesTotal
@@ -269,7 +411,7 @@ type profileAcc struct {
 
 // fold computes the rollup over a fixed source list (no aggregator locks
 // held — sources' own registries do their internal locking).
-func (a *FleetAggregator) fold(tick int, simTime, lastT float64, lastN int64, sources []*sessionSource) FleetRollup {
+func (a *FleetAggregator) fold(tick int, simTime, lastT float64, lastN int64, sources []*sessionSource, sessServer map[string]string) FleetRollup {
 	ru := FleetRollup{Tick: tick, SimTimeSec: simTime, Sessions: len(sources)}
 	fleetLat := NewHistogram(DefaultDurationBuckets)
 	profiles := make(map[string]*profileAcc)
@@ -373,6 +515,7 @@ func (a *FleetAggregator) fold(tick int, simTime, lastT float64, lastN int64, so
 			ru.Stragglers = append(ru.Stragglers, Straggler{
 				Session:       s.src.name,
 				Profile:       s.src.profile,
+				Server:        sessServer[s.src.name],
 				Frames:        s.st.Frames,
 				LatencyP99Sec: s.st.LatencyP99Sec,
 				BurnRate:      s.st.BurnRate,

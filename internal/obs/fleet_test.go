@@ -258,6 +258,76 @@ func TestFleetAggregatorRollup(t *testing.T) {
 	}
 }
 
+// TestFleetPerServerRollup checks the per-server dimension: ObserveServer
+// rows surface in rollups with membership state and heartbeat age,
+// NoteMigration balances in/out across members, stragglers are attributed to
+// their member, and names past MaxServers fold into the overflow row with
+// the cardinality counter ticking — same discipline as labeled metrics.
+func TestFleetPerServerRollup(t *testing.T) {
+	reg := NewRegistry()
+	agg := NewFleetAggregator(FleetConfig{Registry: reg, MaxServers: 2})
+	fleetFixture(t, agg, 8, map[int]bool{3: true})
+	agg.SetSessionServer("agent-003", "edge-1")
+
+	agg.ObserveServer("edge-0", "healthy", 2, 0.05)
+	agg.ObserveServer("edge-1", "down", 0, 1.5)
+	agg.NoteMigration("edge-0", "edge-1")
+	agg.NoteMigration("edge-0", "edge-1")
+
+	ru := agg.Rollup(5.0)
+	if len(ru.PerServer) != 2 {
+		t.Fatalf("per-server rows = %+v, want 2", ru.PerServer)
+	}
+	rows := map[string]ServerRollup{}
+	for _, r := range ru.PerServer {
+		rows[r.Server] = r
+	}
+	e0, e1 := rows["edge-0"], rows["edge-1"]
+	if e0.State != "healthy" || e0.Sessions != 2 || e0.LastHeartbeatAgeSec != 0.05 {
+		t.Fatalf("edge-0 row = %+v", e0)
+	}
+	if e0.MigrationsOut != 2 || e0.MigrationsIn != 0 {
+		t.Fatalf("edge-0 migrations = in %d out %d, want 0/2", e0.MigrationsIn, e0.MigrationsOut)
+	}
+	if e1.State != "down" || e1.MigrationsIn != 2 || e1.MigrationsOut != 0 {
+		t.Fatalf("edge-1 row = %+v", e1)
+	}
+	// The scripted straggler must carry its member.
+	if len(ru.Stragglers) != 1 || ru.Stragglers[0].Server != "edge-1" {
+		t.Fatalf("straggler attribution = %+v, want agent-003 on edge-1", ru.Stragglers)
+	}
+
+	// A third member exceeds MaxServers: its rows fold into the overflow
+	// label and the cardinality counter ticks.
+	before := reg.Counter(MetricLabelOverflow).Value()
+	agg.ObserveServer("edge-2", "healthy", 4, 0.01)
+	agg.NoteMigration("edge-2", "edge-0")
+	ru2 := agg.Rollup(6.0)
+	if len(ru2.PerServer) != 3 {
+		t.Fatalf("per-server rows after overflow = %+v, want 3", ru2.PerServer)
+	}
+	last := ru2.PerServer[len(ru2.PerServer)-1]
+	if last.Server != OverflowLabel {
+		t.Fatalf("overflow row not last: %+v", ru2.PerServer)
+	}
+	if last.Sessions != 4 || last.MigrationsOut != 1 {
+		t.Fatalf("overflow row = %+v, want edge-2's sessions and migration", last)
+	}
+	if rows2 := func() ServerRollup {
+		for _, r := range ru2.PerServer {
+			if r.Server == "edge-0" {
+				return r
+			}
+		}
+		return ServerRollup{}
+	}(); rows2.MigrationsIn != 1 {
+		t.Fatalf("edge-0 after overflow migration = %+v, want 1 in", rows2)
+	}
+	if after := reg.Counter(MetricLabelOverflow).Value(); after <= before {
+		t.Fatalf("label-overflow counter did not tick: %v -> %v", before, after)
+	}
+}
+
 // TestFleetHandlerJSONL checks /debug/fleet serves the rollup ring as
 // JSONL, oldest first, with parseable records.
 func TestFleetHandlerJSONL(t *testing.T) {

@@ -104,6 +104,17 @@ type JournalRecord struct {
 	ReconnectAttempts int     `json:"reconnect_attempts,omitempty"`
 	BackoffSec        float64 `json:"backoff_sec,omitempty"`
 	NackKeyframe      bool    `json:"nack_keyframe,omitempty"`
+
+	// Session migration (edge cluster): amended onto the first frame the new
+	// member acknowledged after a handoff. MigrationGapSec is the measured
+	// re-detection gap — last server detection on the old member to this ack.
+	// MigrationForced distinguishes a failover (member died) from a planned
+	// redirect (drain/rebalance). divedoctor's migration-gap and
+	// failover-storm detectors grade these.
+	Migrated        bool    `json:"migrated,omitempty"`
+	MigrationGapSec float64 `json:"migration_gap_sec,omitempty"`
+	MigratedTo      string  `json:"migrated_to,omitempty"`
+	MigrationForced bool    `json:"migration_forced,omitempty"`
 }
 
 // JournalRing is a bounded ring buffer of JournalRecords. A nil ring is a

@@ -59,6 +59,14 @@ const (
 	MetricClientReconnects = "edge_client_reconnects_total"
 	MetricClientAckTimeout = "edge_client_ack_timeouts_total"
 	MetricClientSkips      = "edge_client_skipped_sends_total"
+	// Cluster migration counters: completed session handoffs (planned +
+	// forced), Redirect messages received, and redirects rejected as
+	// malformed or self-referential (never dialed).
+	MetricClientMigrations   = "edge_client_migrations_total"
+	MetricClientRedirects    = "edge_client_redirects_total"
+	MetricClientBadRedirects = "edge_client_bad_redirects_total"
+	// Server-side drain: sessions redirected away by RedirectSessions.
+	MetricEdgeRedirectsSent = "edge_redirects_sent_total"
 
 	// Baseline result queues (internal/baselines).
 	GaugeResultQueueDepth = "baseline_result_queue_depth"
